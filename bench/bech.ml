@@ -1,0 +1,125 @@
+(* Bechamel wall-clock micro-benchmarks: one Test.make per table/figure
+   driver (at reduced sizes, so each fits a bechamel quota) plus the
+   native domain-runtime kernels.  These measure the cost of this
+   implementation itself -- analysis, derivation, fusion, simulation --
+   and the real fused-vs-unfused wall clock of the native kernels. *)
+
+open Bechamel
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+module Derive = Lf_core.Derive
+module N = Lf_kernels.Native
+module Pool = Lf_parallel.Pool
+
+let n_small = 64
+
+let test_t2_derivation =
+  let p = Lf_kernels.Filter.program ~rows:64 ~cols:32 () in
+  Test.make ~name:"t2/derive-filter"
+    (Staged.stage (fun () -> Derive.of_program ~depth:1 p))
+
+let test_multigraph =
+  let p = Lf_kernels.Ll18.program ~n:n_small () in
+  Test.make ~name:"t2/multigraph-ll18"
+    (Staged.stage (fun () -> Lf_dep.Dep.build ~depth:1 p))
+
+let test_fused_schedule =
+  let p = Lf_kernels.Calc.program ~n:n_small () in
+  Test.make ~name:"f22/schedule-calc"
+    (Staged.stage (fun () -> Lf_core.Schedule.fused ~nprocs:4 ~strip:8 p))
+
+let sim_test name machine kernel =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let pair = Util.run_pair ~machine ~nprocs:4 kernel in
+         pair.Util.fused.Exec.total_misses))
+
+let test_f20_sim = sim_test "f20/sim-ll18-convex" Machine.convex
+    (Lf_kernels.Ll18.program ~n:n_small ())
+
+let test_f22_sim = sim_test "f22/sim-ll18-ksr2" Machine.ksr2
+    (Lf_kernels.Ll18.program ~n:n_small ())
+
+let test_f23_sim = sim_test "f23/sim-filter-convex" Machine.convex
+    (Lf_kernels.Filter.program ~rows:64 ~cols:32 ())
+
+let test_f26_alignrep =
+  let p = Lf_kernels.Ll18.program ~n:n_small () in
+  Test.make ~name:"f26/alignrep-transform-ll18"
+    (Staged.stage (fun () ->
+         match Lf_core.Alignrep.transform p with
+         | Ok r -> r.Lf_core.Alignrep.replicated_stmts
+         | Error _ -> -1))
+
+let test_cache_throughput =
+  let c = Lf_cache.Cache.create Lf_cache.Cache.convex_cache in
+  Test.make ~name:"substrate/cache-100k-accesses"
+    (Staged.stage (fun () ->
+         for i = 0 to 99_999 do
+           ignore (Lf_cache.Cache.access c (i * 8))
+         done))
+
+(* Native kernels: sequential, and fused with a pool of workers. *)
+let native_tests =
+  let n = 256 in
+  let seq =
+    Test.make ~name:"native/ll18-seq"
+      (Staged.stage (fun () ->
+           let a = N.Ll18_native.create n in
+           N.Ll18_native.sequential a;
+           N.Ll18_native.checksum a))
+  in
+  let fused_w workers =
+    Test.make ~name:(Printf.sprintf "native/ll18-fused-w%d" workers)
+      (Staged.stage (fun () ->
+           let pool = Pool.create workers in
+           let a = N.Ll18_native.create n in
+           N.Ll18_native.fused pool a;
+           Pool.shutdown pool;
+           N.Ll18_native.checksum a))
+  in
+  let unfused_w workers =
+    Test.make ~name:(Printf.sprintf "native/ll18-unfused-w%d" workers)
+      (Staged.stage (fun () ->
+           let pool = Pool.create workers in
+           let a = N.Ll18_native.create n in
+           N.Ll18_native.unfused pool a;
+           Pool.shutdown pool;
+           N.Ll18_native.checksum a))
+  in
+  [ seq; unfused_w 1; fused_w 1; unfused_w 2; fused_w 2 ]
+
+let all_tests =
+  Test.make_grouped ~name:"loopfusion"
+    ([
+       test_t2_derivation;
+       test_multigraph;
+       test_fused_schedule;
+       test_f20_sim;
+       test_f22_sim;
+       test_f23_sim;
+       test_f26_alignrep;
+       test_cache_throughput;
+     ]
+    @ native_tests)
+
+let run (_ : Util.cfg) =
+  Util.header "Bechamel micro-benchmarks (wall clock of this implementation)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg_b =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg_b instances all_tests in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  Util.pr "%-40s %16s@." "benchmark" "ns/run";
+  List.iter
+    (fun name ->
+      let ols_result = Hashtbl.find results name in
+      match Analyze.OLS.estimates ols_result with
+      | Some (est :: _) -> Util.pr "%-40s %16.0f@." name est
+      | Some [] | None -> Util.pr "%-40s %16s@." name "n/a")
+    (List.sort String.compare names)

@@ -1,0 +1,96 @@
+(* Figures 21 and 25: complete applications on the Convex. *)
+
+module Apps = Lf_kernels.Apps
+module Machine = Lf_machine.Machine
+
+let convex_procs cfg =
+  Util.cap_procs cfg (Util.scale cfg [ 1; 2; 4; 8; 12; 16 ] [ 1; 2; 4; 8 ])
+
+let tomcatv cfg =
+  if cfg.Util.quick then Apps.tomcatv ~n:97 () else Apps.tomcatv ()
+
+let hydro2d cfg =
+  if cfg.Util.quick then Apps.hydro2d ~rows:128 ~cols:64 ()
+  else Apps.hydro2d ()
+
+let spem cfg =
+  if cfg.Util.quick then Apps.spem ~d0:40 ~d1:24 ~d2:24 () else Apps.spem ()
+
+(* Figure 21: the importance of cache partitioning for applications:
+   original code with and without partitioning, and fused code without
+   partitioning. *)
+let fig21 cfg =
+  Util.header
+    "Figure 21: cache partitioning for applications on Convex (speedups)";
+  let machine = Machine.convex in
+  let procs = convex_procs cfg in
+  let run app =
+    let base =
+      (Apputil.run_app ~machine ~nprocs:1
+         ~variant:Apputil.unfused_partitioned app)
+        .Apputil.cycles
+    in
+    let rows =
+      List.map
+        (fun nprocs ->
+          let s variant =
+            base
+            /. (Apputil.run_app ~machine ~nprocs ~variant app).Apputil.cycles
+          in
+          ( nprocs,
+            [
+              s Apputil.unfused_partitioned;
+              s Apputil.unfused_contiguous;
+              s Apputil.fused_contiguous;
+            ] ))
+        procs
+    in
+    Util.speedup_table
+      ~labels:[ "orig+cachept"; "orig-nopart"; "fused-nopart" ]
+      rows
+  in
+  Util.subheader "(a) hydro2d";
+  run (hydro2d cfg);
+  Util.subheader "(b) tomcatv";
+  run (tomcatv cfg);
+  Util.pr
+    "@.Expected shape: without cache partitioning both the original and@.\
+     the fused code lose performance to conflicts; fusion alone cannot@.\
+     recover it (its locality benefit is wiped out by cross-conflicts).@."
+
+(* Figure 25: application speedups, fused vs unfused (both with cache
+   partitioning). *)
+let fig25 cfg =
+  Util.header "Figure 25: speedup for applications on Convex";
+  let machine = Machine.convex in
+  let procs = convex_procs cfg in
+  let run name app =
+    Util.subheader name;
+    let base =
+      (Apputil.run_app ~machine ~nprocs:1
+         ~variant:Apputil.unfused_partitioned app)
+        .Apputil.cycles
+    in
+    let rows =
+      List.map
+        (fun nprocs ->
+          let u =
+            Apputil.run_app ~machine ~nprocs
+              ~variant:Apputil.unfused_partitioned app
+          in
+          let f =
+            Apputil.run_app ~machine ~nprocs ~variant:Apputil.fused_partitioned
+              app
+          in
+          (nprocs, [ base /. f.Apputil.cycles; base /. u.Apputil.cycles ]))
+        procs
+    in
+    Util.speedup_table ~labels:[ "with fusion"; "without fusion" ] rows
+  in
+  run "(a) tomcatv" (tomcatv cfg);
+  run "(b) hydro2d" (hydro2d cfg);
+  run "(c) spem" (spem cfg);
+  Util.pr
+    "@.Expected shape: tomcatv +10-12%% throughout; hydro2d's benefit@.\
+     shrinks as P grows; spem ~20%% up to 8 processors with a dip past@.\
+     the hypernode boundary (remote accesses dominate at 16).@."

@@ -1,0 +1,48 @@
+(* Profitability analysis (paper §5 discussion and §6 conclusion): the
+   compiler-side estimate of when fusion pays, from data size versus
+   cache size, checked against the measured crossovers. *)
+
+module Machine = Lf_machine.Machine
+module Profit = Lf_core.Profit
+module Exec = Lf_machine.Exec
+
+let run cfg =
+  Util.header "Profitability of fusion (paper sec. 5/6)";
+  let machine = Machine.ksr2 in
+  let cache_bytes = machine.Machine.cache.Lf_cache.Cache.capacity in
+  let n = Util.scale cfg 512 128 in
+  let kernels =
+    [
+      ("LL18", Lf_kernels.Ll18.program ~n ());
+      ("calc", Lf_kernels.Calc.program ~n ());
+    ]
+  in
+  Util.pr "%-6s %6s %14s %14s %12s %10s@." "kernel" "P" "per-proc-bytes"
+    "estimate" "measured" "agree";
+  let procs =
+    Util.cap_procs cfg (Util.scale cfg [ 1; 8; 16; 24; 32; 48; 56 ] [ 1; 4; 8 ])
+  in
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun nprocs ->
+          let e = Profit.estimate ~nprocs ~cache_bytes p in
+          let pair = Util.run_pair ~machine ~nprocs p in
+          let gain =
+            pair.Util.unfused.Exec.cycles /. pair.Util.fused.Exec.cycles
+          in
+          let measured_profitable = gain > 1.0 in
+          Util.pr "%-6s %6d %14d %14s %11.1f%% %10s@." name nprocs
+            e.Profit.per_proc_bytes
+            (if e.Profit.profitable then "profitable" else "skip")
+            (100.0 *. (gain -. 1.0))
+            (if e.Profit.profitable = measured_profitable then "yes"
+             else "no")
+        )
+        procs;
+      Util.pr "  max profitable processor count estimate for %s: %d@." name
+        (Profit.max_profitable_procs ~cache_bytes p))
+    kernels;
+  Util.pr
+    "@.The estimate uses only data size and cache capacity, as the paper@.\
+     proposes; it predicts the crossover region, not the exact point.@."

@@ -1,0 +1,100 @@
+(* Tables 1 and 2 of the paper. *)
+
+module Ir = Lf_ir.Ir
+module Derive = Lf_core.Derive
+module Apps = Lf_kernels.Apps
+
+let kernel_programs (cfg : Util.cfg) =
+  let n = Util.scale cfg 512 96 in
+  [
+    ("LL18", Lf_kernels.Ll18.program ~n ());
+    ("calc", Lf_kernels.Calc.program ~n ());
+    ( "filter",
+      Lf_kernels.Filter.program
+        ~rows:(Util.scale cfg 1602 160)
+        ~cols:(Util.scale cfg 640 64)
+        () );
+  ]
+
+let apps (cfg : Util.cfg) =
+  if cfg.quick then
+    [
+      Apps.tomcatv ~n:97 ();
+      Apps.hydro2d ~rows:128 ~cols:64 ();
+      Apps.spem ~d0:40 ~d1:24 ~d2:24 ();
+    ]
+  else [ Apps.tomcatv (); Apps.hydro2d (); Apps.spem () ]
+
+let max_shift_peel (p : Ir.program) =
+  let d = Derive.of_program ~depth:1 p in
+  (Derive.max_shift d, Derive.max_peel d)
+
+let stmt_count (p : Ir.program) =
+  List.fold_left (fun acc (n : Ir.nest) -> acc + List.length n.Ir.body) 0
+    p.Ir.nests
+
+(* Table 1: inventory of kernels and applications. *)
+let table1 cfg =
+  Util.header "Table 1: kernels and applications";
+  Util.pr "%-10s %6s %10s %9s %9s@." "name" "stmts" "sequences" "longest"
+    "shift/peel";
+  List.iter
+    (fun (name, p) ->
+      let s, q = max_shift_peel p in
+      Util.pr "%-10s %6d %10d %9d %6d/%d@." name (stmt_count p) 1
+        (List.length p.Ir.nests) s q)
+    (kernel_programs cfg);
+  List.iter
+    (fun (app : Apps.t) ->
+      let stmts =
+        List.fold_left (fun acc p -> acc + stmt_count p) 0 app.Apps.sequences
+      in
+      let s, q =
+        List.fold_left
+          (fun (s, q) p ->
+            let s', q' = max_shift_peel p in
+            (max s s', max q q'))
+          (0, 0) app.Apps.sequences
+      in
+      Util.pr "%-10s %6d %10d %9d %6d/%d@." app.Apps.app_name stmts
+        (Apps.num_sequences app)
+        (Apps.longest_sequence app)
+        s q)
+    (apps cfg)
+
+(* Table 2: derived per-loop shifting and peeling amounts, checked
+   against the paper's published values. *)
+let table2 cfg =
+  Util.header "Table 2: derived amounts of shifting and peeling";
+  let check name p expected_shifts expected_peels =
+    let d = Derive.of_program ~depth:1 p in
+    let shifts = Array.map (fun r -> r.(0)) d.Derive.shift in
+    let peels = Array.map (fun r -> r.(0)) d.Derive.peel in
+    Util.subheader name;
+    Util.pr "loop   shift  peel@.";
+    Array.iteri
+      (fun k s -> Util.pr "%4d   %5d  %4d@." (k + 1) s peels.(k))
+      shifts;
+    let ok = shifts = expected_shifts && peels = expected_peels in
+    Util.pr "matches paper Table 2: %s@."
+      (if ok then "YES" else "NO (MISMATCH!)")
+  in
+  let n = Util.scale cfg 512 96 in
+  check "LL18" (Lf_kernels.Ll18.program ~n ()) Lf_kernels.Ll18.expected_shifts
+    Lf_kernels.Ll18.expected_peels;
+  check "calc" (Lf_kernels.Calc.program ~n ()) Lf_kernels.Calc.expected_shifts
+    Lf_kernels.Calc.expected_peels;
+  check "filter"
+    (Lf_kernels.Filter.program ~rows:160 ~cols:64 ())
+    Lf_kernels.Filter.expected_shifts Lf_kernels.Filter.expected_peels;
+  (* edge count of the dependence chain multigraph, cf. the paper's
+     observation that filter's multigraph has 149 edges *)
+  let g =
+    Lf_dep.Dep.build ~depth:1 (Lf_kernels.Filter.program ~rows:160 ~cols:64 ())
+  in
+  Util.pr "@.filter dependence chain multigraph: %d edges@."
+    (List.length g.Lf_dep.Dep.edges)
+
+let run cfg =
+  table1 cfg;
+  table2 cfg

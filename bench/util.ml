@@ -1,0 +1,100 @@
+(* Shared helpers for the experiment harness. *)
+
+module Ir = Lf_ir.Ir
+module Partition = Lf_core.Partition
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+module Cache = Lf_cache.Cache
+
+type cfg = { quick : bool; procs_cap : int option }
+
+let scale cfg full quick_v = if cfg.quick then quick_v else full
+
+let cap_procs cfg procs =
+  let procs = match cfg.procs_cap with
+    | None -> procs
+    | Some cap -> List.filter (fun p -> p <= cap) procs
+  in
+  if cfg.quick then List.filter (fun p -> p <= 8) procs else procs
+
+let cache_shape (m : Machine.config) =
+  {
+    Partition.capacity = m.Machine.cache.Cache.capacity;
+    line = m.Machine.cache.Cache.line;
+    assoc = m.Machine.cache.Cache.assoc;
+  }
+
+let partitioned_layout m (p : Ir.program) =
+  Partition.cache_partitioned ~cache:(cache_shape m) p.Ir.decls
+
+let contiguous_layout (p : Ir.program) = Partition.contiguous p.Ir.decls
+
+let padded_layout ~pad (p : Ir.program) = Partition.padded ~pad p.Ir.decls
+
+(* Strip-mining factor sized so one strip of every array fits in its
+   cache partition (paper §3.4): per fused iteration each array touches
+   one "row" of inner elements. *)
+let strip_for m (p : Ir.program) =
+  let narrays = List.length p.Ir.decls in
+  let inner_bytes =
+    List.fold_left
+      (fun acc (d : Ir.decl) ->
+        match d.extents with
+        | [] -> acc
+        | _ :: rest -> max acc (List.fold_left ( * ) 8 rest))
+      8 p.Ir.decls
+  in
+  let sp = Partition.partition_size ~cache:(cache_shape m) ~narrays in
+  max 2 ((sp / inner_bytes) - 2)
+
+(* One fused-vs-unfused measurement with cache-partitioned layout. *)
+type pair = {
+  unfused : Exec.result;
+  fused : Exec.result;
+}
+
+let run_pair ?layout ~machine ~nprocs (p : Ir.program) =
+  let layout =
+    match layout with Some l -> l | None -> partitioned_layout machine p
+  in
+  let strip = strip_for machine p in
+  {
+    unfused = Exec.run_unfused ~layout ~machine ~nprocs p;
+    fused = Exec.run_fused ~layout ~machine ~nprocs ~strip p;
+  }
+
+let pr fmt = Fmt.pr fmt
+
+let header title =
+  pr "@.==========================================================@.";
+  pr "%s@." title;
+  pr "==========================================================@."
+
+let subheader t = pr "@.---- %s ----@." t
+
+(* Print a speedup table: rows of (P, list of (label, speedup)). *)
+let speedup_table ~labels rows =
+  pr "%6s" "P";
+  List.iter (fun l -> pr "  %14s" l) labels;
+  pr "@.";
+  List.iter
+    (fun (p, values) ->
+      pr "%6d" p;
+      List.iter (fun v -> pr "  %14.2f" v) values;
+      pr "@.")
+    rows
+
+let misses_table ~labels rows =
+  pr "%6s" "P";
+  List.iter (fun l -> pr "  %14s" l) labels;
+  pr "@.";
+  List.iter
+    (fun (p, values) ->
+      pr "%6d" p;
+      List.iter (fun v -> pr "  %14d" v) values;
+      pr "@.")
+    rows
+
+let elapsed_timer () =
+  let t0 = Unix.gettimeofday () in
+  fun () -> Unix.gettimeofday () -. t0

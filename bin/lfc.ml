@@ -1,0 +1,300 @@
+(* lfc: command-line front end to the loop-fusion "compiler".
+
+   Subcommands:
+     lfc analyze  <kernel>   dependence multigraph + doall verification
+     lfc derive   <kernel>   shift-and-peel amounts (Table 2)
+     lfc emit     <kernel>   generated fused code (Figures 11/12/16)
+     lfc simulate <kernel>   run on the simulated KSR2/Convex
+     lfc verify   <kernel>   check fused execution against the reference
+
+   Kernels: ll18, calc, filter, jacobi, fig9. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Dep = Lf_dep.Dep
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Codegen = Lf_core.Codegen
+module Partition = Lf_core.Partition
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+
+open Cmdliner
+
+let fig9_program n =
+  let i o = Ir.av ~c:o "i" in
+  let nest nid out rhs =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = n - 2; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref out [ i 0 ]) rhs ];
+    }
+  in
+  let r name o = Ir.Read (Ir.aref name [ i o ]) in
+  {
+    Ir.pname = "fig9";
+    decls =
+      List.map (fun a -> { Ir.aname = a; extents = [ n ] })
+        [ "a"; "b"; "c"; "d" ];
+    nests =
+      [
+        nest "L1" "a" (r "b" 0);
+        nest "L2" "c" (Ir.Bin (Add, r "a" 1, r "a" (-1)));
+        nest "L3" "d" (Ir.Bin (Add, r "c" 1, r "c" (-1)));
+      ];
+  }
+
+let program_of_kernel name n =
+  match name with
+  | "ll18" -> Ok (Lf_kernels.Ll18.program ~n ())
+  | "calc" -> Ok (Lf_kernels.Calc.program ~n ())
+  | "filter" -> Ok (Lf_kernels.Filter.program ~rows:n ~cols:n ())
+  | "jacobi" -> Ok (Lf_kernels.Jacobi.program ~n ())
+  | "fig9" -> Ok (fig9_program n)
+  | path when Sys.file_exists path -> (
+    (* a source file in the front-end language *)
+    match Lf_front.Parse.program_of_file path with
+    | p -> Ok p
+    | exception Lf_front.Parse.Syntax_error m ->
+      Error (Printf.sprintf "%s: syntax error: %s" path m)
+    | exception Ir.Invalid m ->
+      Error (Printf.sprintf "%s: invalid program: %s" path m))
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown kernel %s (try ll18, calc, filter, jacobi, fig9, or a \
+          .loop source file)" name)
+
+let kernel_arg =
+  let doc = "Kernel: ll18, calc, filter, jacobi, fig9, or a .loop file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let size_arg =
+  let doc = "Array size per dimension." in
+  Arg.(value & opt int 128 & info [ "size"; "n" ] ~docv:"N" ~doc)
+
+let procs_arg =
+  let doc = "Number of processors." in
+  Arg.(value & opt int 4 & info [ "procs"; "p" ] ~docv:"P" ~doc)
+
+let strip_arg =
+  let doc = "Strip-mining factor." in
+  Arg.(value & opt int 16 & info [ "strip" ] ~docv:"S" ~doc)
+
+let depth_of p name =
+  if name = "jacobi" then min 2 (Dep.max_parallel_depth p)
+  else if Sys.file_exists name then max 1 (min 2 (Dep.max_parallel_depth p))
+  else 1
+
+let with_program name n f =
+  match program_of_kernel name n with
+  | Error m -> `Error (false, m)
+  | Ok p -> f p
+
+(* --- analyze ------------------------------------------------------- *)
+
+let analyze kernel n =
+  with_program kernel n (fun p ->
+      Fmt.pr "%a@." Ir.pp_program p;
+      (match Dep.verify_program p with
+      | Ok () -> Fmt.pr "doall verification: all parallel levels are valid@."
+      | Error m -> Fmt.pr "doall verification FAILED: %s@." m);
+      let depth = depth_of p kernel in
+      let g = Dep.build ~depth p in
+      Fmt.pr "@.dependence chain multigraph (depth %d, %d edges):@." depth
+        (List.length g.Dep.edges);
+      List.iter (fun e -> Fmt.pr "  %a@." Dep.pp_edge e) g.Dep.edges;
+      `Ok ())
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Print the program and its dependence multigraph")
+    Term.(ret (const analyze $ kernel_arg $ size_arg))
+
+(* --- derive -------------------------------------------------------- *)
+
+let derive kernel n =
+  with_program kernel n (fun p ->
+      let depth = depth_of p kernel in
+      match Derive.of_program ~depth p with
+      | exception Derive.Not_applicable m -> `Error (false, m)
+      | d ->
+        Fmt.pr "%a" Derive.pp d;
+        Fmt.pr "iteration count threshold N_t:";
+        for dim = 0 to depth - 1 do
+          Fmt.pr " %d" (Derive.threshold d ~dim)
+        done;
+        Fmt.pr "@.";
+        `Ok ())
+
+let derive_cmd =
+  Cmd.v
+    (Cmd.info "derive" ~doc:"Derive shift-and-peel amounts (paper Table 2)")
+    Term.(ret (const derive $ kernel_arg $ size_arg))
+
+(* --- emit ---------------------------------------------------------- *)
+
+let method_arg =
+  let doc = "Code generation method: direct, strip or multidim." in
+  Arg.(value & opt string "strip" & info [ "method" ] ~docv:"M" ~doc)
+
+let emit kernel n method_ strip =
+  with_program kernel n (fun p ->
+      let depth = depth_of p kernel in
+      let d = Derive.of_program ~depth p in
+      match method_ with
+      | "direct" ->
+        if depth <> 1 then `Error (false, "direct method is 1-D only")
+        else begin
+          Fmt.pr "%s@." (Codegen.direct_to_string p d);
+          `Ok ()
+        end
+      | "strip" ->
+        if depth <> 1 then `Error (false, "strip method is 1-D only")
+        else begin
+          Fmt.pr "%s@." (Codegen.strip_mined_to_string ~strip p d);
+          `Ok ()
+        end
+      | "multidim" ->
+        Fmt.pr "%s@." (Codegen.multidim_to_string ~strip p d);
+        `Ok ()
+      | m -> `Error (false, "unknown method " ^ m))
+
+let emit_cmd =
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit fused code (Figures 11, 12, 16)")
+    Term.(ret (const emit $ kernel_arg $ size_arg $ method_arg $ strip_arg))
+
+(* --- simulate ------------------------------------------------------ *)
+
+let machine_arg =
+  let doc = "Machine model: ksr2 or convex." in
+  Arg.(
+    value & opt string "convex" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
+
+let layout_arg =
+  let doc = "Memory layout: partition, contiguous, or pad:N." in
+  Arg.(value & opt string "partition" & info [ "layout" ] ~docv:"LAYOUT" ~doc)
+
+let machine_of = function
+  | "ksr2" -> Ok Machine.ksr2
+  | "convex" -> Ok Machine.convex
+  | m -> Error ("unknown machine " ^ m)
+
+let layout_of spec machine (p : Ir.program) =
+  match spec with
+  | "partition" ->
+    Ok
+      (Partition.cache_partitioned
+         ~cache:
+           {
+             Partition.capacity =
+               machine.Machine.cache.Lf_cache.Cache.capacity;
+             line = machine.Machine.cache.Lf_cache.Cache.line;
+             assoc = machine.Machine.cache.Lf_cache.Cache.assoc;
+           }
+         p.Ir.decls)
+  | "contiguous" -> Ok (Partition.contiguous p.Ir.decls)
+  | s when String.length s > 4 && String.sub s 0 4 = "pad:" -> (
+    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+    | Some pad -> Ok (Partition.padded ~pad p.Ir.decls)
+    | None -> Error ("bad pad amount in " ^ s))
+  | s -> Error ("unknown layout " ^ s)
+
+let simulate kernel n machine_name procs strip layout_spec =
+  with_program kernel n (fun p ->
+      match machine_of machine_name with
+      | Error m -> `Error (false, m)
+      | Ok machine -> (
+        match layout_of layout_spec machine p with
+        | Error m -> `Error (false, m)
+        | Ok layout ->
+          let u = Exec.run_unfused ~layout ~machine ~nprocs:procs p in
+          let f = Exec.run_fused ~layout ~machine ~nprocs:procs ~strip p in
+          Fmt.pr "%s, %d processors, layout %s@." machine.Machine.mname procs
+            layout_spec;
+          Fmt.pr "%-10s %14s %12s %12s@." "version" "cycles" "misses"
+            "proc0-misses";
+          Fmt.pr "%-10s %14.4e %12d %12d@." "unfused" u.Exec.cycles
+            u.Exec.total_misses (Exec.proc0_misses u);
+          Fmt.pr "%-10s %14.4e %12d %12d@." "fused" f.Exec.cycles
+            f.Exec.total_misses (Exec.proc0_misses f);
+          Fmt.pr "fusion gain: %+.1f%%@."
+            (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0));
+          `Ok ()))
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Simulate fused vs unfused on a machine model")
+    Term.(
+      ret
+        (const simulate $ kernel_arg $ size_arg $ machine_arg $ procs_arg
+       $ strip_arg $ layout_arg))
+
+(* --- verify -------------------------------------------------------- *)
+
+let verify kernel n procs strip =
+  with_program kernel n (fun p ->
+      let depth = depth_of p kernel in
+      let d = Derive.of_program ~depth p in
+      let reference = Interp.run p in
+      let ok =
+        List.for_all
+          (fun order ->
+            let sched = Schedule.fused ~nprocs:procs ~strip ~derive:d p in
+            Interp.equal reference (Schedule.execute ~order sched))
+          [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ]
+      in
+      Fmt.pr "fused execution (P=%d, strip=%d, all interleavings tested): %s@."
+        procs strip
+        (if ok then "bit-identical to the serial reference" else "MISMATCH");
+      if ok then `Ok () else `Error (false, "verification failed"))
+
+let verify_cmd =
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify fused execution against the reference")
+    Term.(ret (const verify $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
+
+(* --- pipeline ------------------------------------------------------ *)
+
+let pipeline kernel n procs strip =
+  with_program kernel n (fun p ->
+      let module Distribute = Lf_core.Distribute in
+      let module Cluster = Lf_core.Cluster in
+      let module Legality = Lf_core.Legality in
+      Fmt.pr "input: %d nests@." (List.length p.Ir.nests);
+      Fmt.pr "plain fusion verdict: %s@."
+        (Legality.verdict_to_string (Legality.classify p));
+      let p = Distribute.distribute p in
+      Fmt.pr "after distribution: %d nests@." (List.length p.Ir.nests);
+      let gs = Cluster.groups p in
+      Fmt.pr "@.fusion groups:@.%a" Cluster.pp_groups gs;
+      let sched = Cluster.schedule ~nprocs:procs ~strip p gs in
+      let reference = Interp.run p in
+      let ok =
+        List.for_all
+          (fun order ->
+            Interp.equal reference (Schedule.execute ~order sched))
+          [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ]
+      in
+      Fmt.pr "@.clustered schedule on %d processors: %s@." procs
+        (if ok then "bit-identical to the serial reference" else "MISMATCH");
+      let r = Exec.run ~machine:Machine.convex sched in
+      Fmt.pr "simulated on %s: %.4e cycles, %d misses@."
+        Machine.convex.Machine.mname r.Exec.cycles r.Exec.total_misses;
+      if ok then `Ok () else `Error (false, "verification failed"))
+
+let pipeline_cmd =
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Distribute, cluster, fuse and verify a whole sequence")
+    Term.(ret (const pipeline $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "lfc" ~version:"1.0"
+       ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
+    [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
+      pipeline_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

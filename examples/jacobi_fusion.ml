@@ -1,0 +1,49 @@
+(* Multidimensional shift-and-peel on the Jacobi pair (paper Figures 15
+   and 16), plus a real parallel run of the hand-fused native kernel on
+   OCaml 5 domains.
+
+     dune exec examples/jacobi_fusion.exe *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Codegen = Lf_core.Codegen
+module Pool = Lf_parallel.Pool
+module N = Lf_kernels.Native
+
+let () =
+  let n = 128 in
+  let p = Lf_kernels.Jacobi.program ~n () in
+  Fmt.pr "Jacobi relaxation pair (Figure 15):@.@.%a@." Ir.pp_program p;
+
+  (* Fuse BOTH parallel dimensions: the copy-back nest needs a shift of
+     one and a peel of one in each dimension. *)
+  let d = Derive.of_program ~depth:2 p in
+  Fmt.pr "Derived amounts (both dimensions):@.%a@." Derive.pp d;
+
+  Fmt.pr "Generated code with the boundary-case prologue (Figure 16):@.@.%s@."
+    (Codegen.multidim_to_string ~strip:32 p d);
+
+  (* Execute on a 3x2 processor grid and verify. *)
+  let sched = Schedule.fused ~grid:[| 3; 2 |] ~nprocs:6 ~strip:16 ~derive:d p in
+  let st = Schedule.execute ~order:Schedule.Reversed sched in
+  Fmt.pr "2-D fused execution on a 3x2 grid matches the reference: %b@.@."
+    (Interp.equal (Interp.run p) st);
+
+  (* Native domains runtime: the same transformation hand-applied to
+     float arrays, one barrier, then the peeled iterations. *)
+  let workers = min 4 (Domain.recommended_domain_count ()) in
+  let pool = Pool.create workers in
+  let seq = N.Jacobi_native.create n in
+  N.Jacobi_native.sequential seq;
+  let fused = N.Jacobi_native.create n in
+  let t0 = Unix.gettimeofday () in
+  N.Jacobi_native.fused ~strip:32 pool fused;
+  let dt = Unix.gettimeofday () -. t0 in
+  Pool.shutdown pool;
+  Fmt.pr
+    "Native fused kernel on %d domain(s): %.2f ms, bit-identical to the \
+     sequential run: %b@."
+    workers (1000.0 *. dt)
+    (N.Jacobi_native.equal seq fused)

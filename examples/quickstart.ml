@@ -1,0 +1,65 @@
+(* Quickstart: build a small loop sequence, analyse its dependences,
+   derive the shift-and-peel amounts, fuse it, execute the fused
+   schedule in parallel blocks, and verify the result.
+
+     dune exec examples/quickstart.exe *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Dep = Lf_dep.Dep
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Codegen = Lf_core.Codegen
+
+let () =
+  (* 1. Build a three-nest parallel loop sequence (the paper's Figure 9
+        example): a copy, then two +-1 stencils. *)
+  let n = 64 in
+  let i o = Ir.av ~c:o "i" in
+  let nest nid out rhs =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = n - 2; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref out [ i 0 ]) rhs ];
+    }
+  in
+  let read name o = Ir.Read (Ir.aref name [ i o ]) in
+  let program =
+    {
+      Ir.pname = "quickstart";
+      decls =
+        List.map
+          (fun a -> { Ir.aname = a; extents = [ n ] })
+          [ "a"; "b"; "c"; "d" ];
+      nests =
+        [
+          nest "L1" "a" (read "b" 0);
+          nest "L2" "c" (Ir.Bin (Add, read "a" 1, read "a" (-1)));
+          nest "L3" "d" (Ir.Bin (Add, read "c" 1, read "c" (-1)));
+        ];
+    }
+  in
+  Ir.validate program;
+  Fmt.pr "The loop sequence:@.@.%a@." Ir.pp_program program;
+
+  (* 2. Dependence analysis: the inter-nest dependence chain multigraph
+        for the fused (outermost) dimension. *)
+  let g = Dep.build ~depth:1 program in
+  Fmt.pr "Inter-nest dependences:@.";
+  List.iter (fun e -> Fmt.pr "  %a@." Dep.pp_edge e) g.Dep.edges;
+
+  (* 3. Derive the shift and peel amounts (Figure 8 algorithm). *)
+  let d = Derive.of_multigraph g in
+  Fmt.pr "@.Derived transformation:@.%a@." Derive.pp d;
+
+  (* 4. Emit the fused code a compiler would generate (Figure 12). *)
+  Fmt.pr "Generated strip-mined code for one processor block:@.@.%s@."
+    (Codegen.strip_mined_to_string ~strip:16 program d);
+
+  (* 5. Execute the fused schedule on 4 simulated processors and verify
+        bit-exact equality with the serial reference. *)
+  let sched = Schedule.fused ~nprocs:4 ~strip:16 ~derive:d program in
+  let fused_result = Schedule.execute ~order:Schedule.Interleaved sched in
+  let reference = Interp.run program in
+  Fmt.pr "Fused parallel execution matches the serial reference: %b@."
+    (Interp.equal reference fused_result)

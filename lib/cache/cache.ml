@@ -1,0 +1,109 @@
+(* Set-associative cache simulator with LRU replacement.
+
+   Models the per-processor caches of the paper's two platforms: the
+   KSR2 (256 KB, 2-way set-associative) and the Convex SPP-1000 (1 MB,
+   direct-mapped).  Only the address stream matters; data are held by
+   the interpreter. *)
+
+type config = { capacity : int; line : int; assoc : int }
+
+let ksr2_cache = { capacity = 256 * 1024; line = 64; assoc = 2 }
+let convex_cache = { capacity = 1024 * 1024; line = 64; assoc = 1 }
+
+type t = {
+  config : config;
+  nsets : int;
+  tags : int array;  (* nsets * assoc, -1 = invalid *)
+  stamps : int array;  (* LRU stamps, parallel to tags *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cold_misses : int;
+  seen : (int, unit) Hashtbl.t;  (* line addresses ever referenced *)
+}
+
+let is_pow2 x = x > 0 && x land (x - 1) = 0
+
+let create config =
+  if config.capacity <= 0 || config.line <= 0 || config.assoc <= 0 then
+    invalid_arg "Cache.create: non-positive parameter";
+  if not (is_pow2 config.line) then invalid_arg "Cache.create: line not a power of 2";
+  if config.capacity mod (config.line * config.assoc) <> 0 then
+    invalid_arg "Cache.create: capacity not divisible by line*assoc";
+  let nsets = config.capacity / (config.line * config.assoc) in
+  {
+    config;
+    nsets;
+    tags = Array.make (nsets * config.assoc) (-1);
+    stamps = Array.make (nsets * config.assoc) 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    cold_misses = 0;
+    seen = Hashtbl.create 4096;
+  }
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.stamps 0 (Array.length t.stamps) 0;
+  t.clock <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.cold_misses <- 0;
+  Hashtbl.reset t.seen
+
+(* Access the byte at [addr]; returns [true] on a hit. *)
+let access t addr =
+  let line_addr = addr / t.config.line in
+  let set = line_addr mod t.nsets in
+  let base = set * t.config.assoc in
+  t.clock <- t.clock + 1;
+  let rec find w =
+    if w = t.config.assoc then None
+    else if t.tags.(base + w) = line_addr then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    t.stamps.(base + w) <- t.clock;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    if not (Hashtbl.mem t.seen line_addr) then begin
+      t.cold_misses <- t.cold_misses + 1;
+      Hashtbl.replace t.seen line_addr ()
+    end;
+    (* LRU victim *)
+    let victim = ref 0 in
+    for w = 1 to t.config.assoc - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    t.tags.(base + !victim) <- line_addr;
+    t.stamps.(base + !victim) <- t.clock;
+    false
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_cold : int;
+  s_conflict_capacity : int;  (* misses that are not cold *)
+}
+
+let stats t =
+  {
+    s_hits = t.hits;
+    s_misses = t.misses;
+    s_cold = t.cold_misses;
+    s_conflict_capacity = t.misses - t.cold_misses;
+  }
+
+let references t = t.hits + t.misses
+
+let miss_rate t =
+  let r = references t in
+  if r = 0 then 0.0 else float_of_int t.misses /. float_of_int r
+
+let pp_stats ppf s =
+  Fmt.pf ppf "hits %d, misses %d (cold %d, conflict/capacity %d)" s.s_hits
+    s.s_misses s.s_cold s.s_conflict_capacity

@@ -1,0 +1,40 @@
+(** Set-associative cache simulator with LRU replacement.
+
+    Models the per-processor caches of the paper's two platforms: the
+    KSR2 (256 KB two-way) and the Convex SPP-1000 (1 MB direct-mapped).
+    Only the address stream matters; data values live in the
+    interpreter. *)
+
+type config = { capacity : int; line : int; assoc : int }
+(** Capacity and line size in bytes; [assoc = 1] is direct-mapped. *)
+
+val ksr2_cache : config
+(** 256 KB, 64-byte lines, 2-way (KSR2). *)
+
+val convex_cache : config
+(** 1 MB, 64-byte lines, direct-mapped (Convex SPP-1000). *)
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] for non-power-of-two lines or a capacity
+    not divisible by [line * assoc]. *)
+
+val reset : t -> unit
+(** Invalidate all lines and zero the statistics. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the byte at [addr]; returns [true] on a
+    hit.  Misses fill the line, evicting the LRU way. *)
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_cold : int;  (** compulsory misses (line never seen before) *)
+  s_conflict_capacity : int;  (** all other misses *)
+}
+
+val stats : t -> stats
+val references : t -> int
+val miss_rate : t -> float
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,580 @@
+(* Alignment + replication baseline (Callahan [8], Appelbe & Smith [2];
+   paper §3.5, Figure 14 and the Figure 26 comparison).
+
+   To obtain a synchronization-free parallel fused loop, every
+   dependence between nests must become loop-independent:
+
+   - flow dependences are aligned away: each nest is shifted so its
+     minimum flow distance becomes zero (the Figure 8 min-propagation
+     restricted to flow edges);
+   - flow dependences whose distance exceeds the minimum (alignment
+     conflicts) are resolved by *replicating the source statement* into
+     the sink nest, writing a replica array that the sink reads instead;
+     replicated statements may themselves read values produced by yet
+     earlier nests, so replication cascades until a fixpoint -- the
+     code-growth problem the paper attributes to this technique;
+   - anti dependences that remain loop-carried after alignment are
+     resolved by *replicating the array*: a copy loop before the fused
+     loop snapshots the array and the readers are redirected to the
+     snapshot (Figure 14's L0, which must not itself be fused).
+
+   The copies and replicated statements are pure overhead -- extra
+   memory traffic and computation -- which is what Figure 26 measures
+   against shift-and-peel.  Applied to LL18 this transformation
+   replicates exactly two statements (za, zb) and two arrays (zr, zz),
+   matching the paper's account. *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+type result = {
+  prog : Ir.program;  (* copy nests ++ transformed main nests *)
+  ncopies : int;  (* number of copy nests prepended *)
+  shifts : int array;  (* alignment of each main nest *)
+  copied_arrays : string list;
+  replicated_stmts : int;
+  rounds : int;  (* replication cascade depth *)
+}
+
+(* Replica array names are keyed by the full per-dimension offset
+   between the reader's subscripts and the writer's (e.g. zeta__rep1 for
+   fused offset 1, zeta__rep0_1 for fused 0 / inner +1). *)
+let rep_name a ~dst (delta : int array) =
+  let enc d = if d >= 0 then string_of_int d else "m" ^ string_of_int (-d) in
+  let suffix =
+    (* trailing zero inner offsets are omitted so the common
+       fused-only case reads naturally *)
+    let last = ref 0 in
+    Array.iteri (fun i d -> if d <> 0 then last := i) delta;
+    String.concat "_"
+      (List.init (max 1 (!last + 1)) (fun i -> enc delta.(i)))
+  in
+  Printf.sprintf "%s__rep%s_n%d" a suffix dst
+
+let copy_name a = a ^ "__copy"
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Alignment from flow dependences only: Figure 8 min-propagation over
+   the flow edges of the dimension-0 multigraph. *)
+let flow_alignment (g : Dep.multigraph) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Dep.edge) ->
+      match (e.dkind, e.dist) with
+      | Flow, Dist d ->
+        let key = (e.src, e.dst) in
+        let w = d.(0) in
+        (match Hashtbl.find_opt tbl key with
+        | None -> Hashtbl.replace tbl key w
+        | Some w' -> Hashtbl.replace tbl key (min w w'))
+      | Flow, Not_uniform r -> unsupported "non-uniform dependence: %s" r
+      | (Anti | Output), _ -> ())
+    g.edges;
+  let weight = Array.make g.nnests 0 in
+  for v = 0 to g.nnests - 1 do
+    Hashtbl.iter
+      (fun (src, dst) w ->
+        if src = v then
+          let c = if w < 0 then weight.(v) + w else weight.(v) in
+          weight.(dst) <- min weight.(dst) c)
+      tbl
+  done;
+  Array.map (fun w -> -w) weight
+
+let redirect_reads_in_expr ~pred e =
+  let rec go (e : Ir.expr) =
+    match e with
+    | Const _ -> e
+    | Read r -> (
+      match pred r with Some r' -> Ir.Read r' | None -> e)
+    | Neg e -> Ir.Neg (go e)
+    | Bin (op, a, b) -> Ir.Bin (op, go a, go b)
+  in
+  go e
+
+let redirect_stmt ~pred (s : Ir.stmt) =
+  { s with Ir.rhs = redirect_reads_in_expr ~pred s.Ir.rhs }
+
+(* Per-level constant offsets of [r]: [Some o] with o.(d) = c when the
+   level-d variable appears as [v + c]; [None] if any loop variable is
+   missing or non-unit (replication is then not applicable). *)
+let offsets_vec (n : Ir.nest) (r : Ir.aref) =
+  let vars = Array.of_list (Ir.nest_vars n) in
+  let o = Array.make (Array.length vars) 0 in
+  let found = Array.make (Array.length vars) false in
+  let ok = ref true in
+  List.iter
+    (fun a ->
+      match Ir.unit_var a with
+      | Some (x, c) ->
+        Array.iteri
+          (fun d v ->
+            if String.equal v x then
+              if found.(d) then ok := false
+              else begin
+                found.(d) <- true;
+                o.(d) <- c
+              end)
+          vars
+      | None -> if not (Ir.affine_is_const a) then ok := false)
+    r.index;
+  if !ok && Array.for_all (fun b -> b) found then Some o else None
+
+(* Inner-offset classification relative to the consumer's own ascending
+   sweep: a needed cell at lexicographically negative (or zero) inner
+   offset has already been produced by the base replica earlier in the
+   sweep; a positive one needs its own cell-exact replica. *)
+let inner_sign (delta : int array) =
+  let rec go d =
+    if d >= Array.length delta then 0
+    else if delta.(d) > 0 then 1
+    else if delta.(d) < 0 then -1
+    else go (d + 1)
+  in
+  go 1
+
+(* Rename loop variables of [stmt] positionally from [svars] to
+   [dvars]. *)
+let rename_vars svars dvars (s : Ir.stmt) =
+  let assoc x =
+    let rec go ss ds =
+      match (ss, ds) with
+      | sv :: _, dv :: _ when String.equal sv x -> dv
+      | _ :: ss, _ :: ds -> go ss ds
+      | _, _ -> x
+    in
+    go svars dvars
+  in
+  let rename_affine (a : Ir.affine) =
+    { a with Ir.terms = List.map (fun (c, x) -> (c, assoc x)) a.Ir.terms }
+  in
+  let rename_ref (r : Ir.aref) =
+    { r with Ir.index = List.map rename_affine r.index }
+  in
+  let rec rename_expr (e : Ir.expr) =
+    match e with
+    | Const _ -> e
+    | Read r -> Ir.Read (rename_ref r)
+    | Neg e -> Ir.Neg (rename_expr e)
+    | Bin (op, a, b) -> Ir.Bin (op, rename_expr a, rename_expr b)
+  in
+  {
+    Ir.lhs = rename_ref s.Ir.lhs;
+    rhs = rename_expr s.Ir.rhs;
+    guard = List.map (fun (v, lo, hi) -> (assoc v, lo, hi)) s.Ir.guard;
+  }
+
+let max_rounds = 10
+
+let transform (p : Ir.program) =
+  try
+    let nests = Array.of_list p.nests in
+    let nnests = Array.length nests in
+    let bodies = Array.map (fun (n : Ir.nest) -> n.Ir.body) nests in
+    let extra_decls = ref [] in
+    let decl_of_base a =
+      match
+        List.find_opt
+          (fun (d : Ir.decl) -> String.equal d.aname a)
+          (p.decls @ !extra_decls)
+      with
+      | Some d -> d
+      | None -> unsupported "unknown array %s" a
+    in
+    let replicated = Hashtbl.create 8 in
+    (* (array, d, dst) *)
+    let copied = Hashtbl.create 8 in
+    let nreplicas = ref 0 in
+    let shifts = ref (Array.make nnests 0) in
+    let rounds = ref 0 in
+    let current_prog () =
+      {
+        p with
+        Ir.decls = p.decls @ List.rev !extra_decls;
+        nests =
+          Array.to_list
+            (Array.mapi (fun k (n : Ir.nest) -> { n with Ir.body = bodies.(k) })
+               nests);
+      }
+    in
+    let changed = ref true in
+    while !changed && !rounds < max_rounds do
+      changed := false;
+      incr rounds;
+      let prog = current_prog () in
+      let g = Dep.build ~depth:1 prog in
+      (match Dep.not_uniform_edges g with
+      | [] -> ()
+      | e :: _ ->
+        unsupported "non-uniform dependence: %s" (Fmt.str "%a" Dep.pp_edge e));
+      shifts := flow_alignment g;
+      let s = !shifts in
+      (* Process anti/output edges before flow edges: the array
+         snapshots and read redirections must be in place before any
+         statement is replicated, so the replicas inherit the
+         snapshot-reading form (Figure 14's b0). *)
+      let anti_first =
+        let anti, flow =
+          List.partition
+            (fun (e : Dep.edge) -> e.dkind <> Dep.Flow)
+            g.edges
+        in
+        anti @ flow
+      in
+      List.iter
+        (fun (e : Dep.edge) ->
+          match (e.dkind, e.dist) with
+          | Flow, Dist dv ->
+            let d = dv.(0) in
+            let delta_fused = d + s.(e.dst) - s.(e.src) in
+            if delta_fused > 0 then begin
+              let src_nest = nests.(e.src) and dst_nest = nests.(e.dst) in
+              if
+                List.length src_nest.levels <> List.length dst_nest.levels
+                || not
+                     (List.for_all2
+                        (fun (a : Ir.level) (b : Ir.level) ->
+                          a.lo = b.lo && a.hi = b.hi)
+                        src_nest.levels dst_nest.levels)
+              then
+                unsupported
+                  "statement replication needs identical iteration spaces \
+                   (%s vs %s)"
+                  src_nest.nid dst_nest.nid;
+              let writers =
+                List.filter
+                  (fun (st : Ir.stmt) -> String.equal st.Ir.lhs.array e.array)
+                  bodies.(e.src)
+              in
+              let cw =
+                match writers with
+                | [] -> unsupported "no writer of %s in %s" e.array src_nest.nid
+                | st :: rest -> (
+                  match offsets_vec src_nest st.Ir.lhs with
+                  | None ->
+                    unsupported "writer of %s has non-affine subscripts"
+                      e.array
+                  | Some c ->
+                    List.iter
+                      (fun (st' : Ir.stmt) ->
+                        if offsets_vec src_nest st'.Ir.lhs <> Some c then
+                          unsupported
+                            "multiple writers of %s with differing offsets"
+                            e.array)
+                      rest;
+                    c)
+              in
+              (* collect the destination's reads at this fused distance;
+                 each distinct per-dimension offset gets a cell-exact
+                 replica, except lexicographically non-positive inner
+                 offsets, which reuse the fused-only base replica. *)
+              let make_replica key_delta =
+                let key = (e.array, Array.to_list key_delta, e.dst) in
+                if not (Hashtbl.mem replicated key) then begin
+                  Hashtbl.replace replicated key ();
+                  changed := true;
+                  let svars = Ir.nest_vars src_nest in
+                  let dvars = Ir.nest_vars dst_nest in
+                  let name = rep_name e.array ~dst:e.dst key_delta in
+                  let replicas =
+                    List.map
+                      (fun (st : Ir.stmt) ->
+                        incr nreplicas;
+                        let st =
+                          List.fold_left
+                            (fun st (dim, v) ->
+                              if key_delta.(dim) = 0 then st
+                              else Codegen.subst_stmt st v key_delta.(dim))
+                            st
+                            (List.mapi (fun dim v -> (dim, v)) svars)
+                        in
+                        let st = rename_vars svars dvars st in
+                        (* execute only where the source statement's
+                           iteration lies in the source ranges *)
+                        let guard =
+                          List.concat
+                            (List.mapi
+                               (fun dim (l : Ir.level) ->
+                                 if key_delta.(dim) = 0 then []
+                                 else
+                                   [
+                                     ( List.nth dvars dim,
+                                       l.lo - key_delta.(dim),
+                                       l.hi - key_delta.(dim) );
+                                   ])
+                               src_nest.levels)
+                          @ st.Ir.guard
+                        in
+                        { Ir.lhs = { st.Ir.lhs with array = name };
+                          rhs = st.Ir.rhs;
+                          guard }
+                      )
+                      writers
+                  in
+                  if
+                    not
+                      (List.exists
+                         (fun (dcl : Ir.decl) -> String.equal dcl.aname name)
+                         !extra_decls)
+                  then
+                    extra_decls :=
+                      { (decl_of_base e.array) with Ir.aname = name }
+                      :: !extra_decls;
+                  bodies.(e.dst) <- replicas @ bodies.(e.dst)
+                end
+              in
+              let redirect_read (cr : int array) =
+                let delta = Array.mapi (fun dim c -> c - cw.(dim)) cr in
+                let key_delta =
+                  if inner_sign delta > 0 then delta
+                  else Array.init (Array.length delta) (fun dim ->
+                      if dim = 0 then delta.(0) else 0)
+                in
+                make_replica key_delta;
+                let name = rep_name e.array ~dst:e.dst key_delta in
+                let pred (r : Ir.aref) =
+                  if not (String.equal r.array e.array) then None
+                  else
+                    match offsets_vec dst_nest r with
+                    | Some o when o = cr -> Some { r with Ir.array = name }
+                    | _ -> None
+                in
+                bodies.(e.dst) <-
+                  List.map
+                    (fun (st : Ir.stmt) ->
+                      if String.equal st.Ir.lhs.array name then st
+                      else redirect_stmt ~pred st)
+                    bodies.(e.dst)
+              in
+              List.iter
+                (fun (st : Ir.stmt) ->
+                  List.iter
+                    (fun (r : Ir.aref) ->
+                      if String.equal r.array e.array then
+                        match offsets_vec dst_nest r with
+                        | Some cr when cw.(0) - cr.(0) = d -> redirect_read cr
+                        | Some _ -> ()
+                        | None ->
+                          unsupported
+                            "read of %s has non-affine subscripts" e.array)
+                    (Ir.stmt_reads st))
+                bodies.(e.dst)
+            end
+          | Anti, Dist dv ->
+            let delta = dv.(0) + s.(e.dst) - s.(e.src) in
+            if delta <> 0 && not (Hashtbl.mem copied (e.array, e.src)) then begin
+              Hashtbl.replace copied (e.array, e.src) ();
+              changed := true;
+              (* the reading nest e.src must see pre-sequence values *)
+              Array.iteri
+                (fun k body ->
+                  if k < e.src then
+                    List.iter
+                      (fun (st : Ir.stmt) ->
+                        if String.equal st.Ir.lhs.array e.array then
+                          unsupported
+                            "array %s written before nest %d: snapshot \
+                             would be stale"
+                            e.array k)
+                      body)
+                bodies;
+              if
+                not
+                  (List.exists
+                     (fun (dcl : Ir.decl) ->
+                       String.equal dcl.aname (copy_name e.array))
+                     !extra_decls)
+              then
+                extra_decls :=
+                  { (decl_of_base e.array) with Ir.aname = copy_name e.array }
+                  :: !extra_decls;
+              let pred (r : Ir.aref) =
+                if String.equal r.array e.array then
+                  Some { r with Ir.array = copy_name e.array }
+                else None
+              in
+              bodies.(e.src) <-
+                List.map (redirect_stmt ~pred) bodies.(e.src)
+            end
+          | Output, Dist dv ->
+            let delta = dv.(0) + s.(e.dst) - s.(e.src) in
+            if delta <> 0 then
+              unsupported "loop-carried output dependence on %s" e.array
+          | _, Not_uniform _ -> ())
+        anti_first
+    done;
+    if !changed then unsupported "replication cascade did not converge";
+    (* Replication must not have introduced loop-carried dependences in
+       the fused dimension of any nest (a replica reading a value its
+       own host nest overwrites at another iteration would race). *)
+    Array.iteri
+      (fun k (n : Ir.nest) ->
+        let n = { n with Ir.body = bodies.(k) } in
+        if Dep.may_carry_dim n ~dim:0 then
+          unsupported "replication broke parallelism of nest %s" n.Ir.nid)
+      nests;
+    (* Order each body so every replica precedes its same-iteration
+       consumers: replicas first in topological order of the
+       "reads the array another replica writes" relation, then the
+       original statements in their original order.  (Replicas only
+       read earlier-nest arrays, snapshots, and other replicas, never a
+       host nest's own outputs, so this ordering is always valid.) *)
+    let is_replica_array a =
+      List.exists (fun (d : Ir.decl) -> String.equal d.aname a) !extra_decls
+    in
+    Array.iteri
+      (fun k body ->
+        let replicas, originals =
+          List.partition
+            (fun (st : Ir.stmt) -> is_replica_array st.Ir.lhs.array)
+            body
+        in
+        (* Kahn's algorithm, stable w.r.t. the current list order *)
+        let sorted = ref [] in
+        let pending = ref replicas in
+        let produced_later a =
+          List.exists
+            (fun (st : Ir.stmt) -> String.equal st.Ir.lhs.array a)
+            !pending
+        in
+        let rounds_guard = ref 0 in
+        while !pending <> [] && !rounds_guard <= 1000 do
+          incr rounds_guard;
+          let ready, blocked =
+            List.partition
+              (fun (st : Ir.stmt) ->
+                List.for_all
+                  (fun (r : Ir.aref) ->
+                    String.equal r.array st.Ir.lhs.array
+                    || not (produced_later r.array))
+                  (Ir.stmt_reads st))
+              !pending
+          in
+          if ready = [] then
+            unsupported "cyclic replica dependences in nest %d" k;
+          sorted := !sorted @ ready;
+          pending := blocked
+        done;
+        bodies.(k) <- !sorted @ originals)
+      bodies;
+    let copied_arrays =
+      Hashtbl.fold (fun (a, _) () acc -> a :: acc) copied []
+      |> List.sort_uniq String.compare
+    in
+    let copy_nests =
+      List.map
+        (fun a ->
+          let decl = decl_of_base a in
+          let vars =
+            List.mapi (fun i _ -> Printf.sprintf "c%d" i) decl.extents
+          in
+          let levels =
+            List.map2
+              (fun v e -> { Ir.lvar = v; lo = 0; hi = e - 1; parallel = true })
+              vars decl.extents
+          in
+          let idx = List.map (fun v -> Ir.av v) vars in
+          {
+            Ir.nid = "copy_" ^ a;
+            levels;
+            body =
+              [
+                Ir.stmt (Ir.aref (copy_name a) idx) (Ir.Read (Ir.aref a idx));
+              ];
+          })
+        copied_arrays
+    in
+    let main = current_prog () in
+    let prog =
+      {
+        Ir.pname = p.pname ^ "+alignrep";
+        decls = main.Ir.decls;
+        nests = copy_nests @ main.Ir.nests;
+      }
+    in
+    Ir.validate prog;
+    Ok
+      {
+        prog;
+        ncopies = List.length copy_nests;
+        shifts = !shifts;
+        copied_arrays;
+        replicated_stmts = !nreplicas;
+        rounds = !rounds;
+      }
+  with
+  | Unsupported m -> Error m
+  | Ir.Invalid m -> Error ("invalid transformed program: " ^ m)
+
+(* Check that the transformed main nests are synchronization-free under
+   the alignment: every remaining inter-nest dependence must have an
+   effective distance of zero.  (Dependence analysis ignores guards, so
+   this check is conservative.) *)
+let verify_sync_free (r : result) =
+  let main =
+    {
+      r.prog with
+      Ir.nests = List.filteri (fun i _ -> i >= r.ncopies) r.prog.nests;
+    }
+  in
+  let g = Dep.build ~depth:1 main in
+  let bad =
+    List.filter
+      (fun (e : Dep.edge) ->
+        match e.dist with
+        | Dist d -> d.(0) + r.shifts.(e.dst) - r.shifts.(e.src) <> 0
+        | Not_uniform _ -> true)
+      g.edges
+  in
+  if bad = [] then Ok ()
+  else
+    Error
+      (Fmt.str "%d residual loop-carried dependences, e.g. %a"
+         (List.length bad) Dep.pp_edge (List.hd bad))
+
+(* Schedule: each copy nest is its own parallel phase, then the aligned
+   main nests execute as one synchronization-free fused phase (no
+   peeling, no post-barrier work). *)
+let schedule ?grid ?strip ~nprocs (r : result) =
+  let main_count = List.length r.prog.nests - r.ncopies in
+  let derive =
+    {
+      Derive.depth = 1;
+      nnests = main_count;
+      shift = Array.init main_count (fun k -> [| r.shifts.(k) |]);
+      peel = Array.make main_count [| 0 |];
+    }
+  in
+  let copies =
+    {
+      r.prog with
+      Ir.nests = List.filteri (fun i _ -> i < r.ncopies) r.prog.nests;
+    }
+  in
+  let main =
+    {
+      r.prog with
+      Ir.nests = List.filteri (fun i _ -> i >= r.ncopies) r.prog.nests;
+    }
+  in
+  let copy_sched =
+    if r.ncopies = 0 then []
+    else (Schedule.unfused ?grid ~nprocs copies).Schedule.phases
+  in
+  let main_sched =
+    Schedule.fused ?grid ?strip ~peel_starts:false ~derive ~nprocs main
+  in
+  let offset_phase ph =
+    Array.map
+      (List.map (fun (b : Schedule.box) ->
+           { b with Schedule.nest = b.nest + r.ncopies }))
+      ph
+  in
+  {
+    main_sched with
+    Schedule.prog = r.prog;
+    phases = copy_sched @ List.map offset_phase main_sched.Schedule.phases;
+  }

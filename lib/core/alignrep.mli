@@ -1,0 +1,35 @@
+(** Alignment + replication baseline (Callahan, Appelbe & Smith; paper
+    §3.5, Figure 14, compared against shift-and-peel in Figure 26).
+
+    To obtain a synchronization-free parallel fused loop, flow
+    dependences are aligned away; alignment conflicts are resolved by
+    replicating source statements into the sink nest (which cascades —
+    the code-growth problem the paper attributes to the technique); and
+    loop-carried anti dependences are resolved by snapshotting arrays
+    into copies read instead of the originals (Figure 14's L0).
+
+    On LL18 this replicates exactly two statements (za, zb) and two
+    arrays (zr, zz), matching the paper's account. *)
+
+type result = {
+  prog : Lf_ir.Ir.program;  (** copy nests ++ transformed main nests *)
+  ncopies : int;  (** number of copy nests prepended *)
+  shifts : int array;  (** alignment of each main nest *)
+  copied_arrays : string list;
+  replicated_stmts : int;
+  rounds : int;  (** replication cascade depth *)
+}
+
+val transform : Lf_ir.Ir.program -> (result, string) Stdlib.result
+(** Apply the transformation; [Error] when not applicable (non-uniform
+    dependences, loop-carried output dependences, non-converging
+    cascades, or replication that would break parallelism). *)
+
+val verify_sync_free : result -> (unit, string) Stdlib.result
+(** Check that every remaining inter-nest dependence of the main nests
+    has effective distance zero under the alignment. *)
+
+val schedule :
+  ?grid:int array -> ?strip:int -> nprocs:int -> result -> Schedule.t
+(** Executable schedule: one parallel phase per copy nest, then the
+    aligned main nests as a single synchronization-free fused phase. *)

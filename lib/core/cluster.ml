@@ -1,0 +1,173 @@
+(* Fusion clustering: partition a long loop sequence into maximal
+   groups of adjacent nests that shift-and-peel can legally fuse, and
+   build the corresponding schedule (one fused phase per group, the
+   original barriers between groups).
+
+   Real applications interleave fusable stencil nests with loops the
+   technique cannot handle (non-uniform subscripts, serial loops,
+   mismatched nesting depth); the paper's prototype applies the
+   transformation to each amenable sequence (Table 1 counts them).
+   This module automates the grouping, optionally consulting the
+   profitability estimate so fusion is skipped where it cannot pay. *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+type group = {
+  start : int;  (* index of the first nest in the program *)
+  members : int;  (* number of consecutive nests *)
+  fused : bool;  (* whether the group is worth fusing *)
+  why : string;  (* reason the group ended / was not fused *)
+}
+
+(* Candidate check: can nests [start, start+members) be fused with
+   shift-and-peel at [depth]? *)
+let fusable_slice (p : Ir.program) ~depth ~start ~members =
+  let nests =
+    List.filteri (fun i _ -> i >= start && i < start + members) p.Ir.nests
+  in
+  let slice = { p with Ir.nests = nests } in
+  if
+    List.exists
+      (fun (n : Ir.nest) ->
+        List.length n.Ir.levels < depth
+        || List.exists
+             (fun (l : Ir.level) -> not l.Ir.parallel)
+             (List.filteri (fun d _ -> d < depth) n.Ir.levels))
+      nests
+  then Error "a nest lacks parallel levels at the fusion depth"
+  else
+    match Dep.verify_program slice with
+    | Error m -> Error m
+    | Ok () -> (
+      match Derive.of_program ~depth slice with
+      | exception Derive.Not_applicable m -> Error m
+      | _ -> Ok slice)
+
+(* Greedy maximal grouping: extend the current group while the slice
+   stays fusable; [min_members] groups smaller than this are left
+   unfused (fusing a single nest is a no-op). *)
+let groups ?(depth = 1) ?(min_members = 2) ?profitable (p : Ir.program) =
+  let n = List.length p.Ir.nests in
+  let out = ref [] in
+  let start = ref 0 in
+  while !start < n do
+    let members = ref 1 in
+    let stop_reason = ref "end of sequence" in
+    let continue_ = ref true in
+    (* a single nest that is itself unfusable (e.g. serial) still forms
+       its own group *)
+    (match fusable_slice p ~depth ~start:!start ~members:1 with
+    | Error m ->
+      continue_ := false;
+      stop_reason := m
+    | Ok _ -> ());
+    while !continue_ && !start + !members < n do
+      match fusable_slice p ~depth ~start:!start ~members:(!members + 1) with
+      | Ok _ -> incr members
+      | Error m ->
+        stop_reason := m;
+        continue_ := false
+    done;
+    let fusable = !members >= min_members in
+    let fused =
+      fusable
+      &&
+      match profitable with
+      | None -> true
+      | Some f ->
+        let slice =
+          {
+            p with
+            Ir.nests =
+              List.filteri
+                (fun i _ -> i >= !start && i < !start + !members)
+                p.Ir.nests;
+          }
+        in
+        f slice
+    in
+    let why =
+      if fused then "fused"
+      else if fusable then "fusable but not profitable"
+      else !stop_reason
+    in
+    out := { start = !start; members = !members; fused; why } :: !out;
+    start := !start + !members
+  done;
+  List.rev !out
+
+(* Build the clustered schedule: fused groups become shift-and-peel
+   phases; everything else runs unfused. *)
+let schedule ?(depth = 1) ?grid ?strip ~nprocs (p : Ir.program) gs =
+  let all_phases = ref [] in
+  List.iter
+    (fun g ->
+      let nests =
+        List.filteri
+          (fun i _ -> i >= g.start && i < g.start + g.members)
+          p.Ir.nests
+      in
+      let slice = { p with Ir.nests } in
+      let phases =
+        if g.fused && g.members > 1 then
+          (Schedule.fused ?grid ?strip ~nprocs slice).Schedule.phases
+        else
+          (* a nest whose outer level is not a parallel doall must not
+             be block-partitioned: it runs serially on processor 0 *)
+          List.mapi
+            (fun idx (n : Ir.nest) ->
+              let serial =
+                (not (List.hd n.Ir.levels).Ir.parallel)
+                || Dep.verify_doall n <> Ok ()
+              in
+              if serial then
+                Array.init nprocs (fun proc ->
+                    if proc = 0 then
+                      [
+                        {
+                          Schedule.nest = idx;
+                          ranges =
+                            Array.of_list
+                              (List.map
+                                 (fun (l : Ir.level) -> (l.Ir.lo, l.Ir.hi))
+                                 n.Ir.levels);
+                        };
+                      ]
+                    else [])
+              else
+                (Schedule.unfused ?grid ~depth ~nprocs
+                   { slice with Ir.nests = [ n ] })
+                  .Schedule.phases
+                |> List.hd
+                |> Array.map
+                     (List.map (fun (b : Schedule.box) ->
+                          { b with Schedule.nest = idx })))
+            nests
+      in
+      (* renumber nest indices into the full program's numbering *)
+      let offset ph =
+        Array.map
+          (List.map (fun (b : Schedule.box) ->
+               { b with Schedule.nest = b.Schedule.nest + g.start }))
+          ph
+      in
+      all_phases := !all_phases @ List.map offset phases)
+    gs;
+  {
+    Schedule.prog = p;
+    nprocs;
+    grid =
+      (match grid with
+      | Some g -> g
+      | None -> Schedule.balanced_grid ~nprocs ~depth);
+    phases = !all_phases;
+  }
+
+let pp_groups ppf gs =
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "nests %d..%d: %s@." g.start
+        (g.start + g.members - 1)
+        g.why)
+    gs

@@ -1,0 +1,44 @@
+(** Fusion clustering: partition a loop sequence into maximal groups of
+    adjacent nests that shift-and-peel can legally fuse (real
+    applications interleave fusable stencils with loops the technique
+    cannot handle), and build the group-wise schedule. *)
+
+type group = {
+  start : int;  (** index of the first nest in the program *)
+  members : int;  (** number of consecutive nests in the group *)
+  fused : bool;  (** whether the group will be fused *)
+  why : string;  (** "fused", or the reason it is not *)
+}
+
+val fusable_slice :
+  Lf_ir.Ir.program ->
+  depth:int ->
+  start:int ->
+  members:int ->
+  (Lf_ir.Ir.program, string) result
+(** Whether the consecutive slice can be fused with shift-and-peel:
+    parallel levels at the fusion depth, verified doalls, uniform
+    dependences. *)
+
+val groups :
+  ?depth:int ->
+  ?min_members:int ->
+  ?profitable:(Lf_ir.Ir.program -> bool) ->
+  Lf_ir.Ir.program ->
+  group list
+(** Greedy maximal grouping left to right.  Groups smaller than
+    [min_members] (default 2) are left unfused; [profitable] can veto
+    fusion of a legal group (e.g. {!Profit.estimate}). *)
+
+val schedule :
+  ?depth:int ->
+  ?grid:int array ->
+  ?strip:int ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  group list ->
+  Schedule.t
+(** One fused shift-and-peel phase pair per fused group; unfused phases
+    (one per nest) elsewhere; barriers between all phases. *)
+
+val pp_groups : Format.formatter -> group list -> unit

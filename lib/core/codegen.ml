@@ -1,0 +1,265 @@
+(* Source emission for fused loops (paper Figures 11, 12 and 16).
+
+   The executable semantics live in [Schedule]; this module renders the
+   equivalent C-like source so the transformation output can be read,
+   compared against the paper's figures, and pasted into reports. *)
+
+module Ir = Lf_ir.Ir
+
+(* Substitute [v := v + delta] in an affine expression. *)
+let subst_affine (a : Ir.affine) v delta =
+  let shift =
+    List.fold_left
+      (fun acc (c, x) -> if String.equal x v then acc + (c * delta) else acc)
+      0 a.terms
+  in
+  { a with const = a.const + shift }
+
+let subst_aref (r : Ir.aref) v delta =
+  { r with index = List.map (fun a -> subst_affine a v delta) r.index }
+
+let rec subst_expr (e : Ir.expr) v delta =
+  match e with
+  | Const _ -> e
+  | Read r -> Read (subst_aref r v delta)
+  | Neg e -> Neg (subst_expr e v delta)
+  | Bin (op, a, b) -> Bin (op, subst_expr a v delta, subst_expr b v delta)
+
+let subst_stmt (s : Ir.stmt) v delta =
+  {
+    Ir.lhs = subst_aref s.lhs v delta;
+    rhs = subst_expr s.rhs v delta;
+    guard =
+      List.map
+        (fun (x, lo, hi) ->
+          if String.equal x v then (x, lo - delta, hi - delta) else (x, lo, hi))
+        s.guard;
+  }
+
+(* Substitute over the first [depth] loop variables of nest [n] with
+   per-dimension deltas. *)
+let subst_stmt_dims (n : Ir.nest) ~depth deltas (s : Ir.stmt) =
+  let vars = Ir.nest_vars n in
+  let rec go s d = function
+    | [] -> s
+    | v :: rest ->
+      if d >= depth then s
+      else go (subst_stmt s v deltas.(d)) (d + 1) rest
+  in
+  go s 0 vars
+
+(* [off "iend" 2] is "iend+2"; [off "iend" 0] is "iend". *)
+let off base k =
+  if k = 0 then base
+  else if k > 0 then Printf.sprintf "%s+%d" base k
+  else Printf.sprintf "%s%d" base k
+
+(* ------------------------------------------------------------------ *)
+(* Direct method (Figure 11(a)): one loop over fused positions with
+   guards; shifted statements get rewritten subscripts.               *)
+
+let emit_direct ppf (p : Ir.program) (d : Derive.t) =
+  if d.depth <> 1 then invalid_arg "Codegen.emit_direct: depth must be 1";
+  let nests = Array.of_list p.nests in
+  let n0 = nests.(0) in
+  let v = List.hd (Ir.nest_vars n0) in
+  Fmt.pf ppf "/* direct fusion (one processor block istart..iend) */@.";
+  Fmt.pf ppf "for (%s = istart; %s <= iend; %s++) {@." v v v;
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let s = d.shift.(k).(0) in
+      let vk = List.hd (Ir.nest_vars n) in
+      let guard =
+        if s = 0 then ""
+        else Printf.sprintf "if (%s >= istart+%d) " v s
+      in
+      List.iter
+        (fun st ->
+          let st = subst_stmt st vk (-s) in
+          Fmt.pf ppf "  %s%a@." guard Ir.pp_stmt st)
+        n.body)
+    nests;
+  Fmt.pf ppf "}@.";
+  (* iterations of shifted nests left over past the end of the block *)
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let s = d.shift.(k).(0) in
+      if s > 0 then begin
+        let vk = List.hd (Ir.nest_vars n) in
+        Fmt.pf ppf "for (%s = %s; %s <= iend; %s++) {@." vk
+          (off "iend" (1 - s)) vk vk;
+        List.iter (fun st -> Fmt.pf ppf "  %a@." Ir.pp_stmt st) n.body;
+        Fmt.pf ppf "}@."
+      end)
+    nests
+
+(* ------------------------------------------------------------------ *)
+(* Strip-mined method (Figures 11(b) and 12)                           *)
+
+
+let emit_strip_mined ?(strip = Schedule.default_strip) ppf (p : Ir.program)
+    (d : Derive.t) =
+  if d.depth <> 1 then invalid_arg "Codegen.emit_strip_mined: depth must be 1";
+  let nests = Array.of_list p.nests in
+  Fmt.pf ppf
+    "/* strip-mined fusion, block istart..iend of one processor (s = %d) */@."
+    strip;
+  Fmt.pf ppf "for (ii = istart; ii <= iend; ii += %d) {@." strip;
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let s = d.shift.(k).(0) in
+      let pk = Derive.start_peel d ~nest:k ~dim:0 in
+      let vk = List.hd (Ir.nest_vars n) in
+      let lo =
+        if s = 0 && pk = 0 then "ii"
+        else
+          (* interior block: skip peeled start iterations *)
+          Printf.sprintf "max(%s, %s)" (off "ii" (-s)) (off "istart" pk)
+      in
+      let hi =
+        Printf.sprintf "min(%s, %s)" (off "ii" (strip - 1 - s)) (off "iend" (-s))
+      in
+      Fmt.pf ppf "  for (%s = %s; %s <= %s; %s++) {@." vk lo vk hi vk;
+      List.iter (fun st -> Fmt.pf ppf "    %a@." Ir.pp_stmt st) n.body;
+      Fmt.pf ppf "  }@.")
+    nests;
+  Fmt.pf ppf "}@.";
+  Fmt.pf ppf "BARRIER;@.";
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let s = d.shift.(k).(0) in
+      let q = d.peel.(k).(0) in
+      if s + q > 0 then begin
+        let vk = List.hd (Ir.nest_vars n) in
+        Fmt.pf ppf "/* tail of this block + iterations peeled from the next */@.";
+        Fmt.pf ppf "for (%s = %s; %s <= %s; %s++) {@." vk
+          (off "iend" (1 - s)) vk (off "iend" q) vk;
+        List.iter (fun st -> Fmt.pf ppf "  %a@." Ir.pp_stmt st) n.body;
+        Fmt.pf ppf "}@."
+      end)
+    nests
+
+(* ------------------------------------------------------------------ *)
+(* Multidimensional code with boundary prologue (Figure 16)            *)
+
+let emit_multidim ?(strip = Schedule.default_strip) ppf (p : Ir.program)
+    (d : Derive.t) =
+  let depth = d.depth in
+  let nests = Array.of_list p.nests in
+  let n0 = nests.(0) in
+  let vars = Array.of_list (Ir.nest_vars n0) in
+  Fmt.pf ppf "/* multidimensional shift-and-peel, %d fused dimensions */@."
+    depth;
+  Fmt.pf ppf "/* prologue: boundary cases folded into peel flags */@.";
+  for dim = 0 to depth - 1 do
+    let v = vars.(dim) in
+    Fmt.pf ppf "%sfpeel = (first block along %s) ? 0 : 1;@." v v;
+    Fmt.pf ppf "%sppeel = (last block along %s)  ? 0 : 1;@." v v
+  done;
+  let rec open_strips dim indent =
+    if dim < depth then begin
+      let v = vars.(dim) in
+      Fmt.pf ppf "%sfor (%s%s = %sstart; %s%s <= %send; %s%s += %d) {@."
+        indent v v v v v v v v strip;
+      open_strips (dim + 1) (indent ^ "  ")
+    end
+    else indent
+  in
+  let indent = open_strips 0 "" in
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let nvars = Array.of_list (Ir.nest_vars n) in
+      let rec emit_dims dim ind =
+        if dim < Array.length nvars then begin
+          let v = nvars.(dim) in
+          if dim < depth then begin
+            let s = d.shift.(k).(dim) in
+            let pk = Derive.start_peel d ~nest:k ~dim in
+            let lo =
+              Printf.sprintf "max(%s, %sstart+%d*%sfpeel)"
+                (off (v ^ v) (-s)) v pk v
+            in
+            let hi =
+              Printf.sprintf "min(%s, %s)"
+                (off (v ^ v) (strip - 1 - s))
+                (off (v ^ "end") (-s))
+            in
+            Fmt.pf ppf "%sfor (%s = %s; %s <= %s; %s++) {@." ind v lo v hi v
+          end
+          else begin
+            let l = List.nth n.levels dim in
+            Fmt.pf ppf "%sfor (%s = %d; %s <= %d; %s++) {@." ind v l.lo v
+              l.hi v
+          end;
+          emit_dims (dim + 1) (ind ^ "  ");
+          Fmt.pf ppf "%s}@." ind
+        end
+        else
+          List.iter (fun st -> Fmt.pf ppf "%s%a@." ind Ir.pp_stmt st) n.body
+      in
+      emit_dims 0 indent)
+    nests;
+  let rec close dim =
+    if dim >= 0 then begin
+      Fmt.pf ppf "%s}@." (String.make (dim * 2) ' ');
+      close (dim - 1)
+    end
+  in
+  close (depth - 1);
+  Fmt.pf ppf "BARRIER;@.";
+  Fmt.pf ppf "/* peeled boxes: every combination of per-dimension tails */@.";
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      let nvars = Array.of_list (Ir.nest_vars n) in
+      for mask = 1 to (1 lsl depth) - 1 do
+        let any = ref false in
+        for dim = 0 to depth - 1 do
+          if
+            mask land (1 lsl dim) <> 0
+            && Derive.start_peel d ~nest:k ~dim > 0
+          then any := true
+        done;
+        if !any then begin
+          let rec emit_dims dim ind =
+            if dim < Array.length nvars then begin
+              let v = nvars.(dim) in
+              if dim < depth then begin
+                let s = d.shift.(k).(dim) in
+                let q = d.peel.(k).(dim) in
+                let lo, hi =
+                  if mask land (1 lsl dim) <> 0 then
+                    ( off (v ^ "end") (1 - s),
+                      Printf.sprintf "%send+%d*%sppeel" v q v )
+                  else
+                    ( Printf.sprintf "%sstart+%d*%sfpeel" v
+                        (Derive.start_peel d ~nest:k ~dim)
+                        v,
+                      off (v ^ "end") (-s) )
+                in
+                Fmt.pf ppf "%sfor (%s = %s; %s <= %s; %s++) {@." ind v lo v
+                  hi v
+              end
+              else begin
+                let l = List.nth n.levels dim in
+                Fmt.pf ppf "%sfor (%s = %d; %s <= %d; %s++) {@." ind v l.lo
+                  v l.hi v
+              end;
+              emit_dims (dim + 1) (ind ^ "  ");
+              Fmt.pf ppf "%s}@." ind
+            end
+            else
+              List.iter (fun st -> Fmt.pf ppf "%s%a@." ind Ir.pp_stmt st)
+                n.body
+          in
+          emit_dims 0 ""
+        end
+      done)
+    nests
+
+let direct_to_string p d = Fmt.str "%a" (fun ppf () -> emit_direct ppf p d) ()
+
+let strip_mined_to_string ?strip p d =
+  Fmt.str "%a" (fun ppf () -> emit_strip_mined ?strip ppf p d) ()
+
+let multidim_to_string ?strip p d =
+  Fmt.str "%a" (fun ppf () -> emit_multidim ?strip ppf p d) ()

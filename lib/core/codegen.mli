@@ -1,0 +1,36 @@
+(** Source emission for fused loops (paper Figures 11, 12, 16).
+
+    The executable semantics live in {!Schedule}; this module renders
+    equivalent C-like source for inspection and comparison against the
+    paper's figures. *)
+
+val subst_affine : Lf_ir.Ir.affine -> Lf_ir.Ir.var -> int -> Lf_ir.Ir.affine
+(** [subst_affine a v delta] substitutes [v := v + delta]. *)
+
+val subst_aref : Lf_ir.Ir.aref -> Lf_ir.Ir.var -> int -> Lf_ir.Ir.aref
+val subst_expr : Lf_ir.Ir.expr -> Lf_ir.Ir.var -> int -> Lf_ir.Ir.expr
+
+val subst_stmt : Lf_ir.Ir.stmt -> Lf_ir.Ir.var -> int -> Lf_ir.Ir.stmt
+(** Substitution including the guard (bounds shift by [-delta]). *)
+
+val subst_stmt_dims :
+  Lf_ir.Ir.nest -> depth:int -> int array -> Lf_ir.Ir.stmt -> Lf_ir.Ir.stmt
+
+val emit_direct : Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit
+(** Direct method (Figure 11(a)): one loop over fused positions, guards
+    on shifted statements, rewritten subscripts.  1-D only. *)
+
+val emit_strip_mined :
+  ?strip:int -> Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit
+(** Strip-mined method with peeling (Figures 11(b) and 12): control
+    loop, per-nest inner loops with max/min bounds, barrier, tails.
+    1-D only. *)
+
+val emit_multidim :
+  ?strip:int -> Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit
+(** Multidimensional code with the boundary-case prologue (Figure 16):
+    peel flags per dimension, fused strips, barrier, peeled boxes. *)
+
+val direct_to_string : Lf_ir.Ir.program -> Derive.t -> string
+val strip_mined_to_string : ?strip:int -> Lf_ir.Ir.program -> Derive.t -> string
+val multidim_to_string : ?strip:int -> Lf_ir.Ir.program -> Derive.t -> string

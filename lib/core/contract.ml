@@ -1,0 +1,159 @@
+(* Array contraction after fusion.
+
+   Warren's fusion work (paper §2.4) is motivated by contracting
+   temporary arrays once producer and consumer live in the same loop
+   body.  After direct fusion of a sequence whose inter-nest
+   dependences are all loop-independent (zero distance in every
+   dimension), a temporary that is not live-out is produced and
+   consumed within one iteration: its inner dimensions can be
+   contracted away, shrinking an n x m array to a single row of n cells
+   (one per fused iteration, so the contraction stays safe under
+   block-parallel execution of the fused dimension). *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+type analysis = {
+  contractible : string list;  (* temporaries eligible for contraction *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+let full_depth (p : Ir.program) =
+  match p.Ir.nests with
+  | [] -> 0
+  | n :: _ -> List.length n.Ir.levels
+
+(* All inter-nest dependences must be loop-independent for direct
+   fusion to be legal and the fused nest to stay parallel. *)
+let direct_fusable (p : Ir.program) =
+  let depth = full_depth p in
+  if
+    not
+      (List.for_all
+         (fun (n : Ir.nest) -> List.length n.Ir.levels = depth)
+         p.Ir.nests)
+  then Error "nests have different depths"
+  else if
+    not
+      (List.for_all
+         (fun (n : Ir.nest) ->
+           List.for_all2
+             (fun (a : Ir.level) (b : Ir.level) ->
+               a.Ir.lo = b.Ir.lo && a.Ir.hi = b.Ir.hi
+               && String.equal a.Ir.lvar b.Ir.lvar)
+             n.Ir.levels (List.hd p.Ir.nests).Ir.levels)
+         p.Ir.nests)
+  then Error "nests have different iteration spaces"
+  else begin
+    let g = Dep.build ~depth p in
+    let bad =
+      List.find_opt
+        (fun (e : Dep.edge) ->
+          match e.Dep.dist with
+          | Dep.Not_uniform _ -> true
+          | Dep.Dist d -> Array.exists (fun x -> x <> 0) d)
+        g.Dep.edges
+    in
+    match bad with
+    | Some e ->
+      Error (Fmt.str "loop-carried dependence: %a" Dep.pp_edge e)
+    | None -> Ok g
+  end
+
+(* A temporary is contractible when it is written, not live-out, and
+   every dependence touching it is loop-independent (guaranteed here by
+   [direct_fusable]); by convention arrays never written (inputs) are
+   not contracted either. *)
+let analyse ?(elem_bytes = 8) ~live_out (p : Ir.program) =
+  match direct_fusable p with
+  | Error m -> Error m
+  | Ok _ ->
+    let written =
+      List.concat_map
+        (fun (n : Ir.nest) ->
+          List.map (fun (s : Ir.stmt) -> s.Ir.lhs.Ir.array) n.Ir.body)
+        p.Ir.nests
+      |> List.sort_uniq String.compare
+    in
+    let contractible =
+      List.filter (fun a -> not (List.mem a live_out)) written
+    in
+    let bytes (d : Ir.decl) = elem_bytes * Ir.num_elements d in
+    let bytes_before =
+      List.fold_left (fun acc d -> acc + bytes d) 0 p.Ir.decls
+    in
+    let bytes_after =
+      List.fold_left
+        (fun acc (d : Ir.decl) ->
+          if List.mem d.Ir.aname contractible then
+            acc
+            + elem_bytes
+              * (match d.Ir.extents with e0 :: _ -> e0 | [] -> 1)
+          else acc + bytes d)
+        0 p.Ir.decls
+    in
+    Ok { contractible; bytes_before; bytes_after }
+
+(* Rewrite a reference to a contracted array: keep the fused (first)
+   subscript, zero the inner ones. *)
+let contract_ref contracted (r : Ir.aref) =
+  if not (List.mem r.Ir.array contracted) then r
+  else
+    {
+      r with
+      Ir.index =
+        List.mapi (fun d a -> if d = 0 then a else Ir.ac 0) r.Ir.index;
+    }
+
+let rec contract_expr contracted (e : Ir.expr) =
+  match e with
+  | Const _ -> e
+  | Read r -> Ir.Read (contract_ref contracted r)
+  | Neg e -> Ir.Neg (contract_expr contracted e)
+  | Bin (op, a, b) ->
+    Ir.Bin (op, contract_expr contracted a, contract_expr contracted b)
+
+let contract_stmt contracted (s : Ir.stmt) =
+  {
+    s with
+    Ir.lhs = contract_ref contracted s.Ir.lhs;
+    rhs = contract_expr contracted s.Ir.rhs;
+  }
+
+(* Direct-fuse the sequence into a single nest and contract the inner
+   dimensions of every eligible temporary. *)
+let contract ?(elem_bytes = 8) ~live_out (p : Ir.program) =
+  match analyse ~elem_bytes ~live_out p with
+  | Error m -> Error m
+  | Ok a ->
+    let first = List.hd p.Ir.nests in
+    let body =
+      List.concat_map
+        (fun (n : Ir.nest) ->
+          List.map (contract_stmt a.contractible) n.Ir.body)
+        p.Ir.nests
+    in
+    let decls =
+      List.map
+        (fun (d : Ir.decl) ->
+          if List.mem d.Ir.aname a.contractible then
+            {
+              d with
+              Ir.extents =
+                List.mapi
+                  (fun k e -> if k = 0 then e else 1)
+                  d.Ir.extents;
+            }
+          else d)
+        p.Ir.decls
+    in
+    let q =
+      {
+        Ir.pname = p.Ir.pname ^ "+contract";
+        decls;
+        nests = [ { first with Ir.nid = "fused"; body } ];
+      }
+    in
+    Ir.validate q;
+    Ok (q, a)

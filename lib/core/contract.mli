@@ -1,0 +1,32 @@
+(** Array contraction after direct fusion (Warren's motivation for
+    fusion, paper §2.4): when every inter-nest dependence is
+    loop-independent, the sequence direct-fuses into one nest and each
+    non-live-out temporary shrinks to one cell per fused iteration
+    (parallel-safe under blocking of the fused dimension). *)
+
+type analysis = {
+  contractible : string list;  (** temporaries eligible for contraction *)
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val direct_fusable :
+  Lf_ir.Ir.program -> (Lf_dep.Dep.multigraph, string) result
+(** Direct fusion (no shifting) is legal and parallel iff every
+    inter-nest dependence has an all-zero distance vector and the
+    iteration spaces coincide. *)
+
+val analyse :
+  ?elem_bytes:int ->
+  live_out:string list ->
+  Lf_ir.Ir.program ->
+  (analysis, string) result
+
+val contract :
+  ?elem_bytes:int ->
+  live_out:string list ->
+  Lf_ir.Ir.program ->
+  (Lf_ir.Ir.program * analysis, string) result
+(** Direct-fuse into a single nest and contract the inner dimensions of
+    every eligible temporary; live-out arrays are bit-identical to the
+    original program's. *)

@@ -1,0 +1,112 @@
+(* Derivation of shift and peel amounts (paper §3.3, Figures 8-10).
+
+   For each fused dimension, the dependence chain multigraph is reduced
+   to a simple graph (minimum edge weight for shifting, maximum for
+   peeling) and the Figure 8 propagation visits vertices in program
+   order (which is a topological order of the acyclic inter-nest
+   dependence graph), accumulating shifts along chains of
+   backward-distance edges and peels along chains of forward-distance
+   edges. *)
+
+module Ir = Lf_ir.Ir
+
+type t = {
+  depth : int;
+  nnests : int;
+  shift : int array array;  (* [nest].(dim): amount to delay nest, >= 0 *)
+  peel : int array array;  (* [nest].(dim): forward-dependence peel, >= 0 *)
+}
+
+(* Start-of-block iterations to peel for a nest/dim: shifting moves
+   [shift] sink iterations into the adjacent block and the original
+   forward dependences account for [peel] more (paper §3.5). *)
+let start_peel d ~nest ~dim = d.shift.(nest).(dim) + d.peel.(nest).(dim)
+
+(* Iteration count threshold N_t of Definition 6: every block must have
+   at least this many iterations in each fused dimension. *)
+let threshold d ~dim =
+  let m = ref 0 in
+  for k = 0 to d.nnests - 1 do
+    m := max !m (start_peel d ~nest:k ~dim)
+  done;
+  !m
+
+let max_shift d =
+  Array.fold_left (fun m row -> Array.fold_left max m row) 0 d.shift
+
+let max_peel d =
+  Array.fold_left (fun m row -> Array.fold_left max m row) 0 d.peel
+
+(* Reduce the multigraph to a simple weighted graph: one edge per nest
+   pair, weight given by [reduce] over the dimension-[dim] components of
+   all uniform edges between the pair (paper: min for shifts, max for
+   peels). *)
+let reduce_graph (g : Lf_dep.Dep.multigraph) ~dim ~reduce =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (src, dst, w) ->
+      let key = (src, dst) in
+      match Hashtbl.find_opt tbl key with
+      | None -> Hashtbl.replace tbl key w
+      | Some w' -> Hashtbl.replace tbl key (reduce w w'))
+    (Lf_dep.Dep.dim_weights g ~dim);
+  tbl
+
+(* Figure 8 traversal specialised by [select] (which edge weights
+   contribute) and [combine] (min for shifts / max for peels). *)
+let propagate ~nnests ~edges ~select ~combine =
+  let weight = Array.make nnests 0 in
+  for v = 0 to nnests - 1 do
+    Hashtbl.iter
+      (fun (src, dst) w ->
+        if src = v then
+          let contribution =
+            if select w then weight.(v) + w else weight.(v)
+          in
+          weight.(dst) <- combine weight.(dst) contribution)
+      edges
+  done;
+  weight
+
+exception Not_applicable of string
+
+(* Derive shift and peel vectors for fusing the outermost
+   [g.depth] dimensions described by multigraph [g]. *)
+let of_multigraph (g : Lf_dep.Dep.multigraph) =
+  (match Lf_dep.Dep.not_uniform_edges g with
+  | [] -> ()
+  | e :: _ ->
+    raise
+      (Not_applicable
+         (Fmt.str "non-uniform dependence: %a" Lf_dep.Dep.pp_edge e)));
+  let nnests = g.nnests in
+  let shift = Array.make_matrix nnests g.depth 0 in
+  let peel = Array.make_matrix nnests g.depth 0 in
+  for dim = 0 to g.depth - 1 do
+    let min_edges = reduce_graph g ~dim ~reduce:min in
+    let shifts =
+      propagate ~nnests ~edges:min_edges ~select:(fun w -> w < 0)
+        ~combine:min
+    in
+    let max_edges = reduce_graph g ~dim ~reduce:max in
+    let peels =
+      propagate ~nnests ~edges:max_edges ~select:(fun w -> w > 0)
+        ~combine:max
+    in
+    for k = 0 to nnests - 1 do
+      shift.(k).(dim) <- -shifts.(k);
+      peel.(k).(dim) <- peels.(k)
+    done
+  done;
+  { depth = g.depth; nnests; shift; peel }
+
+let of_program ?(depth = 1) (p : Ir.program) =
+  of_multigraph (Lf_dep.Dep.build ~depth p)
+
+let pp ppf d =
+  Fmt.pf ppf "loop  shifts       peels@.";
+  for k = 0 to d.nnests - 1 do
+    Fmt.pf ppf "%4d  %-12s %s@." (k + 1)
+      (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) d.shift.(k))
+      (Fmt.str "%a" Fmt.(array ~sep:(any ",") int) d.peel.(k))
+  done

@@ -1,0 +1,37 @@
+(** Derivation of shift and peel amounts (paper §3.3, Figures 8-10).
+
+    Per fused dimension, the dependence chain multigraph is reduced to
+    a simple graph (minimum edge weight for shifting, maximum for
+    peeling) and the Figure 8 propagation visits vertices in program
+    order, accumulating shifts along backward-distance chains and peels
+    along forward-distance chains. *)
+
+type t = {
+  depth : int;  (** number of fused dimensions *)
+  nnests : int;
+  shift : int array array;  (** [shift.(nest).(dim)]: delay, >= 0 *)
+  peel : int array array;  (** [peel.(nest).(dim)]: forward-dep peel *)
+}
+
+val start_peel : t -> nest:int -> dim:int -> int
+(** Iterations to skip at the start of each interior block for this
+    nest/dimension: [shift + peel] — shifting moves [shift] sink
+    iterations into the adjacent block and the original forward
+    dependences account for [peel] more (paper §3.5). *)
+
+val threshold : t -> dim:int -> int
+(** Iteration count threshold [N_t] (Definition 6): every block must
+    have at least this many iterations in the dimension. *)
+
+val max_shift : t -> int
+val max_peel : t -> int
+
+exception Not_applicable of string
+(** Raised when a dependence is not uniform. *)
+
+val of_multigraph : Lf_dep.Dep.multigraph -> t
+
+val of_program : ?depth:int -> Lf_ir.Ir.program -> t
+(** Convenience: build the multigraph and derive. *)
+
+val pp : Format.formatter -> t -> unit

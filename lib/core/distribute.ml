@@ -1,0 +1,141 @@
+(* Loop distribution (fission) — the inverse of fusion, and the other
+   half of the fusion/distribution framework of Kennedy & McKinley that
+   the paper's related work discusses.
+
+   A nest's statements are partitioned into pi-blocks: the strongly
+   connected components of the statement-level dependence graph.  Each
+   pi-block becomes its own nest; pi-blocks are emitted in topological
+   order, so all dependences flow forward between the new nests.  A
+   maximally distributed sequence is the natural input for fusion
+   clustering (see Cluster). *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+(* Lexicographic sign of a distance vector. *)
+let lex_sign (d : int array) =
+  let rec go k =
+    if k >= Array.length d then 0
+    else if d.(k) > 0 then 1
+    else if d.(k) < 0 then -1
+    else go (k + 1)
+  in
+  go 0
+
+(* Statement-level dependence edges within one nest: [i -> j] when some
+   instance of statement [i] must execute before a dependent instance
+   of statement [j].  Conservative (both directions) when a distance
+   cannot be shown uniform. *)
+let stmt_edges (n : Ir.nest) =
+  let stmts = Array.of_list n.Ir.body in
+  let ns = Array.length stmts in
+  let depth = List.length n.Ir.levels in
+  let edges = ref [] in
+  let add a b = if not (List.mem (a, b) !edges) then edges := (a, b) :: !edges in
+  let accesses_of (s : Ir.stmt) =
+    ({ Dep.aref = s.Ir.lhs; write = true }
+     :: List.map (fun r -> { Dep.aref = r; write = false }) (Ir.stmt_reads s))
+  in
+  for i = 0 to ns - 1 do
+    for j = 0 to ns - 1 do
+      if i <> j then
+        List.iter
+          (fun (a : Dep.access) ->
+            List.iter
+              (fun (b : Dep.access) ->
+                if (a.Dep.write || b.Dep.write)
+                   && String.equal a.Dep.aref.Ir.array b.Dep.aref.Ir.array
+                then
+                  match
+                    Dep.access_distance ~depth n n a.Dep.aref b.Dep.aref
+                  with
+                  | None -> ()
+                  | Some (Dep.Not_uniform _) ->
+                    add i j;
+                    add j i
+                  | Some (Dep.Dist d) -> (
+                    (* a's instance at iter t, b's at t + d *)
+                    match lex_sign d with
+                    | 1 -> add i j  (* a executes first *)
+                    | -1 -> add j i  (* b executes first *)
+                    | _ -> if i < j then add i j else add j i))
+              (accesses_of stmts.(j)))
+          (accesses_of stmts.(i))
+    done
+  done;
+  (ns, !edges)
+
+(* Tarjan's strongly connected components, emitted in reverse
+   topological order (so the result list is topologically ordered). *)
+let scc ~nodes ~edges =
+  let adj = Array.make nodes [] in
+  List.iter (fun (a, b) -> adj.(a) <- b :: adj.(a)) edges;
+  let index = Array.make nodes (-1) in
+  let lowlink = Array.make nodes 0 in
+  let on_stack = Array.make nodes false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      adj.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      components := pop [] :: !components
+    end
+  in
+  for v = 0 to nodes - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  (* Tarjan emits components in reverse topological order of the
+     condensation; !components accumulates them re-reversed *)
+  !components
+
+(* Distribute one nest into its pi-blocks. *)
+let distribute_nest (n : Ir.nest) =
+  match n.Ir.body with
+  | [] | [ _ ] -> [ n ]
+  | body ->
+    let stmts = Array.of_list body in
+    let nodes, edges = stmt_edges n in
+    let comps = scc ~nodes ~edges in
+    (* stable presentation: order blocks by smallest statement index,
+       then check topological consistency (scc already returns a
+       topological order of the condensation; keep it) *)
+    List.mapi
+      (fun k comp ->
+        let comp = List.sort compare comp in
+        {
+          n with
+          Ir.nid = Printf.sprintf "%s_d%d" n.Ir.nid (k + 1);
+          body = List.map (fun i -> stmts.(i)) comp;
+        })
+      comps
+
+(* Maximally distribute every nest of the sequence. *)
+let distribute (p : Ir.program) =
+  let nests = List.concat_map distribute_nest p.Ir.nests in
+  let q = { p with Ir.pname = p.Ir.pname ^ "+dist"; nests } in
+  Ir.validate q;
+  q
+
+(* Number of pi-blocks the nest splits into. *)
+let pi_blocks (n : Ir.nest) = List.length (distribute_nest n)

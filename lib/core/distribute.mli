@@ -1,0 +1,23 @@
+(** Loop distribution (fission) — the inverse of fusion, per Kennedy &
+    McKinley's fusion/distribution framework (paper §2.4).
+
+    Statements are partitioned into pi-blocks (strongly connected
+    components of the statement-level dependence graph); each pi-block
+    becomes its own nest, emitted in topological order so every
+    dependence flows forward between the new nests. *)
+
+val lex_sign : int array -> int
+(** Lexicographic sign of a distance vector: -1, 0 or 1. *)
+
+val scc : nodes:int -> edges:(int * int) list -> int list list
+(** Tarjan's strongly connected components, topologically ordered. *)
+
+val distribute_nest : Lf_ir.Ir.nest -> Lf_ir.Ir.nest list
+(** Split one nest into its pi-blocks (identity for a single-statement
+    nest and for statements tied into one component). *)
+
+val distribute : Lf_ir.Ir.program -> Lf_ir.Ir.program
+(** Maximally distribute every nest of the sequence; semantics are
+    preserved exactly. *)
+
+val pi_blocks : Lf_ir.Ir.nest -> int

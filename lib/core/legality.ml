@@ -1,0 +1,68 @@
+(* Classical fusion legality (paper §2.2): without shift-and-peel,
+   fusion is legal only if no resulting loop-carried dependence flows
+   backwards, and the fused loop stays parallel only if no dependence
+   becomes loop-carried at all.  This classifier reproduces the
+   capabilities of the prior techniques the paper contrasts against
+   (Warren; Kennedy & McKinley), which reject exactly the kernels
+   shift-and-peel handles. *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+type verdict =
+  | Fusable_parallel
+      (** no dependence becomes loop-carried: plain fusion keeps the
+          loops parallel *)
+  | Fusable_serial of string
+      (** fusion is legal but a forward loop-carried dependence
+          serializes the fused loop (Figure 4) *)
+  | Fusion_preventing of string
+      (** a backward loop-carried dependence makes fusion illegal
+          (Figure 3) *)
+  | Not_analyzable of string  (** non-uniform dependence *)
+
+let verdict_to_string = function
+  | Fusable_parallel -> "fusable, parallelism preserved"
+  | Fusable_serial m -> "fusable but serialized: " ^ m
+  | Fusion_preventing m -> "fusion-preventing dependence: " ^ m
+  | Not_analyzable m -> "not analyzable: " ^ m
+
+(* Classify plain (unshifted, unpeeled) fusion of the outermost [depth]
+   dimensions. *)
+let classify ?(depth = 1) (p : Ir.program) =
+  let g = Dep.build ~depth p in
+  match Dep.not_uniform_edges g with
+  | e :: _ -> Not_analyzable (Fmt.str "%a" Dep.pp_edge e)
+  | [] ->
+    let backward = ref None and forward = ref None in
+    List.iter
+      (fun (e : Dep.edge) ->
+        match e.Dep.dist with
+        | Dep.Not_uniform _ -> ()
+        | Dep.Dist d ->
+          (* lexicographic sign over the fused dimensions *)
+          let rec sign k =
+            if k >= Array.length d then 0
+            else if d.(k) < 0 then -1
+            else if d.(k) > 0 then 1
+            else sign (k + 1)
+          in
+          (match sign 0 with
+          | -1 -> if !backward = None then backward := Some e
+          | 1 -> if !forward = None then forward := Some e
+          | _ -> ()))
+      g.Dep.edges;
+    (match (!backward, !forward) with
+    | Some e, _ -> Fusion_preventing (Fmt.str "%a" Dep.pp_edge e)
+    | None, Some e -> Fusable_serial (Fmt.str "%a" Dep.pp_edge e)
+    | None, None -> Fusable_parallel)
+
+(* Can shift-and-peel handle the sequence?  It requires only uniform
+   dependences and parallel nests (§3.5, Theorem 1). *)
+let shift_and_peel_applicable ?(depth = 1) (p : Ir.program) =
+  match Dep.verify_program p with
+  | Error m -> Error m
+  | Ok () -> (
+    match Derive.of_program ~depth p with
+    | exception Derive.Not_applicable m -> Error m
+    | _ -> Ok ())

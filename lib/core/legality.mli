@@ -1,0 +1,28 @@
+(** Classical fusion legality (paper §2.2): what plain fusion — the
+    prior techniques of Warren and Kennedy & McKinley — can do without
+    shift-and-peel.  Plain fusion is illegal under backward loop-carried
+    dependences (Figure 3) and loses parallelism under forward ones
+    (Figure 4). *)
+
+type verdict =
+  | Fusable_parallel
+      (** no dependence becomes loop-carried: plain fusion keeps the
+          loops parallel *)
+  | Fusable_serial of string
+      (** legal, but a forward loop-carried dependence serializes the
+          fused loop (Figure 4) *)
+  | Fusion_preventing of string
+      (** a backward loop-carried dependence makes fusion illegal
+          (Figure 3) *)
+  | Not_analyzable of string  (** non-uniform dependence *)
+
+val verdict_to_string : verdict -> string
+
+val classify : ?depth:int -> Lf_ir.Ir.program -> verdict
+(** Classify plain (unshifted, unpeeled) fusion of the outermost
+    [depth] dimensions. *)
+
+val shift_and_peel_applicable :
+  ?depth:int -> Lf_ir.Ir.program -> (unit, string) result
+(** Shift-and-peel's own applicability: uniform inter-nest dependences
+    and verified-parallel nests. *)

@@ -1,0 +1,186 @@
+(* Array memory layout: contiguous placement, intra-array padding (the
+   ad-hoc baseline of §4), and cache partitioning (paper Figure 19).
+
+   Cache partitioning divides the cache's set-index span into [na]
+   non-overlapping partitions, one per array, and inserts gaps between
+   arrays in memory so that each array's start address maps to the start
+   of a distinct partition.  For compatible references (same stride and
+   direction) the partitions then never overlap during execution, so
+   cross-conflicts cannot occur. *)
+
+module Ir = Lf_ir.Ir
+
+type placement = {
+  name : string;
+  start : int;  (* byte address of element 0 *)
+  aextents : int array;  (* addressing extents (>= logical extents) *)
+}
+
+type layout = {
+  elem_bytes : int;
+  placements : (string * placement) list;
+  total_bytes : int;
+}
+
+let find_placement l name =
+  match List.assoc_opt name l.placements with
+  | Some p -> p
+  | None -> invalid_arg ("Partition.find_placement: unknown array " ^ name)
+
+(* Byte address of the element at row-major [index]. *)
+let address l name index =
+  let p = find_placement l name in
+  let flat = ref 0 in
+  Array.iteri (fun d v -> flat := (!flat * p.aextents.(d)) + v) index;
+  p.start + (!flat * l.elem_bytes)
+
+let array_bytes l p = Array.fold_left ( * ) l.elem_bytes p.aextents
+
+(* Total bytes lost to padding and gaps relative to dense placement. *)
+let overhead_bytes l (decls : Ir.decl list) =
+  let dense =
+    List.fold_left (fun acc d -> acc + (Ir.num_elements d * l.elem_bytes)) 0 decls
+  in
+  l.total_bytes - dense
+
+let align_up x a = (x + a - 1) / a * a
+
+(* ------------------------------------------------------------------ *)
+(* Contiguous and padded layouts                                       *)
+
+(* Arrays one after another in declaration order, each start aligned to
+   [align] bytes (typically the cache line size). *)
+let contiguous ?(elem_bytes = 8) ?(align = 64) (decls : Ir.decl list) =
+  let q = ref 0 in
+  let placements =
+    List.map
+      (fun (d : Ir.decl) ->
+        let start = align_up !q align in
+        let aextents = Array.of_list d.extents in
+        let size = Array.fold_left ( * ) elem_bytes aextents in
+        q := start + size;
+        (d.aname, { name = d.aname; start; aextents }))
+      decls
+  in
+  { elem_bytes; placements; total_bytes = !q }
+
+(* Pad the innermost (storage-order) dimension of every array by [pad]
+   elements; the classic technique to perturb cache mappings (§4). *)
+let padded ?(elem_bytes = 8) ?(align = 64) ~pad (decls : Ir.decl list) =
+  if pad < 0 then invalid_arg "Partition.padded: negative pad";
+  let q = ref 0 in
+  let placements =
+    List.map
+      (fun (d : Ir.decl) ->
+        let start = align_up !q align in
+        let aextents = Array.of_list d.extents in
+        let last = Array.length aextents - 1 in
+        aextents.(last) <- aextents.(last) + pad;
+        let size = Array.fold_left ( * ) elem_bytes aextents in
+        q := start + size;
+        (d.aname, { name = d.aname; start; aextents }))
+      decls
+  in
+  { elem_bytes; placements; total_bytes = !q }
+
+(* ------------------------------------------------------------------ *)
+(* Cache partitioning (Figure 19)                                      *)
+
+type cache_shape = {
+  capacity : int;  (* bytes *)
+  line : int;  (* bytes *)
+  assoc : int;  (* 1 = direct-mapped *)
+}
+
+(* The set-index span: addresses [q] and [q + span] map to the same
+   cache set. *)
+let cache_span c = c.capacity / c.assoc
+
+let cache_map c q = q mod cache_span c
+
+(* Greedy memory layout (Figure 19): partition size s_p = capacity / na;
+   arrays are placed in declaration order; each is assigned the still-
+   available partition that minimises the gap inserted before it.  For a
+   set-associative cache, partition p targets set address
+   (p / assoc) * s_p, exploiting the fact that [assoc] arrays can share
+   a set region without conflicting (§4). *)
+let cache_partitioned ?(elem_bytes = 8) ~cache:(c : cache_shape)
+    (decls : Ir.decl list) =
+  let na = List.length decls in
+  if na = 0 then { elem_bytes; placements = []; total_bytes = 0 }
+  else begin
+    let span = cache_span c in
+    let sp = c.capacity / na in
+    let sp = max c.line (sp / c.line * c.line) in
+    let target p = p / c.assoc * sp mod span in
+    let available = ref (List.init na (fun i -> i)) in
+    let q = ref 0 in
+    let placements =
+      List.map
+        (fun (d : Ir.decl) ->
+          let mapped = cache_map c !q in
+          let gap_of p =
+            let g = target p - mapped in
+            if g < 0 then g + span else g
+          in
+          let popt =
+            List.fold_left
+              (fun best p ->
+                match best with
+                | None -> Some p
+                | Some b -> if gap_of p < gap_of b then Some p else best)
+              None !available
+          in
+          let popt = match popt with Some p -> p | None -> assert false in
+          available := List.filter (fun p -> p <> popt) !available;
+          let start = !q + gap_of popt in
+          let aextents = Array.of_list d.extents in
+          let size = Array.fold_left ( * ) elem_bytes aextents in
+          q := start + size;
+          (d.aname, { name = d.aname; start; aextents }))
+        decls
+    in
+    { elem_bytes; placements; total_bytes = !q }
+  end
+
+(* Partition size for a set of [na] arrays: the upper bound on the
+   per-array data footprint of one strip (used to choose the
+   strip-mining factor, §3.4/§4). *)
+let partition_size ~cache:(c : cache_shape) ~narrays =
+  if narrays <= 0 then c.capacity else c.capacity / narrays
+
+(* Largest strip size such that [rows_per_iter] rows of [row_elems]
+   elements each stay within one partition. *)
+let max_strip ?(elem_bytes = 8) ~cache ~narrays ~row_elems ~rows_per_iter () =
+  let sp = partition_size ~cache ~narrays in
+  let per_strip_row = row_elems * elem_bytes * rows_per_iter in
+  if per_strip_row <= 0 then 1 else max 1 (sp / per_strip_row)
+
+(* ------------------------------------------------------------------ *)
+(* Compatibility check (§4): references to two arrays are compatible
+   when their subscript mappings h_A of the loop indices coincide; then
+   conflict-free starting addresses stay conflict-free throughout. *)
+
+let ref_mapping (r : Ir.aref) =
+  List.map (fun (a : Ir.affine) -> List.sort compare a.terms) r.index
+
+let compatible_refs (r1 : Ir.aref) (r2 : Ir.aref) =
+  List.length r1.index = List.length r2.index
+  && List.for_all2 ( = ) (ref_mapping r1) (ref_mapping r2)
+
+(* All references of a program pairwise compatible per array pair
+   (arrays of equal rank only). *)
+let program_compatible (p : Ir.program) =
+  let refs = List.concat_map Ir.nest_refs p.nests in
+  let ok = ref true in
+  List.iter
+    (fun (r1 : Ir.aref) ->
+      List.iter
+        (fun (r2 : Ir.aref) ->
+          if
+            List.length r1.index = List.length r2.index
+            && not (compatible_refs r1 r2)
+          then ok := false)
+        refs)
+    refs;
+  !ok

@@ -1,0 +1,74 @@
+(** Array memory layouts: contiguous placement, intra-array padding
+    (the ad-hoc baseline of §4), and cache partitioning (Figure 19).
+
+    Cache partitioning divides the cache's set-index span into one
+    partition per array and inserts gaps between arrays so each array's
+    start maps to the start of a distinct partition; for compatible
+    references the partitions never overlap during execution, so
+    cross-conflicts cannot occur. *)
+
+type placement = {
+  name : string;
+  start : int;  (** byte address of element 0 *)
+  aextents : int array;  (** addressing extents (padding included) *)
+}
+
+type layout = {
+  elem_bytes : int;
+  placements : (string * placement) list;
+  total_bytes : int;
+}
+
+val find_placement : layout -> string -> placement
+
+val address : layout -> string -> int array -> int
+(** Byte address of the element at a row-major index. *)
+
+val array_bytes : layout -> placement -> int
+
+val overhead_bytes : layout -> Lf_ir.Ir.decl list -> int
+(** Bytes lost to padding/gaps relative to dense placement. *)
+
+val contiguous :
+  ?elem_bytes:int -> ?align:int -> Lf_ir.Ir.decl list -> layout
+(** Arrays back to back in declaration order, starts aligned. *)
+
+val padded :
+  ?elem_bytes:int -> ?align:int -> pad:int -> Lf_ir.Ir.decl list -> layout
+(** Pad the innermost dimension of every array by [pad] elements. *)
+
+type cache_shape = { capacity : int; line : int; assoc : int }
+
+val cache_span : cache_shape -> int
+(** The set-index span: addresses [q] and [q + span] map to the same
+    set. *)
+
+val cache_map : cache_shape -> int -> int
+
+val cache_partitioned :
+  ?elem_bytes:int -> cache:cache_shape -> Lf_ir.Ir.decl list -> layout
+(** Greedy memory layout (Figure 19): partition size
+    [capacity / narrays]; arrays are placed in declaration order, each
+    assigned the still-available partition minimising the inserted gap.
+    On a set-associative cache, [assoc] arrays share a set region
+    (target [(p / assoc) * sp], §4). *)
+
+val partition_size : cache:cache_shape -> narrays:int -> int
+
+val max_strip :
+  ?elem_bytes:int ->
+  cache:cache_shape ->
+  narrays:int ->
+  row_elems:int ->
+  rows_per_iter:int ->
+  unit ->
+  int
+(** Largest strip-mining factor keeping one strip of each array inside
+    its partition (§3.4). *)
+
+val compatible_refs : Lf_ir.Ir.aref -> Lf_ir.Ir.aref -> bool
+(** References are compatible when their subscript mappings (linear
+    parts) coincide (§4): conflict-free starts then stay conflict-free
+    throughout the loop. *)
+
+val program_compatible : Lf_ir.Ir.program -> bool

@@ -1,0 +1,55 @@
+(* Profitability of fusion (paper §5 discussion and §6 conclusion).
+
+   The measurements in the paper show the benefit of fusion diminishing
+   as processors are added: once the per-processor portion of the data
+   fits in its cache, the unfused loops already reuse data across nests
+   through the cache, and the overhead of the transformation (extra
+   barrier bookkeeping, peeled iterations, strip-mining control) makes
+   the fused version slower.  The compiler should therefore evaluate
+   profitability from the data size and the cache size. *)
+
+module Ir = Lf_ir.Ir
+
+type estimate = {
+  data_bytes : int;  (* total bytes of all arrays in the sequence *)
+  per_proc_bytes : int;  (* data referenced by one processor's block *)
+  cache_bytes : int;
+  fits_in_cache : bool;
+  profitable : bool;
+  ratio : float;  (* per-processor data / cache capacity *)
+}
+
+(* [estimate p ~nprocs ~cache_bytes ~elem_bytes] assumes block
+   scheduling of the outermost loop, so each processor touches roughly
+   1/nprocs of every array referenced in the sequence. *)
+let estimate ?(elem_bytes = 8) ~nprocs ~cache_bytes (p : Ir.program) =
+  let arrays = Ir.program_arrays p in
+  let data_bytes =
+    List.fold_left
+      (fun acc name -> acc + (Ir.num_elements (Ir.find_decl p name) * elem_bytes))
+      0 arrays
+  in
+  let per_proc_bytes = data_bytes / max 1 nprocs in
+  let fits = per_proc_bytes <= cache_bytes in
+  {
+    data_bytes;
+    per_proc_bytes;
+    cache_bytes;
+    fits_in_cache = fits;
+    profitable = not fits;
+    ratio = float_of_int per_proc_bytes /. float_of_int cache_bytes;
+  }
+
+(* Largest processor count for which fusion is still expected to be
+   profitable for this sequence. *)
+let max_profitable_procs ?(elem_bytes = 8) ~cache_bytes (p : Ir.program) =
+  let e = estimate ~elem_bytes ~nprocs:1 ~cache_bytes p in
+  if e.data_bytes <= cache_bytes then 0
+  else (e.data_bytes + cache_bytes - 1) / cache_bytes
+
+let pp ppf e =
+  Fmt.pf ppf
+    "data %d bytes, per-proc %d bytes, cache %d bytes: %s (ratio %.2f)"
+    e.data_bytes e.per_proc_bytes e.cache_bytes
+    (if e.profitable then "fusion profitable" else "fusion not profitable")
+    e.ratio

@@ -1,0 +1,24 @@
+(** Profitability of fusion (paper §5 discussion and §6 conclusion):
+    fusion pays only while a processor's share of the data exceeds its
+    cache — afterwards the unfused loops already reuse data across
+    nests through the cache and the transformation's overhead loses. *)
+
+type estimate = {
+  data_bytes : int;  (** total bytes of all arrays in the sequence *)
+  per_proc_bytes : int;  (** share of one processor under blocking *)
+  cache_bytes : int;
+  fits_in_cache : bool;
+  profitable : bool;
+  ratio : float;  (** per-processor bytes / cache capacity *)
+}
+
+val estimate :
+  ?elem_bytes:int -> nprocs:int -> cache_bytes:int -> Lf_ir.Ir.program ->
+  estimate
+
+val max_profitable_procs :
+  ?elem_bytes:int -> cache_bytes:int -> Lf_ir.Ir.program -> int
+(** Largest processor count for which fusion is still expected to be
+    profitable (0 when the data fits in a single cache). *)
+
+val pp : Format.formatter -> estimate -> unit

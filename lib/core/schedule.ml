@@ -1,0 +1,428 @@
+(* Executable schedules: block-scheduled parallel execution of loop
+   sequences, either unfused (one parallel phase per nest, a barrier
+   between nests) or fused with shift-and-peel (one fused phase covering
+   all nests strip-by-strip, a barrier, then the peeled iterations;
+   paper §3.4, Figures 11, 12 and 16).
+
+   A schedule is a list of phases separated by barriers; each phase
+   assigns every processor an ordered list of boxes (rectangular
+   iteration sub-spaces of one nest).  The same schedule is executed
+   untimed here (for semantic verification against the reference
+   interpreter) and by lf_machine with per-processor caches and a cycle
+   cost model. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+
+type box = {
+  nest : int;  (* index into the program's nest list *)
+  ranges : (int * int) array;  (* inclusive range per loop level *)
+}
+
+type phase = box list array  (* one work list per processor *)
+
+type t = {
+  prog : Ir.program;
+  nprocs : int;
+  grid : int array;  (* processor grid over the fused dimensions *)
+  phases : phase list;
+}
+
+let box_is_empty b = Array.exists (fun (lo, hi) -> lo > hi) b.ranges
+
+let box_iterations b =
+  Array.fold_left (fun acc (lo, hi) -> acc * max 0 (hi - lo + 1)) 1 b.ranges
+
+let phase_iterations ph =
+  Array.fold_left
+    (fun acc l -> acc + List.fold_left (fun a b -> a + box_iterations b) 0 l)
+    0 ph
+
+let total_iterations t =
+  List.fold_left (fun acc ph -> acc + phase_iterations ph) 0 t.phases
+
+(* ------------------------------------------------------------------ *)
+(* Processor grids and block scheduling                                *)
+
+(* Factor [nprocs] into [depth] balanced factors (largest factors in the
+   leading dimensions), e.g. 12 over 2 dims -> [|4; 3|]. *)
+let balanced_grid ~nprocs ~depth =
+  if depth <= 0 then invalid_arg "Schedule.balanced_grid: depth <= 0";
+  if nprocs <= 0 then invalid_arg "Schedule.balanced_grid: nprocs <= 0";
+  let grid = Array.make depth 1 in
+  let rem = ref nprocs in
+  for d = depth - 1 downto 1 do
+    (* largest divisor of rem not above rem^(1/dims-left) *)
+    let dims_left = d + 1 in
+    let target =
+      int_of_float
+        (Float.pow (float_of_int !rem) (1.0 /. float_of_int dims_left)
+        +. 1e-9)
+    in
+    let f = ref (max 1 target) in
+    while !rem mod !f <> 0 do
+      decr f
+    done;
+    grid.(d) <- !f;
+    rem := !rem / !f
+  done;
+  grid.(0) <- !rem;
+  grid
+
+(* Block [p] of [nprocs] over inclusive range [lo, hi].  Definition 5
+   gives the whole remainder to the last processor; we balance it across
+   the first (len mod nprocs) processors instead, so block sizes differ
+   by at most one (what a production runtime does, and what keeps the
+   per-phase maximum from being dominated by one oversized block). *)
+let block ~lo ~hi ~nprocs ~p =
+  let len = hi - lo + 1 in
+  let size = len / nprocs in
+  if size = 0 then invalid_arg "Schedule.block: more processors than iterations";
+  let rem = len mod nprocs in
+  let bstart = lo + (size * p) + min p rem in
+  let bend = bstart + size - 1 + (if p < rem then 1 else 0) in
+  (bstart, bend)
+
+(* Grid cell coordinates of processor [p] in [grid] (row-major). *)
+let cell_of_proc grid p =
+  let depth = Array.length grid in
+  let c = Array.make depth 0 in
+  let rem = ref p in
+  for d = depth - 1 downto 0 do
+    c.(d) <- !rem mod grid.(d);
+    rem := !rem / grid.(d)
+  done;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Unfused schedule: one parallel phase per nest                       *)
+
+let level_ranges (n : Ir.nest) =
+  Array.of_list (List.map (fun (l : Ir.level) -> (l.lo, l.hi)) n.levels)
+
+let unfused ?grid ?(depth = 1) ~nprocs (p : Ir.program) =
+  let grid =
+    match grid with Some g -> g | None -> balanced_grid ~nprocs ~depth
+  in
+  if Array.fold_left ( * ) 1 grid <> nprocs then
+    invalid_arg "Schedule.unfused: grid does not match nprocs";
+  let nests = Array.of_list p.nests in
+  let phase_of_nest k (n : Ir.nest) =
+    ignore k;
+    Array.init nprocs (fun proc ->
+        let c = cell_of_proc grid proc in
+        let ranges = level_ranges n in
+        Array.iteri
+          (fun d _ ->
+            if d < Array.length grid then begin
+              let lo, hi = ranges.(d) in
+              ranges.(d) <- block ~lo ~hi ~nprocs:grid.(d) ~p:c.(d)
+            end)
+          ranges;
+        let b = { nest = k; ranges } in
+        if box_is_empty b then [] else [ b ])
+  in
+  {
+    prog = p;
+    nprocs;
+    grid;
+    phases = List.mapi phase_of_nest (Array.to_list nests);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fused schedule with shift-and-peel                                  *)
+
+exception Illegal of string
+
+(* Per-nest, per-dimension geometry of the fused execution. *)
+type geometry = {
+  g_lo : int array;  (* fused position space, per fused dim *)
+  g_hi : int array;
+  nest_lo : int array array;  (* [nest].(dim): original bounds *)
+  nest_hi : int array array;
+}
+
+let geometry (p : Ir.program) (d : Derive.t) =
+  let nests = Array.of_list p.nests in
+  let nnests = Array.length nests in
+  let depth = d.depth in
+  let nest_lo = Array.make_matrix nnests depth 0 in
+  let nest_hi = Array.make_matrix nnests depth 0 in
+  Array.iteri
+    (fun k (n : Ir.nest) ->
+      List.iteri
+        (fun dim (l : Ir.level) ->
+          if dim < depth then begin
+            nest_lo.(k).(dim) <- l.lo;
+            nest_hi.(k).(dim) <- l.hi
+          end)
+        n.levels)
+    nests;
+  let g_lo = Array.make depth max_int and g_hi = Array.make depth min_int in
+  for k = 0 to nnests - 1 do
+    for dim = 0 to depth - 1 do
+      g_lo.(dim) <- min g_lo.(dim) (nest_lo.(k).(dim) + d.shift.(k).(dim));
+      g_hi.(dim) <- max g_hi.(dim) (nest_hi.(k).(dim) + d.shift.(k).(dim))
+    done
+  done;
+  { g_lo; g_hi; nest_lo; nest_hi }
+
+(* Fused coverage of nest [k] in dimension [dim] for the block
+   [bstart, bend] (in fused positions): original iterations shifted into
+   the block, minus the start-of-block peeled iterations (absent for the
+   first block in the grid dimension). *)
+let fused_range (d : Derive.t) geo ~k ~dim ~bstart ~bend ~first =
+  let s = d.shift.(k).(dim) in
+  let pk = Derive.start_peel d ~nest:k ~dim in
+  let lo = if first then max geo.nest_lo.(k).(dim) (bstart - s)
+           else bstart - s + pk in
+  let hi = min geo.nest_hi.(k).(dim) (bend - s) in
+  (max lo geo.nest_lo.(k).(dim), hi)
+
+(* Tail (peeled) coverage of nest [k] in dimension [dim] for the same
+   block: the iterations shifted out of the block's end plus the
+   iterations peeled from the start of the next block (paper Fig. 12);
+   the last block only finishes its own shifted-out tail. *)
+let tail_range (d : Derive.t) geo ~k ~dim ~bend ~last =
+  let s = d.shift.(k).(dim) in
+  let q = d.peel.(k).(dim) in
+  let lo = bend - s + 1 in
+  let hi = if last then geo.nest_hi.(k).(dim) else bend + q in
+  (max lo geo.nest_lo.(k).(dim), min hi geo.nest_hi.(k).(dim))
+
+let default_strip = 64
+
+(* Build the fused + peeled schedule.  [strip] is the strip-mining
+   factor applied to every fused dimension (paper §3.4: the strip size
+   is chosen so the data referenced per strip fits in one cache
+   partition). *)
+let fused ?grid ?(strip = default_strip) ?(peel_starts = true) ?derive
+    ~nprocs (p : Ir.program) =
+  let d = match derive with Some d -> d | None -> Derive.of_program p in
+  let depth = d.depth in
+  let grid =
+    match grid with Some g -> g | None -> balanced_grid ~nprocs ~depth
+  in
+  if Array.length grid <> depth then
+    invalid_arg "Schedule.fused: grid rank must equal fusion depth";
+  if Array.fold_left ( * ) 1 grid <> nprocs then
+    invalid_arg "Schedule.fused: grid does not match nprocs";
+  if strip <= 0 then invalid_arg "Schedule.fused: strip <= 0";
+  let nests = Array.of_list p.nests in
+  let nnests = Array.length nests in
+  let geo = geometry p d in
+  (* Theorem 1 precondition: every block must be at least N_t wide. *)
+  for dim = 0 to depth - 1 do
+    let len = geo.g_hi.(dim) - geo.g_lo.(dim) + 1 in
+    let nt = Derive.threshold d ~dim in
+    if len / grid.(dim) < max nt 1 then
+      raise
+        (Illegal
+           (Printf.sprintf
+              "block size %d in dimension %d is below the iteration count \
+               threshold %d (Theorem 1)"
+              (len / grid.(dim)) dim nt))
+  done;
+  let block_of ~dim ~c = block ~lo:geo.g_lo.(dim) ~hi:geo.g_hi.(dim)
+      ~nprocs:grid.(dim) ~p:c
+  in
+  (* enumerate strip tiles of the block in lexicographic order *)
+  let tiles_of_block bounds =
+    (* bounds.(dim) = (bstart, bend); returns list of tile arrays *)
+    let rec go dim acc =
+      if dim < 0 then acc
+      else
+        let bstart, bend = bounds.(dim) in
+        let slices = ref [] in
+        let ss = ref bstart in
+        while !ss <= bend do
+          slices := (!ss, min (!ss + strip - 1) bend) :: !slices;
+          ss := !ss + strip
+        done;
+        let slices = List.rev !slices in
+        let acc' =
+          List.concat_map
+            (fun slice -> List.map (fun tl -> slice :: tl) acc)
+            slices
+        in
+        go (dim - 1) acc'
+    in
+    go (depth - 1) [ [] ] |> List.map Array.of_list
+  in
+  let inner_ranges k =
+    let n = nests.(k) in
+    let all = level_ranges n in
+    Array.sub all depth (Array.length all - depth)
+  in
+  let fused_phase proc =
+    let c = cell_of_proc grid proc in
+    let bounds = Array.init depth (fun dim -> block_of ~dim ~c:c.(dim)) in
+    let boxes = ref [] in
+    List.iter
+      (fun tile ->
+        for k = 0 to nnests - 1 do
+          let fr =
+            Array.init depth (fun dim ->
+                let bstart, bend = bounds.(dim) in
+                let flo, fhi =
+                  fused_range d geo ~k ~dim ~bstart ~bend
+                    ~first:((not peel_starts) || c.(dim) = 0)
+                in
+                let ss, se = tile.(dim) in
+                let s = d.shift.(k).(dim) in
+                (max (ss - s) flo, min (se - s) fhi))
+          in
+          let b = { nest = k; ranges = Array.append fr (inner_ranges k) } in
+          if not (box_is_empty b) then boxes := b :: !boxes
+        done)
+      (tiles_of_block bounds);
+    List.rev !boxes
+  in
+  (* Peeled boxes: for every nonempty subset S of the fused dimensions,
+     the box taking the tail range in the dimensions of S and the fused
+     range elsewhere; together with the fused region these tile the
+     block's responsibility exactly (cf. Fig. 16's boundary prologue). *)
+  let peeled_phase proc =
+    let c = cell_of_proc grid proc in
+    let bounds = Array.init depth (fun dim -> block_of ~dim ~c:c.(dim)) in
+    let boxes = ref [] in
+    for k = 0 to nnests - 1 do
+      for mask = 1 to (1 lsl depth) - 1 do
+        let fr =
+          Array.init depth (fun dim ->
+              let bstart, bend = bounds.(dim) in
+              if mask land (1 lsl dim) <> 0 then
+                tail_range d geo ~k ~dim ~bend
+                  ~last:(c.(dim) = grid.(dim) - 1)
+              else
+                fused_range d geo ~k ~dim ~bstart ~bend
+                  ~first:(c.(dim) = 0))
+        in
+        let b = { nest = k; ranges = Array.append fr (inner_ranges k) } in
+        if not (box_is_empty b) then boxes := b :: !boxes
+      done
+    done;
+    List.rev !boxes
+  in
+  let phases =
+    if peel_starts then
+      [ Array.init nprocs fused_phase; Array.init nprocs peeled_phase ]
+    else [ Array.init nprocs fused_phase ]
+  in
+  { prog = p; nprocs; grid; phases }
+
+let serial (p : Ir.program) = unfused ~nprocs:1 ~depth:1 p
+
+(* ------------------------------------------------------------------ *)
+(* Untimed execution (semantic verification)                           *)
+
+type order = Natural | Reversed | Interleaved
+
+(* Execute one box on [st]. *)
+let exec_box (prog_nests : Ir.nest array) st (b : box) =
+  let n = prog_nests.(b.nest) in
+  let vars = Array.of_list (Ir.nest_vars n) in
+  let vals = Array.make (Array.length vars) 0 in
+  let env x =
+    let rec find i =
+      if i >= Array.length vars then
+        invalid_arg ("Schedule.exec_box: unbound variable " ^ x)
+      else if String.equal vars.(i) x then vals.(i)
+      else find (i + 1)
+    in
+    find 0
+  in
+  let nd = Array.length b.ranges in
+  let rec go d =
+    if d = nd then List.iter (Interp.exec_stmt st env) n.body
+    else
+      let lo, hi = b.ranges.(d) in
+      for v = lo to hi do
+        vals.(d) <- v;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let execute ?(order = Natural) ?init ?(steps = 1) (t : t) =
+  let st = Interp.create ?init t.prog in
+  let nests = Array.of_list t.prog.nests in
+  for _step = 1 to steps do
+  List.iter
+    (fun (ph : phase) ->
+      match order with
+      | Natural ->
+        Array.iter (fun boxes -> List.iter (exec_box nests st) boxes) ph
+      | Reversed ->
+        for p = t.nprocs - 1 downto 0 do
+          List.iter (exec_box nests st) ph.(p)
+        done
+      | Interleaved ->
+        (* round-robin one box at a time across processors *)
+        let queues = Array.map (fun l -> ref l) ph in
+        let remaining = ref (Array.length queues) in
+        while !remaining > 0 do
+          remaining := 0;
+          Array.iter
+            (fun q ->
+              match !q with
+              | [] -> ()
+              | b :: rest ->
+                exec_box nests st b;
+                q := rest;
+                if rest <> [] then incr remaining)
+            queues
+        done)
+    t.phases
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Coverage analysis (used by tests: Theorem 1 proof obligations)      *)
+
+(* All iteration points of nest [k] executed by [t], as a list of
+   (phase, proc, point) with points restricted to the fused dims plus
+   inner dims; intended for small programs in tests. *)
+let coverage (t : t) ~nest =
+  let pts = ref [] in
+  List.iteri
+    (fun phase_idx ph ->
+      Array.iteri
+        (fun proc boxes ->
+          List.iter
+            (fun b ->
+              if b.nest = nest then begin
+                let nd = Array.length b.ranges in
+                let point = Array.make nd 0 in
+                let rec go d =
+                  if d = nd then
+                    pts := (phase_idx, proc, Array.copy point) :: !pts
+                  else
+                    let lo, hi = b.ranges.(d) in
+                    for v = lo to hi do
+                      point.(d) <- v;
+                      go (d + 1)
+                    done
+                in
+                go 0
+              end)
+            boxes)
+        ph)
+    t.phases;
+  List.rev !pts
+
+let pp ppf t =
+  Fmt.pf ppf "schedule: %d procs, grid (%a), %d phases@." t.nprocs
+    Fmt.(array ~sep:(any "x") int)
+    t.grid
+    (List.length t.phases);
+  List.iteri
+    (fun i ph ->
+      Fmt.pf ppf "phase %d:@." i;
+      Array.iteri
+        (fun proc boxes ->
+          Fmt.pf ppf "  proc %d: %d boxes, %d iterations@." proc
+            (List.length boxes)
+            (List.fold_left (fun a b -> a + box_iterations b) 0 boxes))
+        ph)
+    t.phases

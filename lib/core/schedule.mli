@@ -1,0 +1,99 @@
+(** Executable schedules: block-scheduled parallel execution of loop
+    sequences, unfused (one phase per nest) or fused with shift-and-peel
+    (fused phase, barrier, peeled iterations; paper §3.4, Figures 11,
+    12, 16).
+
+    A schedule is a list of phases separated by barriers; each phase
+    assigns every processor an ordered list of boxes (rectangular
+    iteration sub-spaces of one nest).  The same schedule is executed
+    untimed here for semantic verification and by {!Lf_machine.Exec}
+    with caches and a cost model. *)
+
+type box = {
+  nest : int;  (** index into the program's nest list *)
+  ranges : (int * int) array;  (** inclusive range per loop level *)
+}
+
+type phase = box list array
+(** One work list per processor; an implicit barrier follows a phase. *)
+
+type t = {
+  prog : Lf_ir.Ir.program;
+  nprocs : int;
+  grid : int array;  (** processor grid over the fused dimensions *)
+  phases : phase list;
+}
+
+val box_is_empty : box -> bool
+val box_iterations : box -> int
+val phase_iterations : phase -> int
+val total_iterations : t -> int
+
+val balanced_grid : nprocs:int -> depth:int -> int array
+(** Factor [nprocs] into [depth] balanced factors, largest first. *)
+
+val block : lo:int -> hi:int -> nprocs:int -> p:int -> int * int
+(** Contiguous block [p] of [nprocs] over [lo, hi]; balanced (sizes
+    differ by at most one).  Raises [Invalid_argument] if there are
+    more processors than iterations. *)
+
+val cell_of_proc : int array -> int -> int array
+(** Grid coordinates of a processor (row-major). *)
+
+val unfused :
+  ?grid:int array -> ?depth:int -> nprocs:int -> Lf_ir.Ir.program -> t
+(** The original execution: one block-scheduled parallel phase per
+    nest. *)
+
+exception Illegal of string
+(** Fusion legality violation (Theorem 1 iteration-count threshold). *)
+
+type geometry = {
+  g_lo : int array;  (** fused position space lower bound, per dim *)
+  g_hi : int array;
+  nest_lo : int array array;  (** [.(nest).(dim)]: original bounds *)
+  nest_hi : int array array;
+}
+
+val geometry : Lf_ir.Ir.program -> Derive.t -> geometry
+(** Per-nest, per-dimension geometry of the fused execution: the fused
+    position space is the union of the shifted nest ranges. *)
+
+val default_strip : int
+
+val fused :
+  ?grid:int array ->
+  ?strip:int ->
+  ?peel_starts:bool ->
+  ?derive:Derive.t ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  t
+(** The fused shift-and-peel execution: a strip-mined fused phase, a
+    barrier, then the peeled iterations (per-dimension tail boxes, cf.
+    Figure 16).  [derive] defaults to [Derive.of_program ~depth:1];
+    [strip] is the strip-mining factor for every fused dimension.
+    [peel_starts:false] skips start-of-block peeling and the peeled
+    phase entirely — only valid when no dependence crosses blocks (used
+    by the alignment+replication baseline). *)
+
+val serial : Lf_ir.Ir.program -> t
+
+type order = Natural | Reversed | Interleaved
+(** Processor execution orders for the untimed executor; a legal
+    schedule gives identical results under all of them. *)
+
+val execute :
+  ?order:order ->
+  ?init:(string -> int -> float) ->
+  ?steps:int ->
+  t ->
+  Lf_ir.Interp.store
+(** Execute untimed; phases in order, barrier semantics between;
+    [steps] repeats the whole schedule (sequential time-step loop). *)
+
+val coverage : t -> nest:int -> (int * int * int array) list
+(** Every executed iteration point of [nest] as [(phase, proc, point)];
+    for small programs in tests (Theorem 1 coverage obligations). *)
+
+val pp : Format.formatter -> t -> unit

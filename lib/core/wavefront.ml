@@ -1,0 +1,92 @@
+(* Wavefront scheduling: the alternative to peeling.
+
+   The paper's shift-and-peel removes serializing dependences so the
+   fused loop runs with a single barrier.  The alternative the authors
+   explore in their companion work ([21] in the paper) is to keep the
+   forward dependences and schedule the fused iteration space as a
+   wavefront: tile the (shifted) fused space, note that after shifting
+   every dependence distance is non-negative in every dimension, so
+   tile (a, b) depends only on tiles with both coordinates <= — all
+   tiles on an anti-diagonal are independent and can run in parallel,
+   with a barrier between diagonals.
+
+   For 1-D fusion the wavefront degenerates to a serial tile chain
+   (which is exactly why peeling matters there); for 2-D it recovers
+   partial parallelism at the cost of many barriers and pipeline
+   fill/drain — the trade-off the ablation bench measures. *)
+
+module Ir = Lf_ir.Ir
+
+(* Build the wavefront schedule for the fused loops of [p] with the
+   shifts of [derive] (peels are ignored — no peeling happens).
+   [tile] is the tile edge in fused positions, for every dimension. *)
+let schedule ?(tile = 32) ?derive ~nprocs (p : Ir.program) =
+  let d = match derive with Some d -> d | None -> Derive.of_program p in
+  let depth = d.Derive.depth in
+  if tile <= 0 then invalid_arg "Wavefront.schedule: tile <= 0";
+  let geo = Schedule.geometry p d in
+  let nests = Array.of_list p.Ir.nests in
+  let nnests = Array.length nests in
+  (* tile counts per dimension *)
+  let ntiles =
+    Array.init depth (fun dim ->
+        let len = geo.Schedule.g_hi.(dim) - geo.Schedule.g_lo.(dim) + 1 in
+        (len + tile - 1) / tile)
+  in
+  let inner_ranges k =
+    let n = nests.(k) in
+    let all =
+      Array.of_list (List.map (fun (l : Ir.level) -> (l.Ir.lo, l.Ir.hi)) n.Ir.levels)
+    in
+    Array.sub all depth (Array.length all - depth)
+  in
+  (* boxes of one tile (coordinates c, per dim) *)
+  let tile_boxes (c : int array) =
+    let boxes = ref [] in
+    for k = 0 to nnests - 1 do
+      let fr =
+        Array.init depth (fun dim ->
+            let t0 = geo.Schedule.g_lo.(dim) + (c.(dim) * tile) in
+            let t1 = min geo.Schedule.g_hi.(dim) (t0 + tile - 1) in
+            let s = d.Derive.shift.(k).(dim) in
+            ( max (t0 - s) geo.Schedule.nest_lo.(k).(dim),
+              min (t1 - s) geo.Schedule.nest_hi.(k).(dim) ))
+      in
+      let b = { Schedule.nest = k; ranges = Array.append fr (inner_ranges k) } in
+      if not (Schedule.box_is_empty b) then boxes := b :: !boxes
+    done;
+    List.rev !boxes
+  in
+  (* enumerate tiles by anti-diagonal (sum of coordinates) *)
+  let max_diag = Array.fold_left (fun acc n -> acc + (n - 1)) 0 ntiles in
+  let rec tiles_on_diagonal dim remaining prefix =
+    if dim = depth then if remaining = 0 then [ Array.of_list (List.rev prefix) ] else []
+    else
+      List.concat_map
+        (fun c ->
+          if c <= remaining then tiles_on_diagonal (dim + 1) (remaining - c) (c :: prefix)
+          else [])
+        (List.init ntiles.(dim) (fun i -> i))
+  in
+  let phases = ref [] in
+  for diag = 0 to max_diag do
+    let tiles = tiles_on_diagonal 0 diag [] in
+    if tiles <> [] then begin
+      let phase = Array.make nprocs [] in
+      List.iteri
+        (fun i c ->
+          let proc = i mod nprocs in
+          phase.(proc) <- phase.(proc) @ tile_boxes c)
+        tiles;
+      phases := phase :: !phases
+    end
+  done;
+  {
+    Schedule.prog = p;
+    nprocs;
+    grid = [| nprocs |];
+    phases = List.rev !phases;
+  }
+
+(* Number of barrier-separated phases (diagonals) in the wavefront. *)
+let num_phases t = List.length t.Schedule.phases

@@ -1,0 +1,19 @@
+(** Wavefront scheduling — the alternative to peeling (the authors'
+    companion work, [21] in the paper): tile the shifted fused space;
+    after shifting all dependence distances are non-negative per
+    dimension, so anti-diagonals of tiles are independent and run in
+    parallel with a barrier between diagonals.  1-D fusion degenerates
+    to a serial tile chain (why peeling matters there); 2-D recovers
+    partial parallelism at the price of many barriers. *)
+
+val schedule :
+  ?tile:int ->
+  ?derive:Derive.t ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  Schedule.t
+(** Wavefront schedule of the fused loops: shifting only, no peeling;
+    one phase (barrier) per tile anti-diagonal, tiles round-robin over
+    processors. *)
+
+val num_phases : Schedule.t -> int

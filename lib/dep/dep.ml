@@ -1,0 +1,340 @@
+(* Data-dependence analysis between the nests of a parallel loop
+   sequence (paper §2.1, §3.3).
+
+   The shift-and-peel machinery needs exact *uniform* dependence
+   distances in the fused dimensions.  For the common stencil subscript
+   form [i + c] the distance is computed exactly (the same answer the
+   Omega test gives on these programs); for general affine subscripts we
+   fall back to GCD/Banerjee-style tests that can only prove
+   independence, reporting [Not_uniform] otherwise. *)
+
+module Ir = Lf_ir.Ir
+
+type kind = Flow | Anti | Output
+
+let kind_to_string = function
+  | Flow -> "flow"
+  | Anti -> "anti"
+  | Output -> "output"
+
+type distance =
+  | Dist of int array  (* one component per fused dimension *)
+  | Not_uniform of string
+
+type edge = {
+  src : int;  (* index of the source nest in the program's nest list *)
+  dst : int;  (* index of the sink nest; src < dst for inter-nest edges *)
+  dkind : kind;
+  array : string;
+  dist : distance;
+}
+
+let pp_edge ppf e =
+  let pp_dist ppf = function
+    | Dist d ->
+      Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ",") int) d
+    | Not_uniform r -> Fmt.pf ppf "<not uniform: %s>" r
+  in
+  Fmt.pf ppf "%d -> %d [%s, %s] %a" e.src e.dst (kind_to_string e.dkind)
+    e.array pp_dist e.dist
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                   *)
+
+type access = { aref : Ir.aref; write : bool }
+
+let nest_accesses (n : Ir.nest) =
+  List.concat_map
+    (fun (s : Ir.stmt) ->
+      { aref = s.lhs; write = true }
+      :: List.map (fun r -> { aref = r; write = false }) (Ir.stmt_reads s))
+    n.body
+
+(* ------------------------------------------------------------------ *)
+(* Independence provers for general affine subscript pairs             *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* GCD test on [sa(i) = sb(i')]: treating the two iteration vectors as
+   independent unknowns, the equation [sum ca_t i_t - sum cb_t i'_t =
+   cb0 - ca0] has integer solutions iff gcd of the coefficients divides
+   the right-hand side.  Returns [true] when independence is PROVEN. *)
+let gcd_independent (sa : Ir.affine) (sb : Ir.affine) =
+  let coeffs = List.map fst sa.terms @ List.map fst sb.terms in
+  let rhs = sb.const - sa.const in
+  match coeffs with
+  | [] -> rhs <> 0
+  | c :: cs ->
+    let g = List.fold_left gcd (abs c) cs in
+    g <> 0 && rhs mod g <> 0
+
+(* Banerjee-style bounds test: evaluate the extreme values of
+   [sa(i) - sb(i')] over the loop bounds; independence is proven when 0
+   lies outside the interval.  [bounds] maps a variable to its (lo, hi). *)
+let banerjee_independent bounds_a bounds_b (sa : Ir.affine) (sb : Ir.affine) =
+  let range bounds (c, x) =
+    match bounds x with
+    | None -> None
+    | Some (lo, hi) ->
+      if c >= 0 then Some (c * lo, c * hi) else Some (c * hi, c * lo)
+  in
+  let sum bounds terms =
+    List.fold_left
+      (fun acc t ->
+        match (acc, range bounds t) with
+        | Some (lo, hi), Some (lo', hi') -> Some (lo + lo', hi + hi')
+        | _ -> None)
+      (Some (0, 0))
+      terms
+  in
+  match (sum bounds_a sa.terms, sum bounds_b sb.terms) with
+  | Some (lo_a, hi_a), Some (lo_b, hi_b) ->
+    let lo = lo_a - hi_b + sa.const - sb.const in
+    let hi = hi_a - lo_b + sa.const - sb.const in
+    lo > 0 || hi < 0
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Exact uniform distances                                             *)
+
+(* Result of analysing one array dimension of an access pair. *)
+type dim_constraint =
+  | No_constraint  (* dimension does not constrain the fused variables *)
+  | Fused of int * int  (* fused depth d, distance component *)
+  | Independent  (* subscripts can never be equal *)
+  | Unknown of string
+
+let var_depth (n : Ir.nest) x =
+  let rec go d = function
+    | [] -> None
+    | (l : Ir.level) :: rest ->
+      if String.equal l.lvar x then Some d else go (d + 1) rest
+  in
+  go 0 n.levels
+
+let level_bounds (n : Ir.nest) x =
+  match List.find_opt (fun (l : Ir.level) -> String.equal l.lvar x) n.levels with
+  | Some l -> Some (l.lo, l.hi)
+  | None -> None
+
+(* Analyse one subscript pair: [sa] from the source nest [na], [sb] from
+   the sink nest [nb]; [depth] outer loops are being fused and loop
+   levels are matched positionally (all statements of the fused loop
+   share the fused index variables, paper §3.3). *)
+let analyze_dim ~depth na nb (sa : Ir.affine) (sb : Ir.affine) =
+  match (Ir.unit_var sa, Ir.unit_var sb) with
+  | Some (xa, ca), Some (xb, cb) -> (
+    match (var_depth na xa, var_depth nb xb) with
+    | Some da, Some db when da = db ->
+      if da < depth then Fused (da, ca - cb)
+      else
+        (* inner (unfused) dimension: the dependence may relate any pair
+           of inner iterations; no constraint on the fused dims, but
+           prove independence when the constant offset is infeasible. *)
+        let a_lo, a_hi =
+          match level_bounds na xa with Some b -> b | None -> (0, 0)
+        in
+        let b_lo, b_hi =
+          match level_bounds nb xb with Some b -> b | None -> (0, 0)
+        in
+        (* ia + ca = ib + cb with ia in [a_lo,a_hi], ib in [b_lo,b_hi] *)
+        if a_lo + ca > b_hi + cb || a_hi + ca < b_lo + cb then Independent
+        else No_constraint
+    | Some da, Some db ->
+      Unknown
+        (Printf.sprintf "subscript depth mismatch (%s at %d vs %s at %d)" xa
+           da xb db)
+    | _ -> Unknown "subscript variable not a loop index")
+  | _ ->
+    if Ir.affine_is_const sa && Ir.affine_is_const sb then
+      if sa.const = sb.const then No_constraint else Independent
+    else if gcd_independent sa sb then Independent
+    else if
+      banerjee_independent (level_bounds na) (level_bounds nb) sa sb
+    then Independent
+    else Unknown "general affine subscripts (cannot prove uniformity)"
+
+(* Distance between two accesses over the [depth] fused dimensions, or
+   proof of independence, or [Not_uniform]. *)
+let access_distance ~depth na nb (ra : Ir.aref) (rb : Ir.aref) =
+  if not (String.equal ra.array rb.array) then None
+  else begin
+    let comps = Array.make depth None in
+    let result = ref `Ok in
+    List.iter2
+      (fun sa sb ->
+        match !result with
+        | `Independent | `Unknown _ -> ()
+        | `Ok -> (
+          match analyze_dim ~depth na nb sa sb with
+          | No_constraint -> ()
+          | Independent -> result := `Independent
+          | Unknown r -> result := `Unknown r
+          | Fused (d, dist) -> (
+            match comps.(d) with
+            | None -> comps.(d) <- Some dist
+            | Some prev ->
+              (* two dimensions constrain the same fused variable *)
+              if prev <> dist then result := `Independent)))
+      ra.index rb.index;
+    match !result with
+    | `Independent -> None
+    | `Unknown r -> Some (Not_uniform r)
+    | `Ok ->
+      let unconstrained = ref None in
+      let dist =
+        Array.mapi
+          (fun d c ->
+            match c with
+            | Some v -> v
+            | None ->
+              unconstrained := Some d;
+              0)
+          comps
+      in
+      (match !unconstrained with
+      | Some d ->
+        Some
+          (Not_uniform
+             (Printf.sprintf "fused dimension %d unconstrained for %s" d
+                ra.array))
+      | None -> Some (Dist dist))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Inter-nest dependence multigraph                                    *)
+
+type multigraph = {
+  nnests : int;
+  depth : int;
+  edges : edge list;  (* inter-nest edges, src < dst *)
+}
+
+let dep_kind ~src_write ~dst_write =
+  match (src_write, dst_write) with
+  | true, false -> Some Flow
+  | false, true -> Some Anti
+  | true, true -> Some Output
+  | false, false -> None
+
+(* Build the dependence chain multigraph for fusing the outermost
+   [depth] loops of all nests of [p] (paper Fig. 9(b)). *)
+let build ?(depth = 1) (p : Ir.program) =
+  let nests = Array.of_list p.nests in
+  let accesses = Array.map nest_accesses nests in
+  List.iter
+    (fun (n : Ir.nest) ->
+      if List.length n.levels < depth then
+        invalid_arg
+          (Printf.sprintf "Dep.build: nest %s has fewer than %d levels" n.nid
+             depth))
+    p.nests;
+  let edges = ref [] in
+  let n = Array.length nests in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      List.iter
+        (fun acc_a ->
+          List.iter
+            (fun acc_b ->
+              match
+                dep_kind ~src_write:acc_a.write ~dst_write:acc_b.write
+              with
+              | None -> ()
+              | Some k -> (
+                match
+                  access_distance ~depth nests.(a) nests.(b) acc_a.aref
+                    acc_b.aref
+                with
+                | None -> ()
+                | Some dist ->
+                  edges :=
+                    {
+                      src = a;
+                      dst = b;
+                      dkind = k;
+                      array = acc_a.aref.array;
+                      dist;
+                    }
+                    :: !edges))
+            accesses.(b))
+        accesses.(a)
+    done
+  done;
+  { nnests = n; depth; edges = List.rev !edges }
+
+let edges_between g a b =
+  List.filter (fun e -> e.src = a && e.dst = b) g.edges
+
+let not_uniform_edges g =
+  List.filter
+    (fun e -> match e.dist with Not_uniform _ -> true | Dist _ -> false)
+    g.edges
+
+(* Distance components of all uniform edges in fused dimension [dim]. *)
+let dim_weights g ~dim =
+  List.filter_map
+    (fun e ->
+      match e.dist with
+      | Dist d when dim < Array.length d -> Some (e.src, e.dst, d.(dim))
+      | Dist _ | Not_uniform _ -> None)
+    g.edges
+
+(* ------------------------------------------------------------------ *)
+(* Intra-nest parallelism verification (doall checking)                *)
+
+(* A dependence between two accesses of [n] carried by loop level [dim]
+   would serialize that level.  For uniform subscripts this reduces to a
+   nonzero distance component; conservative [true] when uniformity
+   cannot be established and independence cannot be proven. *)
+let may_carry_dim (n : Ir.nest) ~dim =
+  let accs = nest_accesses n in
+  let pairs = ref false in
+  let depth = List.length n.levels in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if (not !pairs) && (a.write || b.write) then
+            match access_distance ~depth n n a.aref b.aref with
+            | None -> ()
+            | Some (Not_uniform _) -> pairs := true
+            | Some (Dist d) -> if d.(dim) <> 0 then pairs := true)
+        accs)
+    accs;
+  !pairs
+
+(* Verify that every level of [n] declared parallel is indeed free of
+   loop-carried dependences. *)
+let verify_doall (n : Ir.nest) =
+  let rec go dim = function
+    | [] -> Ok ()
+    | (l : Ir.level) :: rest ->
+      if l.parallel && may_carry_dim n ~dim then
+        Error
+          (Printf.sprintf
+             "nest %s: level %d (%s) is declared parallel but may carry a \
+              dependence"
+             n.nid dim l.lvar)
+      else go (dim + 1) rest
+  in
+  go 0 n.levels
+
+let verify_program (p : Ir.program) =
+  List.fold_left
+    (fun acc n -> match acc with Error _ -> acc | Ok () -> verify_doall n)
+    (Ok ()) p.nests
+
+(* Largest depth such that the first [depth] levels of every nest are
+   parallel (candidate fusion depth). *)
+let max_parallel_depth (p : Ir.program) =
+  let nest_depth (n : Ir.nest) =
+    let rec go k = function
+      | (l : Ir.level) :: rest when l.parallel -> go (k + 1) rest
+      | _ -> k
+    in
+    go 0 n.levels
+  in
+  match p.nests with
+  | [] -> 0
+  | n :: ns -> List.fold_left (fun d m -> min d (nest_depth m)) (nest_depth n) ns

@@ -1,0 +1,80 @@
+(** Data-dependence analysis between the nests of a parallel loop
+    sequence (paper §2.1, §3.3).
+
+    Shift-and-peel needs exact {e uniform} dependence distances in the
+    fused dimensions.  For the stencil subscript form [i + c] the
+    distance is computed exactly; general affine subscripts go through
+    GCD/Banerjee-style tests that can only prove independence, and are
+    otherwise reported {!Not_uniform}. *)
+
+type kind = Flow | Anti | Output
+
+val kind_to_string : kind -> string
+
+type distance =
+  | Dist of int array  (** one component per fused dimension *)
+  | Not_uniform of string  (** reason uniformity could not be shown *)
+
+type edge = {
+  src : int;  (** source nest index (program order) *)
+  dst : int;  (** sink nest index; [src < dst] *)
+  dkind : kind;
+  array : string;
+  dist : distance;
+}
+
+val pp_edge : Format.formatter -> edge -> unit
+
+type access = { aref : Lf_ir.Ir.aref; write : bool }
+
+val nest_accesses : Lf_ir.Ir.nest -> access list
+
+val gcd_independent : Lf_ir.Ir.affine -> Lf_ir.Ir.affine -> bool
+(** [true] when the GCD test {e proves} the subscript pair can never
+    reference the same element. *)
+
+val banerjee_independent :
+  (Lf_ir.Ir.var -> (int * int) option) ->
+  (Lf_ir.Ir.var -> (int * int) option) ->
+  Lf_ir.Ir.affine ->
+  Lf_ir.Ir.affine ->
+  bool
+(** Bounds-based independence proof: the subscript ranges are disjoint
+    over the given per-variable loop bounds. *)
+
+val access_distance :
+  depth:int -> Lf_ir.Ir.nest -> Lf_ir.Ir.nest -> Lf_ir.Ir.aref -> Lf_ir.Ir.aref -> distance option
+(** Distance over the [depth] fused dimensions between two references
+    to the same array, [None] if provably independent (or different
+    arrays). *)
+
+type multigraph = {
+  nnests : int;
+  depth : int;
+  edges : edge list;  (** all inter-nest dependences, src < dst *)
+}
+
+val build : ?depth:int -> Lf_ir.Ir.program -> multigraph
+(** The dependence chain multigraph for fusing the outermost [depth]
+    loops (paper Figure 9(b)); loop levels are matched positionally and
+    all statements of the fused loop share the fused index variables. *)
+
+val edges_between : multigraph -> int -> int -> edge list
+val not_uniform_edges : multigraph -> edge list
+
+val dim_weights : multigraph -> dim:int -> (int * int * int) list
+(** [(src, dst, distance)] for every uniform edge, in dimension [dim]. *)
+
+val may_carry_dim : Lf_ir.Ir.nest -> dim:int -> bool
+(** Conservative: [true] if loop level [dim] of the nest may carry a
+    dependence (which would invalidate a doall at that level). *)
+
+val verify_doall : Lf_ir.Ir.nest -> (unit, string) result
+(** Check every level declared parallel is free of carried
+    dependences. *)
+
+val verify_program : Lf_ir.Ir.program -> (unit, string) result
+
+val max_parallel_depth : Lf_ir.Ir.program -> int
+(** Largest [depth] such that the first [depth] levels of every nest
+    are parallel (the candidate fusion depth). *)

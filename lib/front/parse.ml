@@ -1,0 +1,435 @@
+(* Textual front end: a small C-like loop language matching the
+   pretty-printer's output, so programs round-trip through
+   [Ir.program_to_string] and kernels can be written as plain files.
+
+     double a[64], b[64];
+     /* nest L1 */
+     doall (i = 1; i <= 62; i++) {
+       a[i] = b[i] / 4;
+     }
+     /* nest L2 */
+     doall (i = 1; i <= 62; i++) {
+       if (2 <= i && i <= 61) b[i] = a[i+1] + a[i-1];
+     }
+
+   Subscripts are affine (ints, idents, [k*ident], sums/differences);
+   loop headers are [for] (sequential) or [doall] (parallel) with the
+   canonical [v = lo; v <= hi; v++] shape. *)
+
+module Ir = Lf_ir.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+type token =
+  | IDENT of string
+  | NUM of float
+  | INT of int
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | LE
+  | ANDAND
+  | PLUSPLUS
+  | COMMENT of string
+  | EOF
+
+exception Syntax_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      let close = ref (!i + 2) in
+      while
+        !close + 1 < n && not (src.[!close] = '*' && src.[!close + 1] = '/')
+      do
+        incr close
+      done;
+      if !close + 1 >= n then error "unterminated comment";
+      push (COMMENT (String.trim (String.sub src (!i + 2) (!close - !i - 2))));
+      i := !close + 2
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      let is_float = ref false in
+      while
+        !j < n
+        && (is_digit src.[!j] || src.[!j] = '.' || src.[!j] = 'e'
+           || src.[!j] = 'E'
+           || ((src.[!j] = '+' || src.[!j] = '-')
+              && !j > !i
+              && (src.[!j - 1] = 'e' || src.[!j - 1] = 'E')))
+      do
+        if not (is_digit src.[!j]) then is_float := true;
+        incr j
+      done;
+      let text = String.sub src !i (!j - !i) in
+      if !is_float then push (NUM (float_of_string text))
+      else push (INT (int_of_string text));
+      i := !j
+    end
+    else if is_alpha c then begin
+      let j = ref !i in
+      while !j < n && is_alnum src.[!j] do
+        incr j
+      done;
+      push (IDENT (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      let two =
+        if !i + 1 < n then String.sub src !i 2 else ""
+      in
+      (match two with
+      | "<=" ->
+        push LE;
+        i := !i + 2
+      | "&&" ->
+        push ANDAND;
+        i := !i + 2
+      | "++" ->
+        push PLUSPLUS;
+        i := !i + 2
+      | _ ->
+        (match c with
+        | '(' -> push LPAREN
+        | ')' -> push RPAREN
+        | '[' -> push LBRACKET
+        | ']' -> push RBRACKET
+        | '{' -> push LBRACE
+        | '}' -> push RBRACE
+        | ';' -> push SEMI
+        | ',' -> push COMMA
+        | '=' -> push ASSIGN
+        | '+' -> push PLUS
+        | '-' -> push MINUS
+        | '*' -> push STAR
+        | '/' -> push SLASH
+        | c -> error "unexpected character %c" c);
+        incr i)
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat st t =
+  if peek st = t then advance st
+  else error "unexpected token (expected a different symbol)"
+
+let ident st =
+  match peek st with
+  | IDENT s ->
+    advance st;
+    s
+  | _ -> error "expected identifier"
+
+let integer st =
+  match peek st with
+  | INT k ->
+    advance st;
+    k
+  | MINUS ->
+    advance st;
+    (match peek st with
+    | INT k ->
+      advance st;
+      -k
+    | _ -> error "expected integer")
+  | _ -> error "expected integer"
+
+(* affine := term (("+"|"-") term)*;  term := int | ident | int "*" ident *)
+let affine st =
+  let parse_term sign =
+    match peek st with
+    | INT k -> (
+      advance st;
+      match peek st with
+      | STAR ->
+        advance st;
+        let v = ident st in
+        `Term (sign * k, v)
+      | _ -> `Const (sign * k))
+    | IDENT v ->
+      advance st;
+      `Term (sign, v)
+    | _ -> error "expected affine term"
+  in
+  let terms = ref [] and const = ref 0 in
+  let add = function
+    | `Const k -> const := !const + k
+    | `Term (c, v) -> terms := (c, v) :: !terms
+  in
+  add (parse_term (match peek st with
+    | MINUS ->
+      advance st;
+      -1
+    | _ -> 1));
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PLUS ->
+      advance st;
+      add (parse_term 1)
+    | MINUS ->
+      advance st;
+      add (parse_term (-1))
+    | _ -> continue_ := false
+  done;
+  Ir.affine ~const:!const (List.rev !terms)
+
+let subscripts st =
+  let out = ref [] in
+  while peek st = LBRACKET do
+    advance st;
+    out := affine st :: !out;
+    eat st RBRACKET
+  done;
+  List.rev !out
+
+(* expr grammar with the usual precedences *)
+let rec expr st = additive st
+
+and additive st =
+  let lhs = ref (multiplicative st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | PLUS ->
+      advance st;
+      lhs := Ir.Bin (Ir.Add, !lhs, multiplicative st)
+    | MINUS ->
+      advance st;
+      lhs := Ir.Bin (Ir.Sub, !lhs, multiplicative st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and multiplicative st =
+  let lhs = ref (unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | STAR ->
+      advance st;
+      lhs := Ir.Bin (Ir.Mul, !lhs, unary st)
+    | SLASH ->
+      advance st;
+      lhs := Ir.Bin (Ir.Div, !lhs, unary st)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and unary st =
+  match peek st with
+  | MINUS ->
+    advance st;
+    Ir.Neg (unary st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | NUM k ->
+    advance st;
+    Ir.Const k
+  | INT k ->
+    advance st;
+    Ir.Const (float_of_int k)
+  | LPAREN ->
+    advance st;
+    let e = expr st in
+    eat st RPAREN;
+    e
+  | IDENT _ ->
+    let name = ident st in
+    let idx = subscripts st in
+    if idx = [] then error "scalar variable %s is not supported" name
+    else Ir.Read (Ir.aref name idx)
+  | _ -> error "expected expression"
+
+(* guard := "if" "(" int "<=" v "&&" v "<=" int ("&&" ...)* ")" *)
+let guard st =
+  eat st LPAREN;
+  let out = ref [] in
+  let one () =
+    let lo = integer st in
+    eat st LE;
+    let v = ident st in
+    eat st ANDAND;
+    let v' = ident st in
+    if not (String.equal v v') then error "malformed guard";
+    eat st LE;
+    let hi = integer st in
+    out := (v, lo, hi) :: !out
+  in
+  one ();
+  while peek st = ANDAND do
+    advance st;
+    one ()
+  done;
+  eat st RPAREN;
+  List.rev !out
+
+let statement st =
+  let g =
+    match peek st with
+    | IDENT "if" ->
+      advance st;
+      guard st
+    | _ -> []
+  in
+  let name = ident st in
+  let idx = subscripts st in
+  if idx = [] then error "assignment to scalar %s" name;
+  eat st ASSIGN;
+  let rhs = expr st in
+  eat st SEMI;
+  Ir.stmt ~guard:g (Ir.aref name idx) rhs
+
+(* loop := ("for"|"doall") "(" v "=" lo ";" v "<=" hi ";" v "++" ")"
+           "{" (loop | stmt+) "}" *)
+let rec loop st =
+  let parallel =
+    match peek st with
+    | IDENT "doall" ->
+      advance st;
+      true
+    | IDENT "for" ->
+      advance st;
+      false
+    | _ -> error "expected for or doall"
+  in
+  eat st LPAREN;
+  let v = ident st in
+  eat st ASSIGN;
+  let lo = integer st in
+  eat st SEMI;
+  let v2 = ident st in
+  if not (String.equal v v2) then error "loop variable mismatch";
+  eat st LE;
+  let hi = integer st in
+  eat st SEMI;
+  let v3 = ident st in
+  if not (String.equal v v3) then error "loop variable mismatch";
+  eat st PLUSPLUS;
+  eat st RPAREN;
+  eat st LBRACE;
+  let level = { Ir.lvar = v; lo; hi; parallel } in
+  let result =
+    match peek st with
+    | IDENT "for" | IDENT "doall" ->
+      let levels, body = loop st in
+      (level :: levels, body)
+    | _ ->
+      let body = ref [] in
+      while peek st <> RBRACE do
+        body := statement st :: !body
+      done;
+      ([ level ], List.rev !body)
+  in
+  eat st RBRACE;
+  result
+
+let decl_group st =
+  (* "double" name dims ("," name dims)* ";" *)
+  let out = ref [] in
+  let one () =
+    let name = ident st in
+    let dims = ref [] in
+    while peek st = LBRACKET do
+      advance st;
+      dims := integer st :: !dims;
+      eat st RBRACKET
+    done;
+    if !dims = [] then error "array %s needs dimensions" name;
+    out := { Ir.aname = name; extents = List.rev !dims } :: !out
+  in
+  one ();
+  while peek st = COMMA do
+    advance st;
+    one ()
+  done;
+  eat st SEMI;
+  List.rev !out
+
+let program ?(name = "parsed") src =
+  let st = { toks = tokenize src } in
+  let decls = ref [] in
+  let nests = ref [] in
+  let pname = ref name in
+  let nest_counter = ref 0 in
+  let pending_comment = ref None in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | EOF -> continue_ := false
+    | COMMENT c ->
+      advance st;
+      (* "/* nest L1 */" names the following nest; "/* program x */"
+         names the program; other comments are ignored *)
+      let words = String.split_on_char ' ' c in
+      (match words with
+      | [ "nest"; nid ] -> pending_comment := Some nid
+      | [ "program"; pn ] -> pname := pn
+      | _ -> ())
+    | IDENT "double" ->
+      advance st;
+      decls := !decls @ decl_group st
+    | IDENT "for" | IDENT "doall" ->
+      incr nest_counter;
+      let nid =
+        match !pending_comment with
+        | Some nid ->
+          pending_comment := None;
+          nid
+        | None -> Printf.sprintf "L%d" !nest_counter
+      in
+      let levels, body = loop st in
+      nests := { Ir.nid; levels; body } :: !nests
+    | _ -> error "expected declaration or loop nest"
+  done;
+  let p = { Ir.pname = !pname; decls = !decls; nests = List.rev !nests } in
+  Ir.validate p;
+  p
+
+let program_of_file ?name path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let name =
+    match name with Some n -> n | None -> Filename.remove_extension
+                                            (Filename.basename path)
+  in
+  program ~name src

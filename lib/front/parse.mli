@@ -1,0 +1,23 @@
+(** Textual front end: a small C-like loop language matching
+    {!Lf_ir.Ir.pp_program}'s output, so programs round-trip through the
+    pretty-printer and kernels can be written as plain files.
+
+    {[
+      double a[64], b[64];
+      /* nest L1 */
+      doall (i = 1; i <= 62; i++) {
+        a[i] = b[i] / 4;
+      }
+    ]}
+
+    [doall] marks a parallel level, [for] a sequential one; subscripts
+    are affine; a preceding [/* nest NAME */] comment names a nest and
+    [/* program NAME */] names the program. *)
+
+exception Syntax_error of string
+
+val program : ?name:string -> string -> Lf_ir.Ir.program
+(** Parse a program from source text; raises {!Syntax_error} or
+    {!Lf_ir.Ir.Invalid}. *)
+
+val program_of_file : ?name:string -> string -> Lf_ir.Ir.program

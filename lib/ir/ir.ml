@@ -1,0 +1,275 @@
+(* Affine loop-nest intermediate representation.
+
+   Programs are sequences of perfectly nested loops ("nests") over
+   multi-dimensional arrays, the model of Figure 2 of the paper: the
+   outer [k] loops of each nest may be parallel (doall) and fusion is
+   considered for those outer dimensions.  Subscripts are affine in the
+   loop index variables; the dependence machinery (lf_dep) computes
+   exact uniform distances for the common [i + c] form. *)
+
+type var = string
+
+type affine = { terms : (int * var) list; const : int }
+
+let affine ?(const = 0) terms =
+  let keep (c, _) = c <> 0 in
+  { terms = List.filter keep terms; const }
+
+let av ?(c = 0) x = affine ~const:c [ (1, x) ]
+let ac k = affine ~const:k []
+
+let affine_add a b =
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (c, x) :: rest ->
+      let same (_, y) = String.equal x y in
+      let c' = c + List.fold_left (fun s (d, _) -> s + d) 0 (List.filter same rest) in
+      let rest = List.filter (fun t -> not (same t)) rest in
+      if c' = 0 then merge acc rest else merge ((c', x) :: acc) rest
+  in
+  { terms = merge [] (a.terms @ b.terms); const = a.const + b.const }
+
+let affine_shift a k = { a with const = a.const + k }
+
+let affine_eval a env =
+  List.fold_left (fun s (c, x) -> s + (c * env x)) a.const a.terms
+
+let affine_vars a = List.map snd a.terms
+
+(* [unit_var a] is [Some (x, c)] when [a] is exactly [x + c]. *)
+let unit_var a =
+  match a.terms with [ (1, x) ] -> Some (x, a.const) | _ -> None
+
+let affine_is_const a = a.terms = []
+
+let affine_equal a b =
+  let norm a = List.sort compare a.terms in
+  a.const = b.const && norm a = norm b
+
+type aref = { array : string; index : affine list }
+
+let aref array index = { array; index }
+
+type binop = Add | Sub | Mul | Div
+
+type expr =
+  | Const of float
+  | Read of aref
+  | Neg of expr
+  | Bin of binop * expr * expr
+
+(* A statement optionally carries a guard: a conjunction of inclusive
+   range constraints on loop variables.  Guards arise from the direct
+   fusion method (Figure 11(a)) and from replicated statements in the
+   alignment+replication baseline, which must only execute where their
+   source statement's iteration space did. *)
+type guard = (var * int * int) list
+
+type stmt = { lhs : aref; rhs : expr; guard : guard }
+
+let stmt ?(guard = []) lhs rhs = { lhs; rhs; guard }
+
+let guard_holds g env =
+  List.for_all
+    (fun (v, lo, hi) ->
+      let x = env v in
+      x >= lo && x <= hi)
+    g
+
+type level = { lvar : var; lo : int; hi : int; parallel : bool }
+
+type nest = { nid : string; levels : level list; body : stmt list }
+
+type decl = { aname : string; extents : int list }
+
+type program = { pname : string; decls : decl list; nests : nest list }
+
+(* ------------------------------------------------------------------ *)
+(* Expression DSL                                                      *)
+
+module Dsl = struct
+  let ( %. ) array index = Read (aref array index)
+  let f k = Const k
+  let ( +: ) a b = Bin (Add, a, b)
+  let ( -: ) a b = Bin (Sub, a, b)
+  let ( *: ) a b = Bin (Mul, a, b)
+  let ( /: ) a b = Bin (Div, a, b)
+  let neg a = Neg a
+  let ( <-: ) lhs rhs =
+    { lhs = { array = fst lhs; index = snd lhs }; rhs; guard = [] }
+  let at array index = (array, index)
+  let i0 x = av x
+  let i x c = av ~c x
+end
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let rec expr_reads = function
+  | Const _ -> []
+  | Read r -> [ r ]
+  | Neg e -> expr_reads e
+  | Bin (_, a, b) -> expr_reads a @ expr_reads b
+
+let stmt_reads s = expr_reads s.rhs
+let stmt_writes s = [ s.lhs ]
+
+let nest_reads n = List.concat_map stmt_reads n.body
+let nest_writes n = List.concat_map stmt_writes n.body
+let nest_refs n = nest_writes n @ nest_reads n
+
+let nest_vars n = List.map (fun l -> l.lvar) n.levels
+
+let nest_arrays n =
+  let names = List.map (fun r -> r.array) (nest_refs n) in
+  List.sort_uniq String.compare names
+
+let program_arrays p =
+  List.sort_uniq String.compare (List.concat_map nest_arrays p.nests)
+
+let find_decl p name =
+  match List.find_opt (fun d -> String.equal d.aname name) p.decls with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Ir.find_decl: unknown array %s" name)
+
+let find_nest p nid =
+  match List.find_opt (fun n -> String.equal n.nid nid) p.nests with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Ir.find_nest: unknown nest %s" nid)
+
+let num_elements d = List.fold_left ( * ) 1 d.extents
+
+(* Number of iterations of a nest (product of level trip counts). *)
+let nest_iterations n =
+  List.fold_left (fun acc l -> acc * max 0 (l.hi - l.lo + 1)) 1 n.levels
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+let validate_ref p vars r =
+  let d = try find_decl p r.array with Invalid_argument m -> invalid "%s" m in
+  if List.length r.index <> List.length d.extents then
+    invalid "array %s: %d subscripts for %d dimensions" r.array
+      (List.length r.index) (List.length d.extents);
+  let check_var x =
+    if not (List.mem x vars) then
+      invalid "array %s: subscript uses unbound variable %s" r.array x
+  in
+  List.iter (fun a -> List.iter check_var (affine_vars a)) r.index
+
+let validate_nest p n =
+  if n.levels = [] then invalid "nest %s: empty loop nest" n.nid;
+  if n.body = [] then invalid "nest %s: empty body" n.nid;
+  let vars = nest_vars n in
+  let sorted = List.sort_uniq String.compare vars in
+  if List.length sorted <> List.length vars then
+    invalid "nest %s: duplicate loop variables" n.nid;
+  List.iter
+    (fun l ->
+      if l.lo > l.hi then invalid "nest %s: empty range for %s" n.nid l.lvar)
+    n.levels;
+  List.iter
+    (fun s ->
+      validate_ref p vars s.lhs;
+      List.iter (validate_ref p vars) (stmt_reads s);
+      List.iter
+        (fun (v, _, _) ->
+          if not (List.mem v vars) then
+            invalid "nest %s: guard uses unbound variable %s" n.nid v)
+        s.guard)
+    n.body
+
+let validate p =
+  let names = List.map (fun d -> d.aname) p.decls in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid "duplicate array declarations";
+  List.iter
+    (fun d ->
+      if d.extents = [] || List.exists (fun e -> e <= 0) d.extents then
+        invalid "array %s: bad extents" d.aname)
+    p.decls;
+  let nids = List.map (fun n -> n.nid) p.nests in
+  if List.length (List.sort_uniq String.compare nids) <> List.length nids then
+    invalid "duplicate nest ids";
+  List.iter (validate_nest p) p.nests
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing (C-like)                                            *)
+
+let pp_affine ppf a =
+  let pp_term first ppf (c, x) =
+    if c = 1 then Fmt.pf ppf (if first then "%s" else "+%s") x
+    else if c = -1 then Fmt.pf ppf "-%s" x
+    else if c >= 0 && not first then Fmt.pf ppf "+%d*%s" c x
+    else Fmt.pf ppf "%d*%s" c x
+  in
+  match a.terms with
+  | [] -> Fmt.int ppf a.const
+  | t :: ts ->
+    pp_term true ppf t;
+    List.iter (pp_term false ppf) ts;
+    if a.const > 0 then Fmt.pf ppf "+%d" a.const
+    else if a.const < 0 then Fmt.pf ppf "%d" a.const
+
+let pp_aref ppf r =
+  Fmt.pf ppf "%s%a" r.array
+    (Fmt.list ~sep:Fmt.nop (fun ppf a -> Fmt.pf ppf "[%a]" pp_affine a))
+    r.index
+
+let binop_str = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let prec = function Add | Sub -> 1 | Mul | Div -> 2
+
+let rec pp_expr_prec p ppf = function
+  | Const k -> Fmt.pf ppf "%g" k
+  | Read r -> pp_aref ppf r
+  | Neg e -> Fmt.pf ppf "-%a" (pp_expr_prec 3) e
+  | Bin (op, a, b) ->
+    let q = prec op in
+    let body ppf () =
+      Fmt.pf ppf "%a %s %a" (pp_expr_prec q) a (binop_str op)
+        (pp_expr_prec (q + 1)) b
+    in
+    if q < p then Fmt.pf ppf "(%a)" body () else body ppf ()
+
+let pp_expr = pp_expr_prec 0
+
+let pp_guard ppf g =
+  let pp_one ppf (v, lo, hi) = Fmt.pf ppf "%d <= %s && %s <= %d" lo v v hi in
+  Fmt.pf ppf "if (%a) " (Fmt.list ~sep:(Fmt.any " && ") pp_one) g
+
+let pp_stmt ppf s =
+  (match s.guard with [] -> () | g -> pp_guard ppf g);
+  Fmt.pf ppf "%a = %a;" pp_aref s.lhs pp_expr s.rhs
+
+let pp_nest ppf n =
+  let rec go indent = function
+    | [] ->
+      List.iter (fun s -> Fmt.pf ppf "%s%a@." indent pp_stmt s) n.body
+    | l :: rest ->
+      Fmt.pf ppf "%s%s (%s = %d; %s <= %d; %s++) {@." indent
+        (if l.parallel then "doall" else "for")
+        l.lvar l.lo l.lvar l.hi l.lvar;
+      go (indent ^ "  ") rest;
+      Fmt.pf ppf "%s}@." indent
+  in
+  Fmt.pf ppf "/* nest %s */@." n.nid;
+  go "" n.levels
+
+let pp_program ppf p =
+  Fmt.pf ppf "/* program %s */@." p.pname;
+  List.iter
+    (fun d ->
+      Fmt.pf ppf "double %s%a;@." d.aname
+        (Fmt.list ~sep:Fmt.nop (fun ppf e -> Fmt.pf ppf "[%d]" e))
+        d.extents)
+    p.decls;
+  Fmt.pf ppf "@.";
+  List.iter (fun n -> pp_nest ppf n) p.nests
+
+let program_to_string p = Fmt.str "%a" pp_program p
+let nest_to_string n = Fmt.str "%a" pp_nest n

@@ -1,0 +1,274 @@
+(* Application models for the paper's three complete applications
+   (tomcatv, hydro2d, spem; Table 1 and Figures 21, 25).
+
+   The full Fortran applications are not reproducible here; each model
+   keeps the structure the paper's results depend on: the number of
+   fusible parallel loop sequences, their lengths and shift/peel
+   amounts (Table 1), the number and size of the arrays (hence the
+   data-size-versus-cache-size behaviour), and a non-fusible remainder
+   sized so the transformed sequences take a comparable share of the
+   execution time.  See DESIGN.md for the substitution rationale. *)
+
+module Ir = Lf_ir.Ir
+
+type t = {
+  app_name : string;
+  sequences : Ir.program list;  (* fusible parallel loop sequences *)
+  remainder : Ir.program option;  (* parallel nests that are never fused *)
+  remainder_reps : int;
+      (* how many times the remainder executes per pass over the
+         sequences; calibrates the fusible share of the runtime to the
+         share the paper reports for each application *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sequence generators                                                 *)
+
+type read2 = string * int * int  (* array, i-offset, j-offset *)
+
+let mk2 (name, io, jo) = Ir.Read (Ir.aref name [ Ir.av ~c:io "i"; Ir.av ~c:jo "j" ])
+
+let sum_exprs = function
+  | [] -> Ir.Const 0.0
+  | e :: es -> List.fold_left (fun a b -> Ir.Bin (Ir.Add, a, b)) e es
+
+(* One nest per stage; a stage is a list of statements
+   (written array, reads). *)
+let seq2d ~pname ~rows ~cols ~margin ~decls ~stages =
+  let levels =
+    [
+      { Ir.lvar = "i"; lo = margin; hi = rows - 1 - margin; parallel = true };
+      { Ir.lvar = "j"; lo = margin; hi = cols - 1 - margin; parallel = true };
+    ]
+  in
+  let nests =
+    List.mapi
+      (fun k stmts ->
+        {
+          Ir.nid = Printf.sprintf "S%d" (k + 1);
+          levels;
+          body =
+            List.map
+              (fun (out, reads) ->
+                {
+                  Ir.guard = []; lhs = Ir.aref out [ Ir.av "i"; Ir.av "j" ];
+                  rhs = sum_exprs (List.map mk2 reads);
+                })
+              stmts;
+        })
+      stages
+  in
+  let p =
+    {
+      Ir.pname = pname;
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ rows; cols ] }) decls;
+      nests;
+    }
+  in
+  Ir.validate p;
+  p
+
+type read3 = string * int * int * int
+
+let mk3 (name, ko, io, jo) =
+  Ir.Read
+    (Ir.aref name [ Ir.av ~c:ko "k"; Ir.av ~c:io "i"; Ir.av ~c:jo "j" ])
+
+let seq3d ~pname ~d0 ~d1 ~d2 ~margin ~decls ~stages =
+  let levels =
+    [
+      { Ir.lvar = "k"; lo = margin; hi = d0 - 1 - margin; parallel = true };
+      { Ir.lvar = "i"; lo = margin; hi = d1 - 1 - margin; parallel = true };
+      { Ir.lvar = "j"; lo = margin; hi = d2 - 1 - margin; parallel = true };
+    ]
+  in
+  let nests =
+    List.mapi
+      (fun k stmts ->
+        {
+          Ir.nid = Printf.sprintf "S%d" (k + 1);
+          levels;
+          body =
+            List.map
+              (fun (out, reads) ->
+                {
+                  Ir.guard = [];
+                  lhs =
+                    Ir.aref out [ Ir.av "k"; Ir.av "i"; Ir.av "j" ];
+                  rhs = sum_exprs (List.map mk3 reads);
+                })
+              stmts;
+        })
+      stages
+  in
+  let p =
+    {
+      Ir.pname = pname;
+      decls =
+        List.map
+          (fun a -> { Ir.aname = a; extents = [ d0; d1; d2 ] })
+          decls;
+      nests;
+    }
+  in
+  Ir.validate p;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* tomcatv: mesh generation, 513x513, 7 arrays; one 3-nest sequence
+   with maximum shift/peel 1/1 plus a solver remainder.                *)
+
+let tomcatv ?(n = 513) () =
+  let decls = [ "x"; "y"; "rx"; "ry"; "aa"; "dd"; "d" ] in
+  let sequence =
+    seq2d ~pname:"tomcatv_seq" ~rows:n ~cols:n ~margin:1 ~decls
+      ~stages:
+        [
+          [
+            ("rx", [ ("x", 0, -1); ("x", 0, 1); ("x", -1, 0); ("x", 1, 0) ]);
+            ("ry", [ ("y", 0, -1); ("y", 0, 1); ("y", -1, 0); ("y", 1, 0) ]);
+          ];
+          [
+            ("aa", [ ("rx", 1, 0); ("rx", -1, 0); ("ry", 0, 0) ]);
+            ("dd", [ ("ry", 1, 0); ("ry", -1, 0); ("rx", 0, 0) ]);
+          ];
+          [
+            ("x", [ ("x", 0, 0); ("aa", 0, 0) ]);
+            ("y", [ ("y", 0, 0); ("dd", 0, 0) ]);
+          ];
+        ]
+  in
+  let remainder =
+    seq2d ~pname:"tomcatv_solver" ~rows:n ~cols:n ~margin:1 ~decls
+      ~stages:
+        [
+          [ ("d", [ ("x", 0, 0); ("y", 0, 0); ("d", 0, 0) ]) ];
+          [ ("dd", [ ("d", 0, 1); ("d", 0, -1); ("dd", 0, 0) ]) ];
+        ]
+  in
+  {
+    app_name = "tomcatv";
+    sequences = [ sequence ];
+    remainder = Some remainder;
+    remainder_reps = 6;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* hydro2d: Navier-Stokes, 802x320, ~24 arrays, 3 transformed
+   sequences (the longest is the 10-nest filter), remainder advection. *)
+
+let hydro2d ?(rows = 802) ?(cols = 320) () =
+  let filter_seq = Filter.program ~rows ~cols () in
+  let seq2 =
+    seq2d ~pname:"hydro2d_flux" ~rows ~cols ~margin:2
+      ~decls:[ "ro"; "mu"; "en"; "pr"; "gx"; "gy" ]
+      ~stages:
+        [
+          [ ("mu", [ ("ro", 0, 0); ("gx", 0, 0) ]) ];
+          [ ("en", [ ("mu", 1, 0); ("mu", -1, 0); ("gy", 0, 0) ]) ];
+          [ ("pr", [ ("en", 1, 0); ("en", -1, 0); ("mu", 0, 0) ]) ];
+          [ ("ro", [ ("ro", 0, 0); ("pr", 0, 0) ]) ];
+        ]
+  in
+  let seq3 =
+    seq2d ~pname:"hydro2d_vel" ~rows ~cols ~margin:1
+      ~decls:[ "vx"; "vy"; "fx"; "fy" ]
+      ~stages:
+        [
+          [ ("fx", [ ("vx", 0, 1); ("vx", 0, -1) ]);
+            ("fy", [ ("vy", 0, 1); ("vy", 0, -1) ]) ];
+          [ ("vx", [ ("vx", 0, 0); ("fx", 1, 0); ("fx", -1, 0) ]) ];
+          [ ("vy", [ ("vy", 0, 0); ("fy", 1, 0); ("fy", -1, 0) ]) ];
+        ]
+  in
+  let remainder =
+    seq2d ~pname:"hydro2d_adv" ~rows ~cols ~margin:1
+      ~decls:[ "w1"; "w2"; "w3"; "w4"; "w5"; "w6"; "w7"; "w8" ]
+      ~stages:
+        [
+          [ ("w1", [ ("w2", 0, 0); ("w3", 0, 0) ]) ];
+          [ ("w4", [ ("w1", 1, 0); ("w1", -1, 0); ("w5", 0, 0) ]) ];
+          [ ("w6", [ ("w4", 0, 1); ("w4", 0, -1); ("w7", 0, 0) ]) ];
+          [ ("w8", [ ("w6", 0, 0); ("w2", 0, 0) ]) ];
+        ]
+  in
+  {
+    app_name = "hydro2d";
+    sequences = [ filter_seq; seq2; seq3 ];
+    remainder = Some remainder;
+    remainder_reps = 5;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* spem: 3-D ocean circulation, 60x65x65 arrays, eleven transformed
+   sequences covering about half the execution time; maximum shift 1,
+   maximum peel 2 (an upwind k-stencil reading [k-2 .. k+1]).          *)
+
+let spem_sequence ~d0 ~d1 ~d2 ~idx ~len =
+  let stage_array s = Printf.sprintf "q%d_%d" idx s in
+  let decls =
+    (Printf.sprintf "in%d_a" idx :: Printf.sprintf "in%d_b" idx
+    :: List.init len (fun s -> stage_array s))
+  in
+  let stages =
+    List.init len (fun s ->
+        if s = 0 then
+          [
+            ( stage_array 0,
+              [
+                (Printf.sprintf "in%d_a" idx, 0, 0, 0);
+                (Printf.sprintf "in%d_b" idx, 0, 0, 0);
+              ] );
+          ]
+        else if s = 1 then
+          (* the one wide link: shift 1 (k+1), peel 2 (k-2) *)
+          [
+            ( stage_array 1,
+              [
+                (stage_array 0, 1, 0, 0);
+                (stage_array 0, -2, 0, 0);
+                (stage_array 0, 0, 0, 0);
+              ] );
+          ]
+        else
+          [
+            ( stage_array s,
+              [
+                (stage_array (s - 1), 0, 0, 0);
+                (stage_array (max 0 (s - 2)), 0, 1, 0);
+                (stage_array (max 0 (s - 2)), 0, -1, 0);
+              ] );
+          ])
+  in
+  seq3d
+    ~pname:(Printf.sprintf "spem_seq%d" idx)
+    ~d0 ~d1 ~d2 ~margin:2 ~decls ~stages
+
+let spem ?(d0 = 60) ?(d1 = 65) ?(d2 = 65) () =
+  let lengths = [ 8; 6; 5; 4; 4; 3; 3; 3; 2; 2; 2 ] in
+  let sequences =
+    List.mapi (fun i len -> spem_sequence ~d0 ~d1 ~d2 ~idx:(i + 1) ~len) lengths
+  in
+  let remainder =
+    seq3d ~pname:"spem_rem" ~d0 ~d1 ~d2 ~margin:1
+      ~decls:[ "r1"; "r2"; "r3"; "r4"; "r5"; "r6" ]
+      ~stages:
+        [
+          [ ("r1", [ ("r2", 0, 0, 0); ("r3", 0, 0, 0) ]) ];
+          [ ("r4", [ ("r1", 0, 1, 0); ("r1", 0, -1, 0); ("r5", 0, 0, 0) ]) ];
+          [ ("r6", [ ("r4", 0, 0, 1); ("r4", 0, 0, -1); ("r2", 0, 0, 0) ]) ];
+          [ ("r3", [ ("r3", 0, 0, 0); ("r6", 0, 0, 0) ]) ];
+          [ ("r5", [ ("r5", 0, 0, 0); ("r6", 1, 0, 0); ("r6", -1, 0, 0) ]) ];
+        ]
+  in
+  { app_name = "spem"; sequences; remainder = Some remainder; remainder_reps = 8 }
+
+(* Number of loop-nest sequences, longest sequence, and Table 1 row
+   helpers. *)
+let num_sequences a = List.length a.sequences
+
+let longest_sequence a =
+  List.fold_left
+    (fun m (p : Ir.program) -> max m (List.length p.nests))
+    0 a.sequences

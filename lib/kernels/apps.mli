@@ -1,0 +1,58 @@
+(** Application models for the paper's three complete applications
+    (tomcatv, hydro2d, spem; Table 1 and Figures 21, 25).
+
+    Each model keeps the structure the paper's results depend on: the
+    number of fusible parallel loop sequences, their lengths and
+    shift/peel amounts (Table 1), the array count and sizes (hence the
+    data-size-versus-cache-size behaviour), and a non-fusible remainder
+    weighted so the fusible share of the runtime matches the paper's
+    account.  See DESIGN.md for the substitution rationale. *)
+
+type t = {
+  app_name : string;
+  sequences : Lf_ir.Ir.program list;  (** fusible parallel loop sequences *)
+  remainder : Lf_ir.Ir.program option;  (** never-fused parallel nests *)
+  remainder_reps : int;
+      (** times the remainder executes per pass over the sequences *)
+}
+
+type read2 = string * int * int
+(** (array, i-offset, j-offset) *)
+
+type read3 = string * int * int * int
+
+val seq2d :
+  pname:string ->
+  rows:int ->
+  cols:int ->
+  margin:int ->
+  decls:string list ->
+  stages:(string * read2 list) list list ->
+  Lf_ir.Ir.program
+(** Generate a 2-D stencil loop sequence: one nest per stage, one
+    statement per (output, reads) pair. *)
+
+val seq3d :
+  pname:string ->
+  d0:int ->
+  d1:int ->
+  d2:int ->
+  margin:int ->
+  decls:string list ->
+  stages:(string * read3 list) list list ->
+  Lf_ir.Ir.program
+
+val tomcatv : ?n:int -> unit -> t
+(** Mesh generation: 513×513, 7 arrays, one 3-nest sequence with
+    maximum shift/peel 1/1 plus a solver remainder. *)
+
+val hydro2d : ?rows:int -> ?cols:int -> unit -> t
+(** Navier-Stokes: 802×320 arrays, 3 transformed sequences (the longest
+    is the 10-nest filter), advection remainder. *)
+
+val spem : ?d0:int -> ?d1:int -> ?d2:int -> unit -> t
+(** 3-D ocean circulation: 60×65×65 arrays, eleven transformed
+    sequences (longest 8), maximum shift 1 / peel 2. *)
+
+val num_sequences : t -> int
+val longest_sequence : t -> int

@@ -1,0 +1,14 @@
+(** The "calc" kernel: a five-nest sequence over six arrays modelling
+    the qgbox quasigeostrophic ocean model kernel used in the paper.
+    Reverse-engineered from Tables 1/2 (the Fortran source is not
+    published): a ±2 vorticity stencil feeding a ±1 smoothing feeding
+    the state update, whose honest derivation yields shifts
+    (0,0,2,3,3) and peels (0,0,2,3,3). *)
+
+val arrays : string list
+val narrays : int
+
+val program : ?n:int -> unit -> Lf_ir.Ir.program
+
+val expected_shifts : int array
+val expected_peels : int array

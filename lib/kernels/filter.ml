@@ -1,0 +1,108 @@
+(* The "filter" kernel: a ten-nest smoothing pipeline modelling the
+   filter subroutine of hydro2d used in the paper.
+
+   As with calc, the Fortran source is not published; the model is
+   reverse-engineered from Tables 1/2: ten loop nests whose chained +-1
+   stencils accumulate shifts (0,0,0,1,2,2,3,4,4,5) and peels
+   (0,0,0,1,2,2,3,4,4,4) in the fused dimension.  The bodies carry
+   several references each so the dependence chain multigraph is densely
+   populated, as the paper reports (149 edges for the original). *)
+
+module Ir = Lf_ir.Ir
+
+let arrays =
+  [ "den"; "prs"; "f1"; "f2"; "f3"; "f4"; "f5"; "f6"; "f7"; "f8"; "f9"; "f10" ]
+
+let narrays = List.length arrays
+
+let i o = Ir.av ~c:o "i"
+let j o = Ir.av ~c:o "j"
+let r name io jo = Ir.Read (Ir.aref name [ i io; j jo ])
+let w name io jo = Ir.aref name [ i io; j jo ]
+let ( + ) a b = Ir.Bin (Ir.Add, a, b)
+let ( - ) a b = Ir.Bin (Ir.Sub, a, b)
+let ( * ) a b = Ir.Bin (Ir.Mul, a, b)
+let c x = Ir.Const x
+
+let levels ~rows ~cols =
+  [
+    { Ir.lvar = "i"; lo = 1; hi = Stdlib.( - ) rows 2; parallel = true };
+    { Ir.lvar = "j"; lo = 1; hi = Stdlib.( - ) cols 2; parallel = true };
+  ]
+
+let nest nid ~rows ~cols body = { Ir.nid; levels = levels ~rows ~cols; body }
+
+let smooth3 name io =
+  r name (Stdlib.( + ) io 1) 0
+  + r name (Stdlib.( - ) io 1) 0
+  + (c 2.0 * r name io 0)
+  + r name io 1
+  + r name io (-1)
+
+let program ?(rows = 1602) ?(cols = 640) () =
+  let n = nest ~rows ~cols in
+  let nests =
+    [
+      n "L1" [ { Ir.guard = []; lhs = w "f1" 0 0; rhs = r "den" 0 0 + r "prs" 0 0 } ];
+      n "L2" [ { Ir.guard = []; lhs = w "f2" 0 0; rhs = r "den" 0 0 - r "prs" 0 0 } ];
+      n "L3"
+        [
+          {
+            Ir.guard = []; lhs = w "f3" 0 0;
+            rhs = (r "f1" 0 0 * r "f2" 0 0) + r "f1" 0 1 + r "f2" 0 (-1);
+          };
+        ];
+      n "L4"
+        [ { Ir.guard = []; lhs = w "f4" 0 0; rhs = c 0.1666 * smooth3 "f3" 0 } ];
+      n "L5"
+        [
+          {
+            Ir.guard = []; lhs = w "f5" 0 0;
+            rhs = (c 0.1666 * smooth3 "f4" 0) + r "f1" 0 0;
+          };
+        ];
+      n "L6"
+        [
+          {
+            Ir.guard = []; lhs = w "f6" 0 0;
+            rhs = r "f5" 0 0 + r "f3" 0 0 + r "f2" 0 0;
+          };
+        ];
+      n "L7"
+        [
+          {
+            Ir.guard = []; lhs = w "f7" 0 0;
+            rhs = (c 0.1666 * smooth3 "f6" 0) + r "f1" 0 0;
+          };
+        ];
+      n "L8"
+        [ { Ir.guard = []; lhs = w "f8" 0 0; rhs = c 0.1666 * smooth3 "f7" 0 } ];
+      n "L9"
+        [
+          {
+            Ir.guard = []; lhs = w "f9" 0 0;
+            rhs = r "f8" 0 0 + r "f6" 0 0 + r "f4" 0 0;
+          };
+        ];
+      n "L10"
+        [
+          {
+            Ir.guard = []; lhs = w "f10" 0 0;
+            rhs = r "f9" 1 0 + r "f9" 1 1 + r "f5" 0 0 + r "f2" 0 0;
+          };
+        ];
+    ]
+  in
+  let p =
+    {
+      Ir.pname = Printf.sprintf "filter_%dx%d" rows cols;
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ rows; cols ] }) arrays;
+      nests;
+    }
+  in
+  Ir.validate p;
+  p
+
+let expected_shifts = [| 0; 0; 0; 1; 2; 2; 3; 4; 4; 5 |]
+let expected_peels = [| 0; 0; 0; 1; 2; 2; 3; 4; 4; 4 |]

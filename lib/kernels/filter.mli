@@ -1,0 +1,13 @@
+(** The "filter" kernel: a ten-nest smoothing pipeline modelling the
+    filter subroutine of hydro2d used in the paper.  Reverse-engineered
+    from Tables 1/2: chained ±1 stencils accumulating shifts
+    (0,0,0,1,2,2,3,4,4,5) and peels (0,0,0,1,2,2,3,4,4,4). *)
+
+val arrays : string list
+val narrays : int
+
+val program : ?rows:int -> ?cols:int -> unit -> Lf_ir.Ir.program
+(** Default 1602×640, the paper's filter array size. *)
+
+val expected_shifts : int array
+val expected_peels : int array

@@ -1,0 +1,12 @@
+(** Jacobi relaxation pair (paper Figure 15): a four-point stencil and
+    a copy-back; the paper's example for multidimensional
+    shift-and-peel (shift 1, peel 1 in both dimensions). *)
+
+val arrays : string list
+
+val program : ?n:int -> unit -> Lf_ir.Ir.program
+
+val expected_shifts : int array array
+(** Per nest, per dimension: [| [|0;0|]; [|1;1|] |]. *)
+
+val expected_peels : int array array

@@ -1,0 +1,114 @@
+(* Livermore Kernel 18 (2-D explicit hydrodynamics fragment), the LL18
+   kernel of the paper (Tables 1, 2; Figures 18, 20, 22, 23, 24, 26).
+
+   Three loop nests over nine n x n arrays.  Arrays are indexed [k][j]
+   (the Fortran code is column-major zX(j,k); we keep k as the outer,
+   fused, parallel dimension and j as the inner contiguous one).
+   Honest dependence analysis of this code yields the paper's Table 2
+   amounts for the fused k dimension: shifts (0,1,2), peels (0,0,1). *)
+
+module Ir = Lf_ir.Ir
+
+let arrays = [ "zr"; "zz"; "zu"; "zv"; "za"; "zb"; "zp"; "zq"; "zm" ]
+
+let narrays = List.length arrays
+
+(* Subscript helpers: arrays are [k][j]. *)
+let k o = Ir.av ~c:o "k"
+let j o = Ir.av ~c:o "j"
+let r name ko jo = Ir.Read (Ir.aref name [ k ko; j jo ])
+let w name ko jo = Ir.aref name [ k ko; j jo ]
+
+let ( + ) a b = Ir.Bin (Ir.Add, a, b)
+let ( - ) a b = Ir.Bin (Ir.Sub, a, b)
+let ( * ) a b = Ir.Bin (Ir.Mul, a, b)
+let ( / ) a b = Ir.Bin (Ir.Div, a, b)
+let c x = Ir.Const x
+
+let s_const = 0.25
+let t_const = 0.0025
+
+(* do k ; do j over [1, n-2] (stencils reach one element each way). *)
+let levels n =
+  [
+    { Ir.lvar = "k"; lo = 1; hi = Stdlib.( - ) n 2; parallel = true };
+    { Ir.lvar = "j"; lo = 1; hi = Stdlib.( - ) n 2; parallel = true };
+  ]
+
+let nest1 n =
+  {
+    Ir.nid = "L1";
+    levels = levels n;
+    body =
+      [
+        {
+          Ir.guard = []; lhs = w "za" 0 0;
+          rhs =
+            (r "zp" 1 (-1) + r "zq" 1 (-1) - r "zp" 0 (-1) - r "zq" 0 (-1))
+            * (r "zr" 0 0 + r "zr" 0 (-1))
+            / (r "zm" 0 (-1) + r "zm" 1 (-1));
+        };
+        {
+          Ir.guard = []; lhs = w "zb" 0 0;
+          rhs =
+            (r "zp" 0 (-1) + r "zq" 0 (-1) - r "zp" 0 0 - r "zq" 0 0)
+            * (r "zr" 0 0 + r "zr" (-1) 0)
+            / (r "zm" 0 0 + r "zm" 0 (-1));
+        };
+      ];
+  }
+
+let nest2 n =
+  {
+    Ir.nid = "L2";
+    levels = levels n;
+    body =
+      [
+        {
+          Ir.guard = []; lhs = w "zu" 0 0;
+          rhs =
+            r "zu" 0 0
+            + c s_const
+              * (r "za" 0 0 * (r "zz" 0 0 - r "zz" 0 1)
+                - r "za" 0 (-1) * (r "zz" 0 0 - r "zz" 0 (-1))
+                - r "zb" 0 0 * (r "zz" 0 0 - r "zz" (-1) 0)
+                + r "zb" 1 0 * (r "zz" 0 0 - r "zz" 1 0));
+        };
+        {
+          Ir.guard = []; lhs = w "zv" 0 0;
+          rhs =
+            r "zv" 0 0
+            + c s_const
+              * (r "za" 0 0 * (r "zr" 0 0 - r "zr" 0 1)
+                - r "za" 0 (-1) * (r "zr" 0 0 - r "zr" 0 (-1))
+                - r "zb" 0 0 * (r "zr" 0 0 - r "zr" (-1) 0)
+                + r "zb" 1 0 * (r "zr" 0 0 - r "zr" 1 0));
+        };
+      ];
+  }
+
+let nest3 n =
+  {
+    Ir.nid = "L3";
+    levels = levels n;
+    body =
+      [
+        { Ir.guard = []; lhs = w "zr" 0 0; rhs = r "zr" 0 0 + (c t_const * r "zu" 0 0) };
+        { Ir.guard = []; lhs = w "zz" 0 0; rhs = r "zz" 0 0 + (c t_const * r "zv" 0 0) };
+      ];
+  }
+
+let program ?(n = 512) () =
+  let p =
+    {
+      Ir.pname = Printf.sprintf "ll18_%d" n;
+      decls = List.map (fun a -> { Ir.aname = a; extents = [ n; n ] }) arrays;
+      nests = [ nest1 n; nest2 n; nest3 n ];
+    }
+  in
+  Ir.validate p;
+  p
+
+(* Expected Table 2 amounts for the fused outer (k) dimension. *)
+let expected_shifts = [| 0; 1; 2 |]
+let expected_peels = [| 0; 0; 1 |]

@@ -1,0 +1,26 @@
+(** Livermore Kernel 18 (2-D explicit hydrodynamics fragment) — the
+    paper's LL18 kernel: three loop nests over nine n×n arrays, built
+    from the public Livermore Loops source.  Arrays are indexed [k][j]
+    with k the outer, fused, parallel dimension.  Honest dependence
+    analysis reproduces the paper's Table 2 amounts: shifts (0,1,2),
+    peels (0,0,1). *)
+
+val arrays : string list
+(** The nine arrays: zr zz zu zv za zb zp zq zm. *)
+
+val narrays : int
+
+val s_const : float
+(** The kernel's [s] scalar. *)
+
+val t_const : float
+(** The kernel's [t] scalar. *)
+
+val program : ?n:int -> unit -> Lf_ir.Ir.program
+(** The three-nest sequence over n×n arrays (default 512). *)
+
+val expected_shifts : int array
+(** Paper Table 2: [|0; 1; 2|]. *)
+
+val expected_peels : int array
+(** Paper Table 2: [|0; 0; 1|]. *)

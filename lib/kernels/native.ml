@@ -1,0 +1,236 @@
+(* Native (float array) implementations of LL18 and Jacobi for the
+   OCaml 5 domains runtime: the unfused loop sequence with a join
+   between nests, and the fused shift-and-peel version with a single
+   barrier (the paper's Figure 12 code shape, hand-specialised).
+
+   Arrays are initialised with the same deterministic values as the IR
+   interpreter, so the native results can be compared bit-for-bit
+   against the IR reference executions. *)
+
+module Interp = Lf_ir.Interp
+module Pool = Lf_parallel.Pool
+module Barrier = Lf_parallel.Barrier
+
+let init_array name n2 = Array.init n2 (Interp.default_init name)
+
+(* ------------------------------------------------------------------ *)
+(* LL18                                                                *)
+
+module Ll18_native = struct
+  type t = {
+    n : int;
+    zr : float array;
+    zz : float array;
+    zu : float array;
+    zv : float array;
+    za : float array;
+    zb : float array;
+    zp : float array;
+    zq : float array;
+    zm : float array;
+  }
+
+  let s = Ll18.s_const
+  let t_ = Ll18.t_const
+
+  let create n =
+    let a name = init_array name (n * n) in
+    {
+      n;
+      zr = a "zr";
+      zz = a "zz";
+      zu = a "zu";
+      zv = a "zv";
+      za = a "za";
+      zb = a "zb";
+      zp = a "zp";
+      zq = a "zq";
+      zm = a "zm";
+    }
+
+  (* Loop 1 over k in [ks, ke], all j. *)
+  let l1 a ks ke =
+    let n = a.n in
+    for k = ks to ke do
+      for j = 1 to n - 2 do
+        let i = (k * n) + j in
+        a.za.(i) <-
+          (a.zp.((k + 1) * n + (j - 1))
+           +. a.zq.((k + 1) * n + (j - 1))
+           -. a.zp.((k * n) + (j - 1))
+           -. a.zq.((k * n) + (j - 1)))
+          *. (a.zr.(i) +. a.zr.((k * n) + (j - 1)))
+          /. (a.zm.((k * n) + (j - 1)) +. a.zm.((k + 1) * n + (j - 1)));
+        a.zb.(i) <-
+          (a.zp.((k * n) + (j - 1))
+           +. a.zq.((k * n) + (j - 1))
+           -. a.zp.(i) -. a.zq.(i))
+          *. (a.zr.(i) +. a.zr.(((k - 1) * n) + j))
+          /. (a.zm.(i) +. a.zm.((k * n) + (j - 1)))
+      done
+    done
+
+  let l2 a ks ke =
+    let n = a.n in
+    for k = ks to ke do
+      for j = 1 to n - 2 do
+        let i = (k * n) + j in
+        let up = ((k + 1) * n) + j and dn = ((k - 1) * n) + j in
+        let lf = (k * n) + (j - 1) and rt = (k * n) + (j + 1) in
+        a.zu.(i) <-
+          a.zu.(i)
+          +. s
+             *. ((a.za.(i) *. (a.zz.(i) -. a.zz.(rt)))
+                -. (a.za.(lf) *. (a.zz.(i) -. a.zz.(lf)))
+                -. (a.zb.(i) *. (a.zz.(i) -. a.zz.(dn)))
+                +. (a.zb.(up) *. (a.zz.(i) -. a.zz.(up))));
+        a.zv.(i) <-
+          a.zv.(i)
+          +. s
+             *. ((a.za.(i) *. (a.zr.(i) -. a.zr.(rt)))
+                -. (a.za.(lf) *. (a.zr.(i) -. a.zr.(lf)))
+                -. (a.zb.(i) *. (a.zr.(i) -. a.zr.(dn)))
+                +. (a.zb.(up) *. (a.zr.(i) -. a.zr.(up))))
+      done
+    done
+
+  let l3 a ks ke =
+    let n = a.n in
+    for k = ks to ke do
+      for j = 1 to n - 2 do
+        let i = (k * n) + j in
+        a.zr.(i) <- a.zr.(i) +. (t_ *. a.zu.(i));
+        a.zz.(i) <- a.zz.(i) +. (t_ *. a.zv.(i))
+      done
+    done
+
+  let sequential a =
+    let hi = a.n - 2 in
+    l1 a 1 hi;
+    l2 a 1 hi;
+    l3 a 1 hi
+
+  (* Unfused parallel execution: one join (barrier) after each nest. *)
+  let unfused pool a =
+    let hi = a.n - 2 in
+    Pool.parallel_for_blocks pool ~lo:1 ~hi (fun bs be -> l1 a bs be);
+    Pool.parallel_for_blocks pool ~lo:1 ~hi (fun bs be -> l2 a bs be);
+    Pool.parallel_for_blocks pool ~lo:1 ~hi (fun bs be -> l3 a bs be)
+
+  (* Fused shift-and-peel execution (Figure 12): shifts (0,1,2), peels
+     (0,0,1), hence start-of-block skips (0,1,3); one barrier, then the
+     tail + peeled iterations. *)
+  let fused ?(strip = 64) pool a =
+    let n = a.n in
+    let lo = 1 and hi = n - 2 in
+    let nw = Pool.size pool in
+    let barrier = Barrier.create nw in
+    Pool.run pool (fun w ->
+        let bs, be = Pool.block ~lo ~hi ~n:nw ~w in
+        let first = w = 0 and last = w = nw - 1 in
+        let lo2 = if first then lo else bs in
+        (* bs - 1 + skip(1) *)
+        let lo3 = if first then lo else bs + 1 in
+        (* bs - 2 + skip(3) *)
+        let ss = ref bs in
+        while !ss <= be do
+          let se = min (!ss + strip - 1) be in
+          l1 a !ss se;
+          l2 a (max (!ss - 1) lo2) (min (se - 1) (be - 1));
+          l3 a (max (!ss - 2) lo3) (min (se - 2) (be - 2));
+          ss := !ss + strip
+        done;
+        Barrier.wait barrier;
+        (* loop 2: shift 1, peel 0 -> tail [be, be] *)
+        l2 a (max lo (be - 1 + 1)) (if last then hi else be);
+        (* loop 3: shift 2, peel 1 -> tail [be-1, be+1] *)
+        l3 a (max lo (be - 2 + 1)) (if last then hi else be + 1))
+
+  (* [steps] fused time steps with one pool and one reusable barrier;
+     the sequential outer loop of the paper's sec 1 program model. *)
+  let fused_steps ?(strip = 64) ~steps pool a =
+    for _step = 1 to steps do
+      fused ~strip pool a
+    done
+
+  let checksum a =
+    let acc = ref 0.0 in
+    List.iter
+      (fun arr -> Array.iter (fun v -> acc := !acc +. v) arr)
+      [ a.zr; a.zz; a.zu; a.zv; a.za; a.zb; a.zp; a.zq; a.zm ];
+    !acc
+
+  let equal x y =
+    x.zr = y.zr && x.zz = y.zz && x.zu = y.zu && x.zv = y.zv && x.za = y.za
+    && x.zb = y.zb
+end
+
+(* ------------------------------------------------------------------ *)
+(* Jacobi                                                              *)
+
+module Jacobi_native = struct
+  type t = { n : int; a : float array; b : float array }
+
+  let create n = { n; a = init_array "a" (n * n); b = init_array "b" (n * n) }
+
+  let relax t is ie =
+    let n = t.n in
+    for i = is to ie do
+      for j = 1 to n - 2 do
+        t.b.((i * n) + j) <-
+          (t.a.((i * n) + j - 1)
+           +. t.a.((i * n) + j + 1)
+           +. t.a.(((i - 1) * n) + j)
+           +. t.a.(((i + 1) * n) + j))
+          /. 4.0
+      done
+    done
+
+  let copy_back t is ie =
+    let n = t.n in
+    for i = is to ie do
+      for j = 1 to n - 2 do
+        t.a.((i * n) + j) <- t.b.((i * n) + j)
+      done
+    done
+
+  let sequential t =
+    relax t 1 (t.n - 2);
+    copy_back t 1 (t.n - 2)
+
+  let unfused pool t =
+    let hi = t.n - 2 in
+    Pool.parallel_for_blocks pool ~lo:1 ~hi (fun bs be -> relax t bs be);
+    Pool.parallel_for_blocks pool ~lo:1 ~hi (fun bs be -> copy_back t bs be)
+
+  (* 1-D fused shift-and-peel over rows: copy-back shift 1, peel 1
+     (start-of-block skip 2). *)
+  let fused ?(strip = 64) pool t =
+    let n = t.n in
+    let lo = 1 and hi = n - 2 in
+    let nw = Pool.size pool in
+    let barrier = Barrier.create nw in
+    Pool.run pool (fun w ->
+        let bs, be = Pool.block ~lo ~hi ~n:nw ~w in
+        let first = w = 0 and last = w = nw - 1 in
+        let lo2 = if first then lo else bs + 1 in
+        (* bs - 1 + skip(2) *)
+        let ss = ref bs in
+        while !ss <= be do
+          let se = min (!ss + strip - 1) be in
+          relax t !ss se;
+          copy_back t (max (!ss - 1) lo2) (min (se - 1) (be - 1));
+          ss := !ss + strip
+        done;
+        Barrier.wait barrier;
+        (* copy-back: shift 1, peel 1 -> tail [be, be+1] *)
+        copy_back t (max lo be) (if last then hi else be + 1))
+
+  let checksum t =
+    let acc = ref 0.0 in
+    Array.iter (fun v -> acc := !acc +. v) t.a;
+    Array.iter (fun v -> acc := !acc +. v) t.b;
+    !acc
+
+  let equal x y = x.a = y.a && x.b = y.b
+end

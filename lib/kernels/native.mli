@@ -1,0 +1,54 @@
+(** Native (float array) kernels for the OCaml 5 domains runtime: the
+    unfused loop sequence with a join between nests, and the fused
+    shift-and-peel version with a single barrier (the hand-specialised
+    Figure 12 code shape).  Arrays are initialised identically to the
+    IR interpreter, so results can be compared bit-for-bit against the
+    IR reference executions. *)
+
+val init_array : string -> int -> float array
+
+(** Livermore Kernel 18. *)
+module Ll18_native : sig
+  type t = {
+    n : int;
+    zr : float array;
+    zz : float array;
+    zu : float array;
+    zv : float array;
+    za : float array;
+    zb : float array;
+    zp : float array;
+    zq : float array;
+    zm : float array;
+  }
+
+  val create : int -> t
+
+  val sequential : t -> unit
+  (** The three nests, serially. *)
+
+  val unfused : Lf_parallel.Pool.t -> t -> unit
+  (** One parallel region (join) per nest. *)
+
+  val fused : ?strip:int -> Lf_parallel.Pool.t -> t -> unit
+  (** Fused shift-and-peel: shifts (0,1,2), peels (0,0,1), one barrier,
+      then the tail + peeled iterations. *)
+
+  val fused_steps : ?strip:int -> steps:int -> Lf_parallel.Pool.t -> t -> unit
+  (** [steps] fused time steps (a sequential outer loop). *)
+
+  val checksum : t -> float
+  val equal : t -> t -> bool
+end
+
+(** Jacobi relaxation pair, fused 1-D over rows. *)
+module Jacobi_native : sig
+  type t = { n : int; a : float array; b : float array }
+
+  val create : int -> t
+  val sequential : t -> unit
+  val unfused : Lf_parallel.Pool.t -> t -> unit
+  val fused : ?strip:int -> Lf_parallel.Pool.t -> t -> unit
+  val checksum : t -> float
+  val equal : t -> t -> bool
+end

@@ -1,0 +1,316 @@
+(* Execution-driven simulation: runs a [Schedule.t] on a [Machine.config]
+   with one cache per processor and a memory layout mapping array
+   elements to addresses.  Produces both the semantic result (the store,
+   for verification against the reference interpreter) and the
+   performance observables the paper reports: cycle counts and cache
+   misses. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Partition = Lf_core.Partition
+module Cache = Lf_cache.Cache
+
+type result = {
+  cycles : float;  (* simulated execution time *)
+  phase_cycles : float array;
+  barrier_cycles : float;
+  total_refs : int;
+  total_misses : int;
+  cold_misses : int;
+  tlb_misses : int;
+  proc_misses : int array;
+  store : Interp.store;
+}
+
+let proc0_misses r = r.proc_misses.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-processor execution context                                     *)
+
+type ctx = {
+  cache : Cache.t;
+  tlb : Cache.t option;
+  mutable cycles : float;
+  hit_cost : float;
+  miss_cost : float;
+  tlb_miss_cost : float;
+}
+
+let access ctx addr =
+  if Cache.access ctx.cache addr then ctx.cycles <- ctx.cycles +. ctx.hit_cost
+  else ctx.cycles <- ctx.cycles +. ctx.miss_cost;
+  match ctx.tlb with
+  | None -> ()
+  | Some t ->
+    if not (Cache.access t addr) then
+      ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost
+
+(* ------------------------------------------------------------------ *)
+(* Statement compilation: each statement becomes a closure over the
+   value arrays and the layout, taking (ctx, iteration values).        *)
+
+type cref = {
+  values : float array;
+  lext : int array;  (* logical extents, for the value index *)
+  aext : int array;  (* addressing extents (padding included) *)
+  start : int;  (* byte address of element 0 *)
+  elem_bytes : int;
+  coeffs : int array array;  (* per array dim, per loop level *)
+  consts : int array;  (* per array dim *)
+}
+
+let compile_ref store (layout : Partition.layout) vars (r : Ir.aref) =
+  let values = Interp.find_array store r.array in
+  let lext = Interp.find_extents store r.array in
+  let p = Partition.find_placement layout r.array in
+  let nvars = Array.length vars in
+  let coeffs =
+    Array.of_list
+      (List.map
+         (fun (a : Ir.affine) ->
+           let row = Array.make nvars 0 in
+           List.iter
+             (fun (c, x) ->
+               let rec idx i =
+                 if i >= nvars then
+                   invalid_arg ("Exec.compile_ref: unbound variable " ^ x)
+                 else if String.equal vars.(i) x then i
+                 else idx (i + 1)
+               in
+               let i = idx 0 in
+               row.(i) <- row.(i) + c)
+             a.terms;
+           row)
+         r.index)
+  in
+  let consts =
+    Array.of_list (List.map (fun (a : Ir.affine) -> a.const) r.index)
+  in
+  {
+    values;
+    lext;
+    aext = p.aextents;
+    start = p.start;
+    elem_bytes = layout.elem_bytes;
+    coeffs;
+    consts;
+  }
+
+(* Evaluate subscripts, returning (value index, byte address). *)
+let locate cr (vals : int array) =
+  let ndim = Array.length cr.consts in
+  let vidx = ref 0 and aidx = ref 0 in
+  for d = 0 to ndim - 1 do
+    let row = cr.coeffs.(d) in
+    let v = ref cr.consts.(d) in
+    for i = 0 to Array.length row - 1 do
+      if row.(i) <> 0 then v := !v + (row.(i) * vals.(i))
+    done;
+    let v = !v in
+    if v < 0 || v >= cr.lext.(d) then
+      raise
+        (Interp.Out_of_bounds
+           (Printf.sprintf "dim %d index %d not in [0,%d)" d v cr.lext.(d)));
+    vidx := (!vidx * cr.lext.(d)) + v;
+    aidx := (!aidx * cr.aext.(d)) + v
+  done;
+  (!vidx, cr.start + (!aidx * cr.elem_bytes))
+
+type cexpr =
+  | CConst of float
+  | CRead of cref
+  | CNeg of cexpr
+  | CBin of Ir.binop * cexpr * cexpr
+
+let rec compile_expr store layout vars (e : Ir.expr) =
+  match e with
+  | Const k -> CConst k
+  | Read r -> CRead (compile_ref store layout vars r)
+  | Neg e -> CNeg (compile_expr store layout vars e)
+  | Bin (op, a, b) ->
+    CBin (op, compile_expr store layout vars a, compile_expr store layout vars b)
+
+let rec eval_cexpr ctx vals = function
+  | CConst k -> k
+  | CRead cr ->
+    let vidx, addr = locate cr vals in
+    access ctx addr;
+    cr.values.(vidx)
+  | CNeg e -> -.eval_cexpr ctx vals e
+  | CBin (op, a, b) -> (
+    let x = eval_cexpr ctx vals a in
+    let y = eval_cexpr ctx vals b in
+    match op with
+    | Add -> x +. y
+    | Sub -> x -. y
+    | Mul -> x *. y
+    | Div -> x /. y)
+
+type cstmt = {
+  clhs : cref;
+  crhs : cexpr;
+  cguard : (int * int * int) array;  (* (level index, lo, hi) *)
+}
+
+let compile_nest store layout (n : Ir.nest) =
+  let vars = Array.of_list (Ir.nest_vars n) in
+  let var_index x =
+    let rec go i =
+      if i >= Array.length vars then
+        invalid_arg ("Exec.compile_nest: unbound guard variable " ^ x)
+      else if String.equal vars.(i) x then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Array.of_list
+    (List.map
+       (fun (s : Ir.stmt) ->
+         {
+           clhs = compile_ref store layout vars s.lhs;
+           crhs = compile_expr store layout vars s.rhs;
+           cguard =
+             Array.of_list
+               (List.map (fun (v, lo, hi) -> (var_index v, lo, hi)) s.guard);
+         })
+       n.body)
+
+let guard_holds g (vals : int array) =
+  let n = Array.length g in
+  let rec go i =
+    if i = n then true
+    else
+      let v, lo, hi = g.(i) in
+      vals.(v) >= lo && vals.(v) <= hi && go (i + 1)
+  in
+  go 0
+
+let exec_cstmt ctx vals s =
+  if guard_holds s.cguard vals then begin
+    let v = eval_cexpr ctx vals s.crhs in
+    let vidx, addr = locate s.clhs vals in
+    access ctx addr;
+    s.clhs.values.(vidx) <- v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Running a schedule                                                  *)
+
+let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
+  let stmts : cstmt array = compiled.(b.Schedule.nest) in
+  let nd : int = nest_arity.(b.Schedule.nest) in
+  let vals = Array.make nd 0 in
+  let nstmts = float_of_int (Array.length stmts) in
+  ctx.cycles <- ctx.cycles +. cost.loop_overhead;
+  let rec go d =
+    if d = nd then begin
+      ctx.cycles <- ctx.cycles +. (cost.op *. nstmts) +. cost.iter_overhead;
+      for s = 0 to Array.length stmts - 1 do
+        exec_cstmt ctx vals stmts.(s)
+      done
+    end
+    else begin
+      let lo, hi = b.Schedule.ranges.(d) in
+      for v = lo to hi do
+        vals.(d) <- v;
+        go (d + 1)
+      done
+    end
+  in
+  go 0
+
+let run ?layout ?init ?(steps = 1) ~machine:(m : Machine.config) (sched : Schedule.t) =
+  let prog = sched.Schedule.prog in
+  let layout =
+    match layout with
+    | Some l -> l
+    | None -> Partition.contiguous prog.Ir.decls
+  in
+  let nprocs = sched.Schedule.nprocs in
+  let store = Interp.create ?init prog in
+  let compiled =
+    Array.of_list (List.map (compile_nest store layout) prog.Ir.nests)
+  in
+  let nest_arity =
+    Array.of_list
+      (List.map (fun (n : Ir.nest) -> List.length n.Ir.levels) prog.Ir.nests)
+  in
+  let miss_cost = Machine.miss_penalty m ~nprocs in
+  let ctxs =
+    Array.init nprocs (fun _ ->
+        {
+          cache = Cache.create m.cache;
+          tlb = Option.map Cache.create m.Machine.tlb;
+          cycles = 0.0;
+          hit_cost = m.cost.hit;
+          miss_cost;
+          tlb_miss_cost = m.cost.tlb_miss;
+        })
+  in
+  let phases = Array.of_list sched.Schedule.phases in
+  let phase_cycles = Array.make (Array.length phases) 0.0 in
+  for _step = 1 to steps do
+    Array.iteri
+      (fun i ph ->
+        Array.iter (fun ctx -> ctx.cycles <- 0.0) ctxs;
+        Array.iteri
+          (fun proc boxes ->
+            let ctx = ctxs.(proc) in
+            List.iter (exec_box m.cost compiled nest_arity ctx) boxes)
+          ph;
+        let t =
+          Array.fold_left (fun acc c -> Float.max acc c.cycles) 0.0 ctxs
+        in
+        phase_cycles.(i) <- phase_cycles.(i) +. t)
+      phases
+  done;
+  (* one barrier after every phase except the very last of the run *)
+  let nbarriers = max 0 ((Array.length phases * steps) - 1) in
+  let barrier_cycles =
+    float_of_int nbarriers *. Machine.barrier_cost m ~nprocs
+  in
+  let cycles = Array.fold_left ( +. ) barrier_cycles phase_cycles in
+  let proc_misses =
+    Array.map (fun c -> (Cache.stats c.cache).Cache.s_misses) ctxs
+  in
+  let total_misses = Array.fold_left ( + ) 0 proc_misses in
+  let total_refs =
+    Array.fold_left (fun acc c -> acc + Cache.references c.cache) 0 ctxs
+  in
+  let cold_misses =
+    Array.fold_left
+      (fun acc c -> acc + (Cache.stats c.cache).Cache.s_cold)
+      0 ctxs
+  in
+  let tlb_misses =
+    Array.fold_left
+      (fun acc c ->
+        acc
+        + (match c.tlb with
+          | None -> 0
+          | Some t -> (Cache.stats t).Cache.s_misses))
+      0 ctxs
+  in
+  {
+    cycles;
+    phase_cycles;
+    barrier_cycles;
+    total_refs;
+    total_misses;
+    cold_misses;
+    tlb_misses;
+    proc_misses;
+    store;
+  }
+
+(* Convenience: simulate the original (unfused) program. *)
+let run_unfused ?layout ?init ?steps ?grid ?depth ~machine ~nprocs p =
+  run ?layout ?init ?steps ~machine (Schedule.unfused ?grid ?depth ~nprocs p)
+
+(* Convenience: simulate the fused shift-and-peel version. *)
+let run_fused ?layout ?init ?steps ?grid ?strip ?derive ~machine ~nprocs p =
+  run ?layout ?init ?steps ~machine
+    (Schedule.fused ?grid ?strip ?derive ~nprocs p)
+
+let speedup ~baseline_cycles (r : result) = baseline_cycles /. r.cycles

@@ -1,0 +1,63 @@
+(** Execution-driven simulation of schedules on a simulated
+    shared-memory multiprocessor: one cache per processor, a memory
+    layout mapping array elements to addresses, and the cycle cost model
+    of {!Machine}.  Produces both the semantic result (for verification)
+    and the paper's observables (cycles, misses). *)
+
+type result = {
+  cycles : float;  (** simulated execution time in cycles *)
+  phase_cycles : float array;  (** per-phase maximum over processors *)
+  barrier_cycles : float;  (** total barrier cost included in [cycles] *)
+  total_refs : int;  (** memory references issued (all processors) *)
+  total_misses : int;  (** cache misses (all processors) *)
+  cold_misses : int;  (** compulsory misses (all processors) *)
+  tlb_misses : int;  (** TLB misses (all processors), 0 when no TLB *)
+  proc_misses : int array;  (** per-processor miss counts *)
+  store : Lf_ir.Interp.store;  (** final array contents *)
+}
+
+val proc0_misses : result -> int
+(** Misses of processor 0, the paper's "single processor during parallel
+    execution" measure (Figures 18, 20). *)
+
+val run :
+  ?layout:Lf_core.Partition.layout ->
+  ?init:(string -> int -> float) ->
+  ?steps:int ->
+  machine:Machine.config ->
+  Lf_core.Schedule.t ->
+  result
+(** [run ~machine sched] simulates [sched] with one cache per
+    processor.  [layout] defaults to a dense contiguous placement;
+    [steps] repeats the whole schedule (a sequential time-step loop
+    around the parallel loop sequence, with caches persisting across
+    steps). *)
+
+val run_unfused :
+  ?layout:Lf_core.Partition.layout ->
+  ?init:(string -> int -> float) ->
+  ?steps:int ->
+  ?grid:int array ->
+  ?depth:int ->
+  machine:Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  result
+(** Simulate the original program: one block-scheduled parallel phase
+    per nest, barriers in between. *)
+
+val run_fused :
+  ?layout:Lf_core.Partition.layout ->
+  ?init:(string -> int -> float) ->
+  ?steps:int ->
+  ?grid:int array ->
+  ?strip:int ->
+  ?derive:Lf_core.Derive.t ->
+  machine:Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  result
+(** Simulate the fused shift-and-peel version (fused phase, barrier,
+    peeled iterations). *)
+
+val speedup : baseline_cycles:float -> result -> float

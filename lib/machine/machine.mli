@@ -1,0 +1,45 @@
+(** Simulated scalable shared-memory multiprocessor (paper Figure 1):
+    private caches, physically distributed memory, and a cycle cost
+    model.  Presets model the paper's KSR2 and Convex SPP-1000. *)
+
+type cost = {
+  op : float;  (** cycles per statement instance *)
+  hit : float;  (** cycles per cache hit *)
+  miss_local : float;  (** penalty per locally-serviced miss *)
+  miss_remote : float;  (** extra penalty per remote miss *)
+  barrier_base : float;
+  barrier_per_proc : float;
+  loop_overhead : float;  (** per executed box (loop setup, guards) *)
+  iter_overhead : float;  (** per loop iteration *)
+  tlb_miss : float;  (** penalty per TLB miss *)
+}
+
+type config = {
+  mname : string;
+  max_procs : int;
+  hypernode : int;  (** processors per uniform-cost memory node *)
+  cache : Lf_cache.Cache.config;
+  tlb : Lf_cache.Cache.config option;
+      (** data TLB, modelled as a cache of page-sized lines (Bacon et
+          al.'s padding work also targets TLB conflicts, paper §2.4) *)
+  cost : cost;
+}
+
+val remote_fraction : config -> nprocs:int -> float
+(** Fraction of misses serviced remotely: data is distributed across
+    the nodes in use, so nothing is remote within one hypernode. *)
+
+val miss_penalty : config -> nprocs:int -> float
+val barrier_cost : config -> nprocs:int -> float
+
+val ksr2 : config
+(** KSR2: 56 processors, 256 KB two-way caches, 32-processor ALLCACHE
+    ring; slow clock → relatively cheap misses, hence the paper's
+    smaller fusion gains (7-20%). *)
+
+val convex : config
+(** Convex SPP-1000: 16 processors in two hypernodes of 8, 1 MB
+    direct-mapped caches; fast clock → expensive misses, hence gains of
+    30% and more. *)
+
+val pp : Format.formatter -> config -> unit

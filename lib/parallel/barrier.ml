@@ -1,0 +1,34 @@
+(* Sense-reversing barrier for a fixed set of participants.
+
+   The shift-and-peel transformation needs exactly one barrier between
+   the fused loop and the peeled iterations (paper §3.4); this is the
+   runtime primitive the native kernels use for it. *)
+
+type t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  parties : int;
+  mutable count : int;
+  mutable sense : bool;
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
+  { m = Mutex.create (); cv = Condition.create (); parties; count = 0;
+    sense = false }
+
+(* Block until all [parties] participants have called [wait]. *)
+let wait b =
+  Mutex.lock b.m;
+  let my_sense = not b.sense in
+  b.count <- b.count + 1;
+  if b.count = b.parties then begin
+    b.count <- 0;
+    b.sense <- my_sense;
+    Condition.broadcast b.cv
+  end
+  else
+    while b.sense <> my_sense do
+      Condition.wait b.cv b.m
+    done;
+  Mutex.unlock b.m

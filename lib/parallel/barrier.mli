@@ -1,0 +1,11 @@
+(** Sense-reversing barrier for a fixed number of participants — the
+    single synchronization point between the fused loop and the peeled
+    iterations (paper §3.4). *)
+
+type t
+
+val create : int -> t
+(** [create parties]; raises [Invalid_argument] when [parties <= 0]. *)
+
+val wait : t -> unit
+(** Block until all participants have arrived; reusable. *)

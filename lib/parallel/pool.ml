@@ -1,0 +1,115 @@
+(* Persistent domain pool with fork-join parallel regions.
+
+   Models the static worker-per-processor execution of the paper's
+   machines: a parallel region runs one closure per worker (the caller
+   doubles as worker 0), and consecutive regions are separated by an
+   implicit join, like the barriers between parallel loop nests. *)
+
+type t = {
+  nworkers : int;
+  m : Mutex.t;
+  cv_job : Condition.t;
+  cv_done : Condition.t;
+  mutable epoch : int;
+  mutable job : int -> unit;
+  mutable remaining : int;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let worker_loop t w =
+  let my_epoch = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.m;
+    while (not t.shutdown) && t.epoch = !my_epoch do
+      Condition.wait t.cv_job t.m
+    done;
+    if t.shutdown then begin
+      Mutex.unlock t.m;
+      continue_ := false
+    end
+    else begin
+      my_epoch := t.epoch;
+      let job = t.job in
+      Mutex.unlock t.m;
+      job w;
+      Mutex.lock t.m;
+      t.remaining <- t.remaining - 1;
+      if t.remaining = 0 then Condition.broadcast t.cv_done;
+      Mutex.unlock t.m
+    end
+  done
+
+let create nworkers =
+  if nworkers <= 0 then invalid_arg "Pool.create: nworkers <= 0";
+  let t =
+    {
+      nworkers;
+      m = Mutex.create ();
+      cv_job = Condition.create ();
+      cv_done = Condition.create ();
+      epoch = 0;
+      job = ignore;
+      remaining = 0;
+      shutdown = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (nworkers - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let size t = t.nworkers
+
+(* Run [f w] on every worker w (0 .. nworkers-1); worker 0 is the
+   caller.  Returns when all workers have finished (join). *)
+let run t f =
+  if t.nworkers = 1 then f 0
+  else begin
+    Mutex.lock t.m;
+    t.job <- f;
+    t.remaining <- t.nworkers - 1;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.cv_job;
+    Mutex.unlock t.m;
+    f 0;
+    Mutex.lock t.m;
+    while t.remaining > 0 do
+      Condition.wait t.cv_done t.m
+    done;
+    Mutex.unlock t.m
+  end
+
+(* Inclusive block [lo..hi] of worker [w] out of [n]: balanced blocking,
+   sizes differ by at most one (matches Schedule.block). *)
+let block ~lo ~hi ~n ~w =
+  let len = hi - lo + 1 in
+  let size = len / n in
+  let rem = len mod n in
+  let bstart = lo + (size * w) + min w rem in
+  let bend = bstart + size - 1 + (if w < rem then 1 else 0) in
+  (bstart, bend)
+
+(* Blocked parallel for: [f i] for lo <= i <= hi, contiguous blocks. *)
+let parallel_for t ~lo ~hi f =
+  run t (fun w ->
+      let bs, be = block ~lo ~hi ~n:t.nworkers ~w in
+      for i = bs to be do
+        f i
+      done)
+
+(* Blocked parallel for over ranges: [f bs be] per worker. *)
+let parallel_for_blocks t ~lo ~hi f =
+  run t (fun w ->
+      let bs, be = block ~lo ~hi ~n:t.nworkers ~w in
+      if bs <= be then f bs be)
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.shutdown <- true;
+  Condition.broadcast t.cv_job;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []

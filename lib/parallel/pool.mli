@@ -1,0 +1,26 @@
+(** Persistent domain pool with fork-join parallel regions: one worker
+    per (simulated) processor, the caller doubling as worker 0, with a
+    join after every region — the execution model of the paper's
+    block-scheduled parallel loops. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n - 1] domains (plus the caller). *)
+
+val size : t -> int
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f w] on every worker [w]; returns when all have
+    finished (join). *)
+
+val block : lo:int -> hi:int -> n:int -> w:int -> int * int
+(** Balanced contiguous block of worker [w] (sizes differ by <= 1). *)
+
+val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
+
+val parallel_for_blocks : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
+(** [f bs be] once per worker with its block bounds. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. *)

@@ -1,0 +1,124 @@
+(* Tests for the alignment+replication baseline (Figure 14/26). *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Alignrep = Lf_core.Alignrep
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let transform_ok p =
+  match Alignrep.transform p with
+  | Ok r -> r
+  | Error m -> Alcotest.failf "alignrep failed: %s" m
+
+let equivalent p (r : Alignrep.result) =
+  let reference = Interp.run p in
+  List.for_all
+    (fun nprocs ->
+      List.for_all
+        (fun order ->
+          let sched = Alignrep.schedule ~nprocs ~strip:8 r in
+          let st = Schedule.execute ~order sched in
+          List.for_all
+            (fun (d : Ir.decl) ->
+              Interp.find_array reference d.Ir.aname
+              = Interp.find_array st d.Ir.aname)
+            p.Ir.decls)
+        [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ])
+    [ 1; 2; 4 ]
+
+let test_ll18_replication_counts () =
+  (* the paper: two arrays and two statements replicated for LL18 *)
+  let r = transform_ok (Lf_kernels.Ll18.program ~n:24 ()) in
+  check int "two replicated statements" 2 r.Alignrep.replicated_stmts;
+  check bool "zr and zz copied" true (r.Alignrep.copied_arrays = [ "zr"; "zz" ]);
+  check int "two copy nests" 2 r.Alignrep.ncopies;
+  check bool "alignment 0,1,1" true (r.Alignrep.shifts = [| 0; 1; 1 |])
+
+let test_ll18_sync_free () =
+  let r = transform_ok (Lf_kernels.Ll18.program ~n:24 ()) in
+  (match Alignrep.verify_sync_free r with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m)
+
+let test_ll18_semantics () =
+  let p = Lf_kernels.Ll18.program ~n:32 () in
+  check bool "equivalent" true (equivalent p (transform_ok p))
+
+let test_jacobi_copy_only () =
+  let p = Lf_kernels.Jacobi.program ~n:24 () in
+  let r = transform_ok p in
+  check int "no statement replication" 0 r.Alignrep.replicated_stmts;
+  check bool "array a copied" true (r.Alignrep.copied_arrays = [ "a" ]);
+  check bool "equivalent" true (equivalent p r)
+
+let test_calc_cascade () =
+  let p = Lf_kernels.Calc.program ~n:32 () in
+  let r = transform_ok p in
+  check bool "cascade replicates substantially" true
+    (r.Alignrep.replicated_stmts > 10);
+  check bool "multiple rounds" true (r.Alignrep.rounds >= 3);
+  check bool "equivalent" true (equivalent p r)
+
+let test_filter_exponential_growth () =
+  (* the paper criticises alignment/replication for exponential code
+     growth: filter's ten-deep chain explodes *)
+  let p = Lf_kernels.Filter.program ~rows:40 ~cols:16 () in
+  let r = transform_ok p in
+  check bool "hundreds of replicated statements" true
+    (r.Alignrep.replicated_stmts > 200);
+  check bool "equivalent" true (equivalent p r)
+
+let test_fig14_example () =
+  (* Figure 14: L1: a[i] = b[i-1]; L2: b[i] = a[i-1]  -- alignment
+     conflict resolved by replicating b *)
+  let i o = Ir.av ~c:o "i" in
+  let nest nid dst src o =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = 30; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref dst [ i 0 ]) (Ir.Read (Ir.aref src [ i o ])) ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "fig14";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 32 ] }) [ "a"; "b" ];
+      nests = [ nest "L1" "a" "b" (-1); nest "L2" "b" "a" (-1) ];
+    }
+  in
+  Ir.validate p;
+  let r = transform_ok p in
+  check bool "b snapshotted" true (r.Alignrep.copied_arrays = [ "b" ]);
+  check bool "equivalent" true (equivalent p r)
+
+let test_transformed_validates () =
+  let r = transform_ok (Lf_kernels.Calc.program ~n:24 ()) in
+  Ir.validate r.Alignrep.prog
+
+let test_overhead_is_positive () =
+  (* transformed program has strictly more statements + copies *)
+  let p = Lf_kernels.Ll18.program ~n:24 () in
+  let r = transform_ok p in
+  let stmts q =
+    List.fold_left (fun acc (n : Ir.nest) -> acc + List.length n.Ir.body) 0
+      q.Ir.nests
+  in
+  check bool "more work" true (stmts r.Alignrep.prog > stmts p)
+
+let suite =
+  [
+    ("ll18: 2 statements + 2 arrays (paper)", `Quick, test_ll18_replication_counts);
+    ("ll18 sync-free", `Quick, test_ll18_sync_free);
+    ("ll18 semantics", `Quick, test_ll18_semantics);
+    ("jacobi: copy only (Fig 14 style)", `Quick, test_jacobi_copy_only);
+    ("calc: replication cascade", `Quick, test_calc_cascade);
+    ("filter: exponential growth", `Slow, test_filter_exponential_growth);
+    ("figure 14 example", `Quick, test_fig14_example);
+    ("transformed program validates", `Quick, test_transformed_validates);
+    ("overhead positive", `Quick, test_overhead_is_positive);
+  ]

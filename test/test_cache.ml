@@ -1,0 +1,145 @@
+(* Tests for the cache simulator. *)
+
+module Cache = Lf_cache.Cache
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let small = { Cache.capacity = 1024; line = 64; assoc = 1 }
+let small2 = { Cache.capacity = 1024; line = 64; assoc = 2 }
+
+let test_create_invalid () =
+  List.iter
+    (fun cfg ->
+      match Cache.create cfg with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument")
+    [
+      { Cache.capacity = 0; line = 64; assoc = 1 };
+      { Cache.capacity = 1024; line = 48; assoc = 1 };
+      { Cache.capacity = 1000; line = 64; assoc = 1 };
+    ]
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create small in
+  check bool "first access misses" false (Cache.access c 0);
+  check bool "same line hits" true (Cache.access c 32);
+  check bool "next line misses" false (Cache.access c 64);
+  let s = Cache.stats c in
+  check int "hits" 1 s.Cache.s_hits;
+  check int "misses" 2 s.Cache.s_misses;
+  check int "cold" 2 s.Cache.s_cold
+
+let test_sequential_scan_misses () =
+  (* scanning N bytes misses exactly N/line times *)
+  let c = Cache.create small in
+  let bytes = 8192 in
+  for a = 0 to (bytes / 8) - 1 do
+    ignore (Cache.access c (a * 8))
+  done;
+  let s = Cache.stats c in
+  check int "one miss per line" (bytes / small.Cache.line) s.Cache.s_misses
+
+let test_direct_mapped_conflict () =
+  (* two addresses capacity apart conflict in a direct-mapped cache *)
+  let c = Cache.create small in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  check bool "0 evicted" false (Cache.access c 0);
+  check bool "1024 evicted" false (Cache.access c 1024)
+
+let test_assoc_absorbs_conflict () =
+  (* same addresses coexist in a 2-way cache *)
+  let c = Cache.create small2 in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 512);
+  (* span = 512 for 2-way 1024B *)
+  check bool "0 still cached" true (Cache.access c 0);
+  check bool "512 still cached" true (Cache.access c 512)
+
+let test_lru_eviction () =
+  let c = Cache.create small2 in
+  ignore (Cache.access c 0);
+  (* way 1 *)
+  ignore (Cache.access c 512);
+  (* way 2 *)
+  ignore (Cache.access c 0);
+  (* touch 0: 512 is now LRU *)
+  ignore (Cache.access c 1024);
+  (* evicts 512 *)
+  check bool "0 survives (MRU)" true (Cache.access c 0);
+  check bool "512 evicted (LRU)" false (Cache.access c 512)
+
+let test_fully_within_capacity_no_conflict () =
+  (* working set = capacity: after the cold pass, everything hits *)
+  let c = Cache.create small2 in
+  for pass = 1 to 3 do
+    for l = 0 to (small2.Cache.capacity / small2.Cache.line) - 1 do
+      ignore (Cache.access c (l * small2.Cache.line));
+      ignore pass
+    done
+  done;
+  let s = Cache.stats c in
+  check int "only cold misses" (small2.Cache.capacity / small2.Cache.line)
+    s.Cache.s_misses
+
+let test_conflict_classification () =
+  let c = Cache.create small in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 1024);
+  ignore (Cache.access c 0);
+  (* conflict miss: already seen *)
+  let s = Cache.stats c in
+  check int "cold" 2 s.Cache.s_cold;
+  check int "conflict" 1 s.Cache.s_conflict_capacity
+
+let test_reset () =
+  let c = Cache.create small in
+  ignore (Cache.access c 0);
+  Cache.reset c;
+  let s = Cache.stats c in
+  check int "no hits" 0 s.Cache.s_hits;
+  check int "no misses" 0 s.Cache.s_misses;
+  check bool "cold again after reset" false (Cache.access c 0)
+
+let test_miss_rate () =
+  let c = Cache.create small in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 8);
+  check (Alcotest.float 1e-9) "rate 0.5" 0.5 (Cache.miss_rate c);
+  check int "references" 2 (Cache.references c)
+
+let test_assoc_monotone () =
+  (* more associativity never increases misses on this trace *)
+  let trace = List.init 400 (fun i -> (i * 64 * 5) mod 4096) in
+  let misses assoc =
+    let c = Cache.create { Cache.capacity = 1024; line = 64; assoc } in
+    List.iter (fun a -> ignore (Cache.access c a)) trace;
+    (Cache.stats c).Cache.s_misses
+  in
+  let m1 = misses 1 and m2 = misses 2 and m4 = misses 4 in
+  check bool "assoc 2 <= 1" true (m2 <= m1);
+  check bool "assoc 4 <= 2" true (m4 <= m2)
+
+let test_paper_cache_presets () =
+  check int "ksr2 256KB" (256 * 1024) Cache.ksr2_cache.Cache.capacity;
+  check int "ksr2 2-way" 2 Cache.ksr2_cache.Cache.assoc;
+  check int "convex 1MB" (1024 * 1024) Cache.convex_cache.Cache.capacity;
+  check int "convex direct" 1 Cache.convex_cache.Cache.assoc
+
+let suite =
+  [
+    ("create invalid", `Quick, test_create_invalid);
+    ("cold miss then hit", `Quick, test_cold_miss_then_hit);
+    ("sequential scan misses", `Quick, test_sequential_scan_misses);
+    ("direct-mapped conflict", `Quick, test_direct_mapped_conflict);
+    ("associativity absorbs conflict", `Quick, test_assoc_absorbs_conflict);
+    ("LRU eviction", `Quick, test_lru_eviction);
+    ("within capacity no conflicts", `Quick, test_fully_within_capacity_no_conflict);
+    ("conflict classification", `Quick, test_conflict_classification);
+    ("reset", `Quick, test_reset);
+    ("miss rate", `Quick, test_miss_rate);
+    ("associativity monotone", `Quick, test_assoc_monotone);
+    ("paper cache presets", `Quick, test_paper_cache_presets);
+  ]

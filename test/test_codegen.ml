@@ -1,0 +1,97 @@
+(* Tests for source emission (Figures 11, 12, 16) and substitution. *)
+
+module Ir = Lf_ir.Ir
+module Codegen = Lf_core.Codegen
+module Derive = Lf_core.Derive
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let fig9 () = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1; -1 ]; [ 1; -1 ] ]
+
+let test_subst_affine () =
+  let a = Ir.affine ~const:1 [ (2, "i"); (1, "j") ] in
+  let s = Codegen.subst_affine a "i" (-3) in
+  check int "const shifted by coeff*delta" (1 - 6) s.Ir.const
+
+let test_subst_stmt_guard () =
+  let st =
+    Ir.stmt ~guard:[ ("i", 2, 5); ("j", 0, 9) ]
+      (Ir.aref "a" [ Ir.av "i" ])
+      (Ir.Const 1.0)
+  in
+  let st' = Codegen.subst_stmt st "i" 2 in
+  check bool "i guard shifted" true (List.mem ("i", 0, 3) st'.Ir.guard);
+  check bool "j guard untouched" true (List.mem ("j", 0, 9) st'.Ir.guard)
+
+let test_subst_expr_reads () =
+  let e = Ir.Read (Ir.aref "a" [ Ir.av ~c:1 "i" ]) in
+  match Codegen.subst_expr e "i" (-1) with
+  | Ir.Read r ->
+    check int "offset now 0" 0 (List.hd r.Ir.index).Ir.const
+  | _ -> Alcotest.fail "expected read"
+
+let test_direct_method_guards () =
+  let p = fig9 () in
+  let d = Derive.of_program ~depth:1 p in
+  let s = Codegen.direct_to_string p d in
+  check bool "guard for shift 1" true (Tutil.contains s "if (i >= istart+1)");
+  check bool "guard for shift 2" true (Tutil.contains s "if (i >= istart+2)");
+  check bool "rewritten subscript" true (Tutil.contains s "a1[i] + a1[i-2]")
+
+let test_strip_mined_structure () =
+  let p = fig9 () in
+  let d = Derive.of_program ~depth:1 p in
+  let s = Codegen.strip_mined_to_string ~strip:8 p d in
+  check bool "control loop" true (Tutil.contains s "ii += 8");
+  check bool "barrier" true (Tutil.contains s "BARRIER");
+  check bool "shifted inner bound" true
+    (Tutil.contains s "max(ii-1, istart+2)");
+  check bool "peel-skip lower bound L3" true
+    (Tutil.contains s "max(ii-2, istart+4)");
+  (* the post-barrier tails of Figure 12 *)
+  check bool "tail L2" true (Tutil.contains s "i = iend; i <= iend+1");
+  check bool "tail L3" true (Tutil.contains s "i = iend-1; i <= iend+2")
+
+let test_strip_mined_unshifted_loop_plain () =
+  let p = fig9 () in
+  let d = Derive.of_program ~depth:1 p in
+  let s = Codegen.strip_mined_to_string ~strip:4 p d in
+  check bool "first loop unmodified bounds" true
+    (Tutil.contains s "for (i = ii; i <= min(ii+3, iend); i++)")
+
+let test_multidim_prologue () =
+  let p = Lf_kernels.Jacobi.program ~n:32 () in
+  let d = Derive.of_program ~depth:2 p in
+  let s = Codegen.multidim_to_string ~strip:8 p d in
+  check bool "ifpeel flag" true (Tutil.contains s "ifpeel");
+  check bool "jppeel flag" true (Tutil.contains s "jppeel");
+  check bool "barrier" true (Tutil.contains s "BARRIER");
+  check bool "peeled boxes emitted" true (Tutil.contains s "peeled boxes")
+
+let test_multidim_depth1_works () =
+  let p = fig9 () in
+  let d = Derive.of_program ~depth:1 p in
+  let s = Codegen.multidim_to_string ~strip:8 p d in
+  check bool "emits" true (String.length s > 0)
+
+let test_direct_rejects_depth2 () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let d = Derive.of_program ~depth:2 p in
+  (match Codegen.direct_to_string p d with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let suite =
+  [
+    ("subst affine", `Quick, test_subst_affine);
+    ("subst stmt guard", `Quick, test_subst_stmt_guard);
+    ("subst expr reads", `Quick, test_subst_expr_reads);
+    ("direct method guards", `Quick, test_direct_method_guards);
+    ("strip-mined structure (Fig 12)", `Quick, test_strip_mined_structure);
+    ("strip-mined unshifted loop", `Quick, test_strip_mined_unshifted_loop_plain);
+    ("multidim prologue (Fig 16)", `Quick, test_multidim_prologue);
+    ("multidim depth-1", `Quick, test_multidim_depth1_works);
+    ("direct rejects depth 2", `Quick, test_direct_rejects_depth2);
+  ]

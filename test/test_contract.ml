@@ -1,0 +1,129 @@
+(* Tests for array contraction after direct fusion. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Contract = Lf_core.Contract
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* A producer/consumer chain with all-zero distances: t1 and t2 are
+   temporaries, y is live-out. *)
+let chain_zero () = Tutil.chain_program ~lo:2 ~hi:40 [ [ 0 ]; [ 0 ]; [ 0 ] ]
+
+(* 2-D version with inner offsets zero. *)
+let chain2d () =
+  let i = Ir.av "i" and j = Ir.av "j" in
+  let nest nid out src =
+    {
+      Ir.nid;
+      levels =
+        [
+          { Ir.lvar = "i"; lo = 1; hi = 30; parallel = true };
+          { Ir.lvar = "j"; lo = 1; hi = 22; parallel = true };
+        ];
+      body =
+        [
+          Ir.stmt (Ir.aref out [ i; j ])
+            (Ir.Bin (Add, Ir.Read (Ir.aref src [ i; j ]), Ir.Const 1.0));
+        ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "chain2d";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 32; 24 ] })
+          [ "x"; "t1"; "t2"; "y" ];
+      nests = [ nest "L1" "t1" "x"; nest "L2" "t2" "t1"; nest "L3" "y" "t2" ];
+    }
+  in
+  Ir.validate p;
+  p
+
+let test_direct_fusable () =
+  (match Contract.direct_fusable (chain_zero ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (* ll18 has loop-carried deps: not directly fusable *)
+  (match Contract.direct_fusable (Lf_kernels.Ll18.program ~n:16 ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection")
+
+let test_analysis () =
+  let p = chain2d () in
+  match Contract.analyse ~live_out:[ "y" ] p with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    check bool "t1 t2 contractible" true
+      (List.sort compare a.Contract.contractible = [ "t1"; "t2" ]);
+    check bool "memory shrinks" true
+      (a.Contract.bytes_after < a.Contract.bytes_before);
+    (* two 32x24 arrays contract to 32 cells each *)
+    check int "saved bytes" ((2 * 32 * 24 * 8) - (2 * 32 * 8))
+      (a.Contract.bytes_before - a.Contract.bytes_after)
+
+let test_contract_semantics_liveout () =
+  let p = chain2d () in
+  match Contract.contract ~live_out:[ "y" ] p with
+  | Error m -> Alcotest.fail m
+  | Ok (q, _) ->
+    check int "single fused nest" 1 (List.length q.Ir.nests);
+    let ref_st = Interp.run p and got = Interp.run q in
+    check bool "y bit-identical" true
+      (Interp.find_array ref_st "y" = Interp.find_array got "y");
+    (* the temporary really is tiny now *)
+    let d = Ir.find_decl q "t1" in
+    check bool "t1 contracted" true (d.Ir.extents = [ 32; 1 ])
+
+let test_contract_1d () =
+  let p = chain_zero () in
+  match Contract.contract ~live_out:[ "a3" ] p with
+  | Error m -> Alcotest.fail m
+  | Ok (q, a) ->
+    check bool "a1 a2 contracted" true
+      (List.sort compare a.Contract.contractible = [ "a1"; "a2" ]);
+    let ref_st = Interp.run p and got = Interp.run q in
+    check bool "live-out equal" true
+      (Interp.find_array ref_st "a3" = Interp.find_array got "a3")
+
+let test_contract_parallel_safe () =
+  (* the contracted fused nest can still be block-parallelized over the
+     fused dimension *)
+  let p = chain2d () in
+  match Contract.contract ~live_out:[ "y" ] p with
+  | Error m -> Alcotest.fail m
+  | Ok (q, _) ->
+    let sched = Lf_core.Schedule.unfused ~nprocs:3 q in
+    let st =
+      Lf_core.Schedule.execute ~order:Lf_core.Schedule.Reversed sched
+    in
+    let ref_st = Interp.run p in
+    check bool "parallel y equal" true
+      (Interp.find_array ref_st "y" = Interp.find_array st "y")
+
+let test_nonzero_distance_rejected () =
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 1 ] ] in
+  (match Contract.contract ~live_out:[ "a2" ] p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected rejection")
+
+let test_live_out_everything_no_contraction () =
+  let p = chain_zero () in
+  match Contract.analyse ~live_out:[ "a1"; "a2"; "a3" ] p with
+  | Error m -> Alcotest.fail m
+  | Ok a ->
+    check int "nothing contractible" 0 (List.length a.Contract.contractible);
+    check int "no savings" a.Contract.bytes_before a.Contract.bytes_after
+
+let suite =
+  [
+    ("direct fusable", `Quick, test_direct_fusable);
+    ("analysis", `Quick, test_analysis);
+    ("contract semantics (live-out)", `Quick, test_contract_semantics_liveout);
+    ("contract 1-D", `Quick, test_contract_1d);
+    ("contract parallel safe", `Quick, test_contract_parallel_safe);
+    ("non-zero distance rejected", `Quick, test_nonzero_distance_rejected);
+    ("all live-out: no contraction", `Quick, test_live_out_everything_no_contraction);
+  ]

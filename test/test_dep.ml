@@ -1,0 +1,325 @@
+(* Unit tests for dependence analysis: exact uniform distances,
+   dependence kinds, independence proofs, the multigraph, and doall
+   verification. *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let edge_dists g a b =
+  List.filter_map
+    (fun (e : Dep.edge) ->
+      if e.Dep.src = a && e.Dep.dst = b then
+        match e.Dep.dist with
+        | Dep.Dist d -> Some (e.Dep.dkind, d.(0))
+        | Dep.Not_uniform _ -> None
+      else None)
+    g.Dep.edges
+
+(* ------------------------------------------------------------------ *)
+
+let test_flow_distance_sign () =
+  (* L1 writes a[i]; L2 reads a[i+1]: backward distance -1 *)
+  let p = Tutil.chain_program ~lo:2 ~hi:10 [ [ 0 ]; [ 1 ] ] in
+  let g = Dep.build ~depth:1 p in
+  check bool "flow -1" true
+    (List.mem (Dep.Flow, -1) (edge_dists g 0 1))
+
+let test_flow_forward () =
+  let p = Tutil.chain_program ~lo:2 ~hi:10 [ [ 0 ]; [ -1 ] ] in
+  let g = Dep.build ~depth:1 p in
+  check bool "flow +1" true (List.mem (Dep.Flow, 1) (edge_dists g 0 1))
+
+let test_multi_distances () =
+  let p = Tutil.chain_program ~lo:2 ~hi:10 [ [ 0 ]; [ -2; 0; 1 ] ] in
+  let g = Dep.build ~depth:1 p in
+  let dists = List.map snd (edge_dists g 0 1) |> List.sort compare in
+  check bool "distances {-1,0,2}" true (dists = [ -1; 0; 2 ])
+
+let test_anti_dependence () =
+  (* L1 reads x[i]; L2 writes x[i] -> anti with distance 0 *)
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "anti";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 16 ] }) [ "x"; "y" ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+            body = [ Ir.stmt (Ir.aref "y" [ i 0 ]) (Ir.Read (Ir.aref "x" [ i 1 ])) ];
+          };
+          {
+            Ir.nid = "L2";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+            body = [ Ir.stmt (Ir.aref "x" [ i 0 ]) (Ir.Const 1.0) ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let g = Dep.build ~depth:1 p in
+  check bool "anti +1" true (List.mem (Dep.Anti, 1) (edge_dists g 0 1))
+
+let test_output_dependence () =
+  let i o = Ir.av ~c:o "i" in
+  let nest nid c =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref "x" [ i c ]) (Ir.Const 1.0) ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "out";
+      decls = [ { Ir.aname = "x"; extents = [ 16 ] } ];
+      nests = [ nest "L1" 0; nest "L2" 1 ];
+    }
+  in
+  Ir.validate p;
+  let g = Dep.build ~depth:1 p in
+  check bool "output -1" true (List.mem (Dep.Output, -1) (edge_dists g 0 1))
+
+let test_read_read_no_dep () =
+  let i o = Ir.av ~c:o "i" in
+  let nest nid out =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+      body =
+        [ Ir.stmt (Ir.aref out [ i 0 ]) (Ir.Read (Ir.aref "shared" [ i 0 ])) ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "rr";
+      decls =
+        List.map
+          (fun a -> { Ir.aname = a; extents = [ 16 ] })
+          [ "shared"; "u"; "v" ];
+      nests = [ nest "L1" "u"; nest "L2" "v" ];
+    }
+  in
+  Ir.validate p;
+  let g = Dep.build ~depth:1 p in
+  check int "no edges" 0 (List.length g.Dep.edges)
+
+let test_distinct_constants_independent () =
+  (* writes x[3][i], reads x[5][i]: provably independent *)
+  let p =
+    {
+      Ir.pname = "cst";
+      decls = [ { Ir.aname = "x"; extents = [ 8; 16 ] };
+                { Ir.aname = "y"; extents = [ 8; 16 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 15; parallel = true } ];
+            body =
+              [ Ir.stmt (Ir.aref "x" [ Ir.ac 3; Ir.av "i" ]) (Ir.Const 1.0) ];
+          };
+          {
+            Ir.nid = "L2";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 15; parallel = true } ];
+            body =
+              [
+                Ir.stmt
+                  (Ir.aref "y" [ Ir.ac 0; Ir.av "i" ])
+                  (Ir.Read (Ir.aref "x" [ Ir.ac 5; Ir.av "i" ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let g = Dep.build ~depth:1 p in
+  check int "independent" 0 (List.length g.Dep.edges)
+
+let test_gcd_independence () =
+  (* 2i vs 2i'+1: never equal *)
+  check bool "gcd proves" true
+    (Dep.gcd_independent (Ir.affine [ (2, "i") ]) (Ir.affine ~const:1 [ (2, "i") ]))
+
+let test_gcd_no_proof () =
+  check bool "gcd cannot prove" false
+    (Dep.gcd_independent (Ir.affine [ (2, "i") ]) (Ir.affine [ (2, "i") ]))
+
+let test_banerjee_independence () =
+  (* i in [0,5] vs i'+10 with i' in [0,5]: ranges disjoint *)
+  let bounds = function "i" -> Some (0, 5) | _ -> None in
+  check bool "banerjee proves" true
+    (Dep.banerjee_independent bounds bounds (Ir.affine [ (1, "i") ])
+       (Ir.affine ~const:10 [ (1, "i") ]))
+
+let test_non_uniform_reported () =
+  (* a[2i] vs a[i]: not uniform *)
+  let p =
+    {
+      Ir.pname = "nu";
+      decls = [ { Ir.aname = "a"; extents = [ 64 ] };
+                { Ir.aname = "b"; extents = [ 64 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [ Ir.stmt (Ir.aref "a" [ Ir.affine [ (2, "i") ] ]) (Ir.Const 1.0) ];
+          };
+          {
+            Ir.nid = "L2";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [
+                Ir.stmt (Ir.aref "b" [ Ir.av "i" ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av "i" ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let g = Dep.build ~depth:1 p in
+  check bool "has non-uniform edge" true (Dep.not_uniform_edges g <> [])
+
+let test_depth2_distances () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let g = Dep.build ~depth:2 p in
+  let dists =
+    List.filter_map
+      (fun (e : Dep.edge) ->
+        match e.Dep.dist with
+        | Dep.Dist d when e.Dep.dkind = Dep.Anti -> Some (d.(0), d.(1))
+        | _ -> None)
+      g.Dep.edges
+    |> List.sort_uniq compare
+  in
+  (* anti deps on a: (0,-1) (0,1) (-1,0) (1,0) *)
+  check bool "jacobi anti distances" true
+    (dists = [ (-1, 0); (0, -1); (0, 1); (1, 0) ])
+
+let test_inner_dim_no_constraint () =
+  (* fusing depth 1 of a 2-D nest pair: j offsets do not affect the
+     fused distance *)
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let g = Dep.build ~depth:1 p in
+  let dists =
+    List.filter_map
+      (fun (e : Dep.edge) ->
+        match e.Dep.dist with Dep.Dist d -> Some d.(0) | _ -> None)
+      g.Dep.edges
+    |> List.sort_uniq compare
+  in
+  check bool "depth-1 distances" true (dists = [ -1; 0; 1 ])
+
+let test_ll18_multigraph_edges () =
+  let g = Dep.build ~depth:1 (Lf_kernels.Ll18.program ~n:16 ()) in
+  check bool "has backward -1 L1->L2" true
+    (List.mem (Dep.Flow, -1) (edge_dists g 0 1));
+  check bool "has anti L2->L3 +1" true
+    (List.mem (Dep.Anti, 1) (edge_dists g 1 2));
+  check bool "has anti L1->L3 -1" true
+    (List.mem (Dep.Anti, -1) (edge_dists g 0 2))
+
+let test_dim_weights () =
+  let p = Tutil.chain_program ~lo:2 ~hi:10 [ [ 0 ]; [ 1; -1 ] ] in
+  let g = Dep.build ~depth:1 p in
+  let ws = List.map (fun (_, _, w) -> w) (Dep.dim_weights g ~dim:0) in
+  check bool "weights -1 and +1" true
+    (List.sort compare ws = [ -1; 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* doall verification                                                  *)
+
+let test_verify_doall_ok () =
+  List.iter
+    (fun p ->
+      match Dep.verify_program p with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m)
+    [
+      Lf_kernels.Ll18.program ~n:16 ();
+      Lf_kernels.Calc.program ~n:16 ();
+      Lf_kernels.Filter.program ~rows:16 ~cols:16 ();
+      Lf_kernels.Jacobi.program ~n:16 ();
+    ]
+
+let test_verify_doall_detects_serial () =
+  (* a[i] = a[i-1] is not a doall *)
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "serial";
+      decls = [ { Ir.aname = "a"; extents = [ 16 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "L";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+            body =
+              [ Ir.stmt (Ir.aref "a" [ i 0 ]) (Ir.Read (Ir.aref "a" [ i (-1) ])) ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  check bool "serial loop rejected" true (Dep.verify_program p <> Ok ())
+
+let test_max_parallel_depth () =
+  check int "jacobi depth 2" 2
+    (Dep.max_parallel_depth (Lf_kernels.Jacobi.program ~n:16 ()));
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let serial_inner =
+    {
+      p with
+      Ir.nests =
+        List.map
+          (fun (n : Ir.nest) ->
+            {
+              n with
+              Ir.levels =
+                List.mapi
+                  (fun d (l : Ir.level) ->
+                    if d = 1 then { l with Ir.parallel = false } else l)
+                  n.Ir.levels;
+            })
+          p.Ir.nests;
+    }
+  in
+  check int "inner serial -> depth 1" 1 (Dep.max_parallel_depth serial_inner)
+
+let test_build_depth_too_large () =
+  let p = Tutil.chain_program ~lo:2 ~hi:10 [ [ 0 ] ] in
+  Alcotest.check_raises "depth beyond nest"
+    (Invalid_argument "Dep.build: nest L1 has fewer than 2 levels") (fun () ->
+      ignore (Dep.build ~depth:2 p))
+
+let suite =
+  [
+    ("flow backward distance", `Quick, test_flow_distance_sign);
+    ("flow forward distance", `Quick, test_flow_forward);
+    ("multiple distances", `Quick, test_multi_distances);
+    ("anti dependence", `Quick, test_anti_dependence);
+    ("output dependence", `Quick, test_output_dependence);
+    ("read-read no dep", `Quick, test_read_read_no_dep);
+    ("distinct constants independent", `Quick, test_distinct_constants_independent);
+    ("gcd proves independence", `Quick, test_gcd_independence);
+    ("gcd cannot prove", `Quick, test_gcd_no_proof);
+    ("banerjee proves independence", `Quick, test_banerjee_independence);
+    ("non-uniform reported", `Quick, test_non_uniform_reported);
+    ("depth-2 distances (jacobi)", `Quick, test_depth2_distances);
+    ("inner dims unconstrained", `Quick, test_inner_dim_no_constraint);
+    ("ll18 multigraph", `Quick, test_ll18_multigraph_edges);
+    ("dim weights", `Quick, test_dim_weights);
+    ("verify doall ok", `Quick, test_verify_doall_ok);
+    ("verify doall detects serial", `Quick, test_verify_doall_detects_serial);
+    ("max parallel depth", `Quick, test_max_parallel_depth);
+    ("build depth too large", `Quick, test_build_depth_too_large);
+  ]

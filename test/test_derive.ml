@@ -1,0 +1,165 @@
+(* Tests for the shift/peel derivation (Figure 8 algorithm), including
+   the paper's published values (Table 2, Figures 9/10). *)
+
+module Derive = Lf_core.Derive
+module Dep = Lf_dep.Dep
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let shifts0 d = Array.map (fun r -> r.(0)) d.Derive.shift
+let peels0 d = Array.map (fun r -> r.(0)) d.Derive.peel
+
+let derive1 p = Derive.of_program ~depth:1 p
+
+let test_fig9_example () =
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1; -1 ]; [ 1; -1 ] ] in
+  let d = derive1 p in
+  check bool "shifts 0,1,2" true (shifts0 d = [| 0; 1; 2 |]);
+  check bool "peels 0,1,2" true (peels0 d = [| 0; 1; 2 |])
+
+let test_table2_ll18 () =
+  let d = derive1 (Lf_kernels.Ll18.program ~n:32 ()) in
+  check bool "shifts" true (shifts0 d = Lf_kernels.Ll18.expected_shifts);
+  check bool "peels" true (peels0 d = Lf_kernels.Ll18.expected_peels)
+
+let test_table2_calc () =
+  let d = derive1 (Lf_kernels.Calc.program ~n:32 ()) in
+  check bool "shifts" true (shifts0 d = Lf_kernels.Calc.expected_shifts);
+  check bool "peels" true (peels0 d = Lf_kernels.Calc.expected_peels)
+
+let test_table2_filter () =
+  let d = derive1 (Lf_kernels.Filter.program ~rows:40 ~cols:24 ()) in
+  check bool "shifts" true (shifts0 d = Lf_kernels.Filter.expected_shifts);
+  check bool "peels" true (peels0 d = Lf_kernels.Filter.expected_peels)
+
+let test_jacobi_2d () =
+  let d = Derive.of_program ~depth:2 (Lf_kernels.Jacobi.program ~n:16 ()) in
+  check bool "shift (1,1)" true (d.Derive.shift = Lf_kernels.Jacobi.expected_shifts);
+  check bool "peel (1,1)" true (d.Derive.peel = Lf_kernels.Jacobi.expected_peels)
+
+let test_no_deps_no_shift () =
+  (* two independent chains: a0->a1 and nothing else *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 0 ]; [ 0 ] ] in
+  let d = derive1 p in
+  check bool "all zero" true
+    (shifts0 d = [| 0; 0; 0 |] && peels0 d = [| 0; 0; 0 |])
+
+let test_forward_only_peels () =
+  let p = Tutil.chain_program ~lo:3 ~hi:20 [ [ 0 ]; [ -2 ]; [ -1 ] ] in
+  let d = derive1 p in
+  check bool "no shifts" true (shifts0 d = [| 0; 0; 0 |]);
+  check bool "peels accumulate 0,2,3" true (peels0 d = [| 0; 2; 3 |])
+
+let test_backward_only_shifts () =
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 2 ]; [ 1 ] ] in
+  let d = derive1 p in
+  check bool "shifts accumulate 0,2,3" true (shifts0 d = [| 0; 2; 3 |]);
+  check bool "no peels" true (peels0 d = [| 0; 0; 0 |])
+
+let test_min_over_multiedges () =
+  (* distances {-1,-3}: shift must use the minimum (-3) *)
+  let p = Tutil.chain_program ~lo:4 ~hi:20 [ [ 0 ]; [ 1; 3 ] ] in
+  let d = derive1 p in
+  check int "shift 3" 3 (shifts0 d).(1)
+
+let test_max_over_multiedges () =
+  let p = Tutil.chain_program ~lo:4 ~hi:20 [ [ 0 ]; [ -1; -3 ] ] in
+  let d = derive1 p in
+  check int "peel 3" 3 (peels0 d).(1)
+
+let test_zero_edges_propagate () =
+  (* L2 shifted by 1; L3 reads L2's output at distance 0: shift must
+     propagate to L3 *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 1 ]; [ 0 ] ] in
+  let d = derive1 p in
+  check bool "shift propagates" true (shifts0 d = [| 0; 1; 1 |])
+
+let test_monotone_along_chain () =
+  let p =
+    Tutil.chain_program ~lo:4 ~hi:40
+      [ [ 0 ]; [ 1; -1 ]; [ 2; -2 ]; [ 0 ]; [ 1; -1 ] ]
+  in
+  let d = derive1 p in
+  let s = shifts0 d and q = peels0 d in
+  for k = 0 to Array.length s - 2 do
+    check bool "shift monotone" true (s.(k) <= s.(k + 1));
+    check bool "peel monotone" true (q.(k) <= q.(k + 1))
+  done
+
+let test_start_peel_and_threshold () =
+  let d = derive1 (Lf_kernels.Ll18.program ~n:32 ()) in
+  check int "L2 start peel = shift+peel" 1 (Derive.start_peel d ~nest:1 ~dim:0);
+  check int "L3 start peel" 3 (Derive.start_peel d ~nest:2 ~dim:0);
+  check int "threshold = max" 3 (Derive.threshold d ~dim:0);
+  check int "max shift" 2 (Derive.max_shift d);
+  check int "max peel" 1 (Derive.max_peel d)
+
+let test_not_applicable_on_nonuniform () =
+  let p =
+    let i = Lf_ir.Ir.av "i" in
+    {
+      Lf_ir.Ir.pname = "nu";
+      decls = [ { Lf_ir.Ir.aname = "a"; extents = [ 64 ] };
+                { Lf_ir.Ir.aname = "b"; extents = [ 64 ] } ];
+      nests =
+        [
+          {
+            Lf_ir.Ir.nid = "L1";
+            levels = [ { Lf_ir.Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [ Lf_ir.Ir.stmt (Lf_ir.Ir.aref "a" [ Lf_ir.Ir.affine [ (2, "i") ] ])
+                  (Lf_ir.Ir.Const 1.0) ];
+          };
+          {
+            Lf_ir.Ir.nid = "L2";
+            levels = [ { Lf_ir.Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [ Lf_ir.Ir.stmt (Lf_ir.Ir.aref "b" [ i ])
+                  (Lf_ir.Ir.Read (Lf_ir.Ir.aref "a" [ i ])) ];
+          };
+        ];
+    }
+  in
+  Lf_ir.Ir.validate p;
+  (match Derive.of_program ~depth:1 p with
+  | exception Derive.Not_applicable _ -> ()
+  | _ -> Alcotest.fail "expected Not_applicable")
+
+let test_spem_sequences () =
+  (* every spem sequence must derive max shift 1 / max peel 2 *)
+  let app = Lf_kernels.Apps.spem ~d0:24 ~d1:12 ~d2:12 () in
+  List.iter
+    (fun p ->
+      let d = derive1 p in
+      check bool "shift <= 1" true (Derive.max_shift d <= 1);
+      check int "peel 2" 2 (Derive.max_peel d))
+    app.Lf_kernels.Apps.sequences
+
+let test_tomcatv_derivation () =
+  let app = Lf_kernels.Apps.tomcatv ~n:33 () in
+  let p = List.hd app.Lf_kernels.Apps.sequences in
+  let d = derive1 p in
+  check int "max shift 1" 1 (Derive.max_shift d);
+  check int "max peel 1" 1 (Derive.max_peel d)
+
+let suite =
+  [
+    ("figure 9/10 example", `Quick, test_fig9_example);
+    ("table 2: LL18", `Quick, test_table2_ll18);
+    ("table 2: calc", `Quick, test_table2_calc);
+    ("table 2: filter", `Quick, test_table2_filter);
+    ("jacobi 2-D", `Quick, test_jacobi_2d);
+    ("no deps no shift", `Quick, test_no_deps_no_shift);
+    ("forward-only peels", `Quick, test_forward_only_peels);
+    ("backward-only shifts", `Quick, test_backward_only_shifts);
+    ("min over multi-edges", `Quick, test_min_over_multiedges);
+    ("max over multi-edges", `Quick, test_max_over_multiedges);
+    ("zero edges propagate", `Quick, test_zero_edges_propagate);
+    ("monotone along chain", `Quick, test_monotone_along_chain);
+    ("start peel and threshold", `Quick, test_start_peel_and_threshold);
+    ("not applicable on non-uniform", `Quick, test_not_applicable_on_nonuniform);
+    ("spem sequences 1/2", `Quick, test_spem_sequences);
+    ("tomcatv 1/1", `Quick, test_tomcatv_derivation);
+  ]

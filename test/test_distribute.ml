@@ -1,0 +1,152 @@
+(* Tests for loop distribution (fission into pi-blocks). *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Distribute = Lf_core.Distribute
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_lex_sign () =
+  check int "positive" 1 (Distribute.lex_sign [| 0; 0; 2 |]);
+  check int "negative" (-1) (Distribute.lex_sign [| 0; -1; 5 |]);
+  check int "zero" 0 (Distribute.lex_sign [| 0; 0 |])
+
+let test_scc_simple () =
+  (* 0 -> 1 -> 2, plus 2 -> 1 making {1,2} a component *)
+  let comps = Distribute.scc ~nodes:3 ~edges:[ (0, 1); (1, 2); (2, 1) ] in
+  check int "two components" 2 (List.length comps);
+  check bool "0 first" true (List.hd comps = [ 0 ]);
+  check bool "cycle together" true
+    (List.sort compare (List.nth comps 1) = [ 1; 2 ])
+
+let test_scc_topological () =
+  let comps = Distribute.scc ~nodes:4 ~edges:[ (2, 0); (0, 1); (3, 2) ] in
+  (* order must satisfy 3 before 2 before 0 before 1 *)
+  let pos x =
+    let rec go i = function
+      | [] -> -1
+      | c :: rest -> if List.mem x c then i else go (i + 1) rest
+    in
+    go 0 comps
+  in
+  check bool "3 before 2" true (pos 3 < pos 2);
+  check bool "2 before 0" true (pos 2 < pos 0);
+  check bool "0 before 1" true (pos 0 < pos 1)
+
+let test_single_statement_identity () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let n = List.hd p.Ir.nests in
+  check int "one block" 1 (Distribute.pi_blocks n)
+
+let test_ll18_l1_splits () =
+  (* L1's za and zb statements are independent: two pi-blocks *)
+  let p = Lf_kernels.Ll18.program ~n:16 () in
+  let l1 = Ir.find_nest p "L1" in
+  check int "za/zb split" 2 (Distribute.pi_blocks l1)
+
+let test_ll18_distribute_semantics () =
+  let p = Lf_kernels.Ll18.program ~n:24 () in
+  let q = Distribute.distribute p in
+  check bool "more nests" true
+    (List.length q.Ir.nests > List.length p.Ir.nests);
+  check bool "semantics preserved" true
+    (Interp.equal (Interp.run p) (Interp.run q))
+
+let test_dependent_statements_stay_ordered () =
+  (* S1 writes t, S2 reads t (same iteration): split but S1's nest
+     first, and semantics preserved *)
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "pair";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 32 ] })
+          [ "x"; "t"; "y" ];
+      nests =
+        [
+          {
+            Ir.nid = "L";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 30; parallel = true } ];
+            body =
+              [
+                Ir.stmt (Ir.aref "t" [ i 0 ]) (Ir.Read (Ir.aref "x" [ i 0 ]));
+                Ir.stmt (Ir.aref "y" [ i 0 ]) (Ir.Read (Ir.aref "t" [ i 0 ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let q = Distribute.distribute p in
+  check int "two nests" 2 (List.length q.Ir.nests);
+  let first = List.hd q.Ir.nests in
+  check bool "producer first" true
+    ((List.hd first.Ir.body).Ir.lhs.Ir.array = "t");
+  check bool "semantics" true (Interp.equal (Interp.run p) (Interp.run q))
+
+let test_cycle_stays_together () =
+  (* S1 reads t[i-1] writes u[i]; S2 reads u[i] writes t[i]:
+     u flows S1->S2 at 0, t flows S2->S1 at +1: a cycle *)
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "cycle";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 32 ] }) [ "t"; "u" ];
+      nests =
+        [
+          {
+            Ir.nid = "L";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 30; parallel = false } ];
+            body =
+              [
+                Ir.stmt (Ir.aref "u" [ i 0 ])
+                  (Ir.Read (Ir.aref "t" [ i (-1) ]));
+                Ir.stmt (Ir.aref "t" [ i 0 ]) (Ir.Read (Ir.aref "u" [ i 0 ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  check int "single pi-block" 1
+    (Distribute.pi_blocks (List.hd p.Ir.nests))
+
+let test_distribute_then_fuse_roundtrip () =
+  (* distributing and then fusing with shift-and-peel still matches *)
+  let p = Lf_kernels.Ll18.program ~n:24 () in
+  let q = Distribute.distribute p in
+  let sched = Lf_core.Schedule.fused ~nprocs:3 ~strip:4 q in
+  let st =
+    Lf_core.Schedule.execute ~order:Lf_core.Schedule.Interleaved sched
+  in
+  check bool "distribute+fuse == original" true
+    (Interp.equal (Interp.run p) st)
+
+let test_distribute_all_kernels_semantics () =
+  List.iter
+    (fun p ->
+      let q = Distribute.distribute p in
+      check bool (p.Ir.pname ^ " preserved") true
+        (Interp.equal (Interp.run p) (Interp.run q)))
+    [
+      Lf_kernels.Calc.program ~n:20 ();
+      Lf_kernels.Filter.program ~rows:20 ~cols:12 ();
+      Lf_kernels.Jacobi.program ~n:20 ();
+    ]
+
+let suite =
+  [
+    ("lex sign", `Quick, test_lex_sign);
+    ("scc simple", `Quick, test_scc_simple);
+    ("scc topological", `Quick, test_scc_topological);
+    ("single statement identity", `Quick, test_single_statement_identity);
+    ("ll18 L1 splits", `Quick, test_ll18_l1_splits);
+    ("ll18 distribute semantics", `Quick, test_ll18_distribute_semantics);
+    ("dependent statements ordered", `Quick, test_dependent_statements_stay_ordered);
+    ("cycle stays together", `Quick, test_cycle_stays_together);
+    ("distribute then fuse roundtrip", `Quick, test_distribute_then_fuse_roundtrip);
+    ("all kernels semantics", `Quick, test_distribute_all_kernels_semantics);
+  ]

@@ -1,0 +1,396 @@
+(* Unit tests for the IR: affine arithmetic, builders, validation,
+   pretty-printing, the reference interpreter, and statement guards. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Affine expressions                                                  *)
+
+let test_affine_make () =
+  let a = Ir.affine ~const:3 [ (1, "i"); (0, "j") ] in
+  check int "zero coefficients dropped" 1 (List.length a.Ir.terms);
+  check int "const kept" 3 a.Ir.const
+
+let test_affine_eval () =
+  let a = Ir.affine ~const:2 [ (3, "i"); (-1, "j") ] in
+  let env = function "i" -> 4 | "j" -> 5 | _ -> 0 in
+  check int "3*4 - 5 + 2" 9 (Ir.affine_eval a env)
+
+let test_affine_add () =
+  let a = Ir.affine ~const:1 [ (2, "i") ] in
+  let b = Ir.affine ~const:2 [ (3, "i"); (1, "j") ] in
+  let s = Ir.affine_add a b in
+  let env = function "i" -> 10 | "j" -> 100 | _ -> 0 in
+  check int "sum evaluates" (50 + 100 + 3) (Ir.affine_eval s env)
+
+let test_affine_add_cancel () =
+  let a = Ir.affine [ (2, "i") ] in
+  let b = Ir.affine [ (-2, "i") ] in
+  let s = Ir.affine_add a b in
+  check bool "cancelled to constant" true (Ir.affine_is_const s)
+
+let test_affine_shift () =
+  let a = Ir.av ~c:1 "i" in
+  let s = Ir.affine_shift a 4 in
+  check int "shifted const" 5 s.Ir.const
+
+let test_unit_var () =
+  check bool "i+2 is unit" true (Ir.unit_var (Ir.av ~c:2 "i") = Some ("i", 2));
+  check bool "2i is not unit" true (Ir.unit_var (Ir.affine [ (2, "i") ]) = None);
+  check bool "const is not unit" true (Ir.unit_var (Ir.ac 7) = None)
+
+let test_affine_equal () =
+  let a = Ir.affine ~const:1 [ (1, "i"); (2, "j") ] in
+  let b = Ir.affine ~const:1 [ (2, "j"); (1, "i") ] in
+  check bool "order-insensitive equality" true (Ir.affine_equal a b);
+  check bool "different const" false
+    (Ir.affine_equal a { b with Ir.const = 2 })
+
+let test_affine_vars () =
+  let a = Ir.affine [ (1, "i"); (2, "j") ] in
+  check int "two vars" 2 (List.length (Ir.affine_vars a))
+
+(* ------------------------------------------------------------------ *)
+(* Program structure helpers                                           *)
+
+let tiny_program ?(n = 8) () =
+  let i o = Ir.av ~c:o "i" in
+  let mk nid out rhs =
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo = 1; hi = n - 2; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref out [ i 0 ]) rhs ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "tiny";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ n ] }) [ "a"; "b"; "c" ];
+      nests =
+        [
+          mk "L1" "b" (Ir.Read (Ir.aref "a" [ i 0 ]));
+          mk "L2" "c" (Ir.Bin (Ir.Add, Ir.Read (Ir.aref "b" [ i 1 ]),
+                               Ir.Read (Ir.aref "b" [ i (-1) ])));
+        ];
+    }
+  in
+  Ir.validate p;
+  p
+
+let test_nest_accessors () =
+  let p = tiny_program () in
+  let n2 = Ir.find_nest p "L2" in
+  check int "reads" 2 (List.length (Ir.nest_reads n2));
+  check int "writes" 1 (List.length (Ir.nest_writes n2));
+  check bool "arrays sorted unique" true (Ir.nest_arrays n2 = [ "b"; "c" ]);
+  check bool "program arrays" true (Ir.program_arrays p = [ "a"; "b"; "c" ])
+
+let test_nest_iterations () =
+  let p = tiny_program ~n:10 () in
+  check int "1-D trip count" 8 (Ir.nest_iterations (Ir.find_nest p "L1"))
+
+let test_find_decl_missing () =
+  let p = tiny_program () in
+  Alcotest.check_raises "unknown array"
+    (Invalid_argument "Ir.find_decl: unknown array zz") (fun () ->
+      ignore (Ir.find_decl p "zz"))
+
+let test_num_elements () =
+  check int "3d elements" 24
+    (Ir.num_elements { Ir.aname = "x"; extents = [ 2; 3; 4 ] })
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+
+let expect_invalid f =
+  match f () with
+  | exception Ir.Invalid _ -> ()
+  | _ -> Alcotest.fail "expected Ir.Invalid"
+
+let test_validate_dim_mismatch () =
+  let p = tiny_program () in
+  let bad =
+    {
+      p with
+      Ir.nests =
+        [
+          {
+            Ir.nid = "B";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 1; parallel = true } ];
+            body =
+              [
+                Ir.stmt
+                  (Ir.aref "a" [ Ir.av "i"; Ir.av "i" ])
+                  (Ir.Const 0.0);
+              ];
+          };
+        ];
+    }
+  in
+  expect_invalid (fun () -> Ir.validate bad)
+
+let test_validate_unbound_var () =
+  let p = tiny_program () in
+  let bad =
+    {
+      p with
+      Ir.nests =
+        [
+          {
+            Ir.nid = "B";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 1; parallel = true } ];
+            body = [ Ir.stmt (Ir.aref "a" [ Ir.av "k" ]) (Ir.Const 0.0) ];
+          };
+        ];
+    }
+  in
+  expect_invalid (fun () -> Ir.validate bad)
+
+let test_validate_duplicate_decl () =
+  let d = { Ir.aname = "a"; extents = [ 4 ] } in
+  let bad = { Ir.pname = "bad"; decls = [ d; d ]; nests = [] } in
+  expect_invalid (fun () -> Ir.validate bad)
+
+let test_validate_empty_range () =
+  let bad =
+    {
+      Ir.pname = "bad";
+      decls = [ { Ir.aname = "a"; extents = [ 4 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "B";
+            levels = [ { Ir.lvar = "i"; lo = 3; hi = 1; parallel = true } ];
+            body = [ Ir.stmt (Ir.aref "a" [ Ir.av "i" ]) (Ir.Const 0.0) ];
+          };
+        ];
+    }
+  in
+  expect_invalid (fun () -> Ir.validate bad)
+
+let test_validate_duplicate_vars () =
+  let bad =
+    {
+      Ir.pname = "bad";
+      decls = [ { Ir.aname = "a"; extents = [ 4; 4 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "B";
+            levels =
+              [
+                { Ir.lvar = "i"; lo = 0; hi = 1; parallel = true };
+                { Ir.lvar = "i"; lo = 0; hi = 1; parallel = true };
+              ];
+            body =
+              [ Ir.stmt (Ir.aref "a" [ Ir.av "i"; Ir.av "i" ]) (Ir.Const 0.0) ];
+          };
+        ];
+    }
+  in
+  expect_invalid (fun () -> Ir.validate bad)
+
+let test_validate_guard_unbound () =
+  let bad =
+    {
+      Ir.pname = "bad";
+      decls = [ { Ir.aname = "a"; extents = [ 4 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "B";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 1; parallel = true } ];
+            body =
+              [
+                Ir.stmt ~guard:[ ("q", 0, 1) ]
+                  (Ir.aref "a" [ Ir.av "i" ])
+                  (Ir.Const 0.0);
+              ];
+          };
+        ];
+    }
+  in
+  expect_invalid (fun () -> Ir.validate bad)
+
+(* ------------------------------------------------------------------ *)
+(* Pretty-printing                                                     *)
+
+let test_pp_affine () =
+  let s = Fmt.str "%a" Ir.pp_affine (Ir.av ~c:(-1) "i") in
+  check string "i-1" "i-1" s;
+  let s = Fmt.str "%a" Ir.pp_affine (Ir.affine ~const:2 [ (2, "i"); (1, "j") ]) in
+  check string "2i+j+2" "2*i+j+2" s;
+  check string "const" "7" (Fmt.str "%a" Ir.pp_affine (Ir.ac 7))
+
+let test_pp_expr_precedence () =
+  let e =
+    Ir.Bin
+      ( Ir.Mul,
+        Ir.Bin (Ir.Add, Ir.Const 1.0, Ir.Const 2.0),
+        Ir.Const 3.0 )
+  in
+  check string "parenthesised" "(1 + 2) * 3" (Fmt.str "%a" Ir.pp_expr e)
+
+let test_pp_program_contains () =
+  let p = tiny_program () in
+  let s = Ir.program_to_string p in
+  check bool "has doall" true
+    (Tutil.contains s "doall (i = 1; i <= 6; i++)");
+  check bool "has stencil" true (Tutil.contains s "b[i+1] + b[i-1]")
+
+let test_pp_guard () =
+  let st =
+    Ir.stmt ~guard:[ ("i", 2, 5) ] (Ir.aref "a" [ Ir.av "i" ]) (Ir.Const 1.0)
+  in
+  let s = Fmt.str "%a" Ir.pp_stmt st in
+  check bool "guard printed" true
+    (Tutil.contains s "if (2 <= i && i <= 5)")
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter                                                         *)
+
+let test_interp_runs () =
+  let p = tiny_program ~n:10 () in
+  let st = Interp.run p in
+  let b = Interp.find_array st "b" and a = Interp.find_array st "a" in
+  for i = 1 to 8 do
+    check (Alcotest.float 0.0) "copy" a.(i) b.(i)
+  done
+
+let test_interp_stencil_value () =
+  let p = tiny_program ~n:10 () in
+  let st = Interp.run p in
+  let b = Interp.find_array st "b" and c = Interp.find_array st "c" in
+  check (Alcotest.float 0.0) "c = b[i+1]+b[i-1]" (b.(4) +. b.(2)) c.(3)
+
+let test_interp_deterministic () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let s1 = Interp.run p and s2 = Interp.run p in
+  check bool "bit identical" true (Interp.equal s1 s2)
+
+let test_interp_diff_reports () =
+  let p = tiny_program () in
+  let s1 = Interp.run p in
+  let s2 = Interp.run p in
+  (Interp.find_array s2 "c").(3) <- 42.0;
+  (match Interp.diff s1 s2 with
+  | Some (name, idx, _, _) ->
+    check string "array name" "c" name;
+    check int "index" 3 idx
+  | None -> Alcotest.fail "expected diff");
+  check bool "not equal" false (Interp.equal s1 s2)
+
+let test_interp_bounds_check () =
+  let bad =
+    {
+      Ir.pname = "oob";
+      decls = [ { Ir.aname = "a"; extents = [ 4 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "B";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 3; parallel = true } ];
+            body =
+              [
+                Ir.stmt
+                  (Ir.aref "a" [ Ir.av "i" ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av ~c:1 "i" ]));
+              ];
+          };
+        ];
+    }
+  in
+  (match Interp.run bad with
+  | exception Interp.Out_of_bounds _ -> ()
+  | _ -> Alcotest.fail "expected Out_of_bounds")
+
+let test_guard_execution () =
+  let n = 8 in
+  let p =
+    {
+      Ir.pname = "guarded";
+      decls = [ { Ir.aname = "a"; extents = [ n ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "G";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = n - 1; parallel = true } ];
+            body =
+              [
+                Ir.stmt ~guard:[ ("i", 2, 4) ]
+                  (Ir.aref "a" [ Ir.av "i" ])
+                  (Ir.Const 9.0);
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let st = Interp.run p in
+  let a = Interp.find_array st "a" in
+  for i = 0 to n - 1 do
+    if i >= 2 && i <= 4 then check (Alcotest.float 0.0) "guarded in" 9.0 a.(i)
+    else
+      check bool "guarded out untouched" true (a.(i) <> 9.0)
+  done
+
+let test_alias_init () =
+  (* arrays named with a double-underscore suffix share the base
+     array's initial values *)
+  check (Alcotest.float 0.0) "alias init"
+    (Interp.default_init "za" 17)
+    (Interp.default_init "za__rep0_n2" 17);
+  check (Alcotest.float 0.0) "copy alias"
+    (Interp.default_init "zr" 3)
+    (Interp.default_init "zr__copy" 3);
+  check bool "distinct arrays differ somewhere" true
+    (List.exists
+       (fun k -> Interp.default_init "za" k <> Interp.default_init "zb" k)
+       [ 0; 1; 2; 3; 4; 5 ])
+
+let test_checksum_stable () =
+  let p = tiny_program () in
+  let s1 = Interp.run p and s2 = Interp.run p in
+  check (Alcotest.float 0.0) "checksums equal" (Interp.checksum s1)
+    (Interp.checksum s2)
+
+let suite =
+  [
+    ("affine make", `Quick, test_affine_make);
+    ("affine eval", `Quick, test_affine_eval);
+    ("affine add", `Quick, test_affine_add);
+    ("affine add cancels", `Quick, test_affine_add_cancel);
+    ("affine shift", `Quick, test_affine_shift);
+    ("unit var", `Quick, test_unit_var);
+    ("affine equal", `Quick, test_affine_equal);
+    ("affine vars", `Quick, test_affine_vars);
+    ("nest accessors", `Quick, test_nest_accessors);
+    ("nest iterations", `Quick, test_nest_iterations);
+    ("find_decl missing", `Quick, test_find_decl_missing);
+    ("num elements", `Quick, test_num_elements);
+    ("validate dim mismatch", `Quick, test_validate_dim_mismatch);
+    ("validate unbound var", `Quick, test_validate_unbound_var);
+    ("validate duplicate decl", `Quick, test_validate_duplicate_decl);
+    ("validate empty range", `Quick, test_validate_empty_range);
+    ("validate duplicate vars", `Quick, test_validate_duplicate_vars);
+    ("validate guard unbound", `Quick, test_validate_guard_unbound);
+    ("pp affine", `Quick, test_pp_affine);
+    ("pp expr precedence", `Quick, test_pp_expr_precedence);
+    ("pp program", `Quick, test_pp_program_contains);
+    ("pp guard", `Quick, test_pp_guard);
+    ("interp runs", `Quick, test_interp_runs);
+    ("interp stencil value", `Quick, test_interp_stencil_value);
+    ("interp deterministic", `Quick, test_interp_deterministic);
+    ("interp diff reports", `Quick, test_interp_diff_reports);
+    ("interp bounds check", `Quick, test_interp_bounds_check);
+    ("guard execution", `Quick, test_guard_execution);
+    ("alias init", `Quick, test_alias_init);
+    ("checksum stable", `Quick, test_checksum_stable);
+  ]

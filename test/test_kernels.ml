@@ -1,0 +1,132 @@
+(* Tests for the benchmark kernels and application models. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Apps = Lf_kernels.Apps
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let test_kernels_validate () =
+  List.iter
+    (fun p -> Ir.validate p)
+    [
+      Lf_kernels.Ll18.program ~n:16 ();
+      Lf_kernels.Calc.program ~n:16 ();
+      Lf_kernels.Filter.program ~rows:16 ~cols:16 ();
+      Lf_kernels.Jacobi.program ~n:16 ();
+    ]
+
+let test_ll18_nine_arrays () =
+  let p = Lf_kernels.Ll18.program ~n:16 () in
+  check int "nine arrays" 9 (List.length p.Ir.decls);
+  check int "three nests" 3 (List.length p.Ir.nests)
+
+let test_calc_six_arrays () =
+  let p = Lf_kernels.Calc.program ~n:16 () in
+  check int "six arrays" 6 (List.length p.Ir.decls);
+  check int "five nests" 5 (List.length p.Ir.nests)
+
+let test_filter_ten_nests () =
+  let p = Lf_kernels.Filter.program ~rows:16 ~cols:16 () in
+  check int "ten nests" 10 (List.length p.Ir.nests)
+
+let test_ll18_jacobi_sizes () =
+  (* rectangular filter works *)
+  let p = Lf_kernels.Filter.program ~rows:20 ~cols:12 () in
+  let d = Ir.find_decl p "f1" in
+  check bool "rectangular extents" true (d.Ir.extents = [ 20; 12 ])
+
+let test_ll18_value_spotcheck () =
+  (* zr update: zr'[k][j] = zr[k][j] + t*zu'[k][j] *)
+  let p = Lf_kernels.Ll18.program ~n:8 () in
+  let st = Interp.run p in
+  let st0 = Interp.create p in
+  let zr = Interp.find_array st "zr" in
+  let zr0 = Interp.find_array st0 "zr" in
+  let zu = Interp.find_array st "zu" in
+  let k = 3 and j = 4 in
+  check (Alcotest.float 1e-12) "zr update"
+    (zr0.((k * 8) + j) +. (Lf_kernels.Ll18.t_const *. zu.((k * 8) + j)))
+    zr.((k * 8) + j)
+
+let test_apps_structure () =
+  let t = Apps.tomcatv ~n:33 () in
+  check int "tomcatv 1 sequence" 1 (Apps.num_sequences t);
+  check int "tomcatv longest 3" 3 (Apps.longest_sequence t);
+  let h = Apps.hydro2d ~rows:40 ~cols:24 () in
+  check int "hydro2d 3 sequences" 3 (Apps.num_sequences h);
+  check int "hydro2d longest 10" 10 (Apps.longest_sequence h);
+  let s = Apps.spem ~d0:24 ~d1:12 ~d2:12 () in
+  check int "spem 11 sequences" 11 (Apps.num_sequences s);
+  check int "spem longest 8" 8 (Apps.longest_sequence s)
+
+let test_apps_sequences_valid_and_parallel () =
+  let apps =
+    [
+      Apps.tomcatv ~n:33 ();
+      Apps.hydro2d ~rows:40 ~cols:24 ();
+      Apps.spem ~d0:24 ~d1:12 ~d2:12 ();
+    ]
+  in
+  List.iter
+    (fun (a : Apps.t) ->
+      List.iter
+        (fun p ->
+          Ir.validate p;
+          match Lf_dep.Dep.verify_program p with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+        a.Apps.sequences;
+      match a.Apps.remainder with
+      | None -> ()
+      | Some r -> Ir.validate r)
+    apps
+
+let test_apps_sequences_fusable () =
+  (* every sequence of every app must fuse correctly *)
+  let module Schedule = Lf_core.Schedule in
+  let apps =
+    [
+      Apps.tomcatv ~n:33 ();
+      Apps.hydro2d ~rows:40 ~cols:24 ();
+      Apps.spem ~d0:24 ~d1:16 ~d2:16 ();
+    ]
+  in
+  List.iter
+    (fun (a : Apps.t) ->
+      List.iter
+        (fun p ->
+          let sched = Schedule.fused ~nprocs:2 ~strip:4 p in
+          check bool
+            (Printf.sprintf "%s fused equiv" p.Ir.pname)
+            true
+            (Interp.equal (Interp.run p) (Schedule.execute ~order:Schedule.Reversed sched)))
+        a.Apps.sequences)
+    apps
+
+let test_data_sizes () =
+  (* paper data sizes: tomcatv ~16MB (7 arrays of 513x513), hydro2d
+     ~50-60MB, spem ~60-70MB *)
+  let bytes (p : Ir.program) =
+    List.fold_left (fun acc d -> acc + (8 * Ir.num_elements d)) 0 p.Ir.decls
+  in
+  let t = Apps.tomcatv () in
+  let tb = List.fold_left (fun acc p -> max acc (bytes p)) 0 t.Apps.sequences in
+  check bool "tomcatv ~16MB" true
+    (tb > 12 * 1024 * 1024 && tb < 20 * 1024 * 1024)
+
+let suite =
+  [
+    ("kernels validate", `Quick, test_kernels_validate);
+    ("ll18: 9 arrays, 3 nests", `Quick, test_ll18_nine_arrays);
+    ("calc: 6 arrays, 5 nests", `Quick, test_calc_six_arrays);
+    ("filter: 10 nests", `Quick, test_filter_ten_nests);
+    ("rectangular filter", `Quick, test_ll18_jacobi_sizes);
+    ("ll18 value spot-check", `Quick, test_ll18_value_spotcheck);
+    ("apps structure (Table 1)", `Quick, test_apps_structure);
+    ("apps sequences valid+parallel", `Quick, test_apps_sequences_valid_and_parallel);
+    ("apps sequences fusable", `Slow, test_apps_sequences_fusable);
+    ("tomcatv data size", `Quick, test_data_sizes);
+  ]

@@ -1,0 +1,130 @@
+(* Tests for the classical fusion-legality classifier: the prior
+   techniques reject exactly what shift-and-peel handles. *)
+
+module Legality = Lf_core.Legality
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let is_preventing = function
+  | Legality.Fusion_preventing _ -> true
+  | _ -> false
+
+let is_serial = function Legality.Fusable_serial _ -> true | _ -> false
+
+let test_fig3_fusion_preventing () =
+  (* Figure 3: a[i] written, read at i+1 and i-1: backward dep *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 1; -1 ] ] in
+  check bool "fusion-preventing" true (is_preventing (Legality.classify p))
+
+let test_fig4_serializing () =
+  (* Figure 4: a[i] written, read at i and i-1: forward dep only *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 0; -1 ] ] in
+  check bool "legal but serial" true (is_serial (Legality.classify p))
+
+let test_clean_fusion () =
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 0 ]; [ 0 ] ] in
+  check bool "parallel fusable" true
+    (Legality.classify p = Legality.Fusable_parallel)
+
+let test_paper_kernels_rejected_by_prior_work () =
+  (* all three kernels carry fusion-preventing dependences: prior fusion
+     techniques reject them, shift-and-peel handles them *)
+  List.iter
+    (fun p ->
+      check bool
+        (p.Lf_ir.Ir.pname ^ " rejected by plain fusion")
+        true
+        (is_preventing (Legality.classify p));
+      check bool
+        (p.Lf_ir.Ir.pname ^ " accepted by shift-and-peel")
+        true
+        (Legality.shift_and_peel_applicable p = Ok ()))
+    [
+      Lf_kernels.Ll18.program ~n:24 ();
+      Lf_kernels.Calc.program ~n:24 ();
+      Lf_kernels.Filter.program ~rows:24 ~cols:24 ();
+    ]
+
+let test_jacobi_2d_classification () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  check bool "jacobi prevented at depth 2" true
+    (is_preventing (Legality.classify ~depth:2 p))
+
+let test_not_analyzable () =
+  let i = Lf_ir.Ir.av "i" in
+  let p =
+    {
+      Lf_ir.Ir.pname = "nu";
+      decls =
+        [
+          { Lf_ir.Ir.aname = "a"; extents = [ 64 ] };
+          { Lf_ir.Ir.aname = "b"; extents = [ 64 ] };
+        ];
+      nests =
+        [
+          {
+            Lf_ir.Ir.nid = "L1";
+            levels =
+              [ { Lf_ir.Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [
+                Lf_ir.Ir.stmt
+                  (Lf_ir.Ir.aref "a" [ Lf_ir.Ir.affine [ (2, "i") ] ])
+                  (Lf_ir.Ir.Const 1.0);
+              ];
+          };
+          {
+            Lf_ir.Ir.nid = "L2";
+            levels =
+              [ { Lf_ir.Ir.lvar = "i"; lo = 0; hi = 20; parallel = true } ];
+            body =
+              [
+                Lf_ir.Ir.stmt (Lf_ir.Ir.aref "b" [ i ])
+                  (Lf_ir.Ir.Read (Lf_ir.Ir.aref "a" [ i ]));
+              ];
+          };
+        ];
+    }
+  in
+  (match Legality.classify p with
+  | Legality.Not_analyzable _ -> ()
+  | v -> Alcotest.failf "expected Not_analyzable, got %s"
+           (Legality.verdict_to_string v))
+
+let test_serial_nest_rejected_for_sp () =
+  let i o = Lf_ir.Ir.av ~c:o "i" in
+  let p =
+    {
+      Lf_ir.Ir.pname = "serial";
+      decls = [ { Lf_ir.Ir.aname = "a"; extents = [ 16 ] } ];
+      nests =
+        [
+          {
+            Lf_ir.Ir.nid = "L";
+            levels =
+              [ { Lf_ir.Ir.lvar = "i"; lo = 1; hi = 14; parallel = true } ];
+            body =
+              [
+                Lf_ir.Ir.stmt
+                  (Lf_ir.Ir.aref "a" [ i 0 ])
+                  (Lf_ir.Ir.Read (Lf_ir.Ir.aref "a" [ i (-1) ]));
+              ];
+          };
+        ];
+    }
+  in
+  check bool "shift-and-peel requires doall nests" true
+    (Legality.shift_and_peel_applicable p <> Ok ())
+
+let suite =
+  [
+    ("figure 3: fusion-preventing", `Quick, test_fig3_fusion_preventing);
+    ("figure 4: serializing", `Quick, test_fig4_serializing);
+    ("clean fusion", `Quick, test_clean_fusion);
+    ("kernels: prior work rejects, s&p accepts", `Quick,
+     test_paper_kernels_rejected_by_prior_work);
+    ("jacobi depth-2", `Quick, test_jacobi_2d_classification);
+    ("not analyzable", `Quick, test_not_analyzable);
+    ("serial nest rejected", `Quick, test_serial_nest_rejected_for_sp);
+  ]

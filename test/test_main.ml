@@ -1,0 +1,27 @@
+(* Test runner: all suites. *)
+
+let () =
+  Alcotest.run "loopfusion"
+    [
+      ("ir", Test_ir.suite);
+      ("dep", Test_dep.suite);
+      ("derive", Test_derive.suite);
+      ("schedule", Test_schedule.suite);
+      ("codegen", Test_codegen.suite);
+      ("cache", Test_cache.suite);
+      ("partition", Test_partition.suite);
+      ("machine", Test_machine.suite);
+      ("kernels", Test_kernels.suite);
+      ("parallel", Test_parallel.suite);
+      ("alignrep", Test_alignrep.suite);
+      ("profit", Test_profit.suite);
+      ("legality", Test_legality.suite);
+      ("distribute", Test_distribute.suite);
+      ("cluster", Test_cluster.suite);
+      ("contract", Test_contract.suite);
+      ("timeloop", Test_timeloop.suite);
+      ("parse", Test_parse.suite);
+      ("wavefront", Test_wavefront.suite);
+      ("properties", Test_properties.suite);
+      ("integration", Test_integration.suite);
+    ]

@@ -1,0 +1,196 @@
+(* Tests for the textual front end, including print/parse round-trips
+   of every kernel. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Parse = Lf_front.Parse
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let string = Alcotest.string
+
+let test_basic_program () =
+  let p =
+    Parse.program
+      {|
+      double a[64], b[64];
+      /* nest copy */
+      doall (i = 1; i <= 62; i++) {
+        a[i] = b[i] / 4;
+      }
+    |}
+  in
+  check int "one nest" 1 (List.length p.Ir.nests);
+  check int "two decls" 2 (List.length p.Ir.decls);
+  let n = List.hd p.Ir.nests in
+  check string "nest named from comment" "copy" n.Ir.nid;
+  check bool "parallel" true (List.hd n.Ir.levels).Ir.parallel
+
+let test_for_is_sequential () =
+  let p =
+    Parse.program
+      {| double a[8];
+         for (i = 0; i <= 7; i++) { a[i] = 1.0; } |}
+  in
+  check bool "sequential" false
+    (List.hd (List.hd p.Ir.nests).Ir.levels).Ir.parallel
+
+let test_nested_loops () =
+  let p =
+    Parse.program
+      {| double a[8][8];
+         doall (i = 1; i <= 6; i++) {
+           doall (j = 1; j <= 6; j++) {
+             a[i][j] = a[i][j] + 1.0;
+           }
+         } |}
+  in
+  check int "two levels" 2 (List.length (List.hd p.Ir.nests).Ir.levels)
+
+let test_affine_subscripts () =
+  let p =
+    Parse.program
+      {| double a[64], b[64][8];
+         doall (i = 2; i <= 20; i++) {
+           doall (j = 0; j <= 7; j++) {
+             b[2*i+3][j] = a[i-2] + a[i+1];
+           }
+         } |}
+  in
+  let st = List.hd (List.hd p.Ir.nests).Ir.body in
+  (match st.Ir.lhs.Ir.index with
+  | [ a; _ ] ->
+    check bool "2i+3" true (Ir.affine_equal a (Ir.affine ~const:3 [ (2, "i") ]))
+  | _ -> Alcotest.fail "bad subscripts");
+  match Ir.stmt_reads st with
+  | [ r1; _ ] ->
+    check int "a[i-2] offset" (-2) (List.hd r1.Ir.index).Ir.const
+  | _ -> Alcotest.fail "expected two reads"
+
+let test_guard_parses () =
+  let p =
+    Parse.program
+      {| double a[32];
+         doall (i = 0; i <= 31; i++) {
+           if (2 <= i && i <= 5) a[i] = 1.0;
+         } |}
+  in
+  let st = List.hd (List.hd p.Ir.nests).Ir.body in
+  check bool "guard" true (st.Ir.guard = [ ("i", 2, 5) ])
+
+let test_negative_and_float_constants () =
+  let p =
+    Parse.program
+      {| double a[8];
+         doall (i = 0; i <= 7; i++) {
+           a[i] = -a[i] * 0.25 + 1.5e2;
+         } |}
+  in
+  let st = List.hd (List.hd p.Ir.nests).Ir.body in
+  let s = Fmt.str "%a" Ir.pp_stmt st in
+  check bool "parses to -a * 0.25 + 150" true
+    (Tutil.contains s "0.25" && Tutil.contains s "150")
+
+let test_expression_precedence () =
+  let p =
+    Parse.program
+      {| double a[8], b[8];
+         doall (i = 0; i <= 7; i++) {
+           a[i] = b[i] + b[i] * b[i];
+         } |}
+  in
+  let st = List.hd (List.hd p.Ir.nests).Ir.body in
+  (match st.Ir.rhs with
+  | Ir.Bin (Ir.Add, _, Ir.Bin (Ir.Mul, _, _)) -> ()
+  | _ -> Alcotest.fail "mul must bind tighter than add")
+
+let test_parens () =
+  let p =
+    Parse.program
+      {| double a[8], b[8];
+         doall (i = 0; i <= 7; i++) {
+           a[i] = (b[i] + b[i]) * b[i];
+         } |}
+  in
+  let st = List.hd (List.hd p.Ir.nests).Ir.body in
+  (match st.Ir.rhs with
+  | Ir.Bin (Ir.Mul, Ir.Bin (Ir.Add, _, _), _) -> ()
+  | _ -> Alcotest.fail "parens must override precedence")
+
+let test_syntax_errors () =
+  List.iter
+    (fun src ->
+      match Parse.program src with
+      | exception Parse.Syntax_error _ -> ()
+      | exception Ir.Invalid _ -> ()
+      | _ -> Alcotest.failf "expected rejection of %s" src)
+    [
+      "double ;";
+      "doall (i = 0; i <= 7; i++) { }";
+      "double a[4]; doall (i = 0; j <= 7; i++) { a[i] = 1.0; }";
+      "double a[4]; doall (i = 0; i <= 7; i++) { a[i] = ; }";
+      "double a[4]; doall (i = 0; i <= 7; i++) { a[i] = 1.0 }";
+      (* validation: subscript out of declared rank *)
+      "double a[4]; doall (i = 0; i <= 3; i++) { a[i][i] = 1.0; }";
+    ]
+
+(* Round-trip: pretty-print then parse gives back the same program. *)
+let roundtrip p =
+  let q = Parse.program (Ir.program_to_string p) in
+  check bool (p.Ir.pname ^ " roundtrips") true (q = p)
+
+let test_roundtrip_kernels () =
+  roundtrip (Lf_kernels.Ll18.program ~n:16 ());
+  roundtrip (Lf_kernels.Calc.program ~n:16 ());
+  roundtrip (Lf_kernels.Filter.program ~rows:16 ~cols:12 ());
+  roundtrip (Lf_kernels.Jacobi.program ~n:16 ())
+
+let test_roundtrip_transformed () =
+  (* the alignment/replication output (guards, replica arrays) also
+     round-trips *)
+  match Lf_core.Alignrep.transform (Lf_kernels.Ll18.program ~n:12 ()) with
+  | Error m -> Alcotest.fail m
+  | Ok r -> roundtrip r.Lf_core.Alignrep.prog
+
+let test_parse_execute () =
+  (* a parsed program runs in the interpreter *)
+  let p =
+    Parse.program
+      {| /* program smooth */
+         double x[32], y[32];
+         doall (i = 1; i <= 30; i++) {
+           y[i] = (x[i-1] + x[i+1]) / 2;
+         } |}
+  in
+  check string "program name" "smooth" p.Ir.pname;
+  let st = Interp.run p in
+  let x = Interp.find_array st "x" and y = Interp.find_array st "y" in
+  check (Alcotest.float 1e-12) "value" ((x.(4) +. x.(6)) /. 2.0) y.(5)
+
+let test_file_roundtrip () =
+  let p = Lf_kernels.Jacobi.program ~n:12 () in
+  let path = Filename.temp_file "lf" ".loop" in
+  let oc = open_out path in
+  output_string oc (Ir.program_to_string p);
+  close_out oc;
+  let q = Parse.program_of_file ~name:p.Ir.pname path in
+  Sys.remove path;
+  check bool "file roundtrip" true (q = p)
+
+let suite =
+  [
+    ("basic program", `Quick, test_basic_program);
+    ("for is sequential", `Quick, test_for_is_sequential);
+    ("nested loops", `Quick, test_nested_loops);
+    ("affine subscripts", `Quick, test_affine_subscripts);
+    ("guard parses", `Quick, test_guard_parses);
+    ("negative and float constants", `Quick, test_negative_and_float_constants);
+    ("expression precedence", `Quick, test_expression_precedence);
+    ("parens", `Quick, test_parens);
+    ("syntax errors", `Quick, test_syntax_errors);
+    ("roundtrip kernels", `Quick, test_roundtrip_kernels);
+    ("roundtrip transformed", `Quick, test_roundtrip_transformed);
+    ("parse and execute", `Quick, test_parse_execute);
+    ("file roundtrip", `Quick, test_file_roundtrip);
+  ]

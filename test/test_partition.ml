@@ -1,0 +1,176 @@
+(* Tests for memory layouts: contiguous, padded, and cache-partitioned
+   (the greedy algorithm of Figure 19). *)
+
+module Ir = Lf_ir.Ir
+module Partition = Lf_core.Partition
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let decls extents names =
+  List.map (fun a -> { Ir.aname = a; extents }) names
+
+let convex = { Partition.capacity = 1024 * 1024; line = 64; assoc = 1 }
+let ksr2 = { Partition.capacity = 256 * 1024; line = 64; assoc = 2 }
+
+let test_contiguous_addresses () =
+  let l = Partition.contiguous ~align:64 (decls [ 4; 8 ] [ "a"; "b" ]) in
+  check int "a at 0" 0 (Partition.address l "a" [| 0; 0 |]);
+  check int "row-major" ((2 * 8 * 8) + (3 * 8)) (Partition.address l "a" [| 2; 3 |]);
+  (* a is 256 bytes; b starts at next 64-aligned address = 256 *)
+  check int "b start aligned" 256 (Partition.address l "b" [| 0; 0 |])
+
+let test_contiguous_alignment () =
+  let l = Partition.contiguous ~align:128 (decls [ 3 ] [ "a"; "b" ]) in
+  (* a = 24 bytes; b aligned to 128 *)
+  check int "aligned start" 128 (Partition.address l "b" [| 0 |])
+
+let test_padded_extents () =
+  let l = Partition.padded ~pad:3 (decls [ 4; 8 ] [ "a" ]) in
+  let p = Partition.find_placement l "a" in
+  check bool "inner extent padded" true (p.Partition.aextents = [| 4; 11 |]);
+  (* element (1,0) is 11 elements in, not 8 *)
+  check int "padded stride" (11 * 8) (Partition.address l "a" [| 1; 0 |])
+
+let test_padded_zero_is_contiguous_stride () =
+  let l = Partition.padded ~pad:0 (decls [ 4; 8 ] [ "a" ]) in
+  check int "stride unchanged" (8 * 8) (Partition.address l "a" [| 1; 0 |])
+
+let test_padded_negative_rejected () =
+  (match Partition.padded ~pad:(-1) (decls [ 4 ] [ "a" ]) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_partitioned_distinct_partitions () =
+  (* nine 512x512 arrays on the Convex: all start addresses must map to
+     distinct partitions of the cache *)
+  let names = List.init 9 (fun i -> Printf.sprintf "a%d" i) in
+  let l = Partition.cache_partitioned ~cache:convex (decls [ 512; 512 ] names) in
+  let sp = Partition.partition_size ~cache:convex ~narrays:9 / convex.Partition.line
+           * convex.Partition.line in
+  let parts =
+    List.map
+      (fun a ->
+        Partition.cache_map convex (Partition.address l a [| 0; 0 |]) / sp)
+      names
+  in
+  check int "all distinct" 9 (List.length (List.sort_uniq compare parts))
+
+let test_partitioned_exact_targets () =
+  let names = List.init 4 (fun i -> Printf.sprintf "a%d" i) in
+  let l = Partition.cache_partitioned ~cache:convex (decls [ 512; 512 ] names) in
+  let sp = convex.Partition.capacity / 4 in
+  List.iter
+    (fun a ->
+      let m = Partition.cache_map convex (Partition.address l a [| 0; 0 |]) in
+      check int (a ^ " on a partition boundary") 0 (m mod sp))
+    names
+
+let test_partitioned_set_associative () =
+  (* on a 2-way cache, pairs of arrays may share a set region *)
+  let names = List.init 4 (fun i -> Printf.sprintf "a%d" i) in
+  let l = Partition.cache_partitioned ~cache:ksr2 (decls [ 256; 256 ] names) in
+  let span = Partition.cache_span ksr2 in
+  let maps =
+    List.map
+      (fun a -> Partition.cache_map ksr2 (Partition.address l a [| 0; 0 |]))
+      names
+  in
+  (* at most assoc arrays per set address *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      let c = try Hashtbl.find tbl m with Not_found -> 0 in
+      Hashtbl.replace tbl m (c + 1))
+    maps;
+  Hashtbl.iter
+    (fun _ c -> check bool "within associativity" true (c <= ksr2.Partition.assoc))
+    tbl;
+  List.iter (fun m -> check bool "within span" true (m < span)) maps
+
+let test_partition_gap_overhead_bounded () =
+  (* each gap is smaller than one span, so overhead < narrays * span *)
+  let names = List.init 6 (fun i -> Printf.sprintf "a%d" i) in
+  let ds = decls [ 128; 128 ] names in
+  let l = Partition.cache_partitioned ~cache:convex ds in
+  let overhead = Partition.overhead_bytes l ds in
+  check bool "overhead bounded" true
+    (overhead >= 0 && overhead < 6 * Partition.cache_span convex)
+
+let test_partitioned_no_overlap () =
+  (* placements must not overlap in memory *)
+  let names = List.init 9 (fun i -> Printf.sprintf "a%d" i) in
+  let ds = decls [ 64; 64 ] names in
+  let l = Partition.cache_partitioned ~cache:convex ds in
+  let spans =
+    List.map
+      (fun a ->
+        let p = Partition.find_placement l a in
+        (p.Partition.start, p.Partition.start + Partition.array_bytes l p))
+      names
+    |> List.sort compare
+  in
+  let rec go = function
+    | (_, e1) :: ((s2, _) :: _ as rest) ->
+      check bool "no overlap" true (e1 <= s2);
+      go rest
+    | _ -> ()
+  in
+  go spans
+
+let test_single_array () =
+  let l = Partition.cache_partitioned ~cache:convex (decls [ 16 ] [ "only" ]) in
+  check int "placed" 1 (List.length l.Partition.placements)
+
+let test_empty_decls () =
+  let l = Partition.cache_partitioned ~cache:convex [] in
+  check int "empty" 0 l.Partition.total_bytes
+
+let test_max_strip () =
+  (* 1MB cache, 9 arrays, 512-element rows (4KB): partition 113KB ->
+     about 28 rows *)
+  let s =
+    Partition.max_strip ~cache:convex ~narrays:9 ~row_elems:512
+      ~rows_per_iter:1 ()
+  in
+  check bool "strip in expected range" true (s >= 20 && s <= 32)
+
+let test_compatibility () =
+  let r1 = Ir.aref "a" [ Ir.av ~c:1 "i"; Ir.av "j" ] in
+  let r2 = Ir.aref "b" [ Ir.av ~c:(-1) "i"; Ir.av ~c:2 "j" ] in
+  check bool "same linear part compatible" true (Partition.compatible_refs r1 r2);
+  let r3 = Ir.aref "c" [ Ir.av "j"; Ir.av "i" ] in
+  check bool "permuted not compatible" false (Partition.compatible_refs r1 r3)
+
+let test_program_compatible () =
+  check bool "ll18 compatible" true
+    (Partition.program_compatible (Lf_kernels.Ll18.program ~n:16 ()));
+  check bool "jacobi compatible" true
+    (Partition.program_compatible (Lf_kernels.Jacobi.program ~n:16 ()))
+
+let test_address_unknown_array () =
+  let l = Partition.contiguous (decls [ 4 ] [ "a" ]) in
+  (match Partition.address l "zz" [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let suite =
+  [
+    ("contiguous addresses", `Quick, test_contiguous_addresses);
+    ("contiguous alignment", `Quick, test_contiguous_alignment);
+    ("padded extents", `Quick, test_padded_extents);
+    ("padded zero", `Quick, test_padded_zero_is_contiguous_stride);
+    ("padded negative rejected", `Quick, test_padded_negative_rejected);
+    ("partitioned: distinct partitions", `Quick, test_partitioned_distinct_partitions);
+    ("partitioned: exact targets", `Quick, test_partitioned_exact_targets);
+    ("partitioned: set-associative", `Quick, test_partitioned_set_associative);
+    ("partitioned: gap overhead bounded", `Quick, test_partition_gap_overhead_bounded);
+    ("partitioned: no overlap", `Quick, test_partitioned_no_overlap);
+    ("single array", `Quick, test_single_array);
+    ("empty decls", `Quick, test_empty_decls);
+    ("max strip", `Quick, test_max_strip);
+    ("reference compatibility", `Quick, test_compatibility);
+    ("program compatibility", `Quick, test_program_compatible);
+    ("address unknown array", `Quick, test_address_unknown_array);
+  ]

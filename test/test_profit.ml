@@ -1,0 +1,60 @@
+(* Tests for the fusion profitability estimate. *)
+
+module Profit = Lf_core.Profit
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let mb = 1024 * 1024
+
+let test_estimate_fields () =
+  let p = Lf_kernels.Ll18.program ~n:128 () in
+  (* 9 arrays * 128*128*8 = 1.125 MB *)
+  let e = Profit.estimate ~nprocs:1 ~cache_bytes:mb p in
+  check int "data bytes" (9 * 128 * 128 * 8) e.Profit.data_bytes;
+  check bool "does not fit in 1MB" true e.Profit.profitable
+
+let test_not_profitable_when_fits () =
+  let p = Lf_kernels.Ll18.program ~n:128 () in
+  let e = Profit.estimate ~nprocs:8 ~cache_bytes:mb p in
+  check bool "fits per proc" true e.Profit.fits_in_cache;
+  check bool "not profitable" false e.Profit.profitable
+
+let test_ratio () =
+  let p = Lf_kernels.Ll18.program ~n:128 () in
+  let e = Profit.estimate ~nprocs:2 ~cache_bytes:mb p in
+  check bool "ratio per-proc/cache" true (abs_float (e.Profit.ratio -. 0.5625) < 0.01)
+
+let test_max_profitable_procs () =
+  let p = Lf_kernels.Ll18.program ~n:128 () in
+  let maxp = Profit.max_profitable_procs ~cache_bytes:mb p in
+  (* 1.125MB total / 1MB caches: only profitable on 1 processor *)
+  check int "max procs" 2 maxp;
+  let e = Profit.estimate ~nprocs:maxp ~cache_bytes:mb p in
+  ignore e;
+  let e' = Profit.estimate ~nprocs:(maxp + 1) ~cache_bytes:mb p in
+  check bool "beyond max not profitable" false e'.Profit.profitable
+
+let test_small_data_never_profitable () =
+  let p = Lf_kernels.Jacobi.program ~n:32 () in
+  check int "0 procs" 0 (Profit.max_profitable_procs ~cache_bytes:mb p)
+
+let test_more_arrays_more_profitable () =
+  (* LL18 (9 arrays) stays profitable to more processors than calc (6) *)
+  let cache_bytes = 256 * 1024 in
+  let ll18 = Profit.max_profitable_procs ~cache_bytes
+      (Lf_kernels.Ll18.program ~n:256 ()) in
+  let calc = Profit.max_profitable_procs ~cache_bytes
+      (Lf_kernels.Calc.program ~n:256 ()) in
+  check bool "ll18 profitable longer" true (ll18 > calc)
+
+let suite =
+  [
+    ("estimate fields", `Quick, test_estimate_fields);
+    ("not profitable when fits", `Quick, test_not_profitable_when_fits);
+    ("ratio", `Quick, test_ratio);
+    ("max profitable procs", `Quick, test_max_profitable_procs);
+    ("small data never profitable", `Quick, test_small_data_never_profitable);
+    ("more arrays, profitable longer", `Quick, test_more_arrays_more_profitable);
+  ]

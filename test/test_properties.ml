@@ -1,0 +1,526 @@
+(* Property-based tests (QCheck): the shift-and-peel machinery must be
+   semantics-preserving and exactly-covering on randomly generated
+   uniform stencil chains, and the layout/partitioning invariants must
+   hold for random array sets. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Derive = Lf_core.Derive
+module Partition = Lf_core.Partition
+
+open QCheck
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+(* A random chain program: 2-5 nests, each reading the previous array
+   at 1-3 offsets in [-2, 2]. *)
+let gen_chain =
+  let open Gen in
+  let* nnests = int_range 2 5 in
+  let* offsets =
+    list_repeat nnests (list_size (int_range 1 3) (int_range (-2) 2))
+  in
+  let* hi = int_range 24 48 in
+  return (Tutil.chain_program ~lo:3 ~hi offsets, offsets)
+
+let arb_chain =
+  make
+    ~print:(fun (p, offs) ->
+      Printf.sprintf "%s offsets=%s" p.Ir.pname
+        (String.concat ";"
+           (List.map
+              (fun l -> String.concat "," (List.map string_of_int l))
+              offs)))
+    gen_chain
+
+let arb_exec_config =
+  make
+    ~print:(fun (np, strip, order) ->
+      Printf.sprintf "nprocs=%d strip=%d order=%d" np strip order)
+    Gen.(triple (int_range 1 5) (int_range 1 10) (int_range 0 2))
+
+let order_of = function
+  | 0 -> Schedule.Natural
+  | 1 -> Schedule.Reversed
+  | _ -> Schedule.Interleaved
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+(* Fused shift-and-peel execution is semantics-preserving for any
+   processor count, strip size and execution order (when the block-size
+   threshold admits the configuration). *)
+let prop_fused_equivalence =
+  Test.make ~count:120 ~name:"fused schedule preserves semantics"
+    (pair arb_chain arb_exec_config)
+    (fun ((p, _), (nprocs, strip, order)) ->
+      match Schedule.fused ~nprocs ~strip p with
+      | exception Schedule.Illegal _ -> true (* threshold rejects *)
+      | exception Invalid_argument _ -> true (* more procs than iters *)
+      | sched ->
+        let st = Schedule.execute ~order:(order_of order) sched in
+        Interp.equal (Interp.run p) st)
+
+(* Fused+peeled boxes tile each nest's iteration space exactly. *)
+let prop_exact_coverage =
+  Test.make ~count:80 ~name:"fused schedule covers exactly once"
+    (pair arb_chain (int_range 1 5))
+    (fun ((p, _), nprocs) ->
+      match Schedule.fused ~nprocs ~strip:4 p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true
+      | sched ->
+        List.for_all
+          (fun (k, n) ->
+            let pts = Schedule.coverage sched ~nest:k in
+            let tbl = Hashtbl.create 64 in
+            List.iter
+              (fun (_, _, pt) ->
+                Hashtbl.replace tbl pt (1 + Option.value ~default:0
+                                          (Hashtbl.find_opt tbl pt)))
+              pts;
+            Hashtbl.fold (fun _ c ok -> ok && c = 1) tbl true
+            && Hashtbl.length tbl = Ir.nest_iterations n)
+          (List.mapi (fun k n -> (k, n)) p.Ir.nests))
+
+(* Derived shifts and peels are non-negative and monotone along the
+   chain (each nest depends only on its predecessor). *)
+let prop_derive_monotone =
+  Test.make ~count:200 ~name:"shifts/peels non-negative and monotone"
+    arb_chain
+    (fun (p, _) ->
+      let d = Derive.of_program ~depth:1 p in
+      let s = Array.map (fun r -> r.(0)) d.Derive.shift in
+      let q = Array.map (fun r -> r.(0)) d.Derive.peel in
+      let ok = ref true in
+      Array.iteri (fun _ v -> if v < 0 then ok := false) s;
+      Array.iteri (fun _ v -> if v < 0 then ok := false) q;
+      for k = 0 to Array.length s - 2 do
+        if s.(k) > s.(k + 1) || q.(k) > q.(k + 1) then ok := false
+      done;
+      !ok)
+
+(* The derived amounts are exactly the accumulated negated minimum /
+   accumulated maximum of each link's flow distances along the chain. *)
+let prop_derive_strict =
+  Test.make ~count:200 ~name:"derivation equals chain recurrence" arb_chain
+    (fun (p, offsets) ->
+      let d = Derive.of_program ~depth:1 p in
+      let s = Array.map (fun r -> r.(0)) d.Derive.shift in
+      let q = Array.map (fun r -> r.(0)) d.Derive.peel in
+      (* reading a[i+o] from the producer writing a[i]: the flow
+         distance is -o; shift accumulates -min distance, peel
+         accumulates +max distance, along the chain *)
+      let ok = ref (s.(0) = 0 && q.(0) = 0) in
+      let acc_s = ref 0 and acc_q = ref 0 in
+      List.iteri
+        (fun k offs ->
+          if k > 0 then begin
+            let dists = List.map (fun o -> -o) offs in
+            let dmin = List.fold_left min 0 dists in
+            let dmax = List.fold_left max 0 dists in
+            acc_s := !acc_s - dmin;
+            acc_q := !acc_q + dmax;
+            if s.(k) <> !acc_s || q.(k) <> !acc_q then ok := false
+          end)
+        offsets;
+      !ok)
+
+(* Unfused block-scheduled execution is always equivalent. *)
+let prop_unfused_equivalence =
+  Test.make ~count:100 ~name:"unfused schedule preserves semantics"
+    (pair arb_chain (int_range 1 6))
+    (fun ((p, _), nprocs) ->
+      match Schedule.unfused ~nprocs p with
+      | exception Invalid_argument _ -> true
+      | sched ->
+        Interp.equal (Interp.run p)
+          (Schedule.execute ~order:Schedule.Interleaved sched))
+
+(* Cache partitioning: array start addresses map to distinct partition
+   targets for random array sets. *)
+let prop_partition_distinct =
+  Test.make ~count:100 ~name:"cache partitioning assigns distinct partitions"
+    (list_of_size (Gen.int_range 1 12)
+       (make ~print:string_of_int (Gen.int_range 1 400)))
+    (fun sizes ->
+      let cache = { Partition.capacity = 64 * 1024; line = 64; assoc = 1 } in
+      let decls =
+        List.mapi
+          (fun i rows -> { Ir.aname = Printf.sprintf "a%d" i; extents = [ rows; 16 ] })
+          sizes
+      in
+      let l = Partition.cache_partitioned ~cache decls in
+      let na = List.length decls in
+      let sp = max cache.Partition.line
+          (Partition.partition_size ~cache ~narrays:na
+           / cache.Partition.line * cache.Partition.line) in
+      let parts =
+        List.map
+          (fun (d : Ir.decl) ->
+            Partition.cache_map cache (Partition.address l d.Ir.aname
+                                         (Array.make 2 0)) / sp)
+          decls
+      in
+      List.length (List.sort_uniq compare parts) = na)
+
+(* Balanced blocks: always tile, sizes within 1. *)
+let prop_blocks_balanced =
+  Test.make ~count:200 ~name:"blocks tile and are balanced"
+    (pair (pair (int_range 0 50) (int_range 0 400)) (int_range 1 16))
+    (fun ((lo, len), nprocs) ->
+      let hi = lo + len + nprocs in
+      (* ensure enough iterations *)
+      let blocks =
+        List.init nprocs (fun p -> Schedule.block ~lo ~hi ~nprocs ~p)
+      in
+      let contiguous =
+        List.fold_left
+          (fun (ok, expected) (bs, be) -> (ok && bs = expected, be + 1))
+          (true, lo) blocks
+      in
+      let sizes = List.map (fun (bs, be) -> be - bs + 1) blocks in
+      let mn = List.fold_left min max_int sizes in
+      let mx = List.fold_left max 0 sizes in
+      fst contiguous && snd contiguous = hi + 1 && mx - mn <= 1)
+
+(* Model-based check of the cache simulator: a naive reference model
+   (association list per set, LRU by explicit reordering) must agree
+   with the packed-array implementation on random traces. *)
+let prop_cache_model =
+  let module Cache = Lf_cache.Cache in
+  let cfg_gen =
+    Gen.oneofl
+      [
+        { Cache.capacity = 512; line = 64; assoc = 1 };
+        { Cache.capacity = 1024; line = 64; assoc = 2 };
+        { Cache.capacity = 2048; line = 128; assoc = 4 };
+      ]
+  in
+  let arb =
+    make
+      ~print:(fun (c, trace) ->
+        Printf.sprintf "cap=%d assoc=%d trace=%d accesses" c.Cache.capacity
+          c.Cache.assoc (List.length trace))
+      Gen.(pair cfg_gen (list_size (int_range 1 300) (int_range 0 8191)))
+  in
+  Test.make ~count:150 ~name:"cache agrees with naive LRU model" arb
+    (fun (cfg, trace) ->
+      let c = Cache.create cfg in
+      let nsets = cfg.Cache.capacity / (cfg.Cache.line * cfg.Cache.assoc) in
+      (* model: per set, a most-recently-used-first list of line tags *)
+      let model = Array.make nsets [] in
+      List.for_all
+        (fun addr ->
+          let line = addr / cfg.Cache.line in
+          let set = line mod nsets in
+          let hit_model = List.mem line model.(set) in
+          let without = List.filter (fun t -> t <> line) model.(set) in
+          let kept =
+            if List.length without >= cfg.Cache.assoc then
+              (* drop LRU = last element *)
+              List.filteri (fun i _ -> i < cfg.Cache.assoc - 1) without
+            else without
+          in
+          model.(set) <- line :: kept;
+          Cache.access c addr = hit_model)
+        trace)
+
+(* 2-D chains: random stencils in both dimensions, fused at depth 2 on
+   processor grids, remain semantics-preserving. *)
+let gen_chain2d =
+  let open Gen in
+  let* nnests = int_range 2 4 in
+  let* offs =
+    list_repeat nnests
+      (list_size (int_range 1 2) (pair (int_range (-1) 2) (int_range (-2) 1)))
+  in
+  let* rows = int_range 16 28 in
+  let* cols = int_range 16 28 in
+  return (offs, rows, cols)
+
+let chain2d_program (offs, rows, cols) =
+  let module I = Ir in
+  let nests =
+    List.mapi
+      (fun k reads ->
+        let src = Printf.sprintf "b%d" k in
+        let dst = Printf.sprintf "b%d" (k + 1) in
+        let rhs =
+          match
+            List.map
+              (fun (oi, oj) ->
+                I.Read (I.aref src [ I.av ~c:oi "i"; I.av ~c:oj "j" ]))
+              reads
+          with
+          | [] -> I.Const 0.0
+          | e :: es -> List.fold_left (fun a b -> I.Bin (I.Add, a, b)) e es
+        in
+        {
+          I.nid = Printf.sprintf "L%d" (k + 1);
+          levels =
+            [
+              { I.lvar = "i"; lo = 3; hi = rows - 4; parallel = true };
+              { I.lvar = "j"; lo = 3; hi = cols - 4; parallel = true };
+            ];
+          body = [ I.stmt (I.aref dst [ I.av "i"; I.av "j" ]) rhs ];
+        })
+      offs
+  in
+  let p =
+    {
+      I.pname = "chain2d";
+      decls =
+        List.init (List.length offs + 1) (fun k ->
+            { I.aname = Printf.sprintf "b%d" k; extents = [ rows; cols ] });
+      nests;
+    }
+  in
+  I.validate p;
+  p
+
+let prop_fused_equivalence_2d =
+  let arb =
+    make
+      ~print:(fun ((offs, r, c), np) ->
+        Printf.sprintf "%d nests %dx%d np=%d" (List.length offs) r c np)
+      Gen.(pair gen_chain2d (int_range 1 6))
+  in
+  Test.make ~count:60 ~name:"2-D fused schedule preserves semantics" arb
+    (fun (spec, nprocs) ->
+      let p = chain2d_program spec in
+      let d = Derive.of_program ~depth:2 p in
+      match Schedule.fused ~nprocs ~strip:4 ~derive:d p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true
+      | sched ->
+        Interp.equal (Interp.run p)
+          (Schedule.execute ~order:Schedule.Interleaved sched))
+
+(* The alignment/replication baseline, where applicable, is also
+   semantics-preserving on random chains. *)
+let prop_alignrep_equivalence =
+  Test.make ~count:60 ~name:"alignrep preserves semantics on chains"
+    (pair arb_chain (int_range 1 4))
+    (fun ((p, _), nprocs) ->
+      match Lf_core.Alignrep.transform p with
+      | Error _ -> true
+      | Ok r -> (
+        match Lf_core.Alignrep.schedule ~nprocs ~strip:5 r with
+        | exception _ -> true
+        | sched ->
+          let reference = Interp.run p in
+          let st = Schedule.execute ~order:Schedule.Reversed sched in
+          List.for_all
+            (fun (d : Ir.decl) ->
+              Interp.find_array reference d.Ir.aname
+              = Interp.find_array st d.Ir.aname)
+            p.Ir.decls))
+
+(* Wavefront scheduling preserves semantics on random chains (1-D) and
+   random 2-D chains. *)
+let prop_wavefront_equivalence =
+  Test.make ~count:80 ~name:"wavefront preserves semantics"
+    (pair arb_chain (pair (int_range 1 4) (int_range 2 9)))
+    (fun ((p, _), (nprocs, tile)) ->
+      let sched = Lf_core.Wavefront.schedule ~tile ~nprocs p in
+      Interp.equal (Interp.run p)
+        (Schedule.execute ~order:Schedule.Reversed sched))
+
+let prop_wavefront_equivalence_2d =
+  let arb =
+    make
+      ~print:(fun ((offs, r, c), np, t) ->
+        Printf.sprintf "%d nests %dx%d np=%d tile=%d" (List.length offs) r c
+          np t)
+      Gen.(triple gen_chain2d (int_range 1 4) (int_range 3 9))
+  in
+  Test.make ~count:50 ~name:"2-D wavefront preserves semantics" arb
+    (fun (spec, nprocs, tile) ->
+      let p = chain2d_program spec in
+      let d = Derive.of_program ~depth:2 p in
+      let sched = Lf_core.Wavefront.schedule ~tile ~derive:d ~nprocs p in
+      Interp.equal (Interp.run p)
+        (Schedule.execute ~order:Schedule.Interleaved sched))
+
+(* Time-stepped fused execution matches the time-stepped reference. *)
+let prop_steps_equivalence =
+  Test.make ~count:60 ~name:"fused schedule with time steps"
+    (pair arb_chain (pair (int_range 1 4) (int_range 1 5)))
+    (fun ((p, _), (nprocs, steps)) ->
+      match Schedule.fused ~nprocs ~strip:4 p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true
+      | sched ->
+        Interp.equal
+          (Interp.run ~steps p)
+          (Schedule.execute ~order:Schedule.Reversed ~steps sched))
+
+(* Distribution of random multi-statement nests preserves semantics;
+   pi-blocks are emitted in a dependence-respecting order. *)
+let gen_multistmt =
+  let open Gen in
+  let* nstmts = int_range 2 4 in
+  (* statement k writes array wk reading a random earlier array (or the
+     input) at a random offset *)
+  let* specs =
+    list_repeat nstmts (pair (int_range 0 3) (int_range (-2) 2))
+  in
+  let* hi = int_range 20 40 in
+  return (specs, hi)
+
+let multistmt_program (specs, hi) =
+  let module I = Ir in
+  let i o = I.av ~c:o "i" in
+  let narr = List.length specs + 1 in
+  let body =
+    List.mapi
+      (fun k (src, off) ->
+        let src = min src k in
+        (* arrays a0 (input) .. ak-1 are already written *)
+        I.stmt
+          (I.aref (Printf.sprintf "a%d" (k + 1)) [ i 0 ])
+          (I.Read (I.aref (Printf.sprintf "a%d" src) [ i off ])))
+      specs
+  in
+  let p =
+    {
+      I.pname = "multistmt";
+      decls =
+        List.init narr (fun k ->
+            { I.aname = Printf.sprintf "a%d" k; extents = [ hi + 4 ] });
+      nests =
+        [
+          {
+            I.nid = "L";
+            levels = [ { I.lvar = "i"; lo = 3; hi; parallel = false } ];
+            body;
+          };
+        ];
+    }
+  in
+  I.validate p;
+  p
+
+let prop_distribute_equivalence =
+  let arb =
+    make
+      ~print:(fun (specs, hi) ->
+        Printf.sprintf "%d stmts hi=%d" (List.length specs) hi)
+      gen_multistmt
+  in
+  Test.make ~count:120 ~name:"distribution preserves semantics" arb
+    (fun spec ->
+      let p = multistmt_program spec in
+      let q = Lf_core.Distribute.distribute p in
+      Interp.equal (Interp.run p) (Interp.run q))
+
+(* Clustering a random chain with a non-uniform nest injected at a
+   random position: groups tile the sequence, and the clustered
+   schedule is semantics-preserving. *)
+let prop_cluster_equivalence =
+  let arb =
+    make
+      ~print:(fun ((p, _), (pos, np)) ->
+        Printf.sprintf "%s inject=%d np=%d" p.Ir.pname pos np)
+      Gen.(pair gen_chain (pair (int_range 0 4) (int_range 1 3)))
+  in
+  Test.make ~count:60 ~name:"clustering preserves semantics" arb
+    (fun ((p, _), (pos, nprocs)) ->
+      (* inject a non-uniform nest writing a fresh array *)
+      let module I = Ir in
+      let nu =
+        {
+          I.nid = "NU";
+          levels = [ { I.lvar = "i"; lo = 0; hi = 10; parallel = true } ];
+          body =
+            [
+              I.stmt
+                (I.aref "nu" [ I.affine [ (2, "i") ] ])
+                (I.Read (I.aref "a0" [ I.av "i" ]));
+            ];
+        }
+      in
+      let pos = min pos (List.length p.I.nests) in
+      let nests =
+        List.filteri (fun i _ -> i < pos) p.I.nests
+        @ [ nu ]
+        @ List.filteri (fun i _ -> i >= pos) p.I.nests
+      in
+      let q =
+        {
+          p with
+          I.decls = { I.aname = "nu"; extents = [ 64 ] } :: p.I.decls;
+          nests;
+        }
+      in
+      I.validate q;
+      let gs = Lf_core.Cluster.groups q in
+      (* groups tile the sequence *)
+      let covered =
+        List.fold_left
+          (fun acc (g : Lf_core.Cluster.group) ->
+            acc + g.Lf_core.Cluster.members)
+          0 gs
+      in
+      covered = List.length q.I.nests
+      &&
+      match Lf_core.Cluster.schedule ~nprocs ~strip:4 q gs with
+      | exception _ -> true
+      | sched ->
+        Interp.equal (Interp.run q)
+          (Schedule.execute ~order:Schedule.Interleaved sched))
+
+(* Print/parse round-trip: random stencil chains survive a trip through
+   the pretty-printer and the front-end parser unchanged. *)
+let prop_parse_roundtrip =
+  Test.make ~count:150 ~name:"print/parse roundtrip" arb_chain
+    (fun (p, _) ->
+      let q = Lf_front.Parse.program (Ir.program_to_string p) in
+      q = p)
+
+let prop_parse_roundtrip_2d =
+  let arb =
+    make
+      ~print:(fun (offs, r, c) ->
+        Printf.sprintf "%d nests %dx%d" (List.length offs) r c)
+      gen_chain2d
+  in
+  Test.make ~count:80 ~name:"print/parse roundtrip (2-D)" arb
+    (fun spec ->
+      let p = chain2d_program spec in
+      Lf_front.Parse.program (Ir.program_to_string p) = p)
+
+(* Affine arithmetic round-trips under shifting. *)
+let prop_affine_shift =
+  Test.make ~count:200 ~name:"affine shift adds to evaluation"
+    (pair (int_range (-20) 20) (int_range (-20) 20))
+    (fun (c, k) ->
+      let a = Ir.av ~c "i" in
+      let env = fun _ -> 7 in
+      Ir.affine_eval (Ir.affine_shift a k) env = Ir.affine_eval a env + k)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_fused_equivalence;
+      prop_exact_coverage;
+      prop_derive_monotone;
+      prop_derive_strict;
+      prop_unfused_equivalence;
+      prop_partition_distinct;
+      prop_blocks_balanced;
+      prop_cache_model;
+      prop_fused_equivalence_2d;
+      prop_alignrep_equivalence;
+      prop_wavefront_equivalence;
+      prop_wavefront_equivalence_2d;
+      prop_steps_equivalence;
+      prop_distribute_equivalence;
+      prop_cluster_equivalence;
+      prop_parse_roundtrip;
+      prop_parse_roundtrip_2d;
+      prop_affine_shift;
+    ]

@@ -1,0 +1,256 @@
+(* Tests for the executable schedules: blocking, grids, exact coverage
+   (Theorem 1 proof obligations), semantic equivalence of the fused
+   execution under adversarial orders, and the legality threshold. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Derive = Lf_core.Derive
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* ------------------------------------------------------------------ *)
+(* Block scheduling                                                    *)
+
+let test_block_partition () =
+  (* blocks tile [lo,hi] contiguously, sizes differ by at most 1 *)
+  List.iter
+    (fun (lo, hi, n) ->
+      let blocks = List.init n (fun p -> Schedule.block ~lo ~hi ~nprocs:n ~p) in
+      let expected = ref lo in
+      List.iter
+        (fun (bs, be) ->
+          check int "contiguous" !expected bs;
+          expected := be + 1)
+        blocks;
+      check int "covers to hi" (hi + 1) !expected;
+      let sizes = List.map (fun (bs, be) -> be - bs + 1) blocks in
+      let mn = List.fold_left min max_int sizes in
+      let mx = List.fold_left max 0 sizes in
+      check bool "balanced" true (mx - mn <= 1))
+    [ (0, 9, 3); (1, 510, 32); (5, 100, 7); (0, 0, 1); (2, 57, 16) ]
+
+let test_block_too_many_procs () =
+  (match Schedule.block ~lo:0 ~hi:2 ~nprocs:5 ~p:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_balanced_grid () =
+  check bool "12 over 2" true (Schedule.balanced_grid ~nprocs:12 ~depth:2 = [| 4; 3 |]);
+  check bool "16 over 2" true (Schedule.balanced_grid ~nprocs:16 ~depth:2 = [| 4; 4 |]);
+  check bool "8 over 3" true (Schedule.balanced_grid ~nprocs:8 ~depth:3 = [| 2; 2; 2 |]);
+  check bool "7 over 2" true (Schedule.balanced_grid ~nprocs:7 ~depth:2 = [| 7; 1 |]);
+  check bool "1 over 1" true (Schedule.balanced_grid ~nprocs:1 ~depth:1 = [| 1 |])
+
+let test_grid_product () =
+  List.iter
+    (fun (n, d) ->
+      let g = Schedule.balanced_grid ~nprocs:n ~depth:d in
+      check int "product" n (Array.fold_left ( * ) 1 g))
+    [ (6, 2); (24, 3); (56, 2); (13, 2); (36, 3) ]
+
+let test_cell_of_proc () =
+  let g = [| 3; 2 |] in
+  check bool "proc 0" true (Schedule.cell_of_proc g 0 = [| 0; 0 |]);
+  check bool "proc 1" true (Schedule.cell_of_proc g 1 = [| 0; 1 |]);
+  check bool "proc 5" true (Schedule.cell_of_proc g 5 = [| 2; 1 |])
+
+(* ------------------------------------------------------------------ *)
+(* Coverage: Theorem 1 proof obligations on concrete instances         *)
+
+(* Every iteration of every nest is executed exactly once, and all
+   peeled (phase >= 1) iterations run after the fused phase. *)
+let check_exact_coverage p sched =
+  List.iteri
+    (fun k (n : Ir.nest) ->
+      let pts = Schedule.coverage sched ~nest:k in
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (_, _, point) ->
+          if Hashtbl.mem seen point then
+            Alcotest.failf "nest %s: duplicated iteration" n.Ir.nid;
+          Hashtbl.replace seen point ())
+        pts;
+      check int
+        (Printf.sprintf "nest %s fully covered" n.Ir.nid)
+        (Ir.nest_iterations n) (Hashtbl.length seen))
+    p.Ir.nests
+
+let test_fused_coverage_1d () =
+  List.iter
+    (fun (nprocs, strip) ->
+      let p = Lf_kernels.Ll18.program ~n:24 () in
+      let sched = Schedule.fused ~nprocs ~strip p in
+      check_exact_coverage p sched)
+    [ (1, 4); (2, 3); (3, 64); (4, 1); (5, 2) ]
+
+let test_fused_coverage_2d () =
+  List.iter
+    (fun nprocs ->
+      let p = Lf_kernels.Jacobi.program ~n:20 () in
+      let d = Derive.of_program ~depth:2 p in
+      let sched = Schedule.fused ~nprocs ~strip:4 ~derive:d p in
+      check_exact_coverage p sched)
+    [ 1; 2; 4; 6 ]
+
+let test_unfused_coverage () =
+  let p = Lf_kernels.Calc.program ~n:24 () in
+  let sched = Schedule.unfused ~nprocs:3 p in
+  check_exact_coverage p sched
+
+let test_coverage_differing_bounds () =
+  (* nests with different iteration spaces can still be fused *)
+  let mk nid lo hi src dst o =
+    let i c = Ir.av ~c "i" in
+    {
+      Ir.nid;
+      levels = [ { Ir.lvar = "i"; lo; hi; parallel = true } ];
+      body = [ Ir.stmt (Ir.aref dst [ i 0 ]) (Ir.Read (Ir.aref src [ i o ])) ];
+    }
+  in
+  let p =
+    {
+      Ir.pname = "diffbounds";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 40 ] }) [ "a"; "b"; "c" ];
+      nests = [ mk "L1" 2 30 "a" "b" 0; mk "L2" 5 25 "b" "c" 1 ];
+    }
+  in
+  Ir.validate p;
+  List.iter
+    (fun nprocs ->
+      let sched = Schedule.fused ~nprocs ~strip:4 p in
+      check_exact_coverage p sched;
+      let st = Schedule.execute sched in
+      check bool "matches reference" true (Interp.equal (Interp.run p) st))
+    [ 1; 2; 3 ]
+
+(* ------------------------------------------------------------------ *)
+(* Semantic equivalence                                                *)
+
+let equivalent ?grid ?derive p ~nprocs ~strip =
+  let reference = Interp.run p in
+  List.for_all
+    (fun order ->
+      let sched = Schedule.fused ?grid ?derive ~nprocs ~strip p in
+      Interp.equal reference (Schedule.execute ~order sched))
+    [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ]
+
+let test_equivalence_ll18 () =
+  List.iter
+    (fun (nprocs, strip) ->
+      check bool
+        (Printf.sprintf "ll18 P=%d strip=%d" nprocs strip)
+        true
+        (equivalent (Lf_kernels.Ll18.program ~n:32 ()) ~nprocs ~strip))
+    [ (1, 5); (2, 3); (4, 7); (6, 64) ]
+
+let test_equivalence_calc () =
+  List.iter
+    (fun (nprocs, strip) ->
+      check bool "calc" true
+        (equivalent (Lf_kernels.Calc.program ~n:40 ()) ~nprocs ~strip))
+    [ (1, 4); (3, 2); (4, 9) ]
+
+let test_equivalence_filter () =
+  check bool "filter" true
+    (equivalent (Lf_kernels.Filter.program ~rows:48 ~cols:12 ()) ~nprocs:3
+       ~strip:5)
+
+let test_equivalence_jacobi_2d () =
+  let p = Lf_kernels.Jacobi.program ~n:26 () in
+  let d = Derive.of_program ~depth:2 p in
+  List.iter
+    (fun nprocs ->
+      check bool
+        (Printf.sprintf "jacobi2d P=%d" nprocs)
+        true
+        (equivalent ~derive:d p ~nprocs ~strip:4))
+    [ 1; 2; 4; 6; 9 ]
+
+let test_equivalence_explicit_grid () =
+  let p = Lf_kernels.Jacobi.program ~n:26 () in
+  let d = Derive.of_program ~depth:2 p in
+  check bool "grid 1x4" true
+    (equivalent ~grid:[| 1; 4 |] ~derive:d p ~nprocs:4 ~strip:8);
+  check bool "grid 4x1" true
+    (equivalent ~grid:[| 4; 1 |] ~derive:d p ~nprocs:4 ~strip:8)
+
+let test_equivalence_strip_one () =
+  check bool "strip=1" true
+    (equivalent (Lf_kernels.Ll18.program ~n:20 ()) ~nprocs:2 ~strip:1)
+
+let test_unfused_equivalence () =
+  List.iter
+    (fun nprocs ->
+      let p = Lf_kernels.Calc.program ~n:24 () in
+      let st = Schedule.execute (Schedule.unfused ~nprocs p) in
+      check bool "unfused equiv" true (Interp.equal (Interp.run p) st))
+    [ 1; 2; 5 ]
+
+let test_serial_schedule () =
+  let p = Lf_kernels.Ll18.program ~n:16 () in
+  let st = Schedule.execute (Schedule.serial p) in
+  check bool "serial equiv" true (Interp.equal (Interp.run p) st)
+
+(* ------------------------------------------------------------------ *)
+(* Legality threshold (Theorem 1 precondition)                         *)
+
+let test_threshold_rejected () =
+  (* LL18 has N_t = 3; 12 fused iterations over 8 procs -> blocks of 1 *)
+  let p = Lf_kernels.Ll18.program ~n:12 () in
+  (match Schedule.fused ~nprocs:8 ~strip:4 p with
+  | exception Schedule.Illegal _ -> ()
+  | _ -> Alcotest.fail "expected Schedule.Illegal")
+
+let test_threshold_boundary_accepted () =
+  (* blocks of exactly N_t iterations are legal and correct *)
+  let p = Lf_kernels.Ll18.program ~n:14 () in
+  (* 12 fused positions *)
+  let nprocs = 4 in
+  (* block size 3 = N_t *)
+  let sched = Schedule.fused ~nprocs ~strip:2 p in
+  check bool "boundary legal and correct" true
+    (Interp.equal (Interp.run p) (Schedule.execute ~order:Reversed sched))
+
+let test_grid_rank_mismatch () =
+  let p = Lf_kernels.Jacobi.program ~n:20 () in
+  let d = Derive.of_program ~depth:2 p in
+  (match Schedule.fused ~grid:[| 4 |] ~derive:d ~nprocs:4 p with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument")
+
+let test_total_iterations () =
+  let p = Lf_kernels.Jacobi.program ~n:18 () in
+  let sched = Schedule.unfused ~nprocs:2 p in
+  check int "iterations counted" (2 * 16 * 16) (Schedule.total_iterations sched);
+  let fsched = Schedule.fused ~nprocs:2 ~strip:4 p in
+  check int "fused iterations conserved" (2 * 16 * 16)
+    (Schedule.total_iterations fsched)
+
+let suite =
+  [
+    ("block partition", `Quick, test_block_partition);
+    ("block too many procs", `Quick, test_block_too_many_procs);
+    ("balanced grid", `Quick, test_balanced_grid);
+    ("grid product", `Quick, test_grid_product);
+    ("cell of proc", `Quick, test_cell_of_proc);
+    ("fused coverage 1-D", `Quick, test_fused_coverage_1d);
+    ("fused coverage 2-D", `Quick, test_fused_coverage_2d);
+    ("unfused coverage", `Quick, test_unfused_coverage);
+    ("differing bounds", `Quick, test_coverage_differing_bounds);
+    ("equivalence: ll18", `Quick, test_equivalence_ll18);
+    ("equivalence: calc", `Quick, test_equivalence_calc);
+    ("equivalence: filter", `Quick, test_equivalence_filter);
+    ("equivalence: jacobi 2-D", `Quick, test_equivalence_jacobi_2d);
+    ("equivalence: explicit grids", `Quick, test_equivalence_explicit_grid);
+    ("equivalence: strip=1", `Quick, test_equivalence_strip_one);
+    ("unfused equivalence", `Quick, test_unfused_equivalence);
+    ("serial schedule", `Quick, test_serial_schedule);
+    ("threshold rejected", `Quick, test_threshold_rejected);
+    ("threshold boundary accepted", `Quick, test_threshold_boundary_accepted);
+    ("grid rank mismatch", `Quick, test_grid_rank_mismatch);
+    ("iterations conserved", `Quick, test_total_iterations);
+  ]

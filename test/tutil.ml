@@ -1,0 +1,50 @@
+(* Small helpers shared by the test suites. *)
+
+module Ir = Lf_ir.Ir
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* A 1-D stencil chain program: nest k writes array [a_k] reading
+   [a_(k-1)] at the given offsets; array a0 is an input.  All nests are
+   parallel over [lo, hi]. *)
+let chain_program ?(name = "chain") ~lo ~hi offsets_per_nest =
+  let n = hi + 4 in
+  (* room for stencil halo *)
+  let arrays = List.init (List.length offsets_per_nest + 1) (fun k ->
+      Printf.sprintf "a%d" k)
+  in
+  let i o = Ir.av ~c:o "i" in
+  let nests =
+    List.mapi
+      (fun k offsets ->
+        let src = Printf.sprintf "a%d" k in
+        let dst = Printf.sprintf "a%d" (k + 1) in
+        let reads = List.map (fun o -> Ir.Read (Ir.aref src [ i o ])) offsets in
+        let rhs =
+          match reads with
+          | [] -> Ir.Const 0.0
+          | e :: es -> List.fold_left (fun a b -> Ir.Bin (Ir.Add, a, b)) e es
+        in
+        {
+          Ir.nid = Printf.sprintf "L%d" (k + 1);
+          levels = [ { Ir.lvar = "i"; lo; hi; parallel = true } ];
+          body = [ Ir.stmt (Ir.aref dst [ i 0 ]) rhs ];
+        })
+      offsets_per_nest
+  in
+  let p =
+    {
+      Ir.pname = name;
+      decls = List.map (fun a -> { Ir.aname = a; extents = [ n ] }) arrays;
+      nests;
+    }
+  in
+  Ir.validate p;
+  p

@@ -2,7 +2,10 @@
    driver (at reduced sizes, so each fits a bechamel quota) plus the
    native domain-runtime kernels.  These measure the cost of this
    implementation itself -- analysis, derivation, fusion, simulation --
-   and the real fused-vs-unfused wall clock of the native kernels. *)
+   and the real fused-vs-unfused wall clock of the native kernels.
+   The tune/* pair measures the autotuner's exact cost tier cold
+   (simulation) versus memoised (fingerprint lookup), and the run
+   prints an explicit verdict that the memoised path is cheaper. *)
 
 open Bechamel
 module Machine = Lf_machine.Machine
@@ -10,6 +13,8 @@ module Exec = Lf_machine.Exec
 module Derive = Lf_core.Derive
 module N = Lf_kernels.Native
 module Pool = Lf_parallel.Pool
+module TCost = Lf_tune.Cost
+module TSpace = Lf_tune.Space
 
 let n_small = 64
 
@@ -50,6 +55,26 @@ let test_f26_alignrep =
          match Lf_core.Alignrep.transform p with
          | Ok r -> r.Lf_core.Alignrep.replicated_stmts
          | Error _ -> -1))
+
+(* Autotuner exact tier: a cold evaluation simulates the candidate on
+   the machine model; a memoised one is a fingerprint + hash lookup. *)
+let tune_prog = Lf_kernels.Ll18.program ~n:48 ()
+let tune_cand = TSpace.paper_default ~machine:Machine.convex tune_prog
+
+let test_tune_exact_cold =
+  Test.make ~name:"tune/exact-cold"
+    (Staged.stage (fun () ->
+         let cache = TCost.create_cache () in
+         TCost.exact ~cache ~machine:Machine.convex ~nprocs:4 tune_prog
+           tune_cand))
+
+let tune_memo_cache = TCost.create_cache ()
+
+let test_tune_exact_memo =
+  Test.make ~name:"tune/exact-memo"
+    (Staged.stage (fun () ->
+         TCost.exact ~cache:tune_memo_cache ~machine:Machine.convex ~nprocs:4
+           tune_prog tune_cand))
 
 let test_cache_throughput =
   let c = Lf_cache.Cache.create Lf_cache.Cache.convex_cache in
@@ -100,6 +125,8 @@ let all_tests =
        test_f23_sim;
        test_f26_alignrep;
        test_cache_throughput;
+       test_tune_exact_cold;
+       test_tune_exact_memo;
      ]
     @ native_tests)
 
@@ -116,10 +143,32 @@ let run (_ : Util.cfg) =
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
   Util.pr "%-40s %16s@." "benchmark" "ns/run";
+  let estimate_of name =
+    match Analyze.OLS.estimates (Hashtbl.find results name) with
+    | Some (est :: _) -> Some est
+    | Some [] | None -> None
+  in
   List.iter
     (fun name ->
-      let ols_result = Hashtbl.find results name in
-      match Analyze.OLS.estimates ols_result with
-      | Some (est :: _) -> Util.pr "%-40s %16.0f@." name est
-      | Some [] | None -> Util.pr "%-40s %16s@." name "n/a")
-    (List.sort String.compare names)
+      match estimate_of name with
+      | Some est -> Util.pr "%-40s %16.0f@." name est
+      | None -> Util.pr "%-40s %16s@." name "n/a")
+    (List.sort String.compare names);
+  (* the autotuner's memo cache must make repeated exact-tier
+     evaluations cheaper than cold simulations *)
+  let ends_with suffix name =
+    let nl = String.length name and sl = String.length suffix in
+    nl >= sl && String.sub name (nl - sl) sl = suffix
+  in
+  let find suffix = List.find_opt (ends_with suffix) names in
+  (match (find "tune/exact-cold", find "tune/exact-memo") with
+  | Some cold_n, Some memo_n -> (
+    match (estimate_of cold_n, estimate_of memo_n) with
+    | Some cold, Some memo ->
+      Util.pr
+        "@.memoised exact-tier evaluation vs cold simulation: %.0fx cheaper \
+         (%s)@."
+        (cold /. Float.max memo 1.0)
+        (if memo < cold then "OK" else "FAIL: memo not cheaper")
+    | _ -> Util.pr "@.tune memo-vs-cold verdict: estimates unavailable@.")
+  | _ -> Util.pr "@.tune memo-vs-cold verdict: tests missing@.")

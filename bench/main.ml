@@ -28,7 +28,9 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("f26", "Figure 26: peeling vs alignment/replication", Exp_alignrep.fig26);
     ("prof", "Profitability estimate (sec. 5/6)", Exp_profit.run);
     ("abl", "Ablation studies (design choices)", Exp_ablation.run);
-    ("bech", "Bechamel micro-benchmarks", Bech.run);
+    ("tune", "Autotuned vs paper-default configurations (lf_tune)",
+     Exp_tune.run);
+    ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 
 let usage () =

@@ -6,8 +6,10 @@
      lfc emit     <kernel>   generated fused code (Figures 11/12/16)
      lfc simulate <kernel>   run on the simulated KSR2/Convex
      lfc verify   <kernel>   check fused execution against the reference
+     lfc tune     --kernel K autotune fusion/strip/layout on the simulator
 
-   Kernels: ll18, calc, filter, jacobi, fig9. *)
+   Kernels: ll18, calc, filter, jacobi, fig9 (tune also accepts the
+   application models tomcatv, hydro2d, spem). *)
 
 module Ir = Lf_ir.Ir
 module Interp = Lf_ir.Interp
@@ -18,6 +20,10 @@ module Codegen = Lf_core.Codegen
 module Partition = Lf_core.Partition
 module Machine = Lf_machine.Machine
 module Exec = Lf_machine.Exec
+module Apps = Lf_kernels.Apps
+module Tune = Lf_tune.Tune
+module TSearch = Lf_tune.Search
+module TCost = Lf_tune.Cost
 
 open Cmdliner
 
@@ -255,6 +261,126 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify fused execution against the reference")
     Term.(ret (const verify $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
 
+(* --- tune ---------------------------------------------------------- *)
+
+let tune_kernel_arg =
+  let doc =
+    "Kernel or application to tune: ll18, calc, filter, jacobi, fig9, \
+     tomcatv, hydro2d, spem, or a .loop file."
+  in
+  Arg.(value & opt string "ll18" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
+
+let tune_size_arg =
+  let doc = "Array size per dimension (default 128, or 64 with --quick)." in
+  Arg.(value & opt (some int) None & info [ "size"; "n" ] ~docv:"N" ~doc)
+
+let quick_arg =
+  let doc = "Reduced problem sizes for a fast run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let search_arg =
+  let doc =
+    "Search driver: auto, exhaustive, greedy[:budget], beam[:width]."
+  in
+  Arg.(value & opt string "auto" & info [ "search" ] ~docv:"DRIVER" ~doc)
+
+(* Tune every fusible sequence of an application model; the never-fused
+   remainder runs unfused under both configurations, so it contributes
+   the same cycles to each side of the comparison. *)
+let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
+  let cache = TCost.create_cache () in
+  Fmt.pr "autotuning %s on %s, %d processors (%d fusible sequences)@."
+    app.Apps.app_name machine.Machine.mname nprocs
+    (List.length app.Apps.sequences);
+  Fmt.pr "  %-14s %14s %14s %8s  %s@." "sequence" "default" "tuned" "gain"
+    "selected configuration";
+  let tuned = ref 0.0 and dflt = ref 0.0 and failed = ref None in
+  List.iter
+    (fun (seq : Ir.program) ->
+      match Tune.tune ~cache ~driver ~machine ~nprocs seq with
+      | Error m -> if !failed = None then failed := Some (seq.Ir.pname, m)
+      | Ok o ->
+        tuned := !tuned +. o.TSearch.best_cost.TCost.e_cycles;
+        dflt := !dflt +. o.TSearch.default_cost.TCost.e_cycles;
+        Fmt.pr "  %-14s %a@." seq.Ir.pname Tune.pp_row o)
+    app.Apps.sequences;
+  match !failed with
+  | Some (name, m) ->
+    `Error (false, Printf.sprintf "tuning sequence %s failed: %s" name m)
+  | None ->
+    (match app.Apps.remainder with
+    | None -> ()
+    | Some rem ->
+      let layout =
+        Partition.cache_partitioned
+          ~cache:(Lf_tune.Space.cache_shape machine)
+          rem.Ir.decls
+      in
+      let r = Exec.run_unfused ~layout ~machine ~nprocs rem in
+      let add = float_of_int app.Apps.remainder_reps *. r.Exec.cycles in
+      tuned := !tuned +. add;
+      dflt := !dflt +. add;
+      Fmt.pr "  %-14s %14.4e cycles (never fused, x%d)@." "remainder"
+        r.Exec.cycles app.Apps.remainder_reps);
+    let st = TCost.stats cache in
+    Fmt.pr "total: default %.4e cycles, tuned %.4e cycles (%+.1f%%)@." !dflt
+      !tuned
+      (100.0 *. ((!dflt /. !tuned) -. 1.0));
+    Fmt.pr "memo cache: %d entries, %d hits, %d cold evaluations@."
+      st.TCost.entries st.TCost.hits st.TCost.misses;
+    `Ok ()
+
+let tune kernel size machine_name procs search quick =
+  match machine_of machine_name with
+  | Error m -> `Error (false, m)
+  | Ok machine -> (
+    match Tune.driver_of_string search with
+    | Error m -> `Error (false, m)
+    | Ok driver -> (
+      let app =
+        match kernel with
+        | "tomcatv" ->
+          let n =
+            match size with Some n -> n | None -> if quick then 65 else 513
+          in
+          Some (Apps.tomcatv ~n ())
+        | "hydro2d" ->
+          Some
+            (if quick then Apps.hydro2d ~rows:80 ~cols:40 ()
+             else Apps.hydro2d ())
+        | "spem" ->
+          Some
+            (if quick then Apps.spem ~d0:16 ~d1:17 ~d2:17 ()
+             else Apps.spem ())
+        | _ -> None
+      in
+      match app with
+      | Some app -> tune_app ~driver ~machine ~nprocs:procs app
+      | None ->
+        let n =
+          match size with Some n -> n | None -> if quick then 64 else 128
+        in
+        with_program kernel n (fun p ->
+            let depth = depth_of p kernel in
+            Fmt.pr "autotuning %s (n=%d) on %s, %d processors@." kernel n
+              machine.Machine.mname procs;
+            match Tune.tune ~depth ~driver ~machine ~nprocs:procs p with
+            | Error m -> `Error (false, m)
+            | Ok o ->
+              Fmt.pr "%a" Tune.pp_outcome o;
+              `Ok ())))
+
+let tune_cmd =
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "Autotune fusion clustering, strip size and cache layout on the \
+          simulated machine (lf_tune)")
+    Term.(
+      ret
+        (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
+       $ procs_arg $ search_arg $ quick_arg))
+
 (* --- pipeline ------------------------------------------------------ *)
 
 let pipeline kernel n procs strip =
@@ -295,6 +421,6 @@ let main_cmd =
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
-      pipeline_cmd ]
+      pipeline_cmd; tune_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -41,11 +41,19 @@ let estimate ?(elem_bytes = 8) ~nprocs ~cache_bytes (p : Ir.program) =
   }
 
 (* Largest processor count for which fusion is still expected to be
-   profitable for this sequence. *)
+   profitable for this sequence.  [estimate] declares P processors
+   profitable iff floor(data/P) > cache, i.e. iff P <= data/(cache+1),
+   so the answer is floor(data/(cache+1)).  The boundary matters: when
+   the data is an exact multiple k of the cache size, P = k gives
+   per_proc_bytes = cache_bytes exactly, which *fits* (the unfused
+   loops already reuse through the cache), so the result is k-1, not k.
+   Degenerate programs (no arrays, zero data bytes) yield 0: fusion is
+   never profitable, consistent with [estimate ~nprocs:1]. *)
 let max_profitable_procs ?(elem_bytes = 8) ~cache_bytes (p : Ir.program) =
+  if cache_bytes <= 0 then
+    invalid_arg "Profit.max_profitable_procs: cache_bytes must be positive";
   let e = estimate ~elem_bytes ~nprocs:1 ~cache_bytes p in
-  if e.data_bytes <= cache_bytes then 0
-  else (e.data_bytes + cache_bytes - 1) / cache_bytes
+  e.data_bytes / (cache_bytes + 1)
 
 let pp ppf e =
   Fmt.pf ppf

@@ -19,6 +19,13 @@ val estimate :
 val max_profitable_procs :
   ?elem_bytes:int -> cache_bytes:int -> Lf_ir.Ir.program -> int
 (** Largest processor count for which fusion is still expected to be
-    profitable (0 when the data fits in a single cache). *)
+    profitable: the greatest [P] with
+    [(estimate ~nprocs:P ...).profitable], i.e.
+    [data_bytes / (cache_bytes + 1)].  Returns 0 — never profitable —
+    when the data fits in a single cache, including degenerate programs
+    with no arrays (zero data bytes).  The boundary is exact: when
+    [per_proc_bytes = cache_bytes] the data fits and fusion is {e not}
+    profitable, so data of exactly [k] cache capacities yields [k - 1].
+    Raises [Invalid_argument] if [cache_bytes <= 0]. *)
 
 val pp : Format.formatter -> estimate -> unit

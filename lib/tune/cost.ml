@@ -1,0 +1,159 @@
+(* Two-tier cost model (see cost.mli). *)
+
+module Ir = Lf_ir.Ir
+module Machine = Lf_machine.Machine
+module Cache = Lf_cache.Cache
+module Schedule = Lf_core.Schedule
+module Exec = Lf_machine.Exec
+
+type exact = { e_cycles : float; e_misses : int; e_barrier : float }
+
+type cache = {
+  tbl : (string, exact) Hashtbl.t;
+  mutable c_hits : int;
+  mutable c_misses : int;
+}
+
+let create_cache () = { tbl = Hashtbl.create 64; c_hits = 0; c_misses = 0 }
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let stats c =
+  { hits = c.c_hits; misses = c.c_misses; entries = Hashtbl.length c.tbl }
+
+let fingerprint ?(depth = 1) ?(steps = 1) ~machine ~nprocs p cand =
+  let m : Machine.config = machine in
+  let cc = m.Machine.cache in
+  Printf.sprintf "%s|%s|%s|c%d.%d.%d|h%d|P%d|s%d|d%d"
+    (Digest.to_hex (Digest.string (Ir.program_to_string p)))
+    (Space.to_string cand) m.Machine.mname cc.Cache.capacity cc.Cache.line
+    cc.Cache.assoc m.Machine.hypernode nprocs steps depth
+
+(* ------------------------------------------------------------------ *)
+(* Analytic tier                                                       *)
+
+(* Layouts prone to cross-conflicts pay a multiplicative miss factor:
+   back-to-back power-of-two arrays conflict pathologically on a
+   direct-mapped cache (paper Figure 18's motivation), padding perturbs
+   but does not eliminate conflicts, and partitioning with naive
+   direct-mapped targets wastes set-associative span. *)
+let conflict_factor ~machine (cand : Space.candidate) =
+  let assoc = (Space.cache_shape machine).Lf_core.Partition.assoc in
+  match cand.Space.layout with
+  | Space.Partitioned { assoc_aware = true } -> 1.0
+  | Space.Partitioned { assoc_aware = false } ->
+    if assoc > 1 then 1.15 else 1.0
+  | Space.Padded pad -> if pad > 0 then 1.3 else 2.5
+  | Space.Contiguous -> if assoc = 1 then 3.0 else 2.0
+
+let analytic_of_schedule ~machine cand (sched : Schedule.t) =
+  let m : Machine.config = machine in
+  let c = m.Machine.cost in
+  let prog = sched.Schedule.prog in
+  let nprocs = sched.Schedule.nprocs in
+  let fprocs = float_of_int nprocs in
+  let nests = Array.of_list prog.Ir.nests in
+  (* per-nest: statement count, memory references per iteration *)
+  let nstmts = Array.map (fun (n : Ir.nest) -> List.length n.Ir.body) nests in
+  let refs =
+    Array.map
+      (fun (n : Ir.nest) ->
+        List.fold_left
+          (fun acc (s : Ir.stmt) -> acc + 1 + List.length (Ir.stmt_reads s))
+          0 n.Ir.body)
+      nests
+  in
+  let arrays_of_nest = Array.map Ir.nest_arrays nests in
+  let bytes_of_array =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (d : Ir.decl) -> Hashtbl.replace tbl d.Ir.aname (8 * Ir.num_elements d))
+      prog.Ir.decls;
+    fun a -> try Hashtbl.find tbl a with Not_found -> 0
+  in
+  let line = float_of_int m.Machine.cache.Cache.line in
+  let capacity = m.Machine.cache.Cache.capacity in
+  let compute = ref 0.0 and cap_misses = ref 0.0 in
+  List.iter
+    (fun (ph : Schedule.phase) ->
+      let per_proc =
+        Array.map
+          (fun boxes ->
+            List.fold_left
+              (fun acc (b : Schedule.box) ->
+                let iters = float_of_int (Schedule.box_iterations b) in
+                let k = b.Schedule.nest in
+                acc +. c.Machine.loop_overhead
+                +. iters
+                   *. ((c.Machine.op *. float_of_int nstmts.(k))
+                      +. c.Machine.iter_overhead
+                      +. (float_of_int refs.(k) *. c.Machine.hit)))
+              0.0 boxes)
+          ph
+      in
+      compute := !compute +. Array.fold_left Float.max 0.0 per_proc;
+      (* arrays touched by this phase; one sweep of them when the
+         per-processor share exceeds the cache (Profit's criterion) *)
+      let touched = Hashtbl.create 8 in
+      Array.iter
+        (List.iter (fun (b : Schedule.box) ->
+             if not (Schedule.box_is_empty b) then
+               List.iter
+                 (fun a -> Hashtbl.replace touched a ())
+                 arrays_of_nest.(b.Schedule.nest)))
+        ph;
+      let phase_bytes =
+        Hashtbl.fold (fun a () acc -> acc + bytes_of_array a) touched 0
+      in
+      if phase_bytes / nprocs > capacity then
+        cap_misses := !cap_misses +. (float_of_int phase_bytes /. line))
+    sched.Schedule.phases;
+  let data_bytes =
+    List.fold_left
+      (fun acc a -> acc + bytes_of_array a)
+      0 (Ir.program_arrays prog)
+  in
+  let cold = float_of_int data_bytes /. line in
+  let misses = (cold +. !cap_misses) *. conflict_factor ~machine cand in
+  let miss_extra = Machine.miss_penalty m ~nprocs -. c.Machine.hit in
+  let nbarriers = max 0 (List.length sched.Schedule.phases - 1) in
+  !compute
+  +. (misses *. miss_extra /. fprocs)
+  +. (float_of_int nbarriers *. Machine.barrier_cost m ~nprocs)
+
+let analytic ?depth ~machine ~nprocs p cand =
+  match Space.build ?depth ~machine ~nprocs p cand with
+  | Error _ as e -> e
+  | Ok (sched, _layout) -> Ok (analytic_of_schedule ~machine cand sched)
+
+(* ------------------------------------------------------------------ *)
+(* Exact tier                                                          *)
+
+let exact ?depth ?steps ?cache ~machine ~nprocs p cand =
+  let eval () =
+    match Space.build ?depth ~machine ~nprocs p cand with
+    | Error _ as e -> e
+    | Ok (sched, layout) ->
+      let r = Exec.run ~layout ?steps ~machine sched in
+      Ok
+        {
+          e_cycles = r.Exec.cycles;
+          e_misses = r.Exec.total_misses;
+          e_barrier = r.Exec.barrier_cycles;
+        }
+  in
+  match cache with
+  | None -> eval ()
+  | Some c -> (
+    let key = fingerprint ?depth ?steps ~machine ~nprocs p cand in
+    match Hashtbl.find_opt c.tbl key with
+    | Some e ->
+      c.c_hits <- c.c_hits + 1;
+      Ok e
+    | None -> (
+      c.c_misses <- c.c_misses + 1;
+      match eval () with
+      | Ok e as ok ->
+        Hashtbl.add c.tbl key e;
+        ok
+      | Error _ as err -> err))

@@ -1,0 +1,63 @@
+(** Two-tier cost model for the autotuner.
+
+    The {b analytic tier} prices a candidate without simulating it: it
+    builds the schedule (cheap — boxes, not iterations) and charges the
+    machine's per-iteration compute costs, a per-box loop overhead, one
+    barrier per phase, and a capacity-miss estimate in the style of
+    {!Lf_core.Profit} (a phase whose per-processor data exceeds the
+    cache sweeps that data once; layouts prone to cross-conflicts pay a
+    multiplicative factor).  It exists to {e rank} candidates for
+    pruning, not to predict absolute cycles.
+
+    The {b exact tier} runs the candidate through {!Lf_machine.Exec} on
+    the simulated machine — the same simulation the experiments report —
+    and is memoised: results are keyed by a structural fingerprint of
+    (program, candidate, machine, processor count, steps, depth), so
+    re-evaluating a configuration is a hash lookup. *)
+
+type exact = {
+  e_cycles : float;  (** simulated execution time *)
+  e_misses : int;  (** total cache misses, all processors *)
+  e_barrier : float;  (** barrier cycles included in [e_cycles] *)
+}
+
+type cache
+(** Memo table for exact-tier evaluations, shared across searches. *)
+
+val create_cache : unit -> cache
+
+type cache_stats = { hits : int; misses : int; entries : int }
+(** [misses] counts cold evaluations (simulations actually run). *)
+
+val stats : cache -> cache_stats
+
+val fingerprint :
+  ?depth:int ->
+  ?steps:int ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  Space.candidate ->
+  string
+(** Structural memo key: digest of the printed program plus the
+    candidate, machine geometry/name, processor count, steps, depth. *)
+
+val analytic :
+  ?depth:int ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  Space.candidate ->
+  (float, string) result
+(** Estimated cycles of a candidate; [Error] when it is infeasible. *)
+
+val exact :
+  ?depth:int ->
+  ?steps:int ->
+  ?cache:cache ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  Space.candidate ->
+  (exact, string) result
+(** Simulated cycles of a candidate, memoised in [cache] when given. *)

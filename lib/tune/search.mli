@@ -1,0 +1,60 @@
+(** Deterministic search drivers over the candidate space.
+
+    Every driver exact-evaluates the reference configuration (the paper
+    default, or unfused + partitioned when fusion is infeasible for the
+    program) and returns the best of {reference} ∪ {explored}, with ties
+    broken towards the earlier candidate in enumeration order — so the
+    autotuner can never select a configuration worse than the paper
+    default.  No driver uses randomness: rerunning a search on the same
+    inputs returns the same configuration. *)
+
+type driver =
+  | Exhaustive  (** exact-evaluate every feasible candidate *)
+  | Tuned of { margin : float; keep : int }
+      (** analytic tier prunes: keep candidates within [margin] of the
+          best analytic estimate (and at least the [keep] best), then
+          exact-evaluate the survivors *)
+  | Greedy of { budget : int }
+      (** coordinate descent from the reference: repeatedly move to the
+          best single-axis (variant or layout) improvement, at most
+          [budget] exact evaluations *)
+  | Beam of { width : int; budget : int }
+      (** exact-evaluate the [width] analytically-best candidates
+          (capped by [budget]) *)
+
+val default_driver : driver
+(** [Tuned { margin = 4.0; keep = 12 }]: generous enough that the
+    analytic tier only discards clearly hopeless candidates (the
+    property tests check it never discards the exact optimum). *)
+
+val prune : margin:float -> keep:int -> ('a * float) list -> ('a * float) list
+(** Analytic pruning, input order preserved: keep every item whose
+    estimate is within [margin] times the best estimate, plus at least
+    the [keep] lowest-estimate items. *)
+
+type outcome = {
+  best : Space.candidate;
+  best_cost : Cost.exact;
+  default : Space.candidate;  (** the reference configuration *)
+  default_cost : Cost.exact;
+  default_is_paper : bool;
+      (** false when the paper default was infeasible and the unfused
+          fallback serves as the reference *)
+  space_size : int;
+  considered : int;  (** candidates handed to the exact tier *)
+  exact_evals : int;  (** exact-tier lookups issued (memo hits included) *)
+}
+
+val run :
+  ?depth:int ->
+  ?steps:int ->
+  ?cache:Cost.cache ->
+  ?driver:driver ->
+  ?sweep:bool ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  (outcome, string) result
+(** Search the space for [p] on [machine] with [nprocs] processors.
+    [Error] only when not even the unfused fallback can be simulated
+    (e.g. more processors than iterations). *)

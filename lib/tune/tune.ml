@@ -1,0 +1,52 @@
+(* lf_tune facade (see tune.mli). *)
+
+let tune = Search.run
+
+let driver_of_string s =
+  let split_budget s =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match split_budget s with
+  | "auto", None -> Ok Search.default_driver
+  | "exhaustive", None -> Ok Search.Exhaustive
+  | "greedy", None -> Ok (Search.Greedy { budget = 64 })
+  | "greedy", Some b -> Ok (Search.Greedy { budget = b })
+  | "beam", None -> Ok (Search.Beam { width = 8; budget = 64 })
+  | "beam", Some b -> Ok (Search.Beam { width = b; budget = 64 })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown search driver %s (try auto, exhaustive, greedy[:budget], \
+          beam[:width])" s)
+
+let improvement_pct (o : Search.outcome) =
+  100.0
+  *. ((o.Search.default_cost.Cost.e_cycles /. o.Search.best_cost.Cost.e_cycles)
+     -. 1.0)
+
+let pp_outcome ppf (o : Search.outcome) =
+  let reference =
+    if o.Search.default_is_paper then "paper default"
+    else "unfused fallback (fusion infeasible)"
+  in
+  Fmt.pf ppf "selected:  %a@." Space.pp o.Search.best;
+  Fmt.pf ppf "           %.4e cycles, %d misses@."
+    o.Search.best_cost.Cost.e_cycles o.Search.best_cost.Cost.e_misses;
+  Fmt.pf ppf "%s: %a@."
+    (if o.Search.default_is_paper then "reference" else "fallback ")
+    Space.pp o.Search.default;
+  Fmt.pf ppf "           %.4e cycles, %d misses (%s)@."
+    o.Search.default_cost.Cost.e_cycles o.Search.default_cost.Cost.e_misses
+    reference;
+  Fmt.pf ppf "gain over reference: %+.1f%%@." (improvement_pct o);
+  Fmt.pf ppf "search: %d candidates, %d exact-evaluated, %d exact lookups@."
+    o.Search.space_size o.Search.considered o.Search.exact_evals
+
+let pp_row ppf (o : Search.outcome) =
+  Fmt.pf ppf "%14.4e %14.4e %+7.1f%%  %s" o.Search.default_cost.Cost.e_cycles
+    o.Search.best_cost.Cost.e_cycles (improvement_pct o)
+    (Space.to_string o.Search.best)

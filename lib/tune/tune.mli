@@ -1,0 +1,36 @@
+(** `lf_tune` entry point: simulator-guided autotuning of the joint
+    transformation space (schedule variant, fusion clustering, strip
+    size, data layout) for one parallel loop sequence on one machine
+    model.
+
+    [tune] wraps {!Search.run}: it enumerates {!Space.enumerate}, prunes
+    with the analytic tier of {!Cost}, exact-evaluates survivors on the
+    {!Lf_machine.Exec} simulator (memoised), and returns the best
+    configuration found together with the paper-default reference it is
+    guaranteed not to lose to. *)
+
+val tune :
+  ?depth:int ->
+  ?steps:int ->
+  ?cache:Cost.cache ->
+  ?driver:Search.driver ->
+  ?sweep:bool ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  (Search.outcome, string) result
+
+val driver_of_string : string -> (Search.driver, string) result
+(** "auto" (the default {!Search.default_driver}), "exhaustive",
+    "greedy", "beam", optionally with ":budget" (e.g. "beam:8"). *)
+
+val improvement_pct : Search.outcome -> float
+(** Percent cycle improvement of the tuned configuration over the
+    reference (>= 0 by construction). *)
+
+val pp_outcome : Format.formatter -> Search.outcome -> unit
+(** Multi-line report: chosen configuration, predicted cycles, the
+    reference configuration and its cycles, search statistics. *)
+
+val pp_row : Format.formatter -> Search.outcome -> unit
+(** One table row: default cycles, tuned cycles, gain, chosen config. *)

@@ -24,4 +24,5 @@ let () =
       ("wavefront", Test_wavefront.suite);
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);
+      ("tune", Test_tune.suite);
     ]

@@ -1,5 +1,6 @@
 (* Tests for the fusion profitability estimate. *)
 
+module Ir = Lf_ir.Ir
 module Profit = Lf_core.Profit
 
 let check = Alcotest.check
@@ -30,11 +31,59 @@ let test_max_profitable_procs () =
   let p = Lf_kernels.Ll18.program ~n:128 () in
   let maxp = Profit.max_profitable_procs ~cache_bytes:mb p in
   (* 1.125MB total / 1MB caches: only profitable on 1 processor *)
-  check int "max procs" 2 maxp;
+  check int "max procs" 1 maxp;
   let e = Profit.estimate ~nprocs:maxp ~cache_bytes:mb p in
-  ignore e;
+  check bool "at max still profitable" true e.Profit.profitable;
   let e' = Profit.estimate ~nprocs:(maxp + 1) ~cache_bytes:mb p in
   check bool "beyond max not profitable" false e'.Profit.profitable
+
+(* The boundary where per_proc_bytes = cache_bytes exactly: data of
+   exactly k cache capacities fits on k processors (not profitable), so
+   the largest profitable count is k-1. *)
+let test_exact_multiple_boundary () =
+  let cache_bytes = 64 * 1024 in
+  let k = 4 in
+  (* one array of exactly k * cache_bytes (elem_bytes = 8) *)
+  let p =
+    {
+      Ir.pname = "boundary";
+      decls = [ { Ir.aname = "a"; extents = [ k * cache_bytes / 8 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels = [ { Ir.lvar = "i"; lo = 0; hi = 7; parallel = true } ];
+            body =
+              [ Ir.stmt (Ir.aref "a" [ Ir.av "i" ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av "i" ])) ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  let maxp = Profit.max_profitable_procs ~cache_bytes p in
+  check int "k caches of data -> k-1 procs" (k - 1) maxp;
+  let at_k = Profit.estimate ~nprocs:k ~cache_bytes p in
+  check bool "per-proc = cache exactly" true
+    (at_k.Profit.per_proc_bytes = cache_bytes);
+  check bool "equality boundary fits" true at_k.Profit.fits_in_cache;
+  check bool "equality boundary not profitable" false at_k.Profit.profitable;
+  let at_max = Profit.estimate ~nprocs:maxp ~cache_bytes p in
+  check bool "one fewer proc profitable" true at_max.Profit.profitable
+
+let test_degenerate_programs () =
+  (* no arrays at all: zero data bytes, never profitable *)
+  let empty = { Ir.pname = "empty"; decls = []; nests = [] } in
+  check int "no arrays -> 0" 0 (Profit.max_profitable_procs ~cache_bytes:mb empty);
+  let e = Profit.estimate ~nprocs:1 ~cache_bytes:mb empty in
+  check int "zero data bytes" 0 e.Profit.data_bytes;
+  check bool "zero data not profitable" false e.Profit.profitable;
+  (* a degenerate cache size is a programming error, not "always wins" *)
+  Alcotest.check_raises "cache_bytes = 0 rejected"
+    (Invalid_argument "Profit.max_profitable_procs: cache_bytes must be positive")
+    (fun () ->
+      ignore (Profit.max_profitable_procs ~cache_bytes:0
+                (Lf_kernels.Jacobi.program ~n:32 ())))
 
 let test_small_data_never_profitable () =
   let p = Lf_kernels.Jacobi.program ~n:32 () in
@@ -55,6 +104,8 @@ let suite =
     ("not profitable when fits", `Quick, test_not_profitable_when_fits);
     ("ratio", `Quick, test_ratio);
     ("max profitable procs", `Quick, test_max_profitable_procs);
+    ("per-proc = cache boundary", `Quick, test_exact_multiple_boundary);
+    ("degenerate programs", `Quick, test_degenerate_programs);
     ("small data never profitable", `Quick, test_small_data_never_profitable);
     ("more arrays, profitable longer", `Quick, test_more_arrays_more_profitable);
   ]

@@ -27,6 +27,8 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("f25", "Figure 25: applications on Convex", Exp_apps.fig25);
     ("f26", "Figure 26: peeling vs alignment/replication", Exp_alignrep.fig26);
     ("prof", "Profitability estimate (sec. 5/6)", Exp_profit.run);
+    ("obs", "Conflict-miss attribution via event counters (lf_obs)",
+     Exp_obs.run);
     ("abl", "Ablation studies (design choices)", Exp_ablation.run);
     ("tune", "Autotuned vs paper-default configurations (lf_tune)",
      Exp_tune.run);
@@ -35,7 +37,8 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--only ids] [--list] [--max-procs N]";
+    "usage: main.exe [--quick] [--only ids] [--list] [--max-procs N] \
+     [--no-timings]";
   print_endline "experiment ids:";
   List.iter
     (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc)
@@ -45,11 +48,16 @@ let () =
   let quick = ref false in
   let only = ref None in
   let procs_cap = ref None in
+  (* deterministic output for golden tests: omit wall-clock timings *)
+  let timings = ref true in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
       quick := true;
+      parse rest
+    | "--no-timings" :: rest ->
+      timings := false;
       parse rest
     | "--only" :: ids :: rest ->
       only := Some (String.split_on_char ',' ids);
@@ -89,6 +97,9 @@ let () =
     (fun (id, _, f) ->
       let t = Util.elapsed_timer () in
       f cfg;
-      Fmt.pr "@.[%s done in %.1fs]@." id (t ()))
+      if !timings then Fmt.pr "@.[%s done in %.1fs]@." id (t ())
+      else Fmt.pr "@.[%s done]@." id)
     selected;
-  Fmt.pr "@.All selected experiments completed in %.1fs.@." (total ())
+  if !timings then
+    Fmt.pr "@.All selected experiments completed in %.1fs.@." (total ())
+  else Fmt.pr "@.All selected experiments completed.@."

@@ -6,6 +6,7 @@
      lfc emit     <kernel>   generated fused code (Figures 11/12/16)
      lfc simulate <kernel>   run on the simulated KSR2/Convex
      lfc verify   <kernel>   check fused execution against the reference
+     lfc profile  --kernel K simulate with event counters (lf_obs)
      lfc tune     --kernel K autotune fusion/strip/layout on the simulator
 
    Kernels: ll18, calc, filter, jacobi, fig9 (tune also accepts the
@@ -381,6 +382,97 @@ let tune_cmd =
         (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
        $ procs_arg $ search_arg $ quick_arg))
 
+(* --- profile ------------------------------------------------------- *)
+
+let profile_kernel_arg =
+  let doc = "Kernel: ll18, calc, filter, jacobi, fig9, or a .loop file." in
+  Arg.(value & opt string "ll18" & info [ "kernel"; "k" ] ~docv:"KERNEL" ~doc)
+
+let by_arg =
+  let doc = "Attribution grouping: array, phase, or proc." in
+  Arg.(value & opt string "array" & info [ "by" ] ~docv:"GROUP" ~doc)
+
+let trace_arg =
+  let doc = "Write Chrome trace-event JSON to $(docv) (chrome://tracing)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let unfused_arg =
+  let doc = "Profile the unfused schedule instead of the fused one." in
+  Arg.(value & flag & info [ "unfused" ] ~doc)
+
+let steps_arg =
+  let doc = "Time steps (repetitions of the whole schedule)." in
+  Arg.(value & opt int 1 & info [ "steps" ] ~docv:"T" ~doc)
+
+(* Align the sink's layout tag with the Space.layout_to_string
+   vocabulary so the recorded profile keys calibration factors. *)
+let layout_tag = function "partition" -> "partitioned" | s -> s
+
+let profile kernel n machine_name procs strip layout_spec by trace unfused
+    steps =
+  with_program kernel n (fun p ->
+      match machine_of machine_name with
+      | Error m -> `Error (false, m)
+      | Ok machine -> (
+        match layout_of layout_spec machine p with
+        | Error m -> `Error (false, m)
+        | Ok layout -> (
+          match
+            match by with
+            | "array" -> Ok Lf_obs.Obs.By_array
+            | "phase" -> Ok Lf_obs.Obs.By_phase
+            | "proc" -> Ok Lf_obs.Obs.By_proc
+            | s -> Error ("unknown grouping " ^ s ^ " (try array, phase, proc)")
+          with
+          | Error m -> `Error (false, m)
+          | Ok by ->
+            let sink = Lf_obs.Obs.create ~layout:(layout_tag layout_spec) () in
+            let r =
+              if unfused then
+                Exec.run_unfused ~sink ~layout ~machine ~nprocs:procs ~steps p
+              else
+                Exec.run_fused ~sink ~layout ~machine ~nprocs:procs ~strip
+                  ~steps p
+            in
+            Fmt.pr "%s %s (n=%d) on %s: %d processors, layout %s, %d phases@."
+              (if unfused then "unfused" else "fused")
+              kernel n machine.Machine.mname procs layout_spec
+              (Lf_obs.Obs.nphases sink);
+            Fmt.pr "cycles %.4e (barrier %.4e), misses %d@.@." r.Exec.cycles
+              r.Exec.barrier_cycles r.Exec.total_misses;
+            Fmt.pr "%a" (Lf_obs.Obs.pp_table ~by) sink;
+            let tot = Lf_obs.Obs.totals sink in
+            Fmt.pr
+              "@.conflict attribution: %d cross-array, %d self/capacity \
+               (of %d non-cold misses)@."
+              tot.Lf_obs.Obs.t_cross tot.Lf_obs.Obs.t_self
+              (tot.Lf_obs.Obs.t_misses - tot.Lf_obs.Obs.t_cold);
+            Fmt.pr "calibration factor (misses/cold) for layout %s: %.3f@."
+              (Lf_obs.Obs.layout sink)
+              (Lf_obs.Obs.miss_factor sink);
+            (match trace with
+            | None -> ()
+            | Some file ->
+              let oc = open_out file in
+              output_string oc (Lf_obs.Obs.trace_json sink);
+              close_out oc;
+              Fmt.pr "trace: %d events written to %s@."
+                (List.length (Lf_obs.Obs.events sink))
+                file);
+            `Ok ())))
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Simulate with event counters attached: per-array/phase/processor \
+          attribution tables and a Chrome trace (lf_obs)")
+    Term.(
+      ret
+        (const profile $ profile_kernel_arg $ size_arg $ machine_arg
+       $ procs_arg $ strip_arg $ layout_arg $ by_arg $ trace_arg
+       $ unfused_arg $ steps_arg))
+
 (* --- pipeline ------------------------------------------------------ *)
 
 let pipeline kernel n procs strip =
@@ -421,6 +513,6 @@ let main_cmd =
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
-      pipeline_cmd; tune_cmd ]
+      pipeline_cmd; profile_cmd; tune_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -83,6 +83,48 @@ let access t addr =
     t.stamps.(base + !victim) <- t.clock;
     false
 
+type classified = {
+  cl_hit : bool;
+  cl_cold : bool;  (* meaningful only when [cl_hit = false] *)
+  cl_line : int;  (* line address of the access *)
+  cl_evicted : int;  (* line address displaced on a miss, -1 if none *)
+}
+
+(* Same state transitions as [access], but reporting what happened.
+   Observability (Lf_obs) uses this path; [access] stays the fast path.
+   Any behavioural divergence between the two is an observer effect —
+   test/test_obs.ml checks for it. *)
+let access_classified t addr =
+  let line_addr = addr / t.config.line in
+  let set = line_addr mod t.nsets in
+  let base = set * t.config.assoc in
+  t.clock <- t.clock + 1;
+  let rec find w =
+    if w = t.config.assoc then None
+    else if t.tags.(base + w) = line_addr then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.hits <- t.hits + 1;
+    t.stamps.(base + w) <- t.clock;
+    { cl_hit = true; cl_cold = false; cl_line = line_addr; cl_evicted = -1 }
+  | None ->
+    t.misses <- t.misses + 1;
+    let cold = not (Hashtbl.mem t.seen line_addr) in
+    if cold then begin
+      t.cold_misses <- t.cold_misses + 1;
+      Hashtbl.replace t.seen line_addr ()
+    end;
+    let victim = ref 0 in
+    for w = 1 to t.config.assoc - 1 do
+      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+    done;
+    let evicted = t.tags.(base + !victim) in
+    t.tags.(base + !victim) <- line_addr;
+    t.stamps.(base + !victim) <- t.clock;
+    { cl_hit = false; cl_cold = cold; cl_line = line_addr; cl_evicted = evicted }
+
 type stats = {
   s_hits : int;
   s_misses : int;

@@ -27,6 +27,18 @@ val access : t -> int -> bool
 (** [access t addr] touches the byte at [addr]; returns [true] on a
     hit.  Misses fill the line, evicting the LRU way. *)
 
+type classified = {
+  cl_hit : bool;
+  cl_cold : bool;  (** meaningful only when [cl_hit = false] *)
+  cl_line : int;  (** line address of the access *)
+  cl_evicted : int;  (** line address displaced on a miss, [-1] if none *)
+}
+
+val access_classified : t -> int -> classified
+(** Exactly [access], with the outcome reported for observability
+    (hit/cold classification, displaced line).  State transitions and
+    statistics are identical to [access]. *)
+
 type stats = {
   s_hits : int;
   s_misses : int;

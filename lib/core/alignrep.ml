@@ -577,4 +577,7 @@ let schedule ?grid ?strip ~nprocs (r : result) =
     main_sched with
     Schedule.prog = r.prog;
     phases = copy_sched @ List.map offset_phase main_sched.Schedule.phases;
+    labels =
+      List.mapi (fun i _ -> Printf.sprintf "copy%d" i) copy_sched
+      @ main_sched.Schedule.labels;
   }

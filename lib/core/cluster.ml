@@ -101,14 +101,22 @@ let groups ?(depth = 1) ?(min_members = 2) ?profitable (p : Ir.program) =
    phases; everything else runs unfused. *)
 let schedule ?(depth = 1) ?grid ?strip ~nprocs (p : Ir.program) gs =
   let all_phases = ref [] in
-  List.iter
-    (fun g ->
+  let all_labels = ref [] in
+  List.iteri
+    (fun gi g ->
       let nests =
         List.filteri
           (fun i _ -> i >= g.start && i < g.start + g.members)
           p.Ir.nests
       in
       let slice = { p with Ir.nests } in
+      let labels =
+        if g.fused && g.members > 1 then
+          List.map
+            (fun l -> Printf.sprintf "g%d:%s" gi l)
+            (Schedule.fused ?grid ?strip ~nprocs slice).Schedule.labels
+        else List.map (fun (n : Ir.nest) -> n.Ir.nid) nests
+      in
       let phases =
         if g.fused && g.members > 1 then
           (Schedule.fused ?grid ?strip ~nprocs slice).Schedule.phases
@@ -152,7 +160,8 @@ let schedule ?(depth = 1) ?grid ?strip ~nprocs (p : Ir.program) gs =
                { b with Schedule.nest = b.Schedule.nest + g.start }))
           ph
       in
-      all_phases := !all_phases @ List.map offset phases)
+      all_phases := !all_phases @ List.map offset phases;
+      all_labels := !all_labels @ labels)
     gs;
   {
     Schedule.prog = p;
@@ -162,6 +171,7 @@ let schedule ?(depth = 1) ?grid ?strip ~nprocs (p : Ir.program) gs =
       | Some g -> g
       | None -> Schedule.balanced_grid ~nprocs ~depth);
     phases = !all_phases;
+    labels = !all_labels;
   }
 
 let pp_groups ppf gs =

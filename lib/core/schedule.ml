@@ -26,7 +26,18 @@ type t = {
   nprocs : int;
   grid : int array;  (* processor grid over the fused dimensions *)
   phases : phase list;
+  labels : string list;  (* one human-readable label per phase *)
 }
+
+(* Label of phase [i], with a positional fallback for schedules built
+   by hand (tests) or with fewer labels than phases. *)
+let phase_label t i =
+  match List.nth_opt t.labels i with
+  | Some l -> l
+  | None -> Printf.sprintf "phase%d" i
+
+let phase_labels t =
+  List.mapi (fun i _ -> phase_label t i) t.phases
 
 let box_is_empty b = Array.exists (fun (lo, hi) -> lo > hi) b.ranges
 
@@ -127,6 +138,7 @@ let unfused ?grid ?(depth = 1) ~nprocs (p : Ir.program) =
     nprocs;
     grid;
     phases = List.mapi phase_of_nest (Array.to_list nests);
+    labels = List.map (fun (n : Ir.nest) -> n.nid) (Array.to_list nests);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -304,12 +316,13 @@ let fused ?grid ?(strip = default_strip) ?(peel_starts = true) ?derive
     done;
     List.rev !boxes
   in
-  let phases =
+  let phases, labels =
     if peel_starts then
-      [ Array.init nprocs fused_phase; Array.init nprocs peeled_phase ]
-    else [ Array.init nprocs fused_phase ]
+      ( [ Array.init nprocs fused_phase; Array.init nprocs peeled_phase ],
+        [ "fused"; "peeled" ] )
+    else ([ Array.init nprocs fused_phase ], [ "fused" ])
   in
-  { prog = p; nprocs; grid; phases }
+  { prog = p; nprocs; grid; phases; labels }
 
 let serial (p : Ir.program) = unfused ~nprocs:1 ~depth:1 p
 

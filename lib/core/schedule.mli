@@ -22,7 +22,16 @@ type t = {
   nprocs : int;
   grid : int array;  (** processor grid over the fused dimensions *)
   phases : phase list;
+  labels : string list;  (** one human-readable label per phase *)
 }
+
+val phase_label : t -> int -> string
+(** Label of phase [i] ("fused", "peeled", a nest id, ...); falls back
+    to ["phase<i>"] when the schedule carries fewer labels than
+    phases. *)
+
+val phase_labels : t -> string list
+(** One label per phase, with fallbacks applied. *)
 
 val box_is_empty : box -> bool
 val box_iterations : box -> int

@@ -81,11 +81,13 @@ let schedule ?(tile = 32) ?derive ~nprocs (p : Ir.program) =
       phases := phase :: !phases
     end
   done;
+  let phases = List.rev !phases in
   {
     Schedule.prog = p;
     nprocs;
     grid = [| nprocs |];
-    phases = List.rev !phases;
+    phases;
+    labels = List.mapi (fun i _ -> Printf.sprintf "wave%d" i) phases;
   }
 
 (* Number of barrier-separated phases (diagonals) in the wavefront. *)

@@ -10,6 +10,7 @@ module Interp = Lf_ir.Interp
 module Schedule = Lf_core.Schedule
 module Partition = Lf_core.Partition
 module Cache = Lf_cache.Cache
+module Obs = Lf_obs.Obs
 
 type result = {
   cycles : float;  (* simulated execution time *)
@@ -35,22 +36,44 @@ type ctx = {
   hit_cost : float;
   miss_cost : float;
   tlb_miss_cost : float;
+  probe : Obs.probe option;  (* attribution probe; None = uninstrumented *)
 }
 
-let access ctx addr =
-  if Cache.access ctx.cache addr then ctx.cycles <- ctx.cycles +. ctx.hit_cost
-  else ctx.cycles <- ctx.cycles +. ctx.miss_cost;
-  match ctx.tlb with
-  | None -> ()
-  | Some t ->
-    if not (Cache.access t addr) then
-      ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost
+(* The two arms must stay behaviourally identical: same cache/TLB state
+   transitions, same cycle arithmetic in the same order.  The only
+   difference the probe arm is allowed is pushing counts into the sink
+   (the observer-effect property in test/test_obs.ml holds us to it). *)
+let access ctx aid addr =
+  match ctx.probe with
+  | None ->
+    (if Cache.access ctx.cache addr then
+       ctx.cycles <- ctx.cycles +. ctx.hit_cost
+     else ctx.cycles <- ctx.cycles +. ctx.miss_cost);
+    (match ctx.tlb with
+    | None -> ()
+    | Some t ->
+      if not (Cache.access t addr) then
+        ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost)
+  | Some p ->
+    let cl = Cache.access_classified ctx.cache addr in
+    (if cl.Cache.cl_hit then ctx.cycles <- ctx.cycles +. ctx.hit_cost
+     else ctx.cycles <- ctx.cycles +. ctx.miss_cost);
+    Obs.record_access p ~aid ~line:cl.Cache.cl_line ~hit:cl.Cache.cl_hit
+      ~cold:cl.Cache.cl_cold ~evicted:cl.Cache.cl_evicted;
+    (match ctx.tlb with
+    | None -> ()
+    | Some t ->
+      if not (Cache.access t addr) then begin
+        ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost;
+        Obs.record_tlb_miss p ~aid
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation: each statement becomes a closure over the
    value arrays and the layout, taking (ctx, iteration values).        *)
 
 type cref = {
+  aid : int;  (* array id: index into the program's decl list *)
   values : float array;
   lext : int array;  (* logical extents, for the value index *)
   aext : int array;  (* addressing extents (padding included) *)
@@ -60,7 +83,7 @@ type cref = {
   consts : int array;  (* per array dim *)
 }
 
-let compile_ref store (layout : Partition.layout) vars (r : Ir.aref) =
+let compile_ref store (layout : Partition.layout) aid_of vars (r : Ir.aref) =
   let values = Interp.find_array store r.array in
   let lext = Interp.find_extents store r.array in
   let p = Partition.find_placement layout r.array in
@@ -88,6 +111,7 @@ let compile_ref store (layout : Partition.layout) vars (r : Ir.aref) =
     Array.of_list (List.map (fun (a : Ir.affine) -> a.const) r.index)
   in
   {
+    aid = aid_of r.Ir.array;
     values;
     lext;
     aext = p.aextents;
@@ -123,19 +147,22 @@ type cexpr =
   | CNeg of cexpr
   | CBin of Ir.binop * cexpr * cexpr
 
-let rec compile_expr store layout vars (e : Ir.expr) =
+let rec compile_expr store layout aid_of vars (e : Ir.expr) =
   match e with
   | Const k -> CConst k
-  | Read r -> CRead (compile_ref store layout vars r)
-  | Neg e -> CNeg (compile_expr store layout vars e)
+  | Read r -> CRead (compile_ref store layout aid_of vars r)
+  | Neg e -> CNeg (compile_expr store layout aid_of vars e)
   | Bin (op, a, b) ->
-    CBin (op, compile_expr store layout vars a, compile_expr store layout vars b)
+    CBin
+      ( op,
+        compile_expr store layout aid_of vars a,
+        compile_expr store layout aid_of vars b )
 
 let rec eval_cexpr ctx vals = function
   | CConst k -> k
   | CRead cr ->
     let vidx, addr = locate cr vals in
-    access ctx addr;
+    access ctx cr.aid addr;
     cr.values.(vidx)
   | CNeg e -> -.eval_cexpr ctx vals e
   | CBin (op, a, b) -> (
@@ -153,7 +180,7 @@ type cstmt = {
   cguard : (int * int * int) array;  (* (level index, lo, hi) *)
 }
 
-let compile_nest store layout (n : Ir.nest) =
+let compile_nest store layout aid_of (n : Ir.nest) =
   let vars = Array.of_list (Ir.nest_vars n) in
   let var_index x =
     let rec go i =
@@ -168,8 +195,8 @@ let compile_nest store layout (n : Ir.nest) =
     (List.map
        (fun (s : Ir.stmt) ->
          {
-           clhs = compile_ref store layout vars s.lhs;
-           crhs = compile_expr store layout vars s.rhs;
+           clhs = compile_ref store layout aid_of vars s.lhs;
+           crhs = compile_expr store layout aid_of vars s.rhs;
            cguard =
              Array.of_list
                (List.map (fun (v, lo, hi) -> (var_index v, lo, hi)) s.guard);
@@ -190,7 +217,7 @@ let exec_cstmt ctx vals s =
   if guard_holds s.cguard vals then begin
     let v = eval_cexpr ctx vals s.crhs in
     let vidx, addr = locate s.clhs vals in
-    access ctx addr;
+    access ctx s.clhs.aid addr;
     s.clhs.values.(vidx) <- v
   end
 
@@ -202,6 +229,7 @@ let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
   let nd : int = nest_arity.(b.Schedule.nest) in
   let vals = Array.make nd 0 in
   let nstmts = float_of_int (Array.length stmts) in
+  let t0 = ctx.cycles in
   ctx.cycles <- ctx.cycles +. cost.loop_overhead;
   let rec go d =
     if d = nd then begin
@@ -218,9 +246,15 @@ let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
       done
     end
   in
-  go 0
+  go 0;
+  match ctx.probe with
+  | None -> ()
+  | Some p ->
+    Obs.box_span p ~nest:b.Schedule.nest ~iters:(Schedule.box_iterations b)
+      ~t0 ~t1:ctx.cycles
 
-let run ?layout ?init ?(steps = 1) ~machine:(m : Machine.config) (sched : Schedule.t) =
+let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
+    (sched : Schedule.t) =
   let prog = sched.Schedule.prog in
   let layout =
     match layout with
@@ -229,16 +263,33 @@ let run ?layout ?init ?(steps = 1) ~machine:(m : Machine.config) (sched : Schedu
   in
   let nprocs = sched.Schedule.nprocs in
   let store = Interp.create ?init prog in
+  let decls = Array.of_list prog.Ir.decls in
+  let aid_of name =
+    let rec go i =
+      if i >= Array.length decls then
+        invalid_arg ("Exec.run: undeclared array " ^ name)
+      else if String.equal decls.(i).Ir.aname name then i
+      else go (i + 1)
+    in
+    go 0
+  in
   let compiled =
-    Array.of_list (List.map (compile_nest store layout) prog.Ir.nests)
+    Array.of_list (List.map (compile_nest store layout aid_of) prog.Ir.nests)
   in
   let nest_arity =
     Array.of_list
       (List.map (fun (n : Ir.nest) -> List.length n.Ir.levels) prog.Ir.nests)
   in
+  (match sink with
+  | None -> ()
+  | Some s ->
+    Obs.attach s ~machine:m.Machine.mname ~nprocs
+      ~arrays:(Array.map (fun (d : Ir.decl) -> d.Ir.aname) decls)
+      ~labels:(Array.of_list (Schedule.phase_labels sched))
+      ~remote_fraction:(Machine.remote_fraction m ~nprocs));
   let miss_cost = Machine.miss_penalty m ~nprocs in
   let ctxs =
-    Array.init nprocs (fun _ ->
+    Array.init nprocs (fun proc ->
         {
           cache = Cache.create m.cache;
           tlb = Option.map Cache.create m.Machine.tlb;
@@ -246,23 +297,43 @@ let run ?layout ?init ?(steps = 1) ~machine:(m : Machine.config) (sched : Schedu
           hit_cost = m.cost.hit;
           miss_cost;
           tlb_miss_cost = m.cost.tlb_miss;
+          probe = Option.map (fun s -> Obs.probe s ~proc) sink;
         })
   in
   let phases = Array.of_list sched.Schedule.phases in
-  let phase_cycles = Array.make (Array.length phases) 0.0 in
-  for _step = 1 to steps do
+  let nphases = Array.length phases in
+  let phase_cycles = Array.make nphases 0.0 in
+  let barrier_cost = Machine.barrier_cost m ~nprocs in
+  for step = 1 to steps do
     Array.iteri
       (fun i ph ->
+        (match sink with
+        | None -> ()
+        | Some s -> Obs.phase_begin s ~step ~phase:i);
         Array.iter (fun ctx -> ctx.cycles <- 0.0) ctxs;
         Array.iteri
           (fun proc boxes ->
             let ctx = ctxs.(proc) in
+            (match ctx.probe with
+            | None -> ()
+            | Some p -> Obs.set_phase p ~step ~phase:i);
             List.iter (exec_box m.cost compiled nest_arity ctx) boxes)
           ph;
         let t =
           Array.fold_left (fun acc c -> Float.max acc c.cycles) 0.0 ctxs
         in
-        phase_cycles.(i) <- phase_cycles.(i) +. t)
+        phase_cycles.(i) <- phase_cycles.(i) +. t;
+        match sink with
+        | None -> ()
+        | Some s ->
+          Array.iteri
+            (fun proc c -> Obs.proc_cycles s ~phase:i ~proc ~cycles:c.cycles)
+            ctxs;
+          Obs.phase_end s ~step ~phase:i ~cycles:t;
+          (* mirror the aggregate barrier count below: one barrier after
+             every phase except the very last of the run *)
+          if not (step = steps && i = nphases - 1) then
+            Obs.barrier s ~step ~after_phase:i ~cost:barrier_cost)
       phases
   done;
   (* one barrier after every phase except the very last of the run *)
@@ -305,12 +376,17 @@ let run ?layout ?init ?(steps = 1) ~machine:(m : Machine.config) (sched : Schedu
   }
 
 (* Convenience: simulate the original (unfused) program. *)
-let run_unfused ?layout ?init ?steps ?grid ?depth ~machine ~nprocs p =
-  run ?layout ?init ?steps ~machine (Schedule.unfused ?grid ?depth ~nprocs p)
+let run_unfused ?sink ?layout ?init ?steps ?grid ?depth ~machine ~nprocs p =
+  run ?sink ?layout ?init ?steps ~machine
+    (Schedule.unfused ?grid ?depth ~nprocs p)
 
 (* Convenience: simulate the fused shift-and-peel version. *)
-let run_fused ?layout ?init ?steps ?grid ?strip ?derive ~machine ~nprocs p =
-  run ?layout ?init ?steps ~machine
+let run_fused ?sink ?layout ?init ?steps ?grid ?strip ?derive ~machine ~nprocs
+    p =
+  run ?sink ?layout ?init ?steps ~machine
     (Schedule.fused ?grid ?strip ?derive ~nprocs p)
+
+(* Attribution tables from a sink recorded by [run]. *)
+let breakdown sink ~by = Obs.breakdown sink ~by
 
 let speedup ~baseline_cycles (r : result) = baseline_cycles /. r.cycles

@@ -21,6 +21,7 @@ val proc0_misses : result -> int
     execution" measure (Figures 18, 20). *)
 
 val run :
+  ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
@@ -31,9 +32,16 @@ val run :
     processor.  [layout] defaults to a dense contiguous placement;
     [steps] repeats the whole schedule (a sequential time-step loop
     around the parallel loop sequence, with caches persisting across
-    steps). *)
+    steps).
+
+    [sink] attaches an {!Lf_obs.Obs.sink} collecting per-array x
+    per-phase x per-processor counters and a structured event stream.
+    Attaching a sink never changes the simulation: the store, cycle
+    counts and cache statistics are bit-identical with and without it
+    (the observer-effect property in test/test_obs.ml). *)
 
 val run_unfused :
+  ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
@@ -47,6 +55,7 @@ val run_unfused :
     per nest, barriers in between. *)
 
 val run_fused :
+  ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
@@ -59,5 +68,12 @@ val run_fused :
   result
 (** Simulate the fused shift-and-peel version (fused phase, barrier,
     peeled iterations). *)
+
+val breakdown :
+  Lf_obs.Obs.sink ->
+  by:Lf_obs.Obs.group ->
+  (string * Lf_obs.Obs.total) list
+(** Attribution tables from a sink recorded by {!run}: counter totals
+    grouped by array, phase or processor. *)
 
 val speedup : baseline_cycles:float -> result -> float

@@ -10,15 +10,19 @@ type t = {
   parties : int;
   mutable count : int;
   mutable sense : bool;
+  sink : Lf_obs.Obs.sink option;  (* named runtime counters *)
 }
 
-let create parties =
+let create ?sink parties =
   if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
   { m = Mutex.create (); cv = Condition.create (); parties; count = 0;
-    sense = false }
+    sense = false; sink }
 
 (* Block until all [parties] participants have called [wait]. *)
 let wait b =
+  (match b.sink with
+  | None -> ()
+  | Some s -> Lf_obs.Obs.count s "barrier.wait");
   Mutex.lock b.m;
   let my_sense = not b.sense in
   b.count <- b.count + 1;

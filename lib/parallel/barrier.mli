@@ -4,8 +4,9 @@
 
 type t
 
-val create : int -> t
-(** [create parties]; raises [Invalid_argument] when [parties <= 0]. *)
+val create : ?sink:Lf_obs.Obs.sink -> int -> t
+(** [create parties]; raises [Invalid_argument] when [parties <= 0].
+    [sink] receives a ["barrier.wait"] named count per arrival. *)
 
 val wait : t -> unit
 (** Block until all participants have arrived; reusable. *)

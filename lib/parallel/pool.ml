@@ -15,6 +15,7 @@ type t = {
   mutable remaining : int;
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
+  sink : Lf_obs.Obs.sink option;  (* named runtime counters *)
 }
 
 let worker_loop t w =
@@ -41,7 +42,7 @@ let worker_loop t w =
     end
   done
 
-let create nworkers =
+let create ?sink nworkers =
   if nworkers <= 0 then invalid_arg "Pool.create: nworkers <= 0";
   let t =
     {
@@ -54,6 +55,7 @@ let create nworkers =
       remaining = 0;
       shutdown = false;
       domains = [];
+      sink;
     }
   in
   t.domains <-
@@ -66,6 +68,9 @@ let size t = t.nworkers
 (* Run [f w] on every worker w (0 .. nworkers-1); worker 0 is the
    caller.  Returns when all workers have finished (join). *)
 let run t f =
+  (match t.sink with
+  | None -> ()
+  | Some s -> Lf_obs.Obs.count s "pool.region");
   if t.nworkers = 1 then f 0
   else begin
     Mutex.lock t.m;

@@ -5,8 +5,10 @@
 
 type t
 
-val create : int -> t
-(** [create n] spawns [n - 1] domains (plus the caller). *)
+val create : ?sink:Lf_obs.Obs.sink -> int -> t
+(** [create n] spawns [n - 1] domains (plus the caller).  [sink]
+    receives named runtime counters (["pool.region"] per parallel
+    region). *)
 
 val size : t -> int
 

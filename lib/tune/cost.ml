@@ -32,21 +32,34 @@ let fingerprint ?(depth = 1) ?(steps = 1) ~machine ~nprocs p cand =
 (* ------------------------------------------------------------------ *)
 (* Analytic tier                                                       *)
 
-(* Layouts prone to cross-conflicts pay a multiplicative miss factor:
-   back-to-back power-of-two arrays conflict pathologically on a
-   direct-mapped cache (paper Figure 18's motivation), padding perturbs
-   but does not eliminate conflicts, and partitioning with naive
-   direct-mapped targets wastes set-associative span. *)
-let conflict_factor ~machine (cand : Space.candidate) =
-  let assoc = (Space.cache_shape machine).Lf_core.Partition.assoc in
-  match cand.Space.layout with
-  | Space.Partitioned { assoc_aware = true } -> 1.0
-  | Space.Partitioned { assoc_aware = false } ->
-    if assoc > 1 then 1.15 else 1.0
-  | Space.Padded pad -> if pad > 0 then 1.3 else 2.5
-  | Space.Contiguous -> if assoc = 1 then 3.0 else 2.0
+(* Measured miss-inflation factors (misses over compulsory misses)
+   keyed by layout tag, recorded from an instrumented simulation. *)
+type calibration = (string * float) list
 
-let analytic_of_schedule ~machine cand (sched : Schedule.t) =
+let calibration_of_sink sink =
+  [ (Lf_obs.Obs.layout sink, Lf_obs.Obs.miss_factor sink) ]
+
+(* Layouts prone to cross-conflicts pay a multiplicative miss factor.
+   A [calibration] entry for the candidate's layout tag — a factor
+   *measured* by Lf_obs on this very workload — replaces the guess;
+   otherwise the heuristic applies: back-to-back power-of-two arrays
+   conflict pathologically on a direct-mapped cache (paper Figure 18's
+   motivation), padding perturbs but does not eliminate conflicts, and
+   partitioning with naive direct-mapped targets wastes set-associative
+   span. *)
+let conflict_factor ?(calibration = []) ~machine (cand : Space.candidate) =
+  match List.assoc_opt (Space.layout_to_string cand.Space.layout) calibration with
+  | Some f -> f
+  | None -> (
+    let assoc = (Space.cache_shape machine).Lf_core.Partition.assoc in
+    match cand.Space.layout with
+    | Space.Partitioned { assoc_aware = true } -> 1.0
+    | Space.Partitioned { assoc_aware = false } ->
+      if assoc > 1 then 1.15 else 1.0
+    | Space.Padded pad -> if pad > 0 then 1.3 else 2.5
+    | Space.Contiguous -> if assoc = 1 then 3.0 else 2.0)
+
+let analytic_of_schedule ?calibration ~machine cand (sched : Schedule.t) =
   let m : Machine.config = machine in
   let c = m.Machine.cost in
   let prog = sched.Schedule.prog in
@@ -114,17 +127,20 @@ let analytic_of_schedule ~machine cand (sched : Schedule.t) =
       0 (Ir.program_arrays prog)
   in
   let cold = float_of_int data_bytes /. line in
-  let misses = (cold +. !cap_misses) *. conflict_factor ~machine cand in
+  let misses =
+    (cold +. !cap_misses) *. conflict_factor ?calibration ~machine cand
+  in
   let miss_extra = Machine.miss_penalty m ~nprocs -. c.Machine.hit in
   let nbarriers = max 0 (List.length sched.Schedule.phases - 1) in
   !compute
   +. (misses *. miss_extra /. fprocs)
   +. (float_of_int nbarriers *. Machine.barrier_cost m ~nprocs)
 
-let analytic ?depth ~machine ~nprocs p cand =
+let analytic ?depth ?calibration ~machine ~nprocs p cand =
   match Space.build ?depth ~machine ~nprocs p cand with
   | Error _ as e -> e
-  | Ok (sched, _layout) -> Ok (analytic_of_schedule ~machine cand sched)
+  | Ok (sched, _layout) ->
+    Ok (analytic_of_schedule ?calibration ~machine cand sched)
 
 (* ------------------------------------------------------------------ *)
 (* Exact tier                                                          *)

@@ -42,14 +42,37 @@ val fingerprint :
 (** Structural memo key: digest of the printed program plus the
     candidate, machine geometry/name, processor count, steps, depth. *)
 
+type calibration = (string * float) list
+(** Measured miss-inflation factors (misses / compulsory misses) keyed
+    by layout tag ({!Space.layout_to_string} vocabulary), recorded from
+    an instrumented simulation. *)
+
+val calibration_of_sink : Lf_obs.Obs.sink -> calibration
+(** One calibration entry from a profile recorded by
+    [Lf_machine.Exec.run ~sink]: the sink's layout tag mapped to its
+    measured miss factor.  Concatenate the results of several profiled
+    runs to calibrate several layouts. *)
+
+val conflict_factor :
+  ?calibration:calibration ->
+  machine:Lf_machine.Machine.config ->
+  Space.candidate ->
+  float
+(** The multiplicative miss factor the analytic tier charges a
+    candidate's layout: the calibration entry for its layout tag when
+    present, the built-in heuristic otherwise. *)
+
 val analytic :
   ?depth:int ->
+  ?calibration:calibration ->
   machine:Lf_machine.Machine.config ->
   nprocs:int ->
   Lf_ir.Ir.program ->
   Space.candidate ->
   (float, string) result
-(** Estimated cycles of a candidate; [Error] when it is infeasible. *)
+(** Estimated cycles of a candidate; [Error] when it is infeasible.
+    [calibration] replaces the layout conflict-factor heuristic with
+    factors measured on a recorded profile. *)
 
 val exact :
   ?depth:int ->

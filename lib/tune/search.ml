@@ -39,8 +39,8 @@ type outcome = {
   exact_evals : int;
 }
 
-let run ?depth ?steps ?cache ?(driver = default_driver) ?sweep ~machine
-    ~nprocs p =
+let run ?depth ?steps ?cache ?calibration ?(driver = default_driver) ?sweep
+    ~machine ~nprocs p =
   let cache = match cache with Some c -> c | None -> Cost.create_cache () in
   let evals = ref 0 in
   let ex c =
@@ -84,7 +84,7 @@ let run ?depth ?steps ?cache ?(driver = default_driver) ?sweep ~machine
     let analytic_scored () =
       List.filter_map
         (fun c ->
-          match Cost.analytic ?depth ~machine ~nprocs p c with
+          match Cost.analytic ?depth ?calibration ~machine ~nprocs p c with
           | Error _ -> None
           | Ok v -> Some (c, v))
         cands

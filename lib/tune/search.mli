@@ -49,6 +49,7 @@ val run :
   ?depth:int ->
   ?steps:int ->
   ?cache:Cost.cache ->
+  ?calibration:Cost.calibration ->
   ?driver:driver ->
   ?sweep:bool ->
   machine:Lf_machine.Machine.config ->
@@ -56,5 +57,7 @@ val run :
   Lf_ir.Ir.program ->
   (outcome, string) result
 (** Search the space for [p] on [machine] with [nprocs] processors.
-    [Error] only when not even the unfused fallback can be simulated
-    (e.g. more processors than iterations). *)
+    [calibration] feeds measured conflict factors to the analytic
+    pruning tier (see {!Cost.calibration_of_sink}).  [Error] only when
+    not even the unfused fallback can be simulated (e.g. more
+    processors than iterations). *)

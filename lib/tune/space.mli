@@ -66,5 +66,10 @@ val build :
     copy arrays are placed too).  [Error] when the candidate is
     infeasible for this program/processor count. *)
 
+val layout_to_string : layout_spec -> string
+(** Stable layout tag ("contiguous", "pad:N", "partitioned",
+    "partitioned(naive)") — the vocabulary calibration factors and
+    profile sinks are keyed by. *)
+
 val to_string : candidate -> string
 val pp : Format.formatter -> candidate -> unit

@@ -13,6 +13,7 @@ val tune :
   ?depth:int ->
   ?steps:int ->
   ?cache:Cost.cache ->
+  ?calibration:Cost.calibration ->
   ?driver:Search.driver ->
   ?sweep:bool ->
   machine:Lf_machine.Machine.config ->

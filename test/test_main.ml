@@ -25,4 +25,6 @@ let () =
       ("properties", Test_properties.suite);
       ("integration", Test_integration.suite);
       ("tune", Test_tune.suite);
+      ("obs", Test_obs.suite);
+      ("roundtrip", Test_roundtrip.suite);
     ]

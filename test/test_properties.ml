@@ -503,7 +503,7 @@ let prop_affine_shift =
       Ir.affine_eval (Ir.affine_shift a k) env = Ir.affine_eval a env + k)
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map Tutil.to_alcotest
     [
       prop_fused_equivalence;
       prop_exact_coverage;

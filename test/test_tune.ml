@@ -204,5 +204,5 @@ let suite =
     ("beam budget respected", `Quick, test_budget_respected);
     ("never worse than paper default", `Slow, test_never_worse_than_default);
     ("reference is paper default", `Quick, test_default_is_paper_for_kernels);
-    QCheck_alcotest.to_alcotest prop_prune_keeps_optimum;
+    Tutil.to_alcotest prop_prune_keeps_optimum;
   ]

@@ -2,6 +2,28 @@
 
 module Ir = Lf_ir.Ir
 
+(* Reproducible QCheck runs: an explicit seed, overridable with
+   LF_QCHECK_SEED, so CI failures replay deterministically. *)
+let qcheck_seed =
+  match Sys.getenv_opt "LF_QCHECK_SEED" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> invalid_arg ("bad LF_QCHECK_SEED: " ^ s))
+  | None -> 0x5eed
+
+(* QCheck-to-alcotest bridge seeded with [qcheck_seed].  The seed is
+   printed up front so a failure report always carries it. *)
+let to_alcotest cell =
+  QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| qcheck_seed |])
+    ~verbose:false cell
+
+let () =
+  Printf.eprintf
+    "[qcheck] seed %d (set LF_QCHECK_SEED to override and replay)\n%!"
+    qcheck_seed
+
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i =

@@ -1,0 +1,100 @@
+(* Engine benchmark (PR 3): wall-clock cost of the simulator itself,
+   comparing the serial engine, the host-domain-parallel engine
+   (--jobs), and the miss-only address-stream fast path — while
+   verifying that every variant produces bit-identical observables.
+
+   Simulated results never depend on jobs or mode (see exec.mli); this
+   experiment demonstrates it on a full-size workload and records the
+   measured host speedups for BENCH_<n>.json. *)
+
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+module Interp = Lf_ir.Interp
+
+let nprocs = 8
+
+let time f =
+  let t = Util.elapsed_timer () in
+  let r = f () in
+  (r, t ())
+
+(* All performance observables; store compared separately (absent in
+   Miss_only mode). *)
+let counters_equal (a : Exec.result) (b : Exec.result) =
+  a.Exec.cycles = b.Exec.cycles
+  && a.Exec.phase_cycles = b.Exec.phase_cycles
+  && a.Exec.barrier_cycles = b.Exec.barrier_cycles
+  && a.Exec.total_refs = b.Exec.total_refs
+  && a.Exec.total_misses = b.Exec.total_misses
+  && a.Exec.cold_misses = b.Exec.cold_misses
+  && a.Exec.tlb_misses = b.Exec.tlb_misses
+  && a.Exec.proc_misses = b.Exec.proc_misses
+
+let run cfg =
+  Util.header "Engine: host-domain parallelism and the miss-only fast path";
+  let machine = Machine.convex in
+  let n = Util.scale cfg 512 128 in
+  let steps = Util.scale cfg 4 2 in
+  let p = Lf_kernels.Ll18.program ~n () in
+  let layout = Util.partitioned_layout machine p in
+  let strip = Util.strip_for machine p in
+  let jobs = max 4 (Exec.default_jobs ()) in
+  let host = Domain.recommended_domain_count () in
+  let go ~mode ~jobs () =
+    Exec.run_fused ~layout ~machine ~nprocs ~strip ~steps ~mode ~jobs p
+  in
+  (* warm up allocator/caches, then measure the serial engines before
+     any host domain is spawned (idle pool domains tax the single-domain
+     GC), and the parallel engines after *)
+  ignore (Exec.run_fused ~layout ~machine ~nprocs ~strip ~jobs:1 p);
+  let serial_full, t_sf = time (go ~mode:Exec.Full ~jobs:1) in
+  let serial_miss, t_sm = time (go ~mode:Exec.Miss_only ~jobs:1) in
+  let par_full, t_pf = time (go ~mode:Exec.Full ~jobs) in
+  let par_miss, t_pm = time (go ~mode:Exec.Miss_only ~jobs) in
+  Exec.release_shared_pool ();
+  let identical =
+    counters_equal serial_full par_full
+    && Interp.equal serial_full.Exec.store par_full.Exec.store
+  in
+  let miss_only_match =
+    counters_equal serial_full serial_miss
+    && counters_equal serial_full par_miss
+  in
+  Util.pr "workload: fused LL18 %dx%d, %d steps, %d simulated processors@." n
+    n steps nprocs;
+  Util.pr "host: %d core(s) available, --jobs %d@." host jobs;
+  Util.pr "@.%-28s  %10s  %9s@." "engine" "wall (s)" "vs serial";
+  let row label t =
+    Util.pr "%-28s  %10.2f  %8.2fx@." label t (t_sf /. t)
+  in
+  row "full, serial" t_sf;
+  row (Printf.sprintf "full, --jobs %d" jobs) t_pf;
+  row "miss-only, serial" t_sm;
+  row (Printf.sprintf "miss-only, --jobs %d" jobs) t_pm;
+  Util.pr "@.simulated cycles: %.0f   total misses: %d@."
+    serial_full.Exec.cycles serial_full.Exec.total_misses;
+  Util.pr "parallel engine bit-identical to serial (incl. store): %b@."
+    identical;
+  Util.pr "miss-only counters match full simulation exactly:      %b@."
+    miss_only_match;
+  if not (identical && miss_only_match) then
+    failwith "engine variants disagree — determinism bug";
+  Util.note ~id:"eng"
+    [
+      ("kernel", Util.Str "LL18");
+      ("n", Util.Int n);
+      ("steps", Util.Int steps);
+      ("nprocs", Util.Int nprocs);
+      ("jobs", Util.Int jobs);
+      ("host_cores", Util.Int host);
+      ("simulated_cycles", Util.Float serial_full.Exec.cycles);
+      ("total_misses", Util.Int serial_full.Exec.total_misses);
+      ("serial_full_s", Util.Float t_sf);
+      ("parallel_full_s", Util.Float t_pf);
+      ("serial_miss_only_s", Util.Float t_sm);
+      ("parallel_miss_only_s", Util.Float t_pm);
+      ("parallel_speedup", Util.Float (t_sf /. t_pf));
+      ("miss_only_speedup", Util.Float (t_sf /. t_sm));
+      ("bit_identical", Util.Bool identical);
+      ("miss_only_counters_match", Util.Bool miss_only_match);
+    ]

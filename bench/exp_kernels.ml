@@ -15,7 +15,7 @@ let kernel_by_name cfg name =
 (* Speedup/miss sweep for one kernel on one machine; speedups relative
    to the unfused version on one processor (cache-partitioned layout
    throughout, as in the paper's methodology). *)
-let sweep ~machine ~procs (p : Ir.program) =
+let sweep ?note ~machine ~procs (p : Ir.program) =
   let layout = Util.partitioned_layout machine p in
   let strip = Util.strip_for machine p in
   let base =
@@ -29,6 +29,20 @@ let sweep ~machine ~procs (p : Ir.program) =
         (nprocs, u, f))
       procs
   in
+  (match note with
+  | None -> ()
+  | Some id ->
+    List.iter
+      (fun (nprocs, (u : Exec.result), (f : Exec.result)) ->
+        Util.note ~id
+          [
+            ("nprocs", Util.Int nprocs);
+            ("unfused_cycles", Util.Float u.Exec.cycles);
+            ("fused_cycles", Util.Float f.Exec.cycles);
+            ("unfused_misses", Util.Int u.Exec.total_misses);
+            ("fused_misses", Util.Int f.Exec.total_misses);
+          ])
+      rows);
   Util.pr "%6s  %14s  %14s  %12s  %12s  %8s@." "P" "speedup-unfused"
     "speedup-fused" "miss-unfused" "miss-fused" "gain";
   List.iter
@@ -47,9 +61,11 @@ let fig22 cfg =
       (Util.scale cfg [ 1; 2; 4; 8; 16; 24; 32; 40; 48; 56 ] [ 1; 2; 4; 8 ])
   in
   Util.subheader "(a) LL18";
-  sweep ~machine:Machine.ksr2 ~procs (Lf_kernels.Ll18.program ~n ());
+  sweep ~note:"f22.ll18" ~machine:Machine.ksr2 ~procs
+    (Lf_kernels.Ll18.program ~n ());
   Util.subheader "(b) calc";
-  sweep ~machine:Machine.ksr2 ~procs (Lf_kernels.Calc.program ~n ());
+  sweep ~note:"f22.calc" ~machine:Machine.ksr2 ~procs
+    (Lf_kernels.Calc.program ~n ());
   Util.pr
     "@.Expected shape: fusion wins by ~5-25%% at low P; the benefit@.\
      diminishes as each processor's share of the data begins to fit in@.\
@@ -62,12 +78,14 @@ let fig23 cfg =
     Util.cap_procs cfg (Util.scale cfg [ 1; 2; 4; 8; 12; 16 ] [ 1; 2; 4; 8 ])
   in
   Util.subheader "(a) LL18 (1024x1024)";
-  sweep ~machine:Machine.convex ~procs (Lf_kernels.Ll18.program ~n ());
+  sweep ~note:"f23.ll18" ~machine:Machine.convex ~procs
+    (Lf_kernels.Ll18.program ~n ());
   Util.subheader "(b) calc (1024x1024)";
-  sweep ~machine:Machine.convex ~procs (Lf_kernels.Calc.program ~n ());
+  sweep ~note:"f23.calc" ~machine:Machine.convex ~procs
+    (Lf_kernels.Calc.program ~n ());
   Util.subheader "(c) filter (1602x640)";
   let rows = Util.scale cfg 1602 160 and cols = Util.scale cfg 640 64 in
-  sweep ~machine:Machine.convex ~procs
+  sweep ~note:"f23.filter" ~machine:Machine.convex ~procs
     (Lf_kernels.Filter.program ~rows ~cols ());
   Util.pr
     "@.Expected shape: >=30%% improvement for LL18 and calc and more@.\

@@ -35,7 +35,12 @@ let layouts machine =
 
 let profile_layout ~machine ~strip p (tag, mk_layout, _spec) =
   let sink = Obs.create ~layout:tag () in
-  let r = Exec.run_fused ~sink ~layout:(mk_layout p) ~machine ~nprocs ~strip p in
+  (* attribution reads the sink and cycle counts, never the store:
+     the miss-only fast path records identical profiles *)
+  let r =
+    Exec.run_fused ~mode:Exec.Miss_only ~sink ~layout:(mk_layout p) ~machine
+      ~nprocs ~strip p
+  in
   (tag, sink, r)
 
 let run cfg =

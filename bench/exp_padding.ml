@@ -17,17 +17,20 @@ let run_padding_sweep cfg machine =
   let strip = Util.strip_for machine p in
   let pads = Util.scale cfg (List.init 21 (fun i -> i + 1)) [ 1; 3; 5; 7; 9; 11 ] in
   Util.pr "%8s  %18s  %18s@." "padding" "no fusion (proc0)" "fusion (proc0)";
+  (* the sweep only reads miss counts, never the store: use the
+     address-stream fast path (bit-identical counters, no FP work) *)
+  let mode = Exec.Miss_only in
   List.iter
     (fun pad ->
       let layout = Util.padded_layout ~pad p in
-      let u = Exec.run_unfused ~layout ~machine ~nprocs p in
-      let f = Exec.run_fused ~layout ~machine ~nprocs ~strip p in
+      let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs p in
+      let f = Exec.run_fused ~mode ~layout ~machine ~nprocs ~strip p in
       Util.pr "%8d  %18d  %18d@." pad (Exec.proc0_misses u)
         (Exec.proc0_misses f))
     pads;
   let layout = Util.partitioned_layout machine p in
-  let u = Exec.run_unfused ~layout ~machine ~nprocs p in
-  let f = Exec.run_fused ~layout ~machine ~nprocs ~strip p in
+  let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs p in
+  let f = Exec.run_fused ~mode ~layout ~machine ~nprocs ~strip p in
   Util.pr "%8s  %18d  %18d@." "cachept" (Exec.proc0_misses u)
     (Exec.proc0_misses f);
   (Exec.proc0_misses f, Exec.proc0_misses u)

@@ -32,13 +32,15 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("abl", "Ablation studies (design choices)", Exp_ablation.run);
     ("tune", "Autotuned vs paper-default configurations (lf_tune)",
      Exp_tune.run);
+    ("eng", "Engine: host-domain parallelism + miss-only fast path",
+     Exp_engine.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--only ids] [--list] [--max-procs N] \
-     [--no-timings]";
+     [--no-timings] [--jobs N] [--json FILE]";
   print_endline "experiment ids:";
   List.iter
     (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc)
@@ -48,6 +50,7 @@ let () =
   let quick = ref false in
   let only = ref None in
   let procs_cap = ref None in
+  let json_file = ref None in
   (* deterministic output for golden tests: omit wall-clock timings *)
   let timings = ref true in
   let args = Array.to_list Sys.argv in
@@ -64,6 +67,12 @@ let () =
       parse rest
     | "--max-procs" :: n :: rest ->
       procs_cap := Some (int_of_string n);
+      parse rest
+    | "--jobs" :: n :: rest ->
+      Lf_machine.Exec.set_default_jobs (int_of_string n);
+      parse rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
       parse rest
     | "--list" :: _ | "--help" :: _ ->
       usage ();
@@ -97,9 +106,16 @@ let () =
     (fun (id, _, f) ->
       let t = Util.elapsed_timer () in
       f cfg;
-      if !timings then Fmt.pr "@.[%s done in %.1fs]@." id (t ())
+      let dt = t () in
+      Util.note ~id [ ("wall_s", Util.Float dt) ];
+      if !timings then Fmt.pr "@.[%s done in %.1fs]@." id dt
       else Fmt.pr "@.[%s done]@." id)
     selected;
   if !timings then
     Fmt.pr "@.All selected experiments completed in %.1fs.@." (total ())
-  else Fmt.pr "@.All selected experiments completed.@."
+  else Fmt.pr "@.All selected experiments completed.@.";
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    Util.write_json ~file ~jobs:(Lf_machine.Exec.default_jobs ());
+    Fmt.pr "machine-readable results written to %s@." file

@@ -98,3 +98,63 @@ let misses_table ~labels rows =
 let elapsed_timer () =
   let t0 = Unix.gettimeofday () in
   fun () -> Unix.gettimeofday () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (--json FILE).  Experiments append flat
+   key/value objects; main.exe adds per-experiment wall-clock entries
+   and serialises everything at exit. *)
+
+type jval = Int of int | Float of float | Str of string | Bool of bool
+
+let metrics : (string * (string * jval) list) list ref = ref []
+
+let note ~id kvs = metrics := (id, kvs) :: !metrics
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let jval_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Bool b -> if b then "true" else "false"
+
+let write_json ~file ~jobs =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  let entries = List.rev !metrics in
+  List.iteri
+    (fun i (id, kvs) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"id\": \"%s\"" (json_escape id));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf ", \"%s\": %s" (json_escape k) (jval_to_string v)))
+        kvs;
+      Buffer.add_string buf
+        (if i = List.length entries - 1 then "}\n" else "},\n"))
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc

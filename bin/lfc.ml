@@ -188,6 +188,26 @@ let machine_of = function
   | "convex" -> Ok Machine.convex
   | m -> Error ("unknown machine " ^ m)
 
+let jobs_arg =
+  let doc =
+    "Host domains for the simulation engine (default from $(b,LF_JOBS), \
+     else 1 = serial; 0 or $(b,auto) uses every core).  The simulated \
+     result is bit-identical for every value."
+  in
+  Arg.(value & opt (some string) None & info [ "jobs"; "j" ] ~docv:"J" ~doc)
+
+let apply_jobs = function
+  | None -> Ok ()
+  | Some ("auto" | "0") ->
+    Exec.set_default_jobs (Domain.recommended_domain_count ());
+    Ok ()
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some j when j >= 1 ->
+      Exec.set_default_jobs j;
+      Ok ()
+    | _ -> Error ("bad --jobs value " ^ s ^ " (want a positive int or auto)"))
+
 let layout_of spec machine (p : Ir.program) =
   match spec with
   | "partition" ->
@@ -208,8 +228,11 @@ let layout_of spec machine (p : Ir.program) =
     | None -> Error ("bad pad amount in " ^ s))
   | s -> Error ("unknown layout " ^ s)
 
-let simulate kernel n machine_name procs strip layout_spec =
+let simulate kernel n machine_name procs strip layout_spec jobs =
   with_program kernel n (fun p ->
+      match apply_jobs jobs with
+      | Error m -> `Error (false, m)
+      | Ok () -> (
       match machine_of machine_name with
       | Error m -> `Error (false, m)
       | Ok machine -> (
@@ -228,7 +251,7 @@ let simulate kernel n machine_name procs strip layout_spec =
             f.Exec.total_misses (Exec.proc0_misses f);
           Fmt.pr "fusion gain: %+.1f%%@."
             (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0));
-          `Ok ()))
+          `Ok ())))
 
 let simulate_cmd =
   Cmd.v
@@ -236,7 +259,7 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ kernel_arg $ size_arg $ machine_arg $ procs_arg
-       $ strip_arg $ layout_arg))
+       $ strip_arg $ layout_arg $ jobs_arg))
 
 (* --- verify -------------------------------------------------------- *)
 
@@ -331,7 +354,10 @@ let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
       st.TCost.entries st.TCost.hits st.TCost.misses;
     `Ok ()
 
-let tune kernel size machine_name procs search quick =
+let tune kernel size machine_name procs search quick jobs =
+  match apply_jobs jobs with
+  | Error m -> `Error (false, m)
+  | Ok () -> (
   match machine_of machine_name with
   | Error m -> `Error (false, m)
   | Ok machine -> (
@@ -369,7 +395,7 @@ let tune kernel size machine_name procs search quick =
             | Error m -> `Error (false, m)
             | Ok o ->
               Fmt.pr "%a" Tune.pp_outcome o;
-              `Ok ())))
+              `Ok ()))))
 
 let tune_cmd =
   Cmd.v
@@ -380,7 +406,7 @@ let tune_cmd =
     Term.(
       ret
         (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
-       $ procs_arg $ search_arg $ quick_arg))
+       $ procs_arg $ search_arg $ quick_arg $ jobs_arg))
 
 (* --- profile ------------------------------------------------------- *)
 
@@ -409,8 +435,11 @@ let steps_arg =
 let layout_tag = function "partition" -> "partitioned" | s -> s
 
 let profile kernel n machine_name procs strip layout_spec by trace unfused
-    steps =
+    steps jobs =
   with_program kernel n (fun p ->
+      match apply_jobs jobs with
+      | Error m -> `Error (false, m)
+      | Ok () -> (
       match machine_of machine_name with
       | Error m -> `Error (false, m)
       | Ok machine -> (
@@ -459,7 +488,7 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
               Fmt.pr "trace: %d events written to %s@."
                 (List.length (Lf_obs.Obs.events sink))
                 file);
-            `Ok ())))
+            `Ok ()))))
 
 let profile_cmd =
   Cmd.v
@@ -471,7 +500,7 @@ let profile_cmd =
       ret
         (const profile $ profile_kernel_arg $ size_arg $ machine_arg
        $ procs_arg $ strip_arg $ layout_arg $ by_arg $ trace_arg
-       $ unfused_arg $ steps_arg))
+       $ unfused_arg $ steps_arg $ jobs_arg))
 
 (* --- pipeline ------------------------------------------------------ *)
 

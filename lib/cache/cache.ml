@@ -13,6 +13,8 @@ let convex_cache = { capacity = 1024 * 1024; line = 64; assoc = 1 }
 type t = {
   config : config;
   nsets : int;
+  line_shift : int;  (* log2 line: addr lsr line_shift = line address *)
+  set_mask : int;  (* nsets - 1 when nsets is a power of 2, else -1 *)
   tags : int array;  (* nsets * assoc, -1 = invalid *)
   stamps : int array;  (* LRU stamps, parallel to tags *)
   mutable clock : int;
@@ -24,6 +26,10 @@ type t = {
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
 
+let log2 x =
+  let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
+  go 0 x
+
 let create config =
   if config.capacity <= 0 || config.line <= 0 || config.assoc <= 0 then
     invalid_arg "Cache.create: non-positive parameter";
@@ -34,6 +40,8 @@ let create config =
   {
     config;
     nsets;
+    line_shift = log2 config.line;
+    set_mask = (if is_pow2 nsets then nsets - 1 else -1);
     tags = Array.make (nsets * config.assoc) (-1);
     stamps = Array.make (nsets * config.assoc) 0;
     clock = 0;
@@ -42,6 +50,15 @@ let create config =
     cold_misses = 0;
     seen = Hashtbl.create 4096;
   }
+
+(* Set index of a (non-negative) line address: a mask when the set
+   count is a power of two — the common case for both machine presets —
+   and a division otherwise.  Addresses in this simulator are byte
+   offsets from 0, so the shift/mask forms agree exactly with the
+   [/]/[mod] they replace. *)
+let[@inline] set_of t line_addr =
+  if t.set_mask >= 0 then line_addr land t.set_mask
+  else line_addr mod t.nsets
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
@@ -54,8 +71,8 @@ let reset t =
 
 (* Access the byte at [addr]; returns [true] on a hit. *)
 let access t addr =
-  let line_addr = addr / t.config.line in
-  let set = line_addr mod t.nsets in
+  let line_addr = addr lsr t.line_shift in
+  let set = set_of t line_addr in
   let base = set * t.config.assoc in
   t.clock <- t.clock + 1;
   let rec find w =
@@ -95,8 +112,8 @@ type classified = {
    Any behavioural divergence between the two is an observer effect —
    test/test_obs.ml checks for it. *)
 let access_classified t addr =
-  let line_addr = addr / t.config.line in
-  let set = line_addr mod t.nsets in
+  let line_addr = addr lsr t.line_shift in
+  let set = set_of t line_addr in
   let base = set * t.config.assoc in
   t.clock <- t.clock + 1;
   let rec find w =

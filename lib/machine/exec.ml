@@ -3,7 +3,30 @@
    elements to addresses.  Produces both the semantic result (the store,
    for verification against the reference interpreter) and the
    performance observables the paper reports: cycle counts and cache
-   misses. *)
+   misses.
+
+   The engine is split into three layers so the host can parallelise
+   the simulation without changing a single observable:
+
+   - {b stream generation}: each simulated processor's boxes are
+     compiled to closures that walk the iteration space and emit the
+     per-processor address stream (interpreting values in [Full] mode,
+     or only the addresses in [Miss_only] mode);
+   - {b cache replay}: the stream drives that processor's private
+     [Lf_cache] instances and cycle counter — state owned by exactly
+     one simulated processor, hence by exactly one host domain at a
+     time;
+   - {b reduction}: at each phase end the per-processor observables are
+     folded {e in simulated-processor order} (max for time, sums in
+     array order for misses), and probe-buffered events are merged in
+     the same order.
+
+   Because processors within a phase are independent by construction
+   (the paper's phases are parallel loops; a legal schedule yields the
+   same store under any processor interleaving, see Schedule.execute's
+   order property) and all reductions are performed in a fixed order on
+   the coordinating domain, the result is bit-identical for any [jobs]
+   count, including the serial engine. *)
 
 module Ir = Lf_ir.Ir
 module Interp = Lf_ir.Interp
@@ -11,6 +34,7 @@ module Schedule = Lf_core.Schedule
 module Partition = Lf_core.Partition
 module Cache = Lf_cache.Cache
 module Obs = Lf_obs.Obs
+module Pool = Lf_parallel.Pool
 
 type result = {
   cycles : float;  (* simulated execution time *)
@@ -24,7 +48,67 @@ type result = {
   store : Interp.store;
 }
 
+type mode = Full | Miss_only
+
 let proc0_misses r = r.proc_misses.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Host parallelism: default job count and the shared domain pool      *)
+
+(* LF_JOBS environment default: a positive integer, or "auto"/"0" for
+   the host's recommended domain count.  Unset or unparsable means
+   serial. *)
+let jobs_of_env () =
+  match Sys.getenv_opt "LF_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" | "0" -> Domain.recommended_domain_count ()
+    | s -> (
+      match int_of_string_opt s with
+      | Some j when j >= 1 -> j
+      | Some _ | None -> 1))
+
+let default_jobs_ref = ref None
+
+let default_jobs () =
+  match !default_jobs_ref with
+  | Some j -> j
+  | None ->
+    let j = jobs_of_env () in
+    default_jobs_ref := Some j;
+    j
+
+let set_default_jobs j =
+  if j < 1 then invalid_arg "Exec.set_default_jobs: jobs < 1";
+  default_jobs_ref := Some j
+
+(* One shared pool, sized on demand and reused across runs (phases,
+   steps, tuner candidates, bench experiments) instead of spawning
+   domains per invocation.  Accessed only from the coordinating domain;
+   shut down at exit so the process can terminate cleanly. *)
+let shared_pool : (int * Pool.t) option ref = ref None
+let shared_pool_at_exit = ref false
+
+let release_shared_pool () =
+  match !shared_pool with
+  | None -> ()
+  | Some (_, p) ->
+    shared_pool := None;
+    Pool.shutdown p
+
+let shared_pool_of ~jobs =
+  match !shared_pool with
+  | Some (n, p) when n = jobs -> p
+  | _ ->
+    release_shared_pool ();
+    let p = Pool.create jobs in
+    shared_pool := Some (jobs, p);
+    if not !shared_pool_at_exit then begin
+      shared_pool_at_exit := true;
+      at_exit release_shared_pool
+    end;
+    p
 
 (* ------------------------------------------------------------------ *)
 (* Per-processor execution context                                     *)
@@ -74,7 +158,7 @@ let access ctx aid addr =
 
 type cref = {
   aid : int;  (* array id: index into the program's decl list *)
-  values : float array;
+  values : float array;  (* empty in Miss_only mode *)
   lext : int array;  (* logical extents, for the value index *)
   aext : int array;  (* addressing extents (padding included) *)
   start : int;  (* byte address of element 0 *)
@@ -83,9 +167,10 @@ type cref = {
   consts : int array;  (* per array dim *)
 }
 
-let compile_ref store (layout : Partition.layout) aid_of vars (r : Ir.aref) =
-  let values = Interp.find_array store r.array in
-  let lext = Interp.find_extents store r.array in
+(* [lookup name] yields the value array and logical extents of [name];
+   in Miss_only mode the value array is empty (never dereferenced). *)
+let compile_ref lookup (layout : Partition.layout) aid_of vars (r : Ir.aref) =
+  let values, lext = lookup r.Ir.array in
   let p = Partition.find_placement layout r.array in
   let nvars = Array.length vars in
   let coeffs =
@@ -141,22 +226,43 @@ let locate cr (vals : int array) =
   done;
   (!vidx, cr.start + (!aidx * cr.elem_bytes))
 
+(* [locate] without the value index: the Miss_only replay needs only
+   the byte address.  Bounds checks (and their exception text) are kept
+   identical so the two modes fail identically on a bad schedule. *)
+let locate_addr cr (vals : int array) =
+  let ndim = Array.length cr.consts in
+  let aidx = ref 0 in
+  for d = 0 to ndim - 1 do
+    let row = cr.coeffs.(d) in
+    let v = ref cr.consts.(d) in
+    for i = 0 to Array.length row - 1 do
+      if row.(i) <> 0 then v := !v + (row.(i) * vals.(i))
+    done;
+    let v = !v in
+    if v < 0 || v >= cr.lext.(d) then
+      raise
+        (Interp.Out_of_bounds
+           (Printf.sprintf "dim %d index %d not in [0,%d)" d v cr.lext.(d)));
+    aidx := (!aidx * cr.aext.(d)) + v
+  done;
+  cr.start + (!aidx * cr.elem_bytes)
+
 type cexpr =
   | CConst of float
   | CRead of cref
   | CNeg of cexpr
   | CBin of Ir.binop * cexpr * cexpr
 
-let rec compile_expr store layout aid_of vars (e : Ir.expr) =
+let rec compile_expr lookup layout aid_of vars (e : Ir.expr) =
   match e with
   | Const k -> CConst k
-  | Read r -> CRead (compile_ref store layout aid_of vars r)
-  | Neg e -> CNeg (compile_expr store layout aid_of vars e)
+  | Read r -> CRead (compile_ref lookup layout aid_of vars r)
+  | Neg e -> CNeg (compile_expr lookup layout aid_of vars e)
   | Bin (op, a, b) ->
     CBin
       ( op,
-        compile_expr store layout aid_of vars a,
-        compile_expr store layout aid_of vars b )
+        compile_expr lookup layout aid_of vars a,
+        compile_expr lookup layout aid_of vars b )
 
 let rec eval_cexpr ctx vals = function
   | CConst k -> k
@@ -174,13 +280,25 @@ let rec eval_cexpr ctx vals = function
     | Mul -> x *. y
     | Div -> x /. y)
 
+(* Reads of a compiled expression in evaluation order (the DFS order
+   [eval_cexpr] visits them): the address stream of the statement's
+   right-hand side.  [Miss_only] replays exactly this sequence. *)
+let rec refs_of_cexpr acc = function
+  | CConst _ -> acc
+  | CRead cr -> cr :: acc
+  | CNeg e -> refs_of_cexpr acc e
+  | CBin (_, a, b) -> refs_of_cexpr (refs_of_cexpr acc a) b
+
 type cstmt = {
   clhs : cref;
   crhs : cexpr;
   cguard : (int * int * int) array;  (* (level index, lo, hi) *)
+  ctrace : cref array;
+      (* address stream of one instance: rhs reads in evaluation order,
+         then the lhs write — the order [exec_cstmt] issues accesses *)
 }
 
-let compile_nest store layout aid_of (n : Ir.nest) =
+let compile_nest lookup layout aid_of (n : Ir.nest) =
   let vars = Array.of_list (Ir.nest_vars n) in
   let var_index x =
     let rec go i =
@@ -194,12 +312,16 @@ let compile_nest store layout aid_of (n : Ir.nest) =
   Array.of_list
     (List.map
        (fun (s : Ir.stmt) ->
+         let clhs = compile_ref lookup layout aid_of vars s.lhs in
+         let crhs = compile_expr lookup layout aid_of vars s.rhs in
          {
-           clhs = compile_ref store layout aid_of vars s.lhs;
-           crhs = compile_expr store layout aid_of vars s.rhs;
+           clhs;
+           crhs;
            cguard =
              Array.of_list
                (List.map (fun (v, lo, hi) -> (var_index v, lo, hi)) s.guard);
+           ctrace =
+             Array.of_list (List.rev (clhs :: refs_of_cexpr [] crhs));
          })
        n.body)
 
@@ -221,10 +343,34 @@ let exec_cstmt ctx vals s =
     s.clhs.values.(vidx) <- v
   end
 
+(* Miss_only: replay the statement's address stream against the cache,
+   skipping value interpretation.  Addresses are layout-dependent but
+   value-independent, so hits/misses and hence cycles are identical to
+   [exec_cstmt]'s. *)
+let exec_cstmt_trace ctx vals s =
+  if guard_holds s.cguard vals then begin
+    let tr = s.ctrace in
+    for k = 0 to Array.length tr - 1 do
+      let cr = tr.(k) in
+      access ctx cr.aid (locate_addr cr vals)
+    done
+  end
+
+let exec_stmts_full ctx vals (stmts : cstmt array) =
+  for s = 0 to Array.length stmts - 1 do
+    exec_cstmt ctx vals stmts.(s)
+  done
+
+let exec_stmts_trace ctx vals (stmts : cstmt array) =
+  for s = 0 to Array.length stmts - 1 do
+    exec_cstmt_trace ctx vals stmts.(s)
+  done
+
 (* ------------------------------------------------------------------ *)
 (* Running a schedule                                                  *)
 
-let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
+let exec_box exec_stmts (cost : Machine.cost) compiled nest_arity ctx
+    (b : Schedule.box) =
   let stmts : cstmt array = compiled.(b.Schedule.nest) in
   let nd : int = nest_arity.(b.Schedule.nest) in
   let vals = Array.make nd 0 in
@@ -234,9 +380,7 @@ let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
   let rec go d =
     if d = nd then begin
       ctx.cycles <- ctx.cycles +. (cost.op *. nstmts) +. cost.iter_overhead;
-      for s = 0 to Array.length stmts - 1 do
-        exec_cstmt ctx vals stmts.(s)
-      done
+      exec_stmts ctx vals stmts
     end
     else begin
       let lo, hi = b.Schedule.ranges.(d) in
@@ -253,8 +397,8 @@ let exec_box (cost : Machine.cost) compiled nest_arity ctx (b : Schedule.box) =
     Obs.box_span p ~nest:b.Schedule.nest ~iters:(Schedule.box_iterations b)
       ~t0 ~t1:ctx.cycles
 
-let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
-    (sched : Schedule.t) =
+let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
+    ~machine:(m : Machine.config) (sched : Schedule.t) =
   let prog = sched.Schedule.prog in
   let layout =
     match layout with
@@ -262,7 +406,30 @@ let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
     | None -> Partition.contiguous prog.Ir.decls
   in
   let nprocs = sched.Schedule.nprocs in
-  let store = Interp.create ?init prog in
+  (* Stream generation setup: the store and the name -> (values,
+     extents) lookup the compiled statements close over.  Miss_only
+     skips allocating and initialising the value arrays entirely; its
+     result carries an empty store. *)
+  let store, lookup =
+    match mode with
+    | Full ->
+      let store = Interp.create ?init prog in
+      ( store,
+        fun name -> (Interp.find_array store name, Interp.find_extents store name)
+      )
+    | Miss_only ->
+      let extents = Hashtbl.create 16 in
+      List.iter
+        (fun (d : Ir.decl) ->
+          Hashtbl.replace extents d.Ir.aname (Array.of_list d.Ir.extents))
+        prog.Ir.decls;
+      let no_values = [||] in
+      ( { Interp.arrays = Hashtbl.create 1; extents = Hashtbl.create 1 },
+        fun name ->
+          match Hashtbl.find_opt extents name with
+          | Some e -> (no_values, e)
+          | None -> invalid_arg ("Exec.run: undeclared array " ^ name) )
+  in
   let decls = Array.of_list prog.Ir.decls in
   let aid_of name =
     let rec go i =
@@ -274,7 +441,7 @@ let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
     go 0
   in
   let compiled =
-    Array.of_list (List.map (compile_nest store layout aid_of) prog.Ir.nests)
+    Array.of_list (List.map (compile_nest lookup layout aid_of) prog.Ir.nests)
   in
   let nest_arity =
     Array.of_list
@@ -300,6 +467,36 @@ let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
           probe = Option.map (fun s -> Obs.probe s ~proc) sink;
         })
   in
+  (* probes in simulated-processor order, for the phase-end merge *)
+  let probes =
+    match sink with
+    | None -> [||]
+    | Some _ -> Array.map (fun c -> Option.get c.probe) ctxs
+  in
+  let exec_stmts =
+    match mode with Full -> exec_stmts_full | Miss_only -> exec_stmts_trace
+  in
+  (* Cache replay across host domains: each simulated processor is
+     claimed by exactly one domain per phase (self-scheduled, so the
+     load imbalance of peeled tails costs at most one processor of idle
+     time), and every reduction below happens after the join, on this
+     domain, in simulated-processor order — bit-identical to serial. *)
+  let jobs =
+    max 1 (min nprocs (match jobs with Some j -> j | None -> default_jobs ()))
+  in
+  let pool =
+    match pool with
+    | Some p -> if Pool.size p > 1 && nprocs > 1 then Some p else None
+    | None -> if jobs > 1 then Some (shared_pool_of ~jobs) else None
+  in
+  let run_procs f =
+    match pool with
+    | None ->
+      for proc = 0 to nprocs - 1 do
+        f proc
+      done
+    | Some pool -> Pool.dynamic_for pool ~lo:0 ~hi:(nprocs - 1) f
+  in
   let phases = Array.of_list sched.Schedule.phases in
   let nphases = Array.length phases in
   let phase_cycles = Array.make nphases 0.0 in
@@ -311,14 +508,18 @@ let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
         | None -> ()
         | Some s -> Obs.phase_begin s ~step ~phase:i);
         Array.iter (fun ctx -> ctx.cycles <- 0.0) ctxs;
-        Array.iteri
-          (fun proc boxes ->
+        run_procs (fun proc ->
             let ctx = ctxs.(proc) in
             (match ctx.probe with
             | None -> ()
             | Some p -> Obs.set_phase p ~step ~phase:i);
-            List.iter (exec_box m.cost compiled nest_arity ctx) boxes)
-          ph;
+            List.iter
+              (exec_box exec_stmts m.cost compiled nest_arity ctx)
+              ph.(proc));
+        (* deterministic reduction, simulated-processor order *)
+        (match sink with
+        | None -> ()
+        | Some s -> Obs.flush_boxes s probes);
         let t =
           Array.fold_left (fun acc c -> Float.max acc c.cycles) 0.0 ctxs
         in
@@ -376,14 +577,15 @@ let run ?sink ?layout ?init ?(steps = 1) ~machine:(m : Machine.config)
   }
 
 (* Convenience: simulate the original (unfused) program. *)
-let run_unfused ?sink ?layout ?init ?steps ?grid ?depth ~machine ~nprocs p =
-  run ?sink ?layout ?init ?steps ~machine
+let run_unfused ?sink ?layout ?init ?steps ?mode ?jobs ?pool ?grid ?depth
+    ~machine ~nprocs p =
+  run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine
     (Schedule.unfused ?grid ?depth ~nprocs p)
 
 (* Convenience: simulate the fused shift-and-peel version. *)
-let run_fused ?sink ?layout ?init ?steps ?grid ?strip ?derive ~machine ~nprocs
-    p =
-  run ?sink ?layout ?init ?steps ~machine
+let run_fused ?sink ?layout ?init ?steps ?mode ?jobs ?pool ?grid ?strip
+    ?derive ~machine ~nprocs p =
+  run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine
     (Schedule.fused ?grid ?strip ?derive ~nprocs p)
 
 (* Attribution tables from a sink recorded by [run]. *)

@@ -2,7 +2,22 @@
     shared-memory multiprocessor: one cache per processor, a memory
     layout mapping array elements to addresses, and the cycle cost model
     of {!Machine}.  Produces both the semantic result (for verification)
-    and the paper's observables (cycles, misses). *)
+    and the paper's observables (cycles, misses).
+
+    {b Two-level parallelism.}  The {e simulated} processors of a phase
+    are independent by construction (the paper's phases are parallel
+    loops), so the {e host} can interpret them on several OCaml domains
+    concurrently: [run ~jobs:j] maps the schedule's P simulated
+    processors onto up to [j] host domains per phase.  Each simulated
+    processor's state (cache, TLB, cycle counter, probe) is owned by
+    exactly one domain at a time, and every cross-processor reduction
+    (phase max, miss sums, event-stream merge) happens after the join
+    in simulated-processor order — so the result, including [store] and
+    the attached sink's contents, is bit-identical for every [jobs]
+    value.  Determinism relies on the schedule being legal (no
+    dependence between processors within a phase), which is what the
+    barrier placement asserts; all schedules built by {!Lf_core.Schedule}
+    satisfy it. *)
 
 type result = {
   cycles : float;  (** simulated execution time in cycles *)
@@ -13,18 +28,50 @@ type result = {
   cold_misses : int;  (** compulsory misses (all processors) *)
   tlb_misses : int;  (** TLB misses (all processors), 0 when no TLB *)
   proc_misses : int array;  (** per-processor miss counts *)
-  store : Lf_ir.Interp.store;  (** final array contents *)
+  store : Lf_ir.Interp.store;  (** final array contents; empty in
+                                   [Miss_only] mode *)
 }
+
+type mode =
+  | Full  (** interpret values and replay the cache (the default) *)
+  | Miss_only
+      (** trace-driven fast path: generate and replay only the address
+          stream, skipping floating-point value interpretation and the
+          store allocation.  Addresses are layout-dependent but
+          value-independent, so every performance observable ([cycles],
+          [phase_cycles], miss/TLB/ref counts, sink contents) is
+          bit-identical to [Full]; only [store] is empty.  Use when the
+          caller needs cache statistics, not array contents (the
+          autotuner's exact tier, padding sweeps). *)
 
 val proc0_misses : result -> int
 (** Misses of processor 0, the paper's "single processor during parallel
     execution" measure (Figures 18, 20). *)
+
+val default_jobs : unit -> int
+(** The job count used when [?jobs] is omitted: the last value passed
+    to {!set_default_jobs}, else the [LF_JOBS] environment variable
+    (a positive integer, or ["auto"]/["0"] for
+    [Domain.recommended_domain_count ()]), else [1] (serial). *)
+
+val set_default_jobs : int -> unit
+(** Override the default host-domain count for subsequent runs
+    (e.g. from a [--jobs] command-line flag). *)
+
+val release_shared_pool : unit -> unit
+(** Shut down the internally shared domain pool, if one exists.  The
+    pool is created lazily by the first parallel [run], reused across
+    runs, and shut down automatically at exit; tests use this to force
+    a fresh pool. *)
 
 val run :
   ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
+  ?mode:mode ->
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
   machine:Machine.config ->
   Lf_core.Schedule.t ->
   result
@@ -34,17 +81,30 @@ val run :
     around the parallel loop sequence, with caches persisting across
     steps).
 
+    [jobs] (default {!default_jobs}) is the number of host domains the
+    simulated processors are mapped onto, clamped to the processor
+    count; [1] is the serial engine.  [pool] supplies an existing
+    {!Lf_parallel.Pool} to run on instead (reused across phases, steps
+    and successive runs); without it, parallel runs share one
+    internally cached pool.  The result is bit-identical for every
+    [jobs]/[pool] choice.
+
     [sink] attaches an {!Lf_obs.Obs.sink} collecting per-array x
     per-phase x per-processor counters and a structured event stream.
     Attaching a sink never changes the simulation: the store, cycle
     counts and cache statistics are bit-identical with and without it
-    (the observer-effect property in test/test_obs.ml). *)
+    (the observer-effect property in test/test_obs.ml), under any
+    [jobs] count — each domain records into probe-private buffers that
+    are merged deterministically at phase end. *)
 
 val run_unfused :
   ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
+  ?mode:mode ->
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
   ?grid:int array ->
   ?depth:int ->
   machine:Machine.config ->
@@ -59,6 +119,9 @@ val run_fused :
   ?layout:Lf_core.Partition.layout ->
   ?init:(string -> int -> float) ->
   ?steps:int ->
+  ?mode:mode ->
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
   ?grid:int array ->
   ?strip:int ->
   ?derive:Lf_core.Derive.t ->

@@ -137,6 +137,12 @@ type probe = {
   (* line address -> array id of the access that evicted it; private
      caches make this per processor *)
   p_evictor : (int, int) Hashtbl.t;
+  (* box events of the current phase, newest first.  Buffered privately
+     so that probes driven by concurrent host domains never contend on
+     the sink; [flush_boxes] merges the buffers in processor order at
+     phase end, which reproduces the serial engine's event order
+     exactly. *)
+  mutable p_boxes : event list;
 }
 
 let probe t ~proc =
@@ -148,6 +154,7 @@ let probe t ~proc =
     p_step = 1;
     p_bank = t.s_tab.(0).(proc);
     p_evictor = Hashtbl.create 4096;
+    p_boxes = [];
   }
 
 let set_phase p ~step ~phase =
@@ -175,8 +182,10 @@ let record_tlb_miss p ~aid =
   c.c_tlb <- c.c_tlb + 1
 
 let box_span p ~nest ~iters ~t0 ~t1 =
-  let s = p.p_sink in
-  s.s_events <-
+  (* [s_clock] is only advanced between phases (by [phase_end] and
+     [barrier], on the coordinating domain, with a join in between), so
+     reading it here is race-free even when probes run on workers. *)
+  p.p_boxes <-
     Box
       {
         step = p.p_step;
@@ -184,10 +193,22 @@ let box_span p ~nest ~iters ~t0 ~t1 =
         proc = p.p_proc;
         nest;
         iters;
-        ts = s.s_clock +. t0;
+        ts = p.p_sink.s_clock +. t0;
         dur = t1 -. t0;
       }
-    :: s.s_events
+    :: p.p_boxes
+
+(* Merge the probes' privately buffered box events into the sink's
+   stream, in probe (= simulated processor) order: the resulting event
+   order is identical to the serial engine pushing each processor's
+   boxes as it executes them.  Must be called from the coordinating
+   domain, after the workers have joined. *)
+let flush_boxes t probes =
+  Array.iter
+    (fun p ->
+      t.s_events <- p.p_boxes @ t.s_events;
+      p.p_boxes <- [])
+    probes
 
 (* ------------------------------------------------------------------ *)
 (* Machine-level events                                                 *)

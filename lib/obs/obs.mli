@@ -101,7 +101,19 @@ val record_access :
     cross-array when the evictor of [line] was a different array. *)
 
 val record_tlb_miss : probe -> aid:int -> unit
+
 val box_span : probe -> nest:int -> iters:int -> t0:float -> t1:float -> unit
+(** Record one executed box.  The event is buffered privately in the
+    probe (probes may be driven by concurrent host domains without
+    contending on the sink) until {!flush_boxes} merges it. *)
+
+val flush_boxes : sink -> probe array -> unit
+(** Merge every probe's buffered box events into the sink's event
+    stream, in probe (= simulated processor) order — the deterministic
+    phase-end reduction of the per-domain sub-sinks.  Call from the
+    coordinating domain once the phase's workers have joined; the
+    resulting stream is identical to a serial engine pushing each
+    processor's events as it runs. *)
 
 (** {1 Machine-level events} *)
 

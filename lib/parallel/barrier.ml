@@ -1,22 +1,44 @@
-(* Sense-reversing barrier for a fixed set of participants.
+(* Sense-reversing barrier, generalised to a generation counter, for a
+   resizable set of participants.
 
    The shift-and-peel transformation needs exactly one barrier between
    the fused loop and the peeled iterations (paper §3.4); this is the
-   runtime primitive the native kernels use for it. *)
+   runtime primitive the native kernels use for it.
+
+   A monotone generation counter replaces the boolean sense: a waiter
+   records the generation it arrived in and sleeps until the barrier
+   moves past it.  This is what makes [resize] safe — with a boolean
+   sense, shrinking the party count while threads of a *stale*
+   generation are still parked could flip the sense twice before they
+   wake and deadlock them; a counter only ever moves forward, so a
+   stale waiter can never confuse a later crossing with its own. *)
 
 type t = {
   m : Mutex.t;
   cv : Condition.t;
-  parties : int;
+  mutable parties : int;
   mutable count : int;
-  mutable sense : bool;
+  mutable generation : int;
   sink : Lf_obs.Obs.sink option;  (* named runtime counters *)
 }
 
 let create ?sink parties =
   if parties <= 0 then invalid_arg "Barrier.create: parties <= 0";
   { m = Mutex.create (); cv = Condition.create (); parties; count = 0;
-    sense = false; sink }
+    generation = 0; sink }
+
+let parties b =
+  Mutex.lock b.m;
+  let p = b.parties in
+  Mutex.unlock b.m;
+  p
+
+(* Open the barrier: advance the generation and release every waiter.
+   Caller holds [b.m]. *)
+let release b =
+  b.count <- 0;
+  b.generation <- b.generation + 1;
+  Condition.broadcast b.cv
 
 (* Block until all [parties] participants have called [wait]. *)
 let wait b =
@@ -24,15 +46,22 @@ let wait b =
   | None -> ()
   | Some s -> Lf_obs.Obs.count s "barrier.wait");
   Mutex.lock b.m;
-  let my_sense = not b.sense in
+  let my_generation = b.generation in
   b.count <- b.count + 1;
-  if b.count = b.parties then begin
-    b.count <- 0;
-    b.sense <- my_sense;
-    Condition.broadcast b.cv
-  end
+  if b.count >= b.parties then release b
   else
-    while b.sense <> my_sense do
+    while b.generation = my_generation do
       Condition.wait b.cv b.m
     done;
+  Mutex.unlock b.m
+
+(* Change the party count between (or during) crossings.  If the new
+   count is already met by the waiters of the current generation, the
+   barrier opens immediately — a pool that shrank can never strand the
+   waiters of the larger, stale generation. *)
+let resize b parties =
+  if parties <= 0 then invalid_arg "Barrier.resize: parties <= 0";
+  Mutex.lock b.m;
+  b.parties <- parties;
+  if b.count >= b.parties && b.count > 0 then release b;
   Mutex.unlock b.m

@@ -1,6 +1,6 @@
-(** Sense-reversing barrier for a fixed number of participants — the
-    single synchronization point between the fused loop and the peeled
-    iterations (paper §3.4). *)
+(** Generation-counting barrier for a resizable number of participants —
+    the single synchronization point between the fused loop and the
+    peeled iterations (paper §3.4). *)
 
 type t
 
@@ -10,3 +10,13 @@ val create : ?sink:Lf_obs.Obs.sink -> int -> t
 
 val wait : t -> unit
 (** Block until all participants have arrived; reusable. *)
+
+val parties : t -> int
+(** Current party count. *)
+
+val resize : t -> int -> unit
+(** [resize b n] changes the party count to [n].  Safe while threads
+    are parked in {!wait}: the barrier uses a monotone generation
+    counter, so waiters of a stale (larger) generation are released
+    immediately when the shrunken count is already met, instead of
+    deadlocking.  Raises [Invalid_argument] when [n <= 0]. *)

@@ -3,7 +3,15 @@
    Models the static worker-per-processor execution of the paper's
    machines: a parallel region runs one closure per worker (the caller
    doubles as worker 0), and consecutive regions are separated by an
-   implicit join, like the barriers between parallel loop nests. *)
+   implicit join, like the barriers between parallel loop nests.
+
+   The pool is built to be *reused*: one pool serves every phase and
+   step of a simulated run, and every candidate of an autotuning
+   search, instead of paying a domain spawn/join per invocation
+   (Domain.spawn is ~100x the cost of a condvar wake-up).  Regions are
+   exception-safe — a closure that raises does not strand the join; the
+   first exception is re-raised on the caller after all workers have
+   finished the region. *)
 
 type t = {
   nworkers : int;
@@ -13,10 +21,22 @@ type t = {
   mutable epoch : int;
   mutable job : int -> unit;
   mutable remaining : int;
+  mutable failure : exn option;  (* first exception of the region *)
   mutable shutdown : bool;
   mutable domains : unit Domain.t list;
   sink : Lf_obs.Obs.sink option;  (* named runtime counters *)
 }
+
+(* Run one region's job, funnelling any exception into [t.failure]
+   (first one wins) so the join below can re-raise it on the caller.
+   A worker that raised keeps serving later regions. *)
+let run_job t job w =
+  match job w with
+  | () -> ()
+  | exception e ->
+    Mutex.lock t.m;
+    if t.failure = None then t.failure <- Some e;
+    Mutex.unlock t.m
 
 let worker_loop t w =
   let my_epoch = ref 0 in
@@ -34,7 +54,7 @@ let worker_loop t w =
       my_epoch := t.epoch;
       let job = t.job in
       Mutex.unlock t.m;
-      job w;
+      run_job t job w;
       Mutex.lock t.m;
       t.remaining <- t.remaining - 1;
       if t.remaining = 0 then Condition.broadcast t.cv_done;
@@ -53,6 +73,7 @@ let create ?sink nworkers =
       epoch = 0;
       job = ignore;
       remaining = 0;
+      failure = None;
       shutdown = false;
       domains = [];
       sink;
@@ -66,7 +87,8 @@ let create ?sink nworkers =
 let size t = t.nworkers
 
 (* Run [f w] on every worker w (0 .. nworkers-1); worker 0 is the
-   caller.  Returns when all workers have finished (join). *)
+   caller.  Returns when all workers have finished (join); re-raises
+   the region's first exception, if any, after the join. *)
 let run t f =
   (match t.sink with
   | None -> ()
@@ -74,17 +96,21 @@ let run t f =
   if t.nworkers = 1 then f 0
   else begin
     Mutex.lock t.m;
+    t.failure <- None;
     t.job <- f;
     t.remaining <- t.nworkers - 1;
     t.epoch <- t.epoch + 1;
     Condition.broadcast t.cv_job;
     Mutex.unlock t.m;
-    f 0;
+    run_job t f 0;
     Mutex.lock t.m;
     while t.remaining > 0 do
       Condition.wait t.cv_done t.m
     done;
-    Mutex.unlock t.m
+    let failure = t.failure in
+    t.failure <- None;
+    Mutex.unlock t.m;
+    match failure with None -> () | Some e -> raise e
   end
 
 (* Inclusive block [lo..hi] of worker [w] out of [n]: balanced blocking,
@@ -111,6 +137,33 @@ let parallel_for_blocks t ~lo ~hi f =
       let bs, be = block ~lo ~hi ~n:t.nworkers ~w in
       if bs <= be then f bs be)
 
+(* Self-scheduled parallel for: workers repeatedly claim the next
+   [chunk] indices from a shared atomic counter until the range is
+   drained.  Unlike the static [parallel_for] blocking, load imbalance
+   (e.g. a simulated schedule whose peeled-tail processors carry far
+   less work than the fused-phase ones) costs at most one chunk of
+   idle time per worker. *)
+let dynamic_for ?(chunk = 1) t ~lo ~hi f =
+  if chunk <= 0 then invalid_arg "Pool.dynamic_for: chunk <= 0";
+  if lo <= hi then
+    if t.nworkers = 1 then
+      for i = lo to hi do
+        f i
+      done
+    else begin
+      let next = Atomic.make lo in
+      run t (fun _w ->
+          let continue_ = ref true in
+          while !continue_ do
+            let bs = Atomic.fetch_and_add next chunk in
+            if bs > hi then continue_ := false
+            else
+              for i = bs to min hi (bs + chunk - 1) do
+                f i
+              done
+          done)
+    end
+
 let shutdown t =
   Mutex.lock t.m;
   t.shutdown <- true;
@@ -118,3 +171,7 @@ let shutdown t =
   Mutex.unlock t.m;
   List.iter Domain.join t.domains;
   t.domains <- []
+
+let with_pool ?sink nworkers f =
+  let t = create ?sink nworkers in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,7 +1,11 @@
 (** Persistent domain pool with fork-join parallel regions: one worker
     per (simulated) processor, the caller doubling as worker 0, with a
     join after every region — the execution model of the paper's
-    block-scheduled parallel loops. *)
+    block-scheduled parallel loops.
+
+    Pools are meant to be reused: one pool serves every phase and step
+    of a simulated run (and every candidate of an autotuning search)
+    rather than spawning domains per invocation. *)
 
 type t
 
@@ -14,7 +18,9 @@ val size : t -> int
 
 val run : t -> (int -> unit) -> unit
 (** [run t f] executes [f w] on every worker [w]; returns when all have
-    finished (join). *)
+    finished (join).  Exception-safe: a raising closure never strands
+    the join; the region's first exception is re-raised on the caller
+    after all workers have finished. *)
 
 val block : lo:int -> hi:int -> n:int -> w:int -> int * int
 (** Balanced contiguous block of worker [w] (sizes differ by <= 1). *)
@@ -24,5 +30,16 @@ val parallel_for : t -> lo:int -> hi:int -> (int -> unit) -> unit
 val parallel_for_blocks : t -> lo:int -> hi:int -> (int -> int -> unit) -> unit
 (** [f bs be] once per worker with its block bounds. *)
 
+val dynamic_for : ?chunk:int -> t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Self-scheduled (work-stealing) parallel for: workers claim the next
+    [chunk] (default 1) indices from a shared counter until [lo..hi] is
+    drained, so imbalanced iterations cost at most one chunk of idle
+    time per worker.  Iteration order across workers is unspecified —
+    the iterations must be independent. *)
+
 val shutdown : t -> unit
 (** Terminate and join the worker domains. *)
+
+val with_pool : ?sink:Lf_obs.Obs.sink -> int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool of [n] workers and
+    shuts it down afterwards, even if [f] raises. *)

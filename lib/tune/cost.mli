@@ -13,7 +13,11 @@
     the simulated machine — the same simulation the experiments report —
     and is memoised: results are keyed by a structural fingerprint of
     (program, candidate, machine, processor count, steps, depth), so
-    re-evaluating a configuration is a hash lookup. *)
+    re-evaluating a configuration is a hash lookup.  Cold evaluations
+    use the simulator's [Miss_only] address-stream fast path (cycle and
+    miss counts are bit-identical to a full run; only the store, which
+    the tuner never reads, is skipped) and inherit its host-domain
+    parallelism ({!Lf_machine.Exec.default_jobs}). *)
 
 type exact = {
   e_cycles : float;  (** simulated execution time *)

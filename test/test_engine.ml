@@ -1,0 +1,300 @@
+(* The domain-parallel engine and the miss-only fast path.
+
+   The tentpole invariant of the host-parallel simulator: the result of
+   [Exec.run] — store, cycles, per-phase cycles, per-processor misses,
+   and everything an attached sink records — is bit-identical for every
+   [jobs] value.  Checked as a QCheck property over the paper's six
+   kernels (LL18, calc, jacobi, filter, tomcatv, hydro2d) with random
+   grids, strips, layouts and jobs in 1..8, and directed tests for the
+   miss-only mode, explicit pools, and the LF_JOBS default. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Partition = Lf_core.Partition
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+module Cache = Lf_cache.Cache
+module Obs = Lf_obs.Obs
+module Pool = Lf_parallel.Pool
+
+open QCheck
+
+(* ------------------------------------------------------------------ *)
+(* Kernel pool: the six programs of the paper's evaluation, scaled to
+   test size.  Apps contribute their first fusible sequence. *)
+
+let kernels : (string * (int -> Ir.program)) array =
+  [|
+    ("ll18", fun n -> Lf_kernels.Ll18.program ~n ());
+    ("calc", fun n -> Lf_kernels.Calc.program ~n ());
+    ("jacobi", fun n -> Lf_kernels.Jacobi.program ~n ());
+    ("filter", fun n -> Lf_kernels.Filter.program ~rows:n ~cols:(n / 2 + 8) ());
+    ( "tomcatv",
+      fun n -> List.hd (Lf_kernels.Apps.tomcatv ~n ()).Lf_kernels.Apps.sequences
+    );
+    ( "hydro2d",
+      fun n ->
+        List.hd
+          (Lf_kernels.Apps.hydro2d ~rows:n ~cols:(n / 2 + 8) ())
+            .Lf_kernels.Apps.sequences );
+  |]
+
+type layout_pick = L_contiguous | L_padded of int | L_partitioned
+
+let layout_of_pick ~machine pick (p : Ir.program) =
+  match pick with
+  | L_contiguous -> Partition.contiguous p.Ir.decls
+  | L_padded pad -> Partition.padded ~pad p.Ir.decls
+  | L_partitioned ->
+    Partition.cache_partitioned
+      ~cache:
+        {
+          Partition.capacity = machine.Machine.cache.Cache.capacity;
+          line = machine.Machine.cache.Cache.line;
+          assoc = machine.Machine.cache.Cache.assoc;
+        }
+      p.Ir.decls
+
+type case = {
+  kernel : int;
+  n : int;
+  nprocs : int;
+  strip : int;
+  fuse : bool;
+  pick : layout_pick;
+  jobs : int;
+  steps : int;
+}
+
+let gen_case =
+  let open Gen in
+  let* kernel = int_range 0 (Array.length kernels - 1) in
+  let* n = int_range 24 48 in
+  let* nprocs = int_range 1 6 in
+  let* strip = int_range 2 10 in
+  let* fuse = bool in
+  let* pick =
+    oneof
+      [
+        return L_contiguous;
+        map (fun p -> L_padded p) (int_range 1 4);
+        return L_partitioned;
+      ]
+  in
+  let* jobs = int_range 1 8 in
+  let* steps = int_range 1 2 in
+  return { kernel; n; nprocs; strip; fuse; pick; jobs; steps }
+
+let arb_case =
+  make
+    ~print:(fun c ->
+      Printf.sprintf "%s n=%d nprocs=%d strip=%d fused=%b %s jobs=%d steps=%d"
+        (fst kernels.(c.kernel))
+        c.n c.nprocs c.strip c.fuse
+        (match c.pick with
+        | L_contiguous -> "contiguous"
+        | L_padded p -> Printf.sprintf "pad:%d" p
+        | L_partitioned -> "partitioned")
+        c.jobs c.steps)
+    gen_case
+
+(* Full structural equality of two results, store included. *)
+let results_identical (a : Exec.result) (b : Exec.result) =
+  a.Exec.cycles = b.Exec.cycles
+  && a.Exec.phase_cycles = b.Exec.phase_cycles
+  && a.Exec.barrier_cycles = b.Exec.barrier_cycles
+  && a.Exec.total_refs = b.Exec.total_refs
+  && a.Exec.total_misses = b.Exec.total_misses
+  && a.Exec.cold_misses = b.Exec.cold_misses
+  && a.Exec.tlb_misses = b.Exec.tlb_misses
+  && a.Exec.proc_misses = b.Exec.proc_misses
+  && Interp.equal a.Exec.store b.Exec.store
+
+let sinks_identical a b =
+  Obs.totals a = Obs.totals b
+  && Obs.proc_misses a = Obs.proc_misses b
+  && Obs.barrier_cycles a = Obs.barrier_cycles b
+  && Obs.trace_json a = Obs.trace_json b
+
+let schedule_of_case c p =
+  if c.fuse then Schedule.fused ~nprocs:c.nprocs ~strip:c.strip p
+  else Schedule.unfused ~nprocs:c.nprocs p
+
+let prop_parallel_identical ~machine name =
+  Test.make ~count:50
+    ~name:("jobs>1 is bit-identical to serial (" ^ name ^ ")")
+    arb_case
+    (fun c ->
+      let _, mk = kernels.(c.kernel) in
+      let p = mk c.n in
+      match schedule_of_case c p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true (* more procs than iters *)
+      | sched ->
+        let layout = layout_of_pick ~machine c.pick p in
+        let s_sink = Obs.create () and j_sink = Obs.create () in
+        let serial =
+          Exec.run ~sink:s_sink ~layout ~machine ~steps:c.steps ~jobs:1 sched
+        in
+        let par =
+          Exec.run ~sink:j_sink ~layout ~machine ~steps:c.steps ~jobs:c.jobs
+            sched
+        in
+        if not (results_identical serial par) then
+          Test.fail_report "parallel result differs from serial";
+        if not (sinks_identical s_sink j_sink) then
+          Test.fail_report "sink contents differ under jobs>1";
+        true)
+
+(* Miss-only mode: every performance observable matches the full
+   simulation exactly; only the store is empty. *)
+let prop_miss_only_matches ~machine name =
+  Test.make ~count:40
+    ~name:("miss-only counters match full simulation (" ^ name ^ ")")
+    arb_case
+    (fun c ->
+      let _, mk = kernels.(c.kernel) in
+      let p = mk c.n in
+      match schedule_of_case c p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true
+      | sched ->
+        let layout = layout_of_pick ~machine c.pick p in
+        let f_sink = Obs.create () and m_sink = Obs.create () in
+        let full =
+          Exec.run ~sink:f_sink ~layout ~machine ~steps:c.steps ~jobs:1 sched
+        in
+        let miss =
+          Exec.run ~sink:m_sink ~mode:Exec.Miss_only ~layout ~machine
+            ~steps:c.steps ~jobs:c.jobs sched
+        in
+        let counters_ok =
+          full.Exec.cycles = miss.Exec.cycles
+          && full.Exec.phase_cycles = miss.Exec.phase_cycles
+          && full.Exec.barrier_cycles = miss.Exec.barrier_cycles
+          && full.Exec.total_refs = miss.Exec.total_refs
+          && full.Exec.total_misses = miss.Exec.total_misses
+          && full.Exec.cold_misses = miss.Exec.cold_misses
+          && full.Exec.tlb_misses = miss.Exec.tlb_misses
+          && full.Exec.proc_misses = miss.Exec.proc_misses
+        in
+        if not counters_ok then
+          Test.fail_report "miss-only counters differ from full simulation";
+        if not (sinks_identical f_sink m_sink) then
+          Test.fail_report "miss-only sink differs from full simulation";
+        true)
+
+(* ------------------------------------------------------------------ *)
+(* Directed tests                                                       *)
+
+(* The three kernels named by the issue, at a fixed size, fused and
+   unfused, including proc0 (the Figures 18/20 measure). *)
+let test_miss_only_directed () =
+  let machine = Machine.convex in
+  List.iter
+    (fun (name, (p : Ir.program)) ->
+      let layout = Partition.contiguous p.Ir.decls in
+      List.iter
+        (fun fused ->
+          let sched =
+            if fused then Schedule.fused ~nprocs:4 ~strip:5 p
+            else Schedule.unfused ~nprocs:4 p
+          in
+          let full = Exec.run ~layout ~machine sched in
+          let miss = Exec.run ~mode:Exec.Miss_only ~layout ~machine sched in
+          let tag b = Printf.sprintf "%s fused=%b" name b in
+          Alcotest.(check int)
+            (tag fused ^ " misses") full.Exec.total_misses
+            miss.Exec.total_misses;
+          Alcotest.(check int)
+            (tag fused ^ " tlb") full.Exec.tlb_misses miss.Exec.tlb_misses;
+          Alcotest.(check int)
+            (tag fused ^ " refs") full.Exec.total_refs miss.Exec.total_refs;
+          Alcotest.(check int)
+            (tag fused ^ " proc0") (Exec.proc0_misses full)
+            (Exec.proc0_misses miss);
+          Alcotest.(check bool)
+            (tag fused ^ " cycles") true
+            (full.Exec.cycles = miss.Exec.cycles))
+        [ false; true ])
+    [
+      ("ll18", Lf_kernels.Ll18.program ~n:40 ());
+      ("calc", Lf_kernels.Calc.program ~n:40 ());
+      ("filter", Lf_kernels.Filter.program ~rows:40 ~cols:24 ());
+    ]
+
+(* An explicitly supplied pool is reused across runs and steps and
+   produces the same bits as the internal pool and the serial engine. *)
+let test_explicit_pool () =
+  let p = Lf_kernels.Ll18.program ~n:32 () in
+  let machine = Machine.ksr2 in
+  let sched = Schedule.fused ~nprocs:4 ~strip:4 p in
+  let serial = Exec.run ~machine ~steps:2 ~jobs:1 sched in
+  Pool.with_pool 3 (fun pool ->
+      let a = Exec.run ~machine ~steps:2 ~pool sched in
+      let b = Exec.run ~machine ~steps:2 ~pool sched in
+      Alcotest.(check bool) "pooled run = serial" true
+        (results_identical serial a);
+      Alcotest.(check bool) "pool reusable across runs" true
+        (results_identical a b))
+
+(* An out-of-bounds access raised inside a worker domain must surface
+   on the caller (the pool may not strand the join), and the engine
+   must stay usable afterwards. *)
+let test_parallel_exception_propagates () =
+  let n = 24 in
+  let i = Ir.av "i" in
+  let oob =
+    {
+      Ir.pname = "oob";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ n ] }) [ "a"; "b" ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels =
+              [ { Ir.lvar = "i"; lo = 0; hi = n - 1; parallel = true } ];
+            body =
+              [
+                (* reads a[i+2]: out of bounds at i = n-2 *)
+                Ir.stmt (Ir.aref "b" [ i ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av ~c:2 "i" ]));
+              ];
+          };
+        ];
+    }
+  in
+  let sched = Schedule.unfused ~nprocs:3 oob in
+  (match Exec.run ~machine:Machine.ksr2 ~jobs:2 sched with
+  | _ -> Alcotest.fail "expected Out_of_bounds from worker"
+  | exception Interp.Out_of_bounds _ -> ());
+  (* the shared pool survives the failed region *)
+  let p = Lf_kernels.Jacobi.program ~n:24 () in
+  let good = Schedule.unfused ~nprocs:3 p in
+  let serial = Exec.run ~machine:Machine.ksr2 ~jobs:1 good in
+  let par = Exec.run ~machine:Machine.ksr2 ~jobs:2 good in
+  Alcotest.(check bool) "engine usable after worker exception" true
+    (results_identical serial par)
+
+let test_jobs_env_default () =
+  (* set_default_jobs overrides; restore to the env-derived default *)
+  let d0 = Exec.default_jobs () in
+  Exec.set_default_jobs 3;
+  Alcotest.(check int) "override" 3 (Exec.default_jobs ());
+  Exec.set_default_jobs d0;
+  Alcotest.(check int) "restored" d0 (Exec.default_jobs ())
+
+let suite =
+  [
+    Tutil.to_alcotest (prop_parallel_identical ~machine:Machine.ksr2 "ksr2");
+    Tutil.to_alcotest (prop_parallel_identical ~machine:Machine.convex "convex");
+    Tutil.to_alcotest (prop_miss_only_matches ~machine:Machine.convex "convex");
+    Alcotest.test_case "miss-only: ll18/calc/filter" `Quick
+      test_miss_only_directed;
+    Alcotest.test_case "explicit pool reuse" `Quick test_explicit_pool;
+    Alcotest.test_case "worker exception propagates" `Quick
+      test_parallel_exception_propagates;
+    Alcotest.test_case "default jobs override" `Quick test_jobs_env_default;
+  ]

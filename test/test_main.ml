@@ -13,6 +13,7 @@ let () =
       ("machine", Test_machine.suite);
       ("kernels", Test_kernels.suite);
       ("parallel", Test_parallel.suite);
+      ("engine", Test_engine.suite);
       ("alignrep", Test_alignrep.suite);
       ("profit", Test_profit.suite);
       ("legality", Test_legality.suite);

@@ -83,6 +83,83 @@ let test_barrier_reusable () =
           done);
       check int "60 crossings" 60 (Atomic.get count))
 
+let test_with_pool_value_and_cleanup () =
+  let v = Pool.with_pool 3 (fun pool -> Pool.size pool * 7) in
+  check int "returns f's value" 21 v;
+  (* the pool is shut down even when f raises *)
+  match Pool.with_pool 2 (fun _ -> failwith "boom") with
+  | exception Failure m -> check bool "exception propagates" true (m = "boom")
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_run_exception_rejoins () =
+  with_pool 4 (fun pool ->
+      (* one worker raises: the join must complete and re-raise *)
+      (match Pool.run pool (fun w -> if w = 2 then failwith "w2") with
+      | exception Failure m -> check bool "first exception" true (m = "w2")
+      | () -> Alcotest.fail "expected Failure");
+      (* the pool is still usable for subsequent regions *)
+      let counter = Atomic.make 0 in
+      Pool.run pool (fun _ -> Atomic.incr counter);
+      check int "pool usable after failure" 4 (Atomic.get counter))
+
+let test_dynamic_for_coverage () =
+  List.iter
+    (fun (workers, chunk, lo, hi) ->
+      with_pool workers (fun pool ->
+          let seen = Array.make 120 0 in
+          Pool.dynamic_for ?chunk pool ~lo ~hi (fun i ->
+              seen.(i) <- seen.(i) + 1);
+          Array.iteri
+            (fun i c ->
+              check int
+                (Printf.sprintf "w=%d index %d" workers i)
+                (if i >= lo && i <= hi then 1 else 0)
+                c)
+            seen))
+    [
+      (1, None, 0, 99);
+      (3, None, 5, 94);
+      (4, Some 7, 0, 119);
+      (4, Some 200, 10, 20);
+      (2, None, 50, 49) (* empty range *);
+    ]
+
+let test_dynamic_for_imbalanced () =
+  (* self-scheduling drains a heavily skewed workload: every index is
+     claimed exactly once even when early iterations are much slower *)
+  with_pool 4 (fun pool ->
+      let sum = Atomic.make 0 in
+      Pool.dynamic_for pool ~lo:1 ~hi:60 (fun i ->
+          if i < 4 then ignore (Sys.opaque_identity (Array.make 10000 i));
+          ignore (Atomic.fetch_and_add sum i));
+      check int "sum of 1..60" 1830 (Atomic.get sum))
+
+let test_barrier_resize_releases_stale_waiters () =
+  (* two waiters parked on a 3-party barrier: shrinking to 2 must
+     release them instead of deadlocking the stale generation *)
+  let b = Barrier.create 3 in
+  let released = Atomic.make 0 in
+  let ds =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            Barrier.wait b;
+            Atomic.incr released))
+  in
+  while Atomic.get released = 0 && Barrier.parties b = 3 do
+    Domain.cpu_relax ();
+    if Atomic.get released = 0 then Barrier.resize b 2
+  done;
+  List.iter Domain.join ds;
+  check int "both waiters released" 2 (Atomic.get released);
+  check int "new party count" 2 (Barrier.parties b);
+  (* the resized barrier works for the new generation *)
+  with_pool 2 (fun pool ->
+      let crossings = Atomic.make 0 in
+      Pool.run pool (fun _ ->
+          Barrier.wait b;
+          Atomic.incr crossings);
+      check int "reusable after resize" 2 (Atomic.get crossings))
+
 let test_native_ll18_matches_ir () =
   let n = 48 in
   let a = N.Ll18_native.create n in
@@ -155,6 +232,12 @@ let suite =
     ("block coverage", `Quick, test_block_coverage);
     ("barrier phases", `Quick, test_barrier_phases);
     ("barrier reusable", `Quick, test_barrier_reusable);
+    ("with_pool value and cleanup", `Quick, test_with_pool_value_and_cleanup);
+    ("run re-raises worker exception", `Quick, test_run_exception_rejoins);
+    ("dynamic_for coverage", `Quick, test_dynamic_for_coverage);
+    ("dynamic_for imbalanced", `Quick, test_dynamic_for_imbalanced);
+    ("barrier resize releases stale waiters", `Quick,
+     test_barrier_resize_releases_stale_waiters);
     ("native ll18 = IR", `Quick, test_native_ll18_matches_ir);
     ("native ll18 fused parallel", `Quick, test_native_ll18_fused_parallel);
     ("native jacobi fused parallel", `Quick, test_native_jacobi_fused_parallel);

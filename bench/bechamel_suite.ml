@@ -84,6 +84,14 @@ let test_cache_throughput =
            ignore (Lf_cache.Cache.access c (i * 8))
          done))
 
+(* The same 100k-access unit stream consumed as one run: the batched
+   tier pays one way probe per line group instead of one per access. *)
+let test_cache_run_throughput =
+  let c = Lf_cache.Cache.create Lf_cache.Cache.convex_cache in
+  Test.make ~name:"substrate/cache-100k-run"
+    (Staged.stage (fun () ->
+         Lf_cache.Cache.access_run c ~addr:0 ~stride:8 ~n:100_000))
+
 (* Native kernels: sequential, and fused with a pool of workers. *)
 let native_tests =
   let n = 256 in
@@ -125,6 +133,7 @@ let all_tests =
        test_f23_sim;
        test_f26_alignrep;
        test_cache_throughput;
+       test_cache_run_throughput;
        test_tune_exact_cold;
        test_tune_exact_memo;
      ]

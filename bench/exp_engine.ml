@@ -1,7 +1,8 @@
-(* Engine benchmark (PR 3): wall-clock cost of the simulator itself,
-   comparing the serial engine, the host-domain-parallel engine
-   (--jobs), and the miss-only address-stream fast path — while
-   verifying that every variant produces bit-identical observables.
+(* Engine benchmark (PR 3, extended in PR 4): wall-clock cost of the
+   simulator itself, comparing the serial engine, the host-domain-
+   parallel engine (--jobs), the miss-only address-stream fast path,
+   and the run-compressed line-granular engine — while verifying that
+   every variant produces bit-identical observables.
 
    Simulated results never depend on jobs or mode (see exec.mli); this
    experiment demonstrates it on a full-size workload and records the
@@ -49,8 +50,10 @@ let run cfg =
   ignore (Exec.run_fused ~layout ~machine ~nprocs ~strip ~jobs:1 p);
   let serial_full, t_sf = time (go ~mode:Exec.Full ~jobs:1) in
   let serial_miss, t_sm = time (go ~mode:Exec.Miss_only ~jobs:1) in
+  let serial_runs, t_sr = time (go ~mode:Exec.Run_compressed ~jobs:1) in
   let par_full, t_pf = time (go ~mode:Exec.Full ~jobs) in
   let par_miss, t_pm = time (go ~mode:Exec.Miss_only ~jobs) in
+  let par_runs, t_pr = time (go ~mode:Exec.Run_compressed ~jobs) in
   Exec.release_shared_pool ();
   let identical =
     counters_equal serial_full par_full
@@ -59,6 +62,10 @@ let run cfg =
   let miss_only_match =
     counters_equal serial_full serial_miss
     && counters_equal serial_full par_miss
+  in
+  let runs_match =
+    counters_equal serial_full serial_runs
+    && counters_equal serial_full par_runs
   in
   Util.pr "workload: fused LL18 %dx%d, %d steps, %d simulated processors@." n
     n steps nprocs;
@@ -71,13 +78,17 @@ let run cfg =
   row (Printf.sprintf "full, --jobs %d" jobs) t_pf;
   row "miss-only, serial" t_sm;
   row (Printf.sprintf "miss-only, --jobs %d" jobs) t_pm;
+  row "run-compressed, serial" t_sr;
+  row (Printf.sprintf "run-compressed, --jobs %d" jobs) t_pr;
   Util.pr "@.simulated cycles: %.0f   total misses: %d@."
     serial_full.Exec.cycles serial_full.Exec.total_misses;
   Util.pr "parallel engine bit-identical to serial (incl. store): %b@."
     identical;
   Util.pr "miss-only counters match full simulation exactly:      %b@."
     miss_only_match;
-  if not (identical && miss_only_match) then
+  Util.pr "run-compressed counters match full simulation exactly: %b@."
+    runs_match;
+  if not (identical && miss_only_match && runs_match) then
     failwith "engine variants disagree — determinism bug";
   Util.note ~id:"eng"
     [
@@ -93,8 +104,13 @@ let run cfg =
       ("parallel_full_s", Util.Float t_pf);
       ("serial_miss_only_s", Util.Float t_sm);
       ("parallel_miss_only_s", Util.Float t_pm);
+      ("serial_runs_s", Util.Float t_sr);
+      ("parallel_runs_s", Util.Float t_pr);
       ("parallel_speedup", Util.Float (t_sf /. t_pf));
       ("miss_only_speedup", Util.Float (t_sf /. t_sm));
-      ("bit_identical", Util.Bool identical);
+      ("run_compressed_speedup", Util.Float (t_sf /. t_sr));
+      ("run_vs_scalar_replay_speedup", Util.Float (t_sm /. t_sr));
+      ("bit_identical", Util.Bool (identical && miss_only_match && runs_match));
       ("miss_only_counters_match", Util.Bool miss_only_match);
+      ("run_compressed_counters_match", Util.Bool runs_match);
     ]

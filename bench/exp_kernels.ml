@@ -18,14 +18,17 @@ let kernel_by_name cfg name =
 let sweep ?note ~machine ~procs (p : Ir.program) =
   let layout = Util.partitioned_layout machine p in
   let strip = Util.strip_for machine p in
+  (* only cycles and miss counts are read below, so the run-compressed
+     address-stream engine (bit-identical observables) does the work *)
+  let mode = Exec.Run_compressed in
   let base =
-    (Exec.run_unfused ~layout ~machine ~nprocs:1 p).Exec.cycles
+    (Exec.run_unfused ~mode ~layout ~machine ~nprocs:1 p).Exec.cycles
   in
   let rows =
     List.map
       (fun nprocs ->
-        let u = Exec.run_unfused ~layout ~machine ~nprocs p in
-        let f = Exec.run_fused ~layout ~machine ~nprocs ~strip p in
+        let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs p in
+        let f = Exec.run_fused ~mode ~layout ~machine ~nprocs ~strip p in
         (nprocs, u, f))
       procs
   in
@@ -104,7 +107,10 @@ let fig24 cfg =
       List.iter
         (fun n ->
           let ratio p =
-            let pair = Util.run_pair ~machine:Machine.convex ~nprocs p in
+            let pair =
+              Util.run_pair ~mode:Exec.Run_compressed ~machine:Machine.convex
+                ~nprocs p
+            in
             pair.Util.unfused.Exec.cycles /. pair.Util.fused.Exec.cycles
           in
           let r_ll18 = ratio (Lf_kernels.Ll18.program ~n ()) in

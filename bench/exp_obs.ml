@@ -38,7 +38,7 @@ let profile_layout ~machine ~strip p (tag, mk_layout, _spec) =
   (* attribution reads the sink and cycle counts, never the store:
      the miss-only fast path records identical profiles *)
   let r =
-    Exec.run_fused ~mode:Exec.Miss_only ~sink ~layout:(mk_layout p) ~machine
+    Exec.run_fused ~mode:Exec.Run_compressed ~sink ~layout:(mk_layout p) ~machine
       ~nprocs ~strip p
   in
   (tag, sink, r)

@@ -19,7 +19,7 @@ let run_padding_sweep cfg machine =
   Util.pr "%8s  %18s  %18s@." "padding" "no fusion (proc0)" "fusion (proc0)";
   (* the sweep only reads miss counts, never the store: use the
      address-stream fast path (bit-identical counters, no FP work) *)
-  let mode = Exec.Miss_only in
+  let mode = Exec.Run_compressed in
   List.iter
     (fun pad ->
       let layout = Util.padded_layout ~pad p in

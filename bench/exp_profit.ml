@@ -27,7 +27,7 @@ let run cfg =
       List.iter
         (fun nprocs ->
           let e = Profit.estimate ~nprocs ~cache_bytes p in
-          let pair = Util.run_pair ~machine ~nprocs p in
+          let pair = Util.run_pair ~mode:Exec.Run_compressed ~machine ~nprocs p in
           let gain =
             pair.Util.unfused.Exec.cycles /. pair.Util.fused.Exec.cycles
           in

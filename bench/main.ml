@@ -32,15 +32,17 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("abl", "Ablation studies (design choices)", Exp_ablation.run);
     ("tune", "Autotuned vs paper-default configurations (lf_tune)",
      Exp_tune.run);
-    ("eng", "Engine: host-domain parallelism + miss-only fast path",
+    ("eng", "Engine: host-domain parallelism + fast-path modes",
      Exp_engine.run);
+    ("smoke", "Engine smoke: scalar vs run-compressed identity (CI tier)",
+     Exp_smoke.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 
 let usage () =
   print_endline
-    "usage: main.exe [--quick] [--only ids] [--list] [--max-procs N] \
-     [--no-timings] [--jobs N] [--json FILE]";
+    "usage: main.exe [--quick] [--smoke] [--only ids] [--list] \
+     [--max-procs N] [--no-timings] [--jobs N] [--json FILE]";
   print_endline "experiment ids:";
   List.iter
     (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc)
@@ -58,6 +60,10 @@ let () =
     | [] -> ()
     | "--quick" :: rest ->
       quick := true;
+      parse rest
+    | "--smoke" :: rest ->
+      (* budgeted CI tier: just the engine identity smoke *)
+      only := Some [ "smoke" ];
       parse rest
     | "--no-timings" :: rest ->
       timings := false;

@@ -53,14 +53,14 @@ type pair = {
   fused : Exec.result;
 }
 
-let run_pair ?layout ~machine ~nprocs (p : Ir.program) =
+let run_pair ?layout ?mode ~machine ~nprocs (p : Ir.program) =
   let layout =
     match layout with Some l -> l | None -> partitioned_layout machine p
   in
   let strip = strip_for machine p in
   {
-    unfused = Exec.run_unfused ~layout ~machine ~nprocs p;
-    fused = Exec.run_fused ~layout ~machine ~nprocs ~strip p;
+    unfused = Exec.run_unfused ?mode ~layout ~machine ~nprocs p;
+    fused = Exec.run_fused ?mode ~layout ~machine ~nprocs ~strip p;
   }
 
 let pr fmt = Fmt.pr fmt

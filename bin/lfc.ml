@@ -208,6 +208,21 @@ let apply_jobs = function
       Ok ()
     | _ -> Error ("bad --jobs value " ^ s ^ " (want a positive int or auto)"))
 
+let engine_arg =
+  let doc =
+    "Simulation engine: $(b,runs) (batched run-compressed replay, the \
+     default), $(b,miss-only) (scalar address replay), or $(b,full) \
+     (interpret values too).  All three produce bit-identical \
+     observables; they differ only in wall clock."
+  in
+  Arg.(value & opt string "runs" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let mode_of = function
+  | "runs" | "run-compressed" -> Ok Exec.Run_compressed
+  | "miss-only" -> Ok Exec.Miss_only
+  | "full" -> Ok Exec.Full
+  | s -> Error ("unknown engine " ^ s ^ " (try runs, miss-only, full)")
+
 let layout_of spec machine (p : Ir.program) =
   match spec with
   | "partition" ->
@@ -228,7 +243,7 @@ let layout_of spec machine (p : Ir.program) =
     | None -> Error ("bad pad amount in " ^ s))
   | s -> Error ("unknown layout " ^ s)
 
-let simulate kernel n machine_name procs strip layout_spec jobs =
+let simulate kernel n machine_name procs strip layout_spec jobs engine =
   with_program kernel n (fun p ->
       match apply_jobs jobs with
       | Error m -> `Error (false, m)
@@ -238,9 +253,12 @@ let simulate kernel n machine_name procs strip layout_spec jobs =
       | Ok machine -> (
         match layout_of layout_spec machine p with
         | Error m -> `Error (false, m)
-        | Ok layout ->
-          let u = Exec.run_unfused ~layout ~machine ~nprocs:procs p in
-          let f = Exec.run_fused ~layout ~machine ~nprocs:procs ~strip p in
+        | Ok layout -> (
+          match mode_of engine with
+          | Error m -> `Error (false, m)
+          | Ok mode ->
+          let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs:procs p in
+          let f = Exec.run_fused ~mode ~layout ~machine ~nprocs:procs ~strip p in
           Fmt.pr "%s, %d processors, layout %s@." machine.Machine.mname procs
             layout_spec;
           Fmt.pr "%-10s %14s %12s %12s@." "version" "cycles" "misses"
@@ -251,7 +269,7 @@ let simulate kernel n machine_name procs strip layout_spec jobs =
             f.Exec.total_misses (Exec.proc0_misses f);
           Fmt.pr "fusion gain: %+.1f%%@."
             (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0));
-          `Ok ())))
+          `Ok ()))))
 
 let simulate_cmd =
   Cmd.v
@@ -259,7 +277,7 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ kernel_arg $ size_arg $ machine_arg $ procs_arg
-       $ strip_arg $ layout_arg $ jobs_arg))
+       $ strip_arg $ layout_arg $ jobs_arg $ engine_arg))
 
 (* --- verify -------------------------------------------------------- *)
 
@@ -435,7 +453,7 @@ let steps_arg =
 let layout_tag = function "partition" -> "partitioned" | s -> s
 
 let profile kernel n machine_name procs strip layout_spec by trace unfused
-    steps jobs =
+    steps jobs engine =
   with_program kernel n (fun p ->
       match apply_jobs jobs with
       | Error m -> `Error (false, m)
@@ -454,14 +472,18 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
             | s -> Error ("unknown grouping " ^ s ^ " (try array, phase, proc)")
           with
           | Error m -> `Error (false, m)
-          | Ok by ->
+          | Ok by -> (
+            match mode_of engine with
+            | Error m -> `Error (false, m)
+            | Ok mode ->
             let sink = Lf_obs.Obs.create ~layout:(layout_tag layout_spec) () in
             let r =
               if unfused then
-                Exec.run_unfused ~sink ~layout ~machine ~nprocs:procs ~steps p
-              else
-                Exec.run_fused ~sink ~layout ~machine ~nprocs:procs ~strip
+                Exec.run_unfused ~sink ~mode ~layout ~machine ~nprocs:procs
                   ~steps p
+              else
+                Exec.run_fused ~sink ~mode ~layout ~machine ~nprocs:procs
+                  ~strip ~steps p
             in
             Fmt.pr "%s %s (n=%d) on %s: %d processors, layout %s, %d phases@."
               (if unfused then "unfused" else "fused")
@@ -488,7 +510,7 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
               Fmt.pr "trace: %d events written to %s@."
                 (List.length (Lf_obs.Obs.events sink))
                 file);
-            `Ok ()))))
+            `Ok ())))))
 
 let profile_cmd =
   Cmd.v
@@ -500,7 +522,7 @@ let profile_cmd =
       ret
         (const profile $ profile_kernel_arg $ size_arg $ machine_arg
        $ procs_arg $ strip_arg $ layout_arg $ by_arg $ trace_arg
-       $ unfused_arg $ steps_arg $ jobs_arg))
+       $ unfused_arg $ steps_arg $ jobs_arg $ engine_arg))
 
 (* --- pipeline ------------------------------------------------------ *)
 

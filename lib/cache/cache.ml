@@ -3,7 +3,18 @@
    Models the per-processor caches of the paper's two platforms: the
    KSR2 (256 KB, 2-way set-associative) and the Convex SPP-1000 (1 MB,
    direct-mapped).  Only the address stream matters; data are held by
-   the interpreter. *)
+   the interpreter.
+
+   Two access tiers share one probe/victim core:
+
+   - the scalar tier ([access], [access_classified]) consumes one byte
+     address per call;
+   - the run tier ([access_run], [access_run_classified], [hit_run],
+     [repeat_run]) consumes whole strided segments, coalescing
+     consecutive accesses that fall in one cache line and updating
+     counters, the clock and the LRU stamps in closed form to exactly
+     the values the scalar loop would produce (see exec.ml / DESIGN
+     §6b for the argument). *)
 
 type config = { capacity : int; line : int; assoc : int }
 
@@ -21,7 +32,14 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable cold_misses : int;
-  seen : (int, unit) Hashtbl.t;  (* line addresses ever referenced *)
+  (* Cold-miss tracking: line addresses ever referenced.  Simulated
+     address spaces are dense [0, footprint), so a footprint-sized
+     bitset answers most membership tests in one load; the hash table
+     is kept only as a fallback for addresses beyond the declared
+     footprint (sparse or unbounded spaces, footprint 0). *)
+  seen_lines : int;  (* bitset covers line addresses [0, seen_lines) *)
+  seen_bits : Bytes.t;
+  seen : (int, unit) Hashtbl.t;  (* lines >= seen_lines *)
 }
 
 let is_pow2 x = x > 0 && x land (x - 1) = 0
@@ -30,13 +48,17 @@ let log2 x =
   let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
   go 0 x
 
-let create config =
+let create ?(footprint = 0) config =
   if config.capacity <= 0 || config.line <= 0 || config.assoc <= 0 then
     invalid_arg "Cache.create: non-positive parameter";
   if not (is_pow2 config.line) then invalid_arg "Cache.create: line not a power of 2";
   if config.capacity mod (config.line * config.assoc) <> 0 then
     invalid_arg "Cache.create: capacity not divisible by line*assoc";
   let nsets = config.capacity / (config.line * config.assoc) in
+  let seen_lines =
+    if footprint <= 0 then 0
+    else (footprint + config.line - 1) / config.line
+  in
   {
     config;
     nsets;
@@ -48,8 +70,12 @@ let create config =
     hits = 0;
     misses = 0;
     cold_misses = 0;
-    seen = Hashtbl.create 4096;
+    seen_lines;
+    seen_bits = Bytes.make ((seen_lines + 7) / 8) '\000';
+    seen = Hashtbl.create 64;
   }
+
+let config t = t.config
 
 (* Set index of a (non-negative) line address: a mask when the set
    count is a power of two — the common case for both machine presets —
@@ -67,7 +93,57 @@ let reset t =
   t.hits <- 0;
   t.misses <- 0;
   t.cold_misses <- 0;
+  Bytes.fill t.seen_bits 0 (Bytes.length t.seen_bits) '\000';
   Hashtbl.reset t.seen
+
+(* ------------------------------------------------------------------ *)
+(* Shared probe/victim core.  Every access variant — scalar,
+   classified, run-compressed — is built from these three, so their
+   state transitions cannot drift apart.                               *)
+
+(* Way holding [line_addr] in the set starting at [base], or -1. *)
+let[@inline] find_way t base line_addr =
+  let assoc = t.config.assoc in
+  let rec go w =
+    if w = assoc then -1
+    else if Array.unsafe_get t.tags (base + w) = line_addr then w
+    else go (w + 1)
+  in
+  go 0
+
+(* Test-and-set of the ever-seen set; returns [true] when the line was
+   already a member (i.e. the miss is not cold). *)
+let[@inline] seen_mark t line_addr =
+  if line_addr < t.seen_lines then begin
+    let byte = line_addr lsr 3 in
+    let bit = 1 lsl (line_addr land 7) in
+    let b = Char.code (Bytes.unsafe_get t.seen_bits byte) in
+    if b land bit <> 0 then true
+    else begin
+      Bytes.unsafe_set t.seen_bits byte (Char.unsafe_chr (b lor bit));
+      false
+    end
+  end
+  else if Hashtbl.mem t.seen line_addr then true
+  else begin
+    Hashtbl.replace t.seen line_addr ();
+    false
+  end
+
+(* LRU victim selection and fill; returns the displaced line address
+   (-1 if the way was invalid).  Counter updates stay in the caller. *)
+let[@inline] fill_victim t base line_addr =
+  let victim = ref 0 in
+  for w = 1 to t.config.assoc - 1 do
+    if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+  done;
+  let evicted = t.tags.(base + !victim) in
+  t.tags.(base + !victim) <- line_addr;
+  t.stamps.(base + !victim) <- t.clock;
+  evicted
+
+(* ------------------------------------------------------------------ *)
+(* Scalar tier                                                         *)
 
 (* Access the byte at [addr]; returns [true] on a hit. *)
 let access t addr =
@@ -75,30 +151,16 @@ let access t addr =
   let set = set_of t line_addr in
   let base = set * t.config.assoc in
   t.clock <- t.clock + 1;
-  let rec find w =
-    if w = t.config.assoc then None
-    else if t.tags.(base + w) = line_addr then Some w
-    else find (w + 1)
-  in
-  match find 0 with
-  | Some w ->
+  match find_way t base line_addr with
+  | -1 ->
+    t.misses <- t.misses + 1;
+    if not (seen_mark t line_addr) then t.cold_misses <- t.cold_misses + 1;
+    ignore (fill_victim t base line_addr);
+    false
+  | w ->
     t.hits <- t.hits + 1;
     t.stamps.(base + w) <- t.clock;
     true
-  | None ->
-    t.misses <- t.misses + 1;
-    if not (Hashtbl.mem t.seen line_addr) then begin
-      t.cold_misses <- t.cold_misses + 1;
-      Hashtbl.replace t.seen line_addr ()
-    end;
-    (* LRU victim *)
-    let victim = ref 0 in
-    for w = 1 to t.config.assoc - 1 do
-      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
-    done;
-    t.tags.(base + !victim) <- line_addr;
-    t.stamps.(base + !victim) <- t.clock;
-    false
 
 type classified = {
   cl_hit : bool;
@@ -116,31 +178,181 @@ let access_classified t addr =
   let set = set_of t line_addr in
   let base = set * t.config.assoc in
   t.clock <- t.clock + 1;
-  let rec find w =
-    if w = t.config.assoc then None
-    else if t.tags.(base + w) = line_addr then Some w
-    else find (w + 1)
-  in
-  match find 0 with
-  | Some w ->
+  match find_way t base line_addr with
+  | -1 ->
+    t.misses <- t.misses + 1;
+    let cold = not (seen_mark t line_addr) in
+    if cold then t.cold_misses <- t.cold_misses + 1;
+    let evicted = fill_victim t base line_addr in
+    { cl_hit = false; cl_cold = cold; cl_line = line_addr; cl_evicted = evicted }
+  | w ->
     t.hits <- t.hits + 1;
     t.stamps.(base + w) <- t.clock;
     { cl_hit = true; cl_cold = false; cl_line = line_addr; cl_evicted = -1 }
-  | None ->
-    t.misses <- t.misses + 1;
-    let cold = not (Hashtbl.mem t.seen line_addr) in
-    if cold then begin
-      t.cold_misses <- t.cold_misses + 1;
-      Hashtbl.replace t.seen line_addr ()
-    end;
-    let victim = ref 0 in
-    for w = 1 to t.config.assoc - 1 do
-      if t.stamps.(base + w) < t.stamps.(base + !victim) then victim := w
+
+(* ------------------------------------------------------------------ *)
+(* Run tier: strided segments at cache-line granularity                *)
+
+(* Number of leading accesses of the segment [addr, addr+stride, ...]
+   that fall in [addr]'s cache line (>= 1; [n] caps it).  Line
+   boundaries are power-of-two aligned, so the count follows from the
+   offset within the line. *)
+let[@inline] same_line_count t addr stride n =
+  if stride = 0 then n
+  else
+    let off = addr land (t.config.line - 1) in
+    let c =
+      if stride > 0 then 1 + ((t.config.line - 1 - off) / stride)
+      else 1 + (off / -stride)
+    in
+    if c < n then c else n
+
+(* Closed-form tail of a same-line coalesced group: after the group's
+   first access the line is resident and nothing else intervenes, so
+   the remaining [c] accesses are hits; the scalar loop would advance
+   the clock by [c], add [c] hits, and leave the line's stamp at the
+   final clock value. *)
+let[@inline] coalesce_hits t base w c =
+  if c > 0 then begin
+    t.clock <- t.clock + c;
+    t.hits <- t.hits + c;
+    t.stamps.(base + w) <- t.clock
+  end
+
+(* [access_run t ~addr ~stride ~n] touches the [n] byte addresses
+   [addr + i*stride]: the address stream of one affine reference over
+   one innermost-loop segment.  Exactly equivalent to [n] calls of
+   [access]; consecutive same-line accesses are coalesced, stepping
+   line by line when the stride spans lines. *)
+let access_run t ~addr ~stride ~n =
+  if t.config.assoc = 1 then begin
+    (* direct-mapped specialisation (the Convex preset): the probe is a
+       single compare and the victim is the only way *)
+    let addr = ref addr and left = ref n in
+    while !left > 0 do
+      let a = !addr in
+      let c = same_line_count t a stride !left in
+      let line_addr = a lsr t.line_shift in
+      let set = set_of t line_addr in
+      t.clock <- t.clock + 1;
+      if Array.unsafe_get t.tags set = line_addr then begin
+        t.hits <- t.hits + 1;
+        t.stamps.(set) <- t.clock
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        if not (seen_mark t line_addr) then
+          t.cold_misses <- t.cold_misses + 1;
+        t.tags.(set) <- line_addr;
+        t.stamps.(set) <- t.clock
+      end;
+      coalesce_hits t set 0 (c - 1);
+      addr := a + (stride * c);
+      left := !left - c
+    done
+  end
+  else begin
+    let addr = ref addr and left = ref n in
+    while !left > 0 do
+      let a = !addr in
+      let c = same_line_count t a stride !left in
+      let line_addr = a lsr t.line_shift in
+      let set = set_of t line_addr in
+      let base = set * t.config.assoc in
+      t.clock <- t.clock + 1;
+      (match find_way t base line_addr with
+      | -1 ->
+        t.misses <- t.misses + 1;
+        if not (seen_mark t line_addr) then
+          t.cold_misses <- t.cold_misses + 1;
+        ignore (fill_victim t base line_addr);
+        (* the filled way is the one now holding the line *)
+        let w = find_way t base line_addr in
+        coalesce_hits t base w (c - 1)
+      | w ->
+        t.hits <- t.hits + 1;
+        t.stamps.(base + w) <- t.clock;
+        coalesce_hits t base w (c - 1));
+      addr := a + (stride * c);
+      left := !left - c
+    done
+  end
+
+(* [access_run_classified] is [access_run] reporting one [classified]
+   per line group (its first access) plus the count of coalesced
+   trailing hits, so an observability probe can attribute the whole
+   segment without per-access calls. *)
+let access_run_classified t ~addr ~stride ~n ~f =
+  let addr = ref addr and left = ref n in
+  while !left > 0 do
+    let a = !addr in
+    let c = same_line_count t a stride !left in
+    let cl = access_classified t a in
+    let line_addr = cl.cl_line in
+    let set = set_of t line_addr in
+    let base = set * t.config.assoc in
+    let w = find_way t base line_addr in
+    coalesce_hits t base w (c - 1);
+    f cl (c - 1);
+    addr := a + (stride * c);
+    left := !left - c
+  done
+
+(* [hit_run t ~addrs ~k ~m]: closed form for [m] lockstep iterations
+   over the [k] resident lines of [addrs.(0..k-1)], all hitting — the
+   fast-forward of the batched engine once an iteration leaves the
+   cache state unchanged.  The scalar loop would advance the clock by
+   [k*m], add [k*m] hits, and leave each line's stamp at the clock of
+   its last access (position [j] of the final iteration); reproduced
+   here exactly.  Precondition (checked): every line is resident. *)
+let hit_run t ~addrs ~k ~m =
+  if m > 0 && k > 0 then begin
+    t.clock <- t.clock + (k * m);
+    t.hits <- t.hits + (k * m);
+    let last_iter = t.clock - k in
+    for j = 0 to k - 1 do
+      let line_addr = addrs.(j) lsr t.line_shift in
+      let set = set_of t line_addr in
+      let base = set * t.config.assoc in
+      let w = find_way t base line_addr in
+      if w < 0 then invalid_arg "Cache.hit_run: line not resident";
+      t.stamps.(base + w) <- last_iter + j + 1
+    done
+  end
+
+(* [repeat_run t ~addrs ~hits ~k ~m]: closed form for [m] lockstep
+   iterations repeating the per-reference outcomes [hits] of the last
+   simulated iteration.  Only valid for a direct-mapped cache: with one
+   way per set, a full iteration over a fixed (set, line) sequence
+   leaves each touched set holding the last line that mapped to it —
+   independent of the state the iteration started from — so outcomes
+   and transitions are identical from the second iteration of a block
+   onward (DESIGN §6b).  The scalar loop would leave the tags in the
+   same periodic state, add the same hit/miss counts per iteration
+   (all misses non-cold: every line was referenced when the block was
+   primed), and stamp each touched set at the clock of its last
+   access; reproduced here exactly. *)
+let repeat_run t ~addrs ~hits ~k ~m =
+  if t.config.assoc <> 1 then invalid_arg "Cache.repeat_run: not direct-mapped";
+  if m > 0 && k > 0 then begin
+    let h = ref 0 in
+    for j = 0 to k - 1 do
+      if hits.(j) then incr h
     done;
-    let evicted = t.tags.(base + !victim) in
-    t.tags.(base + !victim) <- line_addr;
-    t.stamps.(base + !victim) <- t.clock;
-    { cl_hit = false; cl_cold = cold; cl_line = line_addr; cl_evicted = evicted }
+    t.hits <- t.hits + (!h * m);
+    t.misses <- t.misses + ((k - !h) * m);
+    t.clock <- t.clock + (k * m);
+    let last_iter = t.clock - k in
+    for j = 0 to k - 1 do
+      let line_addr = addrs.(j) lsr t.line_shift in
+      let set = set_of t line_addr in
+      t.tags.(set) <- line_addr;
+      t.stamps.(set) <- last_iter + j + 1
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
 
 type stats = {
   s_hits : int;
@@ -157,6 +369,8 @@ let stats t =
     s_conflict_capacity = t.misses - t.cold_misses;
   }
 
+let hit_count t = t.hits
+let miss_count t = t.misses
 let references t = t.hits + t.misses
 
 let miss_rate t =

@@ -3,7 +3,14 @@
     Models the per-processor caches of the paper's two platforms: the
     KSR2 (256 KB two-way) and the Convex SPP-1000 (1 MB direct-mapped).
     Only the address stream matters; data values live in the
-    interpreter. *)
+    interpreter.
+
+    Two access tiers share one probe/victim core: the scalar tier
+    ([access], [access_classified]) consumes one byte address per call,
+    and the run tier ([access_run], [hit_run], [repeat_run]) consumes
+    whole strided segments, updating counters, the LRU clock and the
+    stamps in closed form to exactly the values the scalar loop would
+    produce (DESIGN §6b). *)
 
 type config = { capacity : int; line : int; assoc : int }
 (** Capacity and line size in bytes; [assoc = 1] is direct-mapped. *)
@@ -16,9 +23,15 @@ val convex_cache : config
 
 type t
 
-val create : config -> t
-(** Raises [Invalid_argument] for non-power-of-two lines or a capacity
+val create : ?footprint:int -> config -> t
+(** [create ?footprint config] — [footprint] (bytes, default 0) bounds
+    the dense address space the workload touches: cold-miss tracking
+    for line addresses below it uses a bitset instead of a hash table.
+    Addresses beyond the footprint remain correct via a hash fallback.
+    Raises [Invalid_argument] for non-power-of-two lines or a capacity
     not divisible by [line * assoc]. *)
+
+val config : t -> config
 
 val reset : t -> unit
 (** Invalidate all lines and zero the statistics. *)
@@ -39,6 +52,41 @@ val access_classified : t -> int -> classified
     (hit/cold classification, displaced line).  State transitions and
     statistics are identical to [access]. *)
 
+val access_run : t -> addr:int -> stride:int -> n:int -> unit
+(** [access_run t ~addr ~stride ~n] touches the [n] byte addresses
+    [addr + i*stride] for [i = 0..n-1] — one affine reference over one
+    innermost-loop segment.  Bit-identical to [n] calls of [access]:
+    consecutive accesses falling in one cache line are coalesced (after
+    the group's first access the rest are provably hits), stepping line
+    by line when the stride spans lines, with a specialised inner loop
+    for direct-mapped geometry. *)
+
+val access_run_classified :
+  t -> addr:int -> stride:int -> n:int -> f:(classified -> int -> unit) -> unit
+(** [access_run] reporting to [f] one [classified] per line group (the
+    group's first access) together with the number of coalesced
+    trailing hits in that group, so a sink can attribute the whole
+    segment.  State and statistics identical to [access_run]. *)
+
+val hit_run : t -> addrs:int array -> k:int -> m:int -> unit
+(** [hit_run t ~addrs ~k ~m]: closed form for [m] lockstep iterations
+    over the [k] resident lines of [addrs.(0..k-1)], every access a
+    hit.  Equivalent to the scalar loop
+    [for _ = 1 to m do for j = 0 to k-1 do access t addrs.(j) done done]
+    under the precondition (checked) that each line is resident and the
+    iteration leaves the cache state unchanged.  Raises
+    [Invalid_argument] if a line is absent. *)
+
+val repeat_run : t -> addrs:int array -> hits:bool array -> k:int -> m:int -> unit
+(** [repeat_run t ~addrs ~hits ~k ~m]: closed form for [m] further
+    lockstep iterations over [addrs.(0..k-1)] repeating the per-access
+    outcomes [hits] of the immediately preceding simulated iteration.
+    Direct-mapped caches only ([Invalid_argument] otherwise): with one
+    way per set, an iteration over a fixed address tuple leaves each
+    touched set holding the last line mapped to it regardless of prior
+    state, so outcomes are periodic with period 1 (DESIGN §6b).  All
+    repeated misses are non-cold. *)
+
 type stats = {
   s_hits : int;
   s_misses : int;
@@ -47,6 +95,8 @@ type stats = {
 }
 
 val stats : t -> stats
+val hit_count : t -> int
+val miss_count : t -> int
 val references : t -> int
 val miss_rate : t -> float
 val pp_stats : Format.formatter -> stats -> unit

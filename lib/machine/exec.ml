@@ -11,11 +11,11 @@
    - {b stream generation}: each simulated processor's boxes are
      compiled to closures that walk the iteration space and emit the
      per-processor address stream (interpreting values in [Full] mode,
-     or only the addresses in [Miss_only] mode);
+     only the addresses in [Miss_only] mode, and line-granular runs in
+     [Run_compressed] mode);
    - {b cache replay}: the stream drives that processor's private
-     [Lf_cache] instances and cycle counter — state owned by exactly
-     one simulated processor, hence by exactly one host domain at a
-     time;
+     [Lf_cache] instances — state owned by exactly one simulated
+     processor, hence by exactly one host domain at a time;
    - {b reduction}: at each phase end the per-processor observables are
      folded {e in simulated-processor order} (max for time, sums in
      array order for misses), and probe-buffered events are merged in
@@ -26,7 +26,20 @@
    same store under any processor interleaving, see Schedule.execute's
    order property) and all reductions are performed in a fixed order on
    the coordinating domain, the result is bit-identical for any [jobs]
-   count, including the serial engine. *)
+   count, including the serial engine.
+
+   {b Deferred cycle accounting.}  Cycles are never accumulated
+   access-by-access.  Each context counts integer events (boxes,
+   iterations, statement instances, plus the cache/TLB hit and miss
+   counters the caches themselves maintain) and [ctx_cycles] converts
+   the counts to cycles in one fixed closed-form expression.  This is
+   what makes every engine mode bit-identical by construction: a mode
+   that proves "these n accesses hit" and bumps the hit counter by n
+   yields {e exactly} the float the scalar engine yields, because both
+   evaluate the same expression on the same integers — there is no
+   summation-order dependence to preserve.  (With per-access float
+   accumulation, a non-dyadic miss penalty such as the Convex's
+   60 + 140/3 would make closed-form batching differ in the last ulp.) *)
 
 module Ir = Lf_ir.Ir
 module Interp = Lf_ir.Interp
@@ -48,7 +61,7 @@ type result = {
   store : Interp.store;
 }
 
-type mode = Full | Miss_only
+type mode = Full | Miss_only | Run_compressed
 
 let proc0_misses r = r.proc_misses.(0)
 
@@ -116,41 +129,66 @@ let shared_pool_of ~jobs =
 type ctx = {
   cache : Cache.t;
   tlb : Cache.t option;
-  mutable cycles : float;
+  (* integer event counts of the current phase; cycles materialise only
+     through [ctx_cycles] *)
+  mutable boxes : int;
+  mutable iters : int;  (* innermost iteration points *)
+  mutable ops : int;  (* statement instances (guard-independent) *)
+  (* phase-start snapshots of the cumulative cache counters *)
+  mutable h0 : int;
+  mutable m0 : int;
+  mutable tm0 : int;
+  op_cost : float;
   hit_cost : float;
   miss_cost : float;
+  loop_cost : float;
+  iter_cost : float;
   tlb_miss_cost : float;
   probe : Obs.probe option;  (* attribution probe; None = uninstrumented *)
 }
 
+(* The one place event counts become cycles.  Every mode and every
+   [jobs] value evaluates exactly this expression on exactly these
+   integers, so cycle observables cannot depend on engine or schedule
+   of accumulation. *)
+let ctx_cycles ctx =
+  let tlbm =
+    match ctx.tlb with None -> 0 | Some t -> Cache.miss_count t - ctx.tm0
+  in
+  (float_of_int ctx.ops *. ctx.op_cost)
+  +. (float_of_int (Cache.hit_count ctx.cache - ctx.h0) *. ctx.hit_cost)
+  +. (float_of_int (Cache.miss_count ctx.cache - ctx.m0) *. ctx.miss_cost)
+  +. (float_of_int ctx.boxes *. ctx.loop_cost)
+  +. (float_of_int ctx.iters *. ctx.iter_cost)
+  +. (float_of_int tlbm *. ctx.tlb_miss_cost)
+
+let phase_reset ctx =
+  ctx.boxes <- 0;
+  ctx.iters <- 0;
+  ctx.ops <- 0;
+  ctx.h0 <- Cache.hit_count ctx.cache;
+  ctx.m0 <- Cache.miss_count ctx.cache;
+  ctx.tm0 <- (match ctx.tlb with None -> 0 | Some t -> Cache.miss_count t)
+
 (* The two arms must stay behaviourally identical: same cache/TLB state
-   transitions, same cycle arithmetic in the same order.  The only
-   difference the probe arm is allowed is pushing counts into the sink
-   (the observer-effect property in test/test_obs.ml holds us to it). *)
+   transitions.  The only difference the probe arm is allowed is
+   pushing counts into the sink (the observer-effect property in
+   test/test_obs.ml holds us to it). *)
 let access ctx aid addr =
   match ctx.probe with
   | None ->
-    (if Cache.access ctx.cache addr then
-       ctx.cycles <- ctx.cycles +. ctx.hit_cost
-     else ctx.cycles <- ctx.cycles +. ctx.miss_cost);
+    ignore (Cache.access ctx.cache addr);
     (match ctx.tlb with
     | None -> ()
-    | Some t ->
-      if not (Cache.access t addr) then
-        ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost)
+    | Some t -> ignore (Cache.access t addr))
   | Some p ->
     let cl = Cache.access_classified ctx.cache addr in
-    (if cl.Cache.cl_hit then ctx.cycles <- ctx.cycles +. ctx.hit_cost
-     else ctx.cycles <- ctx.cycles +. ctx.miss_cost);
-    Obs.record_access p ~aid ~line:cl.Cache.cl_line ~hit:cl.Cache.cl_hit
-      ~cold:cl.Cache.cl_cold ~evicted:cl.Cache.cl_evicted;
+    ignore
+      (Obs.record_access p ~aid ~line:cl.Cache.cl_line ~hit:cl.Cache.cl_hit
+         ~cold:cl.Cache.cl_cold ~evicted:cl.Cache.cl_evicted);
     (match ctx.tlb with
     | None -> ()
-    | Some t ->
-      if not (Cache.access t addr) then begin
-        ctx.cycles <- ctx.cycles +. ctx.tlb_miss_cost;
-        Obs.record_tlb_miss p ~aid
-      end)
+    | Some t -> if not (Cache.access t addr) then Obs.record_tlb_miss p ~aid)
 
 (* ------------------------------------------------------------------ *)
 (* Statement compilation: each statement becomes a closure over the
@@ -158,17 +196,18 @@ let access ctx aid addr =
 
 type cref = {
   aid : int;  (* array id: index into the program's decl list *)
-  values : float array;  (* empty in Miss_only mode *)
+  values : float array;  (* empty outside Full mode *)
   lext : int array;  (* logical extents, for the value index *)
   aext : int array;  (* addressing extents (padding included) *)
   start : int;  (* byte address of element 0 *)
   elem_bytes : int;
   coeffs : int array array;  (* per array dim, per loop level *)
   consts : int array;  (* per array dim *)
+  istride : int;  (* byte-address delta per innermost-variable step *)
 }
 
 (* [lookup name] yields the value array and logical extents of [name];
-   in Miss_only mode the value array is empty (never dereferenced). *)
+   outside Full mode the value array is empty (never dereferenced). *)
 let compile_ref lookup (layout : Partition.layout) aid_of vars (r : Ir.aref) =
   let values, lext = lookup r.Ir.array in
   let p = Partition.find_placement layout r.array in
@@ -195,6 +234,21 @@ let compile_ref lookup (layout : Partition.layout) aid_of vars (r : Ir.aref) =
   let consts =
     Array.of_list (List.map (fun (a : Ir.affine) -> a.const) r.index)
   in
+  let ndim = Array.length consts in
+  (* byte stride of one innermost-variable step: the row-major suffix
+     products of the {e addressing} extents weight each dimension's
+     innermost coefficient *)
+  let istride =
+    if nvars = 0 then 0
+    else begin
+      let suffix = ref 1 and s = ref 0 in
+      for d = ndim - 1 downto 0 do
+        s := !s + (coeffs.(d).(nvars - 1) * !suffix);
+        suffix := !suffix * p.aextents.(d)
+      done;
+      !s * layout.elem_bytes
+    end
+  in
   {
     aid = aid_of r.Ir.array;
     values;
@@ -204,6 +258,7 @@ let compile_ref lookup (layout : Partition.layout) aid_of vars (r : Ir.aref) =
     elem_bytes = layout.elem_bytes;
     coeffs;
     consts;
+    istride;
   }
 
 (* Evaluate subscripts, returning (value index, byte address). *)
@@ -226,9 +281,9 @@ let locate cr (vals : int array) =
   done;
   (!vidx, cr.start + (!aidx * cr.elem_bytes))
 
-(* [locate] without the value index: the Miss_only replay needs only
+(* [locate] without the value index: address-stream replay needs only
    the byte address.  Bounds checks (and their exception text) are kept
-   identical so the two modes fail identically on a bad schedule. *)
+   identical so the modes fail identically on a bad schedule. *)
 let locate_addr cr (vals : int array) =
   let ndim = Array.length cr.consts in
   let aidx = ref 0 in
@@ -246,6 +301,25 @@ let locate_addr cr (vals : int array) =
     aidx := (!aidx * cr.aext.(d)) + v
   done;
   cr.start + (!aidx * cr.elem_bytes)
+
+(* Bounds predicate of [locate] at [vals], without raising: the run
+   engine prechecks segment endpoints with this (subscripts are affine,
+   hence monotone, in the sweep variable — endpoint validity implies
+   interior validity) and falls back to the raising scalar walk when it
+   fails, so out-of-bounds schedules die at the identical iteration
+   with the identical message. *)
+let ref_in_bounds cr (vals : int array) =
+  let ndim = Array.length cr.consts in
+  let ok = ref true in
+  for d = 0 to ndim - 1 do
+    let row = cr.coeffs.(d) in
+    let v = ref cr.consts.(d) in
+    for i = 0 to Array.length row - 1 do
+      if row.(i) <> 0 then v := !v + (row.(i) * vals.(i))
+    done;
+    if !v < 0 || !v >= cr.lext.(d) then ok := false
+  done;
+  !ok
 
 type cexpr =
   | CConst of float
@@ -282,7 +356,7 @@ let rec eval_cexpr ctx vals = function
 
 (* Reads of a compiled expression in evaluation order (the DFS order
    [eval_cexpr] visits them): the address stream of the statement's
-   right-hand side.  [Miss_only] replays exactly this sequence. *)
+   right-hand side.  Replay modes issue exactly this sequence. *)
 let rec refs_of_cexpr acc = function
   | CConst _ -> acc
   | CRead cr -> cr :: acc
@@ -367,21 +441,364 @@ let exec_stmts_trace ctx vals (stmts : cstmt array) =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Running a schedule                                                  *)
+(* Run-compressed execution: line-granular address-stream batching     *)
 
-let exec_box exec_stmts (cost : Machine.cost) compiled nest_arity ctx
-    (b : Schedule.box) =
+(* [Run_compressed] walks boxes like the trace engine but treats the
+   innermost loop as strided runs instead of iterating it.  The sweep
+   is cut into {e segments} on which the active statement set is
+   constant (guard intervals only open or close at their endpoints),
+   each segment's references become (start, byte stride, count)
+   triples, and segments advance in {e blocks} — the iterations before
+   any reference crosses a cache-line boundary, within which every
+   reference stays on one line and one page.  Inside a block the first
+   iteration is simulated access-by-access; as soon as an iteration is
+   proven steady its remainder is fast-forwarded in closed form
+   (Cache.hit_run / Cache.repeat_run).  See DESIGN §6b for the
+   exactness argument. *)
+
+(* One segment's references, flattened across its active statements in
+   execution order (per statement: rhs reads in evaluation order, then
+   the lhs write), so the lockstep walk below issues the exact global
+   access order of the scalar engine. *)
+type seg = {
+  g_refs : cref array;
+  g_addrs : int array;  (* current byte address per reference *)
+  g_strides : int array;
+  g_hits : bool array;  (* cache outcome of the last scalar iteration *)
+  g_cross : bool array;  (* cross attribution of that iteration's misses *)
+}
+
+let make_seg refs vals =
+  let k = Array.length refs in
+  {
+    g_refs = refs;
+    g_addrs = Array.init k (fun j -> locate_addr refs.(j) vals);
+    g_strides = Array.map (fun r -> r.istride) refs;
+    g_hits = Array.make k false;
+    g_cross = Array.make k false;
+  }
+
+(* Iterations until some reference leaves its current line (or page:
+   [lmask] is min(cache line, TLB line) - 1 and both are powers of two,
+   so staying inside the smaller granule implies staying inside both),
+   capped at [left]. *)
+let block_size g lmask left =
+  let b = ref left in
+  let k = Array.length g.g_refs in
+  for j = 0 to k - 1 do
+    let s = g.g_strides.(j) in
+    if s <> 0 then begin
+      let off = g.g_addrs.(j) land lmask in
+      let c = if s > 0 then 1 + ((lmask - off) / s) else 1 + (off / -s) in
+      if c < !b then b := c
+    end
+  done;
+  !b
+
+(* One lockstep iteration of the segment, access by access; fills
+   [g_hits]/[g_cross] and returns whether every cache access hit.
+
+   The TLB is handled lazily: while [tlb_steady] is false each access
+   probes it scalar (recording misses), and the iteration that comes
+   back all-hit sets the flag — from then on the segment's pages are
+   resident and every further access in the page block is a provable
+   hit, so instead of probing (an O(assoc) way scan at TLB
+   associativities of 64+) the caller just counts skipped iterations in
+   [tlb_pending] and settles them with one closed-form [Cache.hit_run]
+   when the page block ends.  Nothing but this segment touches the TLB
+   in between, so the deferred batch reproduces the scalar access
+   sequence exactly. *)
+let scalar_iter ctx g ~tlb_steady ~tlb_pending =
+  let k = Array.length g.g_refs in
+  let allhit = ref true in
+  let probe_tlb = not !tlb_steady in
+  let tlb_allhit = ref true in
+  for j = 0 to k - 1 do
+    let addr = g.g_addrs.(j) in
+    let aid = g.g_refs.(j).aid in
+    let h =
+      match ctx.probe with
+      | None -> Cache.access ctx.cache addr
+      | Some p ->
+        let cl = Cache.access_classified ctx.cache addr in
+        g.g_cross.(j) <-
+          Obs.record_access p ~aid ~line:cl.Cache.cl_line ~hit:cl.Cache.cl_hit
+            ~cold:cl.Cache.cl_cold ~evicted:cl.Cache.cl_evicted;
+        cl.Cache.cl_hit
+    in
+    g.g_hits.(j) <- h;
+    if not h then allhit := false;
+    (if probe_tlb then
+       match ctx.tlb with
+       | None -> ()
+       | Some t ->
+         if not (Cache.access t addr) then begin
+           tlb_allhit := false;
+           match ctx.probe with
+           | None -> ()
+           | Some p -> Obs.record_tlb_miss p ~aid
+         end);
+    g.g_addrs.(j) <- addr + g.g_strides.(j)
+  done;
+  if probe_tlb then begin
+    if !tlb_allhit then tlb_steady := true
+  end
+  else incr tlb_pending;
+  !allhit
+
+let advance g m =
+  let k = Array.length g.g_refs in
+  for j = 0 to k - 1 do
+    g.g_addrs.(j) <- g.g_addrs.(j) + (g.g_strides.(j) * m)
+  done
+
+(* Fast-forward [m] provably-hitting iterations: after an all-hit
+   iteration the segment's lines are all resident, further iterations
+   touch only those lines, and hits evict nothing — so the remainder of
+   the block is hits.  (Only called once the TLB is steady; its skipped
+   accesses are settled by the caller's page-block flush.) *)
+let ff_hits ctx g m =
+  let k = Array.length g.g_refs in
+  Cache.hit_run ctx.cache ~addrs:g.g_addrs ~k ~m;
+  (match ctx.probe with
+  | None -> ()
+  | Some p ->
+    for j = 0 to k - 1 do
+      Obs.record_hit_run p ~aid:g.g_refs.(j).aid ~n:m
+    done);
+  advance g m
+
+(* Fast-forward [m] iterations of a direct-mapped steady state: with
+   one way per set, a full iteration over the block's fixed (set, line)
+   pairs leaves each touched set holding the last line mapped to it —
+   independent of the state it started from — so once one in-block
+   iteration has run from that fixed point, outcomes (and cross/self
+   attribution, whose evictions also repeat verbatim) are identical for
+   the rest of the block. *)
+let ff_repeat ctx g m =
+  let k = Array.length g.g_refs in
+  Cache.repeat_run ctx.cache ~addrs:g.g_addrs ~hits:g.g_hits ~k ~m;
+  (match ctx.probe with
+  | None -> ()
+  | Some p ->
+    for j = 0 to k - 1 do
+      if g.g_hits.(j) then Obs.record_hit_run p ~aid:g.g_refs.(j).aid ~n:m
+      else
+        Obs.record_miss_run p ~aid:g.g_refs.(j).aid ~cross:g.g_cross.(j) ~n:m
+    done);
+  advance g m
+
+(* A single-reference segment needs no lockstep: the whole run feeds
+   [Cache.access_run], which coalesces line (and, for the TLB, page)
+   groups internally. *)
+let run_single ctx (cr : cref) ~addr ~stride ~n =
+  (match ctx.probe with
+  | None -> Cache.access_run ctx.cache ~addr ~stride ~n
+  | Some p ->
+    Cache.access_run_classified ctx.cache ~addr ~stride ~n ~f:(fun cl trailing ->
+        ignore
+          (Obs.record_access p ~aid:cr.aid ~line:cl.Cache.cl_line
+             ~hit:cl.Cache.cl_hit ~cold:cl.Cache.cl_cold
+             ~evicted:cl.Cache.cl_evicted);
+        if trailing > 0 then Obs.record_hit_run p ~aid:cr.aid ~n:trailing));
+  match ctx.tlb with
+  | None -> ()
+  | Some t -> (
+    match ctx.probe with
+    | None -> Cache.access_run t ~addr ~stride ~n
+    | Some p ->
+      let m0 = Cache.miss_count t in
+      Cache.access_run t ~addr ~stride ~n;
+      (* attribute the batch's TLB misses one by one; all belong to the
+         segment's only array *)
+      for _ = 1 to Cache.miss_count t - m0 do
+        Obs.record_tlb_miss p ~aid:cr.aid
+      done)
+
+let run_segment ctx lmask plmask assoc1 g n =
+  if Array.length g.g_refs = 1 then
+    run_single ctx g.g_refs.(0) ~addr:g.g_addrs.(0) ~stride:g.g_strides.(0) ~n
+  else begin
+    let k = Array.length g.g_refs in
+    let has_tlb = Option.is_some ctx.tlb in
+    let page_addrs = Array.make k 0 in
+    let left = ref n in
+    while !left > 0 do
+      (* page block: no reference crosses a TLB page inside it *)
+      let pb = if has_tlb then block_size g plmask !left else !left in
+      Array.blit g.g_addrs 0 page_addrs 0 k;
+      let tlb_steady = ref (not has_tlb) in
+      let tlb_pending = ref 0 in
+      let pleft = ref pb in
+      while !pleft > 0 do
+        (* cache block: no reference crosses a cache line inside it *)
+        let bsz = block_size g lmask !pleft in
+        (* scalar-simulate until the block remainder is provably steady *)
+        let done_ = ref 0 in
+        let stop = ref false in
+        while not !stop && !done_ < bsz do
+          let allhit = scalar_iter ctx g ~tlb_steady ~tlb_pending in
+          incr done_;
+          let m = bsz - !done_ in
+          if m > 0 && !tlb_steady then
+            if allhit then begin
+              ff_hits ctx g m;
+              tlb_pending := !tlb_pending + m;
+              done_ := bsz;
+              stop := true
+            end
+            else if assoc1 && !done_ >= 2 then begin
+              (* the iteration just captured ran from the direct-mapped
+                 fixed point (>= 1 full in-block iteration preceded it) *)
+              ff_repeat ctx g m;
+              tlb_pending := !tlb_pending + m;
+              done_ := bsz;
+              stop := true
+            end
+        done;
+        pleft := !pleft - bsz
+      done;
+      (* settle the TLB accesses skipped since it went steady: all hits
+         on the page block's resident pages *)
+      (if !tlb_pending > 0 then
+         match ctx.tlb with
+         | None -> ()
+         | Some t -> Cache.hit_run t ~addrs:page_addrs ~k ~m:!tlb_pending);
+      left := !left - pb
+    done
+  end
+
+(* Cut the innermost sweep [lo, hi] into maximal segments on which the
+   set of inner-guard-active statements is constant, and run each.
+   [sel] holds the sweep-active statements (outer guards hold) with
+   their inner guard interval, pre-intersected with [lo, hi]. *)
+let sweep_segments ctx lmask plmask assoc1 stmts
+    (sel : (cstmt * int * int) list) vals iv lo hi =
+  let v = ref lo in
+  while !v <= hi do
+    let a = !v in
+    (* next endpoint where some statement's inner interval opens or
+       closes, i.e. the active set changes *)
+    let e = ref (hi + 1) in
+    List.iter
+      (fun (_, glo, ghi) ->
+        if a < glo then begin
+          if glo < !e then e := glo
+        end
+        else if a <= ghi && ghi + 1 < !e then e := ghi + 1)
+      sel;
+    let b = !e - 1 in
+    let active =
+      List.filter_map
+        (fun (s, glo, ghi) -> if a >= glo && a <= ghi then Some s else None)
+        sel
+    in
+    (match active with
+    | [] -> ()
+    | _ ->
+      let refs =
+        Array.concat (List.map (fun (s : cstmt) -> s.ctrace) active)
+      in
+      (* precheck subscript bounds at both endpoints (affine in the
+         sweep variable, so endpoint validity covers the interior);
+         on failure rerun this segment through the raising scalar walk
+         so a bad schedule fails at the identical iteration *)
+      vals.(iv) <- a;
+      let ok = ref (Array.for_all (fun r -> ref_in_bounds r vals) refs) in
+      if !ok && b > a then begin
+        vals.(iv) <- b;
+        ok := Array.for_all (fun r -> ref_in_bounds r vals) refs
+      end;
+      if not !ok then
+        for w = a to b do
+          vals.(iv) <- w;
+          exec_stmts_trace ctx vals stmts
+        done
+      else begin
+        vals.(iv) <- a;
+        run_segment ctx lmask plmask assoc1 (make_seg refs vals) (b - a + 1)
+      end);
+    v := !e
+  done
+
+let exec_box_runs compiled nest_arity ctx (b : Schedule.box) =
   let stmts : cstmt array = compiled.(b.Schedule.nest) in
   let nd : int = nest_arity.(b.Schedule.nest) in
   let vals = Array.make nd 0 in
-  let nstmts = float_of_int (Array.length stmts) in
-  let t0 = ctx.cycles in
-  ctx.cycles <- ctx.cycles +. cost.loop_overhead;
+  let t0 = match ctx.probe with None -> 0.0 | Some _ -> ctx_cycles ctx in
+  ctx.boxes <- ctx.boxes + 1;
+  let iters = Schedule.box_iterations b in
+  ctx.iters <- ctx.iters + iters;
+  ctx.ops <- ctx.ops + (iters * Array.length stmts);
+  (if nd = 0 then exec_stmts_trace ctx vals stmts
+   else begin
+     let iv = nd - 1 in
+     let lo, hi = b.Schedule.ranges.(iv) in
+     let lmask = (Cache.config ctx.cache).Cache.line - 1 in
+     let plmask =
+       match ctx.tlb with
+       | None -> lmask
+       | Some t -> (Cache.config t).Cache.line - 1
+     in
+     let assoc1 = (Cache.config ctx.cache).Cache.assoc = 1 in
+     (* split each statement's guard: outer-variable conjuncts gate the
+        whole sweep, innermost-variable conjuncts become an interval *)
+     let split =
+       Array.map
+         (fun (s : cstmt) ->
+           let outer = ref [] and glo = ref lo and ghi = ref hi in
+           Array.iter
+             (fun ((v, l, h) as gd) ->
+               if v = iv then begin
+                 if l > !glo then glo := l;
+                 if h < !ghi then ghi := h
+               end
+               else outer := gd :: !outer)
+             s.cguard;
+           (s, Array.of_list (List.rev !outer), !glo, !ghi))
+         stmts
+     in
+     let rec go d =
+       if d = iv then begin
+         let sel =
+           Array.to_list split
+           |> List.filter_map (fun (s, outer, glo, ghi) ->
+                  if glo <= ghi && guard_holds outer vals then
+                    Some (s, glo, ghi)
+                  else None)
+         in
+         if sel <> [] then
+           sweep_segments ctx lmask plmask assoc1 stmts sel vals iv lo hi
+       end
+       else begin
+         let dlo, dhi = b.Schedule.ranges.(d) in
+         for v = dlo to dhi do
+           vals.(d) <- v;
+           go (d + 1)
+         done
+       end
+     in
+     go 0
+   end);
+  match ctx.probe with
+  | None -> ()
+  | Some p ->
+    Obs.box_span p ~nest:b.Schedule.nest ~iters ~t0 ~t1:(ctx_cycles ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Running a schedule                                                  *)
+
+let exec_box exec_stmts compiled nest_arity ctx (b : Schedule.box) =
+  let stmts : cstmt array = compiled.(b.Schedule.nest) in
+  let nd : int = nest_arity.(b.Schedule.nest) in
+  let vals = Array.make nd 0 in
+  let t0 = match ctx.probe with None -> 0.0 | Some _ -> ctx_cycles ctx in
+  ctx.boxes <- ctx.boxes + 1;
+  let iters = Schedule.box_iterations b in
+  ctx.iters <- ctx.iters + iters;
+  ctx.ops <- ctx.ops + (iters * Array.length stmts);
   let rec go d =
-    if d = nd then begin
-      ctx.cycles <- ctx.cycles +. (cost.op *. nstmts) +. cost.iter_overhead;
-      exec_stmts ctx vals stmts
-    end
+    if d = nd then exec_stmts ctx vals stmts
     else begin
       let lo, hi = b.Schedule.ranges.(d) in
       for v = lo to hi do
@@ -394,8 +811,7 @@ let exec_box exec_stmts (cost : Machine.cost) compiled nest_arity ctx
   match ctx.probe with
   | None -> ()
   | Some p ->
-    Obs.box_span p ~nest:b.Schedule.nest ~iters:(Schedule.box_iterations b)
-      ~t0 ~t1:ctx.cycles
+    Obs.box_span p ~nest:b.Schedule.nest ~iters ~t0 ~t1:(ctx_cycles ctx)
 
 let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
     ~machine:(m : Machine.config) (sched : Schedule.t) =
@@ -407,9 +823,9 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
   in
   let nprocs = sched.Schedule.nprocs in
   (* Stream generation setup: the store and the name -> (values,
-     extents) lookup the compiled statements close over.  Miss_only
-     skips allocating and initialising the value arrays entirely; its
-     result carries an empty store. *)
+     extents) lookup the compiled statements close over.  The replay
+     modes skip allocating and initialising the value arrays entirely;
+     their results carry an empty store. *)
   let store, lookup =
     match mode with
     | Full ->
@@ -417,7 +833,7 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
       ( store,
         fun name -> (Interp.find_array store name, Interp.find_extents store name)
       )
-    | Miss_only ->
+    | Miss_only | Run_compressed ->
       let extents = Hashtbl.create 16 in
       List.iter
         (fun (d : Ir.decl) ->
@@ -455,14 +871,25 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
       ~labels:(Array.of_list (Schedule.phase_labels sched))
       ~remote_fraction:(Machine.remote_fraction m ~nprocs));
   let miss_cost = Machine.miss_penalty m ~nprocs in
+  (* the simulated address space is dense in [0, layout.total_bytes):
+     size the caches' cold-tracking bitsets to it *)
+  let footprint = layout.Partition.total_bytes in
   let ctxs =
     Array.init nprocs (fun proc ->
         {
-          cache = Cache.create m.cache;
-          tlb = Option.map Cache.create m.Machine.tlb;
-          cycles = 0.0;
+          cache = Cache.create ~footprint m.cache;
+          tlb = Option.map (Cache.create ~footprint) m.Machine.tlb;
+          boxes = 0;
+          iters = 0;
+          ops = 0;
+          h0 = 0;
+          m0 = 0;
+          tm0 = 0;
+          op_cost = m.cost.op;
           hit_cost = m.cost.hit;
           miss_cost;
+          loop_cost = m.cost.loop_overhead;
+          iter_cost = m.cost.iter_overhead;
           tlb_miss_cost = m.cost.tlb_miss;
           probe = Option.map (fun s -> Obs.probe s ~proc) sink;
         })
@@ -473,8 +900,11 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
     | None -> [||]
     | Some _ -> Array.map (fun c -> Option.get c.probe) ctxs
   in
-  let exec_stmts =
-    match mode with Full -> exec_stmts_full | Miss_only -> exec_stmts_trace
+  let exec_one =
+    match mode with
+    | Full -> exec_box exec_stmts_full compiled nest_arity
+    | Miss_only -> exec_box exec_stmts_trace compiled nest_arity
+    | Run_compressed -> exec_box_runs compiled nest_arity
   in
   (* Cache replay across host domains: each simulated processor is
      claimed by exactly one domain per phase (self-scheduled, so the
@@ -507,29 +937,26 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
         (match sink with
         | None -> ()
         | Some s -> Obs.phase_begin s ~step ~phase:i);
-        Array.iter (fun ctx -> ctx.cycles <- 0.0) ctxs;
+        Array.iter phase_reset ctxs;
         run_procs (fun proc ->
             let ctx = ctxs.(proc) in
             (match ctx.probe with
             | None -> ()
             | Some p -> Obs.set_phase p ~step ~phase:i);
-            List.iter
-              (exec_box exec_stmts m.cost compiled nest_arity ctx)
-              ph.(proc));
+            List.iter (exec_one ctx) ph.(proc));
         (* deterministic reduction, simulated-processor order *)
         (match sink with
         | None -> ()
         | Some s -> Obs.flush_boxes s probes);
-        let t =
-          Array.fold_left (fun acc c -> Float.max acc c.cycles) 0.0 ctxs
-        in
+        let pcyc = Array.map ctx_cycles ctxs in
+        let t = Array.fold_left Float.max 0.0 pcyc in
         phase_cycles.(i) <- phase_cycles.(i) +. t;
         match sink with
         | None -> ()
         | Some s ->
           Array.iteri
-            (fun proc c -> Obs.proc_cycles s ~phase:i ~proc ~cycles:c.cycles)
-            ctxs;
+            (fun proc c -> Obs.proc_cycles s ~phase:i ~proc ~cycles:c)
+            pcyc;
           Obs.phase_end s ~step ~phase:i ~cycles:t;
           (* mirror the aggregate barrier count below: one barrier after
              every phase except the very last of the run *)

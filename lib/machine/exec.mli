@@ -43,6 +43,19 @@ type mode =
           bit-identical to [Full]; only [store] is empty.  Use when the
           caller needs cache statistics, not array contents (the
           autotuner's exact tier, padding sweeps). *)
+  | Run_compressed
+      (** batched line-granular replay: the iteration walker emits
+          per-reference [(start, byte stride, count)] runs instead of
+          individual addresses, and whole runs drive the caches at
+          cache-line granularity — consecutive same-line accesses
+          coalesce, steady iterations fast-forward in closed form
+          (all-hit blocks on any geometry; verbatim-repeat blocks on
+          direct-mapped geometry), with scalar fallback elsewhere.
+          Every observable is bit-identical to [Miss_only] — counters,
+          cycles, sink contents and event stream — only wall-clock
+          changes (DESIGN §6b).  Like [Miss_only] the [store] is empty.
+          The default engine for sweeps and the autotuner's exact
+          tier. *)
 
 val proc0_misses : result -> int
 (** Misses of processor 0, the paper's "single processor during parallel

@@ -165,17 +165,51 @@ let set_phase p ~step ~phase =
 let record_access p ~aid ~line ~hit ~cold ~evicted =
   let c = p.p_bank.(aid) in
   c.c_refs <- c.c_refs + 1;
-  if hit then c.c_hits <- c.c_hits + 1
+  if hit then begin
+    c.c_hits <- c.c_hits + 1;
+    false
+  end
   else begin
     c.c_misses <- c.c_misses + 1;
-    if cold then c.c_cold <- c.c_cold + 1
-    else begin
-      match Hashtbl.find_opt p.p_evictor line with
-      | Some e when e <> aid -> c.c_cross <- c.c_cross + 1
-      | _ -> c.c_self <- c.c_self + 1
-    end;
-    if evicted >= 0 then Hashtbl.replace p.p_evictor evicted aid
+    let cross =
+      if cold then begin
+        c.c_cold <- c.c_cold + 1;
+        false
+      end
+      else
+        match Hashtbl.find_opt p.p_evictor line with
+        | Some e when e <> aid ->
+          c.c_cross <- c.c_cross + 1;
+          true
+        | _ ->
+          c.c_self <- c.c_self + 1;
+          false
+    in
+    if evicted >= 0 then Hashtbl.replace p.p_evictor evicted aid;
+    cross
   end
+
+(* Run-compressed recorders: the batched engine (Exec Run_compressed
+   mode) proves that a group of accesses all hit, or that an iteration's
+   per-reference outcomes repeat verbatim, and records them wholesale.
+   Counter totals must equal what per-access [record_access] calls would
+   have produced — the engine's bit-identity bar extends to sinks. *)
+
+let record_hit_run p ~aid ~n =
+  let c = p.p_bank.(aid) in
+  c.c_refs <- c.c_refs + n;
+  c.c_hits <- c.c_hits + n
+
+(* [n] repeats of one non-cold miss whose cross/self attribution [cross]
+   was captured from the preceding simulated access.  The evictor table
+   is left untouched: during a verbatim repeat every displaced line is
+   re-evicted by the same array, so each update would rewrite an entry
+   with the value it already has. *)
+let record_miss_run p ~aid ~cross ~n =
+  let c = p.p_bank.(aid) in
+  c.c_refs <- c.c_refs + n;
+  c.c_misses <- c.c_misses + n;
+  if cross then c.c_cross <- c.c_cross + n else c.c_self <- c.c_self + n
 
 let record_tlb_miss p ~aid =
   let c = p.p_bank.(aid) in

@@ -94,11 +94,23 @@ val probe : sink -> proc:int -> probe
 val set_phase : probe -> step:int -> phase:int -> unit
 
 val record_access :
-  probe -> aid:int -> line:int -> hit:bool -> cold:bool -> evicted:int -> unit
+  probe -> aid:int -> line:int -> hit:bool -> cold:bool -> evicted:int -> bool
 (** [record_access p ~aid ~line ~hit ~cold ~evicted] records one cache
     access by array [aid] to line address [line]. [evicted] is the line
     address displaced by a miss, or [-1]. A non-cold miss is charged as
-    cross-array when the evictor of [line] was a different array. *)
+    cross-array when the evictor of [line] was a different array;
+    returns [true] exactly when it was so charged (the run-compressed
+    engine captures this to replay the attribution wholesale). *)
+
+val record_hit_run : probe -> aid:int -> n:int -> unit
+(** [n] accesses by [aid] that all hit, recorded wholesale; counter
+    totals equal [n] hit [record_access] calls. *)
+
+val record_miss_run : probe -> aid:int -> cross:bool -> n:int -> unit
+(** [n] verbatim repeats of a non-cold miss by [aid] whose cross/self
+    attribution [cross] came from the preceding recorded access.  The
+    evictor table is deliberately untouched: a verbatim repeat would
+    rewrite each entry with its current value. *)
 
 val record_tlb_miss : probe -> aid:int -> unit
 

@@ -151,8 +151,9 @@ let exact ?depth ?steps ?cache ~machine ~nprocs p cand =
     | Error _ as e -> e
     | Ok (sched, layout) ->
       (* the tuner only reads cycles/misses/barrier, never the store,
-         so the address-stream fast path is semantics-preserving here *)
-      let r = Exec.run ~mode:Exec.Miss_only ~layout ?steps ~machine sched in
+         so the run-compressed address-stream engine is
+         semantics-preserving here *)
+      let r = Exec.run ~mode:Exec.Run_compressed ~layout ?steps ~machine sched in
       Ok
         {
           e_cycles = r.Exec.cycles;

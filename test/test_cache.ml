@@ -128,6 +128,172 @@ let test_paper_cache_presets () =
   check int "convex 1MB" (1024 * 1024) Cache.convex_cache.Cache.capacity;
   check int "convex direct" 1 Cache.convex_cache.Cache.assoc
 
+
+(* --- run-tier primitives: equivalence with the scalar protocol ------ *)
+
+let stats_equal label a b =
+  let sa = Cache.stats a and sb = Cache.stats b in
+  check int (label ^ " hits") sa.Cache.s_hits sb.Cache.s_hits;
+  check int (label ^ " misses") sa.Cache.s_misses sb.Cache.s_misses;
+  check int (label ^ " cold") sa.Cache.s_cold sb.Cache.s_cold
+
+(* After driving two caches through supposedly-equivalent protocols,
+   probe every line of a window once on both: identical LRU state yields
+   identical hit patterns (and identical state afterwards, since hits on
+   the same lines perturb both equally). *)
+let probe_equal label a b ~lines =
+  for l = 0 to lines - 1 do
+    let addr = l * 64 in
+    check bool
+      (Printf.sprintf "%s probe line %d" label l)
+      (Cache.access a addr) (Cache.access b addr)
+  done;
+  stats_equal (label ^ " post-probe") a b
+
+let scalar_run c ~addr ~stride ~n =
+  for i = 0 to n - 1 do
+    ignore (Cache.access c (addr + (i * stride)))
+  done
+
+let run_geometries =
+  [
+    ("dm", small);
+    ("2way", small2);
+    ("4way", { Cache.capacity = 2048; line = 64; assoc = 4 });
+    (* 12 sets: non-power-of-two set count exercises the mod indexing *)
+    ("np2", { Cache.capacity = 768; line = 64; assoc = 1 });
+  ]
+
+let test_access_run_equiv () =
+  List.iter
+    (fun (gname, cfg) ->
+      let batched = Cache.create cfg and scalar = Cache.create cfg in
+      (* deterministic mix of strides and lengths, positive and negative,
+         same-line dwell and line-crossing, plus conflict-heavy strides *)
+      let cases =
+        [
+          (0, 8, 200);
+          (40, 4, 100);
+          (8192, -8, 300);
+          (3000, 24, 77);
+          (cfg.Cache.capacity, 64, 50);
+          (64, cfg.Cache.capacity, 9);
+          (* whole-cache conflict loop *)
+          (128, 0, 1);
+          (5, 1, 130);
+        ]
+      in
+      List.iter
+        (fun (addr, stride, n) ->
+          Cache.access_run batched ~addr ~stride ~n;
+          scalar_run scalar ~addr ~stride ~n;
+          stats_equal (Printf.sprintf "%s run@%d" gname addr) batched scalar)
+        cases;
+      probe_equal gname batched scalar ~lines:40)
+    run_geometries
+
+let test_access_run_classified_equiv () =
+  let cfg = small in
+  let batched = Cache.create cfg and scalar = Cache.create cfg in
+  let groups = ref 0 and trailing_total = ref 0 in
+  Cache.access_run_classified batched ~addr:16 ~stride:8 ~n:100
+    ~f:(fun cl trailing ->
+      incr groups;
+      trailing_total := !trailing_total + trailing;
+      check bool "group head is a classified access" true
+        (cl.Cache.cl_line >= 0 || cl.Cache.cl_line < 0));
+  scalar_run scalar ~addr:16 ~stride:8 ~n:100;
+  stats_equal "classified run" batched scalar;
+  (* every access is either a reported group head or coalesced trailing *)
+  check int "groups + trailing = n" 100 (!groups + !trailing_total)
+
+let test_hit_run_equiv () =
+  List.iter
+    (fun (gname, cfg) ->
+      let batched = Cache.create cfg and scalar = Cache.create cfg in
+      (* make three distinct lines resident on both *)
+      let addrs = [| 0; 64; 192 |] in
+      Array.iter
+        (fun a ->
+          ignore (Cache.access batched a);
+          ignore (Cache.access scalar a))
+        addrs;
+      Cache.hit_run batched ~addrs ~k:3 ~m:5;
+      for _ = 1 to 5 do
+        Array.iter (fun a -> ignore (Cache.access scalar a)) addrs
+      done;
+      stats_equal (gname ^ " hit_run") batched scalar;
+      probe_equal (gname ^ " hit_run") batched scalar ~lines:40)
+    run_geometries
+
+let test_hit_run_requires_resident () =
+  let c = Cache.create small in
+  match Cache.hit_run c ~addrs:[| 0 |] ~k:1 ~m:1 with
+  | () -> Alcotest.fail "hit_run on a non-resident line must raise"
+  | exception Invalid_argument _ -> ()
+
+let test_repeat_run_equiv () =
+  (* direct-mapped thrash: two lines mapping to the same set, plus a
+     hitting line; iteration outcomes repeat verbatim from the fixed
+     point, which is what repeat_run replays in closed form *)
+  List.iter
+    (fun (gname, cfg) ->
+      let batched = Cache.create cfg and scalar = Cache.create cfg in
+      let sets = cfg.Cache.capacity / cfg.Cache.line / cfg.Cache.assoc in
+      let addrs = [| 0; sets * 64; 128 |] in
+      let iter c = Array.map (fun a -> Cache.access c a) addrs in
+      (* two scalar iterations on both: the second runs from the fixed
+         point and captures the steady per-reference outcomes *)
+      ignore (iter batched);
+      ignore (iter scalar);
+      let hits = iter batched in
+      ignore (iter scalar);
+      Cache.repeat_run batched ~addrs ~hits ~k:3 ~m:7;
+      for _ = 1 to 7 do
+        ignore (iter scalar)
+      done;
+      stats_equal (gname ^ " repeat_run") batched scalar;
+      probe_equal (gname ^ " repeat_run") batched scalar ~lines:40)
+    [ ("dm", small); ("np2", { Cache.capacity = 768; line = 64; assoc = 1 }) ]
+
+let test_repeat_run_assoc_guard () =
+  let c = Cache.create small2 in
+  ignore (Cache.access c 0);
+  match Cache.repeat_run c ~addrs:[| 0 |] ~hits:[| true |] ~k:1 ~m:1 with
+  | () -> Alcotest.fail "repeat_run on assoc>1 must raise"
+  | exception Invalid_argument _ -> ()
+
+(* --- footprint bitset vs hashtbl cold tracking ---------------------- *)
+
+let test_footprint_bitset_equiv () =
+  (* same trace on a bitset-tracked cache and a hashtbl-tracked one:
+     identical statistics, including cold-miss classification *)
+  let with_bitset = Cache.create ~footprint:8192 small in
+  let with_hash = Cache.create small in
+  for i = 0 to 999 do
+    let addr = i * 136 mod 8192 in
+    ignore (Cache.access with_bitset addr);
+    ignore (Cache.access with_hash addr)
+  done;
+  stats_equal "bitset vs hashtbl" with_bitset with_hash
+
+let test_footprint_overflow_fallback () =
+  (* addresses beyond the declared footprint fall back to the hashtbl
+     path and must still classify cold misses exactly once *)
+  let c = Cache.create ~footprint:1024 small in
+  ignore (Cache.access c 100_000);
+  ignore (Cache.access c 200_000);
+  ignore (Cache.access c 100_000);
+  ignore (Cache.access c 200_000);
+  let s = Cache.stats c in
+  check int "cold once per line" 2 s.Cache.s_cold;
+  check int "re-access hits" 2 s.Cache.s_hits;
+  (* in-footprint lines still tracked by the bitset *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 0);
+  let s = Cache.stats c in
+  check int "bitset cold" 3 s.Cache.s_cold
+
 let suite =
   [
     ("create invalid", `Quick, test_create_invalid);
@@ -142,4 +308,12 @@ let suite =
     ("miss rate", `Quick, test_miss_rate);
     ("associativity monotone", `Quick, test_assoc_monotone);
     ("paper cache presets", `Quick, test_paper_cache_presets);
+    ("access_run equivalence", `Quick, test_access_run_equiv);
+    ("access_run_classified equivalence", `Quick, test_access_run_classified_equiv);
+    ("hit_run equivalence", `Quick, test_hit_run_equiv);
+    ("hit_run requires residency", `Quick, test_hit_run_requires_resident);
+    ("repeat_run equivalence", `Quick, test_repeat_run_equiv);
+    ("repeat_run direct-mapped guard", `Quick, test_repeat_run_assoc_guard);
+    ("footprint bitset equivalence", `Quick, test_footprint_bitset_equiv);
+    ("footprint overflow fallback", `Quick, test_footprint_overflow_fallback);
   ]

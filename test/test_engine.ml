@@ -186,6 +186,129 @@ let prop_miss_only_matches ~machine name =
         true)
 
 (* ------------------------------------------------------------------ *)
+(* Run-compressed engine: bit-identity against the scalar replay        *)
+
+(* Cache geometries the batched engine specialises on: the two machine
+   presets, a non-power-of-two set count (3072 sets forces the modulo
+   set-index path), and small conflict-prone caches at associativities
+   1/2/4 (small capacity makes the steady-state and scalar-fallback
+   paths fire, not just the all-hit fast-forward). *)
+let geometries =
+  let with_cache base name cache =
+    { base with Machine.mname = name; cache }
+  in
+  [|
+    ("ksr2", Machine.ksr2);
+    ("convex", Machine.convex);
+    ( "np2",
+      with_cache Machine.convex "np2"
+        { Cache.capacity = 192 * 1024; line = 64; assoc = 1 } );
+    ( "small-dm",
+      with_cache Machine.convex "small-dm"
+        { Cache.capacity = 8 * 1024; line = 64; assoc = 1 } );
+    ( "small-2w",
+      with_cache Machine.ksr2 "small-2w"
+        { Cache.capacity = 8 * 1024; line = 64; assoc = 2 } );
+    ( "small-4w",
+      with_cache Machine.ksr2 "small-4w"
+        { Cache.capacity = 16 * 1024; line = 64; assoc = 4 } );
+  |]
+
+let arb_run_case =
+  let open Gen in
+  let gen =
+    let* c = gen_case in
+    let* geom = int_range 0 (Array.length geometries - 1) in
+    let* jobs = oneofl [ 1; 4 ] in
+    return ({ c with jobs }, geom)
+  in
+  make
+    ~print:(fun (c, geom) ->
+      Printf.sprintf "%s geom=%s n=%d nprocs=%d strip=%d fused=%b %s jobs=%d"
+        (fst kernels.(c.kernel))
+        (fst geometries.(geom))
+        c.n c.nprocs c.strip c.fuse
+        (match c.pick with
+        | L_contiguous -> "contiguous"
+        | L_padded p -> Printf.sprintf "pad:%d" p
+        | L_partitioned -> "partitioned")
+        c.jobs)
+    gen
+
+(* Every observable of the run-compressed engine — counters, cycles,
+   store (empty), the attached sink's totals and event stream — must be
+   bit-identical to the scalar address-stream replay, for every
+   geometry and jobs count. *)
+let prop_run_compressed_identical =
+  Test.make ~count:120
+    ~name:"run-compressed engine is bit-identical to scalar replay"
+    arb_run_case
+    (fun (c, geom) ->
+      let _, mk = kernels.(c.kernel) in
+      let p = mk c.n in
+      match schedule_of_case c p with
+      | exception Schedule.Illegal _ -> true
+      | exception Invalid_argument _ -> true
+      | sched ->
+        let machine = snd geometries.(geom) in
+        let layout = layout_of_pick ~machine c.pick p in
+        let s_sink = Obs.create () and r_sink = Obs.create () in
+        let scalar =
+          Exec.run ~sink:s_sink ~mode:Exec.Miss_only ~layout ~machine
+            ~steps:c.steps ~jobs:1 sched
+        in
+        let runs =
+          Exec.run ~sink:r_sink ~mode:Exec.Run_compressed ~layout ~machine
+            ~steps:c.steps ~jobs:c.jobs sched
+        in
+        if not (results_identical scalar runs) then
+          Test.fail_report "run-compressed result differs from scalar replay";
+        if not (sinks_identical s_sink r_sink) then
+          Test.fail_report "run-compressed sink differs from scalar replay";
+        (* recorded profiles agree table by table *)
+        if
+          List.exists
+            (fun by -> Obs.breakdown s_sink ~by <> Obs.breakdown r_sink ~by)
+            [ Obs.By_array; Obs.By_phase; Obs.By_proc ]
+        then Test.fail_report "run-compressed breakdown differs";
+        true)
+
+(* The run engine must fail exactly like the scalar one on a schedule
+   that walks out of bounds: same exception, same message. *)
+let test_run_compressed_oob () =
+  let n = 24 in
+  let i = Ir.av "i" in
+  let oob =
+    {
+      Ir.pname = "oob";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ n ] }) [ "a"; "b" ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels =
+              [ { Ir.lvar = "i"; lo = 0; hi = n - 1; parallel = true } ];
+            body =
+              [
+                Ir.stmt (Ir.aref "b" [ i ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av ~c:2 "i" ]));
+              ];
+          };
+        ];
+    }
+  in
+  let sched = Schedule.unfused ~nprocs:1 oob in
+  let msg mode =
+    match Exec.run ~machine:Machine.convex ~mode sched with
+    | _ -> Alcotest.fail "expected Out_of_bounds"
+    | exception Interp.Out_of_bounds m -> m
+  in
+  Alcotest.(check string)
+    "identical out-of-bounds failure" (msg Exec.Miss_only)
+    (msg Exec.Run_compressed)
+
+(* ------------------------------------------------------------------ *)
 (* Directed tests                                                       *)
 
 (* The three kernels named by the issue, at a fixed size, fused and
@@ -291,6 +414,9 @@ let suite =
     Tutil.to_alcotest (prop_parallel_identical ~machine:Machine.ksr2 "ksr2");
     Tutil.to_alcotest (prop_parallel_identical ~machine:Machine.convex "convex");
     Tutil.to_alcotest (prop_miss_only_matches ~machine:Machine.convex "convex");
+    Tutil.to_alcotest prop_run_compressed_identical;
+    Alcotest.test_case "run-compressed: out-of-bounds parity" `Quick
+      test_run_compressed_oob;
     Alcotest.test_case "miss-only: ll18/calc/filter" `Quick
       test_miss_only_directed;
     Alcotest.test_case "explicit pool reuse" `Quick test_explicit_pool;

@@ -46,7 +46,7 @@ let arb_chain_config =
 (* Both runs use the same inputs; one carries a sink.  Everything the
    uninstrumented run reports must be bit-identical, and the sink's
    counter cube must sum exactly to the aggregates. *)
-let check_observer_free ~machine (p : Ir.program) sched =
+let check_observer_free ?(mode = Exec.Full) ~machine (p : Ir.program) sched =
   let layout =
     Partition.cache_partitioned
       ~cache:
@@ -57,9 +57,9 @@ let check_observer_free ~machine (p : Ir.program) sched =
         }
       p.Ir.decls
   in
-  let bare = Exec.run ~layout ~machine sched in
+  let bare = Exec.run ~mode ~layout ~machine sched in
   let sink = Obs.create () in
-  let obs = Exec.run ~sink ~layout ~machine sched in
+  let obs = Exec.run ~sink ~mode ~layout ~machine sched in
   let t = Obs.totals sink in
   let ok_store = Interp.equal bare.Exec.store obs.Exec.store in
   let ok_result =
@@ -88,9 +88,10 @@ let check_observer_free ~machine (p : Ir.program) sched =
     Test.fail_report "sink counters do not sum to Exec.result aggregates";
   true
 
-let prop_observer_free ~machine name =
+let prop_observer_free ?mode ?(tag = "") ~machine name =
   Test.make ~count:60
-    ~name:("sink is observer-effect-free and sums exactly (" ^ name ^ ")")
+    ~name:
+      ("sink is observer-effect-free and sums exactly (" ^ name ^ tag ^ ")")
     arb_chain_config
     (fun ((p, _, _), (nprocs, strip, fuse)) ->
       match
@@ -99,7 +100,7 @@ let prop_observer_free ~machine name =
       with
       | exception Schedule.Illegal _ -> true
       | exception Invalid_argument _ -> true (* more procs than iters *)
-      | sched -> check_observer_free ~machine p sched)
+      | sched -> check_observer_free ?mode ~machine p sched)
 
 (* ------------------------------------------------------------------ *)
 (* Directed tests                                                       *)
@@ -291,6 +292,15 @@ let suite =
   [
     Tutil.to_alcotest (prop_observer_free ~machine:Machine.ksr2 "ksr2");
     Tutil.to_alcotest (prop_observer_free ~machine:Machine.convex "convex");
+    (* the batched engine takes entirely different probe paths
+       (wholesale hit/miss recorders, deferred TLB settlement); it must
+       be exactly as observer-effect-free as the scalar one *)
+    Tutil.to_alcotest
+      (prop_observer_free ~mode:Exec.Run_compressed ~tag:", run-compressed"
+         ~machine:Machine.ksr2 "ksr2");
+    Tutil.to_alcotest
+      (prop_observer_free ~mode:Exec.Run_compressed ~tag:", run-compressed"
+         ~machine:Machine.convex "convex");
     Alcotest.test_case "cross-array attribution" `Quick
       test_cross_attribution;
     Alcotest.test_case "breakdown tables sum" `Quick test_breakdown_tables;

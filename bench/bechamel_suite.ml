@@ -77,7 +77,7 @@ let test_tune_exact_memo =
            tune_prog tune_cand))
 
 let test_cache_throughput =
-  let c = Lf_cache.Cache.create Lf_cache.Cache.convex_cache in
+  let c = Lf_cache.Cache.of_geometry (Lf_cache.Cache.convex_geometry ()) in
   Test.make ~name:"substrate/cache-100k-accesses"
     (Staged.stage (fun () ->
          for i = 0 to 99_999 do
@@ -87,7 +87,7 @@ let test_cache_throughput =
 (* The same 100k-access unit stream consumed as one run: the batched
    tier pays one way probe per line group instead of one per access. *)
 let test_cache_run_throughput =
-  let c = Lf_cache.Cache.create Lf_cache.Cache.convex_cache in
+  let c = Lf_cache.Cache.of_geometry (Lf_cache.Cache.convex_geometry ()) in
   Test.make ~name:"substrate/cache-100k-run"
     (Staged.stage (fun () ->
          Lf_cache.Cache.access_run c ~addr:0 ~stride:8 ~n:100_000))

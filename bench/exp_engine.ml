@@ -41,8 +41,12 @@ let run cfg =
   let strip = Util.strip_for machine p in
   let jobs = max 4 (Exec.default_jobs ()) in
   let host = Domain.recommended_domain_count () in
+  (* routed through the batch layer with computation forced ([always]):
+     this experiment measures engine wall clock, so a store hit would
+     measure nothing — but fresh results still warm the store *)
   let go ~mode ~jobs () =
-    Exec.run_fused ~layout ~machine ~nprocs ~strip ~steps ~mode ~jobs p
+    Util.run_request ~always:true ~jobs
+      (Lf_machine.Sim.fused ~layout ~machine ~nprocs ~strip ~steps ~mode p)
   in
   (* warm up allocator/caches, then measure the serial engines before
      any host domain is spawned (idle pool domains tax the single-domain

@@ -19,17 +19,25 @@ let sweep ?note ~machine ~procs (p : Ir.program) =
   let layout = Util.partitioned_layout machine p in
   let strip = Util.strip_for machine p in
   (* only cycles and miss counts are read below, so the run-compressed
-     address-stream engine (bit-identical observables) does the work *)
-  let mode = Exec.Run_compressed in
-  let base =
-    (Exec.run_unfused ~mode ~layout ~machine ~nprocs:1 p).Exec.cycles
+     address-stream engine (bit-identical observables) does the work;
+     the whole sweep is one Batch.run request list, answered from a
+     warm result store without simulating *)
+  let mode = Lf_machine.Sim.Run_compressed in
+  let requests =
+    Lf_machine.Sim.unfused ~mode ~layout ~machine ~nprocs:1 p
+    :: List.concat_map
+         (fun nprocs ->
+           [
+             Lf_machine.Sim.unfused ~mode ~layout ~machine ~nprocs p;
+             Lf_machine.Sim.fused ~mode ~layout ~machine ~nprocs ~strip p;
+           ])
+         procs
   in
+  let results = Util.run_requests requests in
+  let base = results.(0).Exec.cycles in
   let rows =
-    List.map
-      (fun nprocs ->
-        let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs p in
-        let f = Exec.run_fused ~mode ~layout ~machine ~nprocs ~strip p in
-        (nprocs, u, f))
+    List.mapi
+      (fun i nprocs -> (nprocs, results.((2 * i) + 1), results.((2 * i) + 2)))
       procs
   in
   (match note with

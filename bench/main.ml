@@ -42,7 +42,8 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--smoke] [--only ids] [--list] \
-     [--max-procs N] [--no-timings] [--jobs N] [--json FILE]";
+     [--max-procs N] [--no-timings] [--jobs N] [--json FILE] \
+     [--cold] [--no-store] [--require-warm]";
   print_endline "experiment ids:";
   List.iter
     (fun (id, desc, _) -> Printf.printf "  %-5s %s\n" id desc)
@@ -53,6 +54,7 @@ let () =
   let only = ref None in
   let procs_cap = ref None in
   let json_file = ref None in
+  let require_warm = ref false in
   (* deterministic output for golden tests: omit wall-clock timings *)
   let timings = ref true in
   let args = Array.to_list Sys.argv in
@@ -79,6 +81,16 @@ let () =
       parse rest
     | "--json" :: file :: rest ->
       json_file := Some file;
+      parse rest
+    | "--cold" :: rest ->
+      (* recompute everything; fresh results still warm the store *)
+      Util.cold := true;
+      parse rest
+    | "--no-store" :: rest ->
+      Util.use_store := false;
+      parse rest
+    | "--require-warm" :: rest ->
+      require_warm := true;
       parse rest
     | "--list" :: _ | "--help" :: _ ->
       usage ();
@@ -111,17 +123,36 @@ let () =
   List.iter
     (fun (id, _, f) ->
       let t = Util.elapsed_timer () in
+      let h0 = Lf_batch.Batch.hit_count ()
+      and c0 = Lf_batch.Batch.computed_count () in
       f cfg;
       let dt = t () in
-      Util.note ~id [ ("wall_s", Util.Float dt) ];
+      Util.note ~id
+        [
+          ("wall_s", Util.Float dt);
+          ("store_hits", Util.Int (Lf_batch.Batch.hit_count () - h0));
+          ("store_computed",
+           Util.Int (Lf_batch.Batch.computed_count () - c0));
+        ];
       if !timings then Fmt.pr "@.[%s done in %.1fs]@." id dt
       else Fmt.pr "@.[%s done]@." id)
     selected;
   if !timings then
     Fmt.pr "@.All selected experiments completed in %.1fs.@." (total ())
   else Fmt.pr "@.All selected experiments completed.@.";
-  match !json_file with
+  let hits = Lf_batch.Batch.hit_count ()
+  and computed = Lf_batch.Batch.computed_count () in
+  if hits + computed > 0 then
+    Fmt.pr "result store: %d hits, %d simulations run.@." hits computed;
+  (match !json_file with
   | None -> ()
   | Some file ->
     Util.write_json ~file ~jobs:(Lf_machine.Exec.default_jobs ());
-    Fmt.pr "machine-readable results written to %s@." file
+    Fmt.pr "machine-readable results written to %s@." file);
+  if !require_warm && computed > 0 then begin
+    Fmt.epr
+      "--require-warm: %d request(s) missed the result store and were \
+       simulated@."
+      computed;
+    exit 1
+  end

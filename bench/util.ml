@@ -4,9 +4,41 @@ module Ir = Lf_ir.Ir
 module Partition = Lf_core.Partition
 module Machine = Lf_machine.Machine
 module Exec = Lf_machine.Exec
+module Sim = Lf_machine.Sim
+module Batch = Lf_batch.Batch
 module Cache = Lf_cache.Cache
 
 type cfg = { quick : bool; procs_cap : int option }
+
+(* ------------------------------------------------------------------ *)
+(* Persistent result store (bench --cold / --no-store).  The handle is
+   opened lazily so experiments that never simulate (t2, f9 golden
+   runs) create no _lf_cache/ directory. *)
+
+let use_store = ref true
+let cold = ref false
+let store_handle = ref None
+
+let store () =
+  if not !use_store then None
+  else begin
+    (match !store_handle with
+    | None -> store_handle := Some (Batch.Store.open_ ())
+    | Some _ -> ());
+    !store_handle
+  end
+
+(* One request through the store.  [always] forces computation (wall-
+   clock experiments measure the engine, not the store); a [sink]ed
+   request computes regardless (Batch.run_one's contract). *)
+let run_request ?sink ?(always = false) ?jobs req =
+  Batch.run_one ?store:(store ()) ~cold:(!cold || always) ?sink ?jobs req
+
+(* A request list through Batch.run: dedup, store hits, misses sharded
+   across host domains; first failure re-raised in request order. *)
+let run_requests reqs =
+  let outcomes, _summary = Batch.run ?store:(store ()) ~cold:!cold reqs in
+  Batch.results_exn outcomes
 
 let scale cfg full quick_v = if cfg.quick then quick_v else full
 
@@ -58,10 +90,15 @@ let run_pair ?layout ?mode ~machine ~nprocs (p : Ir.program) =
     match layout with Some l -> l | None -> partitioned_layout machine p
   in
   let strip = strip_for machine p in
-  {
-    unfused = Exec.run_unfused ?mode ~layout ~machine ~nprocs p;
-    fused = Exec.run_fused ?mode ~layout ~machine ~nprocs ~strip p;
-  }
+  match
+    run_requests
+      [
+        Sim.unfused ?mode ~layout ~machine ~nprocs p;
+        Sim.fused ?mode ~layout ~machine ~nprocs ~strip p;
+      ]
+  with
+  | [| unfused; fused |] -> { unfused; fused }
+  | _ -> assert false
 
 let pr fmt = Fmt.pr fmt
 
@@ -140,6 +177,11 @@ let write_json ~file ~jobs =
     (Printf.sprintf "  \"host_cores\": %d,\n"
        (Domain.recommended_domain_count ()));
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"store\": %b,\n  \"cold\": %b,\n" !use_store !cold);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"store_hits\": %d,\n  \"store_computed\": %d,\n"
+       (Batch.hit_count ()) (Batch.computed_count ()));
   Buffer.add_string buf "  \"experiments\": [\n";
   let entries = List.rev !metrics in
   List.iteri

@@ -8,9 +8,16 @@
      lfc verify   <kernel>   check fused execution against the reference
      lfc profile  --kernel K simulate with event counters (lf_obs)
      lfc tune     --kernel K autotune fusion/strip/layout on the simulator
+     lfc cache    stats|gc|clear  manage the persistent result store
 
    Kernels: ll18, calc, filter, jacobi, fig9 (tune also accepts the
-   application models tomcatv, hydro2d, spem). *)
+   application models tomcatv, hydro2d, spem).
+
+   Shared argument vocabulary (--jobs, --engine, --machine, --layout,
+   --json, --cold, ...) lives in bin/common.ml.  Simulating subcommands
+   build Lf_machine.Sim.request values and execute them through
+   Lf_batch.Batch, so identical configurations are answered from the
+   on-disk result store under _lf_cache/. *)
 
 module Ir = Lf_ir.Ir
 module Interp = Lf_ir.Interp
@@ -21,82 +28,15 @@ module Codegen = Lf_core.Codegen
 module Partition = Lf_core.Partition
 module Machine = Lf_machine.Machine
 module Exec = Lf_machine.Exec
+module Sim = Lf_machine.Sim
+module Batch = Lf_batch.Batch
 module Apps = Lf_kernels.Apps
 module Tune = Lf_tune.Tune
 module TSearch = Lf_tune.Search
 module TCost = Lf_tune.Cost
 
 open Cmdliner
-
-let fig9_program n =
-  let i o = Ir.av ~c:o "i" in
-  let nest nid out rhs =
-    {
-      Ir.nid;
-      levels = [ { Ir.lvar = "i"; lo = 1; hi = n - 2; parallel = true } ];
-      body = [ Ir.stmt (Ir.aref out [ i 0 ]) rhs ];
-    }
-  in
-  let r name o = Ir.Read (Ir.aref name [ i o ]) in
-  {
-    Ir.pname = "fig9";
-    decls =
-      List.map (fun a -> { Ir.aname = a; extents = [ n ] })
-        [ "a"; "b"; "c"; "d" ];
-    nests =
-      [
-        nest "L1" "a" (r "b" 0);
-        nest "L2" "c" (Ir.Bin (Add, r "a" 1, r "a" (-1)));
-        nest "L3" "d" (Ir.Bin (Add, r "c" 1, r "c" (-1)));
-      ];
-  }
-
-let program_of_kernel name n =
-  match name with
-  | "ll18" -> Ok (Lf_kernels.Ll18.program ~n ())
-  | "calc" -> Ok (Lf_kernels.Calc.program ~n ())
-  | "filter" -> Ok (Lf_kernels.Filter.program ~rows:n ~cols:n ())
-  | "jacobi" -> Ok (Lf_kernels.Jacobi.program ~n ())
-  | "fig9" -> Ok (fig9_program n)
-  | path when Sys.file_exists path -> (
-    (* a source file in the front-end language *)
-    match Lf_front.Parse.program_of_file path with
-    | p -> Ok p
-    | exception Lf_front.Parse.Syntax_error m ->
-      Error (Printf.sprintf "%s: syntax error: %s" path m)
-    | exception Ir.Invalid m ->
-      Error (Printf.sprintf "%s: invalid program: %s" path m))
-  | _ ->
-    Error
-      (Printf.sprintf
-         "unknown kernel %s (try ll18, calc, filter, jacobi, fig9, or a \
-          .loop source file)" name)
-
-let kernel_arg =
-  let doc = "Kernel: ll18, calc, filter, jacobi, fig9, or a .loop file." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
-
-let size_arg =
-  let doc = "Array size per dimension." in
-  Arg.(value & opt int 128 & info [ "size"; "n" ] ~docv:"N" ~doc)
-
-let procs_arg =
-  let doc = "Number of processors." in
-  Arg.(value & opt int 4 & info [ "procs"; "p" ] ~docv:"P" ~doc)
-
-let strip_arg =
-  let doc = "Strip-mining factor." in
-  Arg.(value & opt int 16 & info [ "strip" ] ~docv:"S" ~doc)
-
-let depth_of p name =
-  if name = "jacobi" then min 2 (Dep.max_parallel_depth p)
-  else if Sys.file_exists name then max 1 (min 2 (Dep.max_parallel_depth p))
-  else 1
-
-let with_program name n f =
-  match program_of_kernel name n with
-  | Error m -> `Error (false, m)
-  | Ok p -> f p
+open Common
 
 (* --- analyze ------------------------------------------------------- *)
 
@@ -174,76 +114,8 @@ let emit_cmd =
 
 (* --- simulate ------------------------------------------------------ *)
 
-let machine_arg =
-  let doc = "Machine model: ksr2 or convex." in
-  Arg.(
-    value & opt string "convex" & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
-
-let layout_arg =
-  let doc = "Memory layout: partition, contiguous, or pad:N." in
-  Arg.(value & opt string "partition" & info [ "layout" ] ~docv:"LAYOUT" ~doc)
-
-let machine_of = function
-  | "ksr2" -> Ok Machine.ksr2
-  | "convex" -> Ok Machine.convex
-  | m -> Error ("unknown machine " ^ m)
-
-let jobs_arg =
-  let doc =
-    "Host domains for the simulation engine (default from $(b,LF_JOBS), \
-     else 1 = serial; 0 or $(b,auto) uses every core).  The simulated \
-     result is bit-identical for every value."
-  in
-  Arg.(value & opt (some string) None & info [ "jobs"; "j" ] ~docv:"J" ~doc)
-
-let apply_jobs = function
-  | None -> Ok ()
-  | Some ("auto" | "0") ->
-    Exec.set_default_jobs (Domain.recommended_domain_count ());
-    Ok ()
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some j when j >= 1 ->
-      Exec.set_default_jobs j;
-      Ok ()
-    | _ -> Error ("bad --jobs value " ^ s ^ " (want a positive int or auto)"))
-
-let engine_arg =
-  let doc =
-    "Simulation engine: $(b,runs) (batched run-compressed replay, the \
-     default), $(b,miss-only) (scalar address replay), or $(b,full) \
-     (interpret values too).  All three produce bit-identical \
-     observables; they differ only in wall clock."
-  in
-  Arg.(value & opt string "runs" & info [ "engine" ] ~docv:"ENGINE" ~doc)
-
-let mode_of = function
-  | "runs" | "run-compressed" -> Ok Exec.Run_compressed
-  | "miss-only" -> Ok Exec.Miss_only
-  | "full" -> Ok Exec.Full
-  | s -> Error ("unknown engine " ^ s ^ " (try runs, miss-only, full)")
-
-let layout_of spec machine (p : Ir.program) =
-  match spec with
-  | "partition" ->
-    Ok
-      (Partition.cache_partitioned
-         ~cache:
-           {
-             Partition.capacity =
-               machine.Machine.cache.Lf_cache.Cache.capacity;
-             line = machine.Machine.cache.Lf_cache.Cache.line;
-             assoc = machine.Machine.cache.Lf_cache.Cache.assoc;
-           }
-         p.Ir.decls)
-  | "contiguous" -> Ok (Partition.contiguous p.Ir.decls)
-  | s when String.length s > 4 && String.sub s 0 4 = "pad:" -> (
-    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
-    | Some pad -> Ok (Partition.padded ~pad p.Ir.decls)
-    | None -> Error ("bad pad amount in " ^ s))
-  | s -> Error ("unknown layout " ^ s)
-
-let simulate kernel n machine_name procs strip layout_spec jobs engine =
+let simulate kernel n machine_name procs strip layout_spec jobs engine cold
+    store_dir =
   with_program kernel n (fun p ->
       match apply_jobs jobs with
       | Error m -> `Error (false, m)
@@ -257,19 +129,33 @@ let simulate kernel n machine_name procs strip layout_spec jobs engine =
           match mode_of engine with
           | Error m -> `Error (false, m)
           | Ok mode ->
-          let u = Exec.run_unfused ~mode ~layout ~machine ~nprocs:procs p in
-          let f = Exec.run_fused ~mode ~layout ~machine ~nprocs:procs ~strip p in
-          Fmt.pr "%s, %d processors, layout %s@." machine.Machine.mname procs
-            layout_spec;
-          Fmt.pr "%-10s %14s %12s %12s@." "version" "cycles" "misses"
-            "proc0-misses";
-          Fmt.pr "%-10s %14.4e %12d %12d@." "unfused" u.Exec.cycles
-            u.Exec.total_misses (Exec.proc0_misses u);
-          Fmt.pr "%-10s %14.4e %12d %12d@." "fused" f.Exec.cycles
-            f.Exec.total_misses (Exec.proc0_misses f);
-          Fmt.pr "fusion gain: %+.1f%%@."
-            (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0));
-          `Ok ()))))
+          let store = store_of store_dir in
+          let requests =
+            [
+              Sim.unfused ~layout ~mode ~machine ~nprocs:procs p;
+              Sim.fused ~layout ~mode ~machine ~nprocs:procs ~strip p;
+            ]
+          in
+          let outcomes, summary = Batch.run ~store ~cold requests in
+          match Batch.results_exn outcomes with
+          | exception Failure m -> `Error (false, m)
+          | [| u; f |] ->
+            Fmt.pr "%s, %d processors, layout %s@." machine.Machine.mname
+              procs layout_spec;
+            Fmt.pr "%-10s %14s %12s %12s  %s@." "version" "cycles" "misses"
+              "proc0-misses" "source";
+            let source (o : Batch.outcome) =
+              if o.Batch.from_store then "store" else "computed"
+            in
+            Fmt.pr "%-10s %14.4e %12d %12d  %s@." "unfused" u.Exec.cycles
+              u.Exec.total_misses (Exec.proc0_misses u) (source outcomes.(0));
+            Fmt.pr "%-10s %14.4e %12d %12d  %s@." "fused" f.Exec.cycles
+              f.Exec.total_misses (Exec.proc0_misses f) (source outcomes.(1));
+            Fmt.pr "fusion gain: %+.1f%%@."
+              (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0));
+            Fmt.pr "store: %a@." Batch.pp_summary summary;
+            `Ok ()
+          | _ -> assert false))))
 
 let simulate_cmd =
   Cmd.v
@@ -277,7 +163,8 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ kernel_arg $ size_arg $ machine_arg $ procs_arg
-       $ strip_arg $ layout_arg $ jobs_arg $ engine_arg))
+       $ strip_arg $ layout_arg $ jobs_arg $ engine_arg $ cold_arg
+       $ store_dir_arg))
 
 (* --- verify -------------------------------------------------------- *)
 
@@ -329,7 +216,7 @@ let search_arg =
 (* Tune every fusible sequence of an application model; the never-fused
    remainder runs unfused under both configurations, so it contributes
    the same cycles to each side of the comparison. *)
-let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
+let tune_app ~driver ~store ~machine ~nprocs (app : Apps.t) =
   let cache = TCost.create_cache () in
   Fmt.pr "autotuning %s on %s, %d processors (%d fusible sequences)@."
     app.Apps.app_name machine.Machine.mname nprocs
@@ -339,7 +226,7 @@ let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
   let tuned = ref 0.0 and dflt = ref 0.0 and failed = ref None in
   List.iter
     (fun (seq : Ir.program) ->
-      match Tune.tune ~cache ~driver ~machine ~nprocs seq with
+      match Tune.tune ~cache ~store ~driver ~machine ~nprocs seq with
       | Error m -> if !failed = None then failed := Some (seq.Ir.pname, m)
       | Ok o ->
         tuned := !tuned +. o.TSearch.best_cost.TCost.e_cycles;
@@ -358,7 +245,10 @@ let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
           ~cache:(Lf_tune.Space.cache_shape machine)
           rem.Ir.decls
       in
-      let r = Exec.run_unfused ~layout ~machine ~nprocs rem in
+      let r =
+        Batch.run_one ~store
+          (Sim.unfused ~layout ~mode:Sim.Run_compressed ~machine ~nprocs rem)
+      in
       let add = float_of_int app.Apps.remainder_reps *. r.Exec.cycles in
       tuned := !tuned +. add;
       dflt := !dflt +. add;
@@ -370,9 +260,11 @@ let tune_app ~driver ~machine ~nprocs (app : Apps.t) =
       (100.0 *. ((!dflt /. !tuned) -. 1.0));
     Fmt.pr "memo cache: %d entries, %d hits, %d cold evaluations@."
       st.TCost.entries st.TCost.hits st.TCost.misses;
+    Fmt.pr "result store: %d hits, %d simulations run@." (Batch.hit_count ())
+      (Batch.computed_count ());
     `Ok ()
 
-let tune kernel size machine_name procs search quick jobs =
+let tune kernel size machine_name procs search quick jobs store_dir =
   match apply_jobs jobs with
   | Error m -> `Error (false, m)
   | Ok () -> (
@@ -382,6 +274,7 @@ let tune kernel size machine_name procs search quick jobs =
     match Tune.driver_of_string search with
     | Error m -> `Error (false, m)
     | Ok driver -> (
+      let store = store_of store_dir in
       let app =
         match kernel with
         | "tomcatv" ->
@@ -400,7 +293,7 @@ let tune kernel size machine_name procs search quick jobs =
         | _ -> None
       in
       match app with
-      | Some app -> tune_app ~driver ~machine ~nprocs:procs app
+      | Some app -> tune_app ~driver ~store ~machine ~nprocs:procs app
       | None ->
         let n =
           match size with Some n -> n | None -> if quick then 64 else 128
@@ -409,10 +302,12 @@ let tune kernel size machine_name procs search quick jobs =
             let depth = depth_of p kernel in
             Fmt.pr "autotuning %s (n=%d) on %s, %d processors@." kernel n
               machine.Machine.mname procs;
-            match Tune.tune ~depth ~driver ~machine ~nprocs:procs p with
+            match Tune.tune ~depth ~store ~driver ~machine ~nprocs:procs p with
             | Error m -> `Error (false, m)
             | Ok o ->
               Fmt.pr "%a" Tune.pp_outcome o;
+              Fmt.pr "result store: %d hits, %d simulations run@."
+                (Batch.hit_count ()) (Batch.computed_count ());
               `Ok ()))))
 
 let tune_cmd =
@@ -424,7 +319,7 @@ let tune_cmd =
     Term.(
       ret
         (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
-       $ procs_arg $ search_arg $ quick_arg $ jobs_arg))
+       $ procs_arg $ search_arg $ quick_arg $ jobs_arg $ store_dir_arg))
 
 (* --- profile ------------------------------------------------------- *)
 
@@ -444,16 +339,12 @@ let unfused_arg =
   let doc = "Profile the unfused schedule instead of the fused one." in
   Arg.(value & flag & info [ "unfused" ] ~doc)
 
-let steps_arg =
-  let doc = "Time steps (repetitions of the whole schedule)." in
-  Arg.(value & opt int 1 & info [ "steps" ] ~docv:"T" ~doc)
-
 (* Align the sink's layout tag with the Space.layout_to_string
    vocabulary so the recorded profile keys calibration factors. *)
 let layout_tag = function "partition" -> "partitioned" | s -> s
 
 let profile kernel n machine_name procs strip layout_spec by trace unfused
-    steps jobs engine =
+    steps jobs engine store_dir =
   with_program kernel n (fun p ->
       match apply_jobs jobs with
       | Error m -> `Error (false, m)
@@ -477,14 +368,16 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
             | Error m -> `Error (false, m)
             | Ok mode ->
             let sink = Lf_obs.Obs.create ~layout:(layout_tag layout_spec) () in
-            let r =
+            let req =
               if unfused then
-                Exec.run_unfused ~sink ~mode ~layout ~machine ~nprocs:procs
-                  ~steps p
+                Sim.unfused ~layout ~mode ~machine ~nprocs:procs ~steps p
               else
-                Exec.run_fused ~sink ~mode ~layout ~machine ~nprocs:procs
-                  ~strip ~steps p
+                Sim.fused ~layout ~mode ~machine ~nprocs:procs ~strip ~steps p
             in
+            (* a profiled run always computes (the sink must be
+               populated) but still warms the store for sink-less
+               reuse of the same request *)
+            let r = Batch.run_one ~store:(store_of store_dir) ~sink req in
             Fmt.pr "%s %s (n=%d) on %s: %d processors, layout %s, %d phases@."
               (if unfused then "unfused" else "fused")
               kernel n machine.Machine.mname procs layout_spec
@@ -522,7 +415,7 @@ let profile_cmd =
       ret
         (const profile $ profile_kernel_arg $ size_arg $ machine_arg
        $ procs_arg $ strip_arg $ layout_arg $ by_arg $ trace_arg
-       $ unfused_arg $ steps_arg $ jobs_arg $ engine_arg))
+       $ unfused_arg $ steps_arg $ jobs_arg $ engine_arg $ store_dir_arg))
 
 (* --- pipeline ------------------------------------------------------ *)
 
@@ -548,7 +441,12 @@ let pipeline kernel n procs strip =
       in
       Fmt.pr "@.clustered schedule on %d processors: %s@." procs
         (if ok then "bit-identical to the serial reference" else "MISMATCH");
-      let r = Exec.run ~machine:Machine.convex sched in
+      (* an Explicit request: arbitrary prebuilt schedules are cacheable *)
+      let r =
+        Batch.run_one ~store:(store_of None)
+          (Sim.of_schedule ~mode:Sim.Run_compressed ~machine:Machine.convex
+             sched)
+      in
       Fmt.pr "simulated on %s: %.4e cycles, %d misses@."
         Machine.convex.Machine.mname r.Exec.cycles r.Exec.total_misses;
       if ok then `Ok () else `Error (false, "verification failed"))
@@ -559,11 +457,63 @@ let pipeline_cmd =
        ~doc:"Distribute, cluster, fuse and verify a whole sequence")
     Term.(ret (const pipeline $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
 
+(* --- cache --------------------------------------------------------- *)
+
+let cache_stats json store_dir =
+  let store = store_of store_dir in
+  let st = Lf_batch.Batch.Store.stats store in
+  if json then
+    Fmt.pr "{\"dir\": \"%s\", \"entries\": %d, \"bytes\": %d}@."
+      (String.escaped (Lf_batch.Batch.Store.dir store))
+      st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes
+  else
+    Fmt.pr "%s: %d entries, %d bytes@."
+      (Lf_batch.Batch.Store.dir store)
+      st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes;
+  `Ok ()
+
+let max_bytes_arg =
+  let doc = "Shrink the store to at most $(docv) bytes (oldest first)." in
+  Arg.(value & opt int 67_108_864 & info [ "max-bytes" ] ~docv:"BYTES" ~doc)
+
+let cache_gc max_bytes store_dir =
+  let store = store_of store_dir in
+  let removed = Lf_batch.Batch.Store.gc ~max_bytes store in
+  let st = Lf_batch.Batch.Store.stats store in
+  Fmt.pr "removed %d entries; %d entries, %d bytes remain@." removed
+    st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes;
+  `Ok ()
+
+let cache_clear store_dir =
+  let store = store_of store_dir in
+  let removed = Lf_batch.Batch.Store.clear store in
+  Fmt.pr "removed %d entries from %s@." removed
+    (Lf_batch.Batch.Store.dir store);
+  `Ok ()
+
+let cache_cmd =
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Manage the persistent simulation-result store (_lf_cache/): \
+          stats, gc, clear")
+    [
+      Cmd.v
+        (Cmd.info "stats" ~doc:"Entry count and total size of the store")
+        Term.(ret (const cache_stats $ json_arg $ store_dir_arg));
+      Cmd.v
+        (Cmd.info "gc" ~doc:"Evict oldest entries beyond a size budget")
+        Term.(ret (const cache_gc $ max_bytes_arg $ store_dir_arg));
+      Cmd.v
+        (Cmd.info "clear" ~doc:"Delete every persisted result")
+        Term.(ret (const cache_clear $ store_dir_arg));
+    ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
-      pipeline_cmd; profile_cmd; tune_cmd ]
+      pipeline_cmd; profile_cmd; tune_cmd; cache_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -96,7 +96,9 @@ let () =
     nprocs (Interp.equal reference st);
 
   (* 5. Simulate on the Convex model. *)
-  let r = Exec.run ~machine:Machine.convex sched in
+  let r =
+    Exec.run_request (Lf_machine.Sim.of_schedule ~machine:Machine.convex sched)
+  in
   Fmt.pr "Simulated on %s: %.3e cycles, %d misses@."
     Machine.convex.Machine.mname r.Exec.cycles r.Exec.total_misses;
 

@@ -26,7 +26,10 @@ let () =
      cycle counts are identical with or without it. *)
   let sink = Obs.create ~layout:"contiguous" () in
   let layout = Lf_core.Partition.contiguous p.Ir.decls in
-  let r = Exec.run_fused ~sink ~layout ~machine ~nprocs ~strip p in
+  let r =
+    Exec.run_request ~sink
+      (Lf_machine.Sim.fused ~layout ~machine ~nprocs ~strip p)
+  in
   Fmt.pr "contiguous layout: %.3e cycles, %d misses@.@." r.Exec.cycles
     r.Exec.total_misses;
   Fmt.pr "%a@." (Obs.pp_table ~by:Obs.By_array) sink;
@@ -62,7 +65,10 @@ let () =
       ~cache:(Space.cache_shape machine)
       p.Ir.decls
   in
-  let pr = Exec.run_fused ~sink:psink ~layout:playout ~machine ~nprocs ~strip p in
+  let pr =
+    Exec.run_request ~sink:psink
+      (Lf_machine.Sim.fused ~layout:playout ~machine ~nprocs ~strip p)
+  in
   let t = Obs.totals sink and pt = Obs.totals psink in
   Fmt.pr "@.partitioned layout: %.3e cycles, %d misses@." pr.Exec.cycles
     pr.Exec.total_misses;

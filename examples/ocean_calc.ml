@@ -10,6 +10,8 @@ module Partition = Lf_core.Partition
 module Profit = Lf_core.Profit
 module Machine = Lf_machine.Machine
 module Exec = Lf_machine.Exec
+module Sim = Lf_machine.Sim
+module Batch = Lf_batch.Batch
 
 let () =
   let n = 256 in
@@ -29,14 +31,30 @@ let () =
     }
   in
   let layout = Partition.cache_partitioned ~cache p.Ir.decls in
-  let base = (Exec.run_unfused ~layout ~machine ~nprocs:1 p).Exec.cycles in
+  (* the full sweep as one request batch: 13 simulations, deduplicated
+     and sharded across host domains by Lf_batch *)
+  let procs = [ 1; 2; 4; 8; 12; 16 ] in
+  let mode = Sim.Run_compressed in
+  let requests =
+    Sim.unfused ~mode ~layout ~machine ~nprocs:1 p
+    :: List.concat_map
+         (fun nprocs ->
+           [
+             Sim.unfused ~mode ~layout ~machine ~nprocs p;
+             Sim.fused ~mode ~layout ~machine ~nprocs ~strip:10 p;
+           ])
+         procs
+  in
+  let outcomes, _ = Batch.run requests in
+  let results = Batch.results_exn outcomes in
+  let base = results.(0).Exec.cycles in
   Fmt.pr "@.Simulated %s, cache-partitioned layout:@." machine.Machine.mname;
   Fmt.pr "%6s %16s %14s %10s %14s@." "P" "unfused-speedup" "fused-speedup"
     "gain" "profitable?";
-  List.iter
-    (fun nprocs ->
-      let u = Exec.run_unfused ~layout ~machine ~nprocs p in
-      let f = Exec.run_fused ~layout ~machine ~nprocs ~strip:10 p in
+  List.iteri
+    (fun i nprocs ->
+      let u = results.((2 * i) + 1) in
+      let f = results.((2 * i) + 2) in
       let e =
         Profit.estimate ~nprocs ~cache_bytes:cache.Partition.capacity p
       in
@@ -44,7 +62,7 @@ let () =
         (base /. u.Exec.cycles) (base /. f.Exec.cycles)
         (100.0 *. ((u.Exec.cycles /. f.Exec.cycles) -. 1.0))
         (if e.Profit.profitable then "yes" else "no"))
-    [ 1; 2; 4; 8; 12; 16 ];
+    procs;
   Fmt.pr
     "@.The benefit of fusion shrinks as each processor's share of the@.\
      data begins to fit in its cache -- the crossover the paper's@.\

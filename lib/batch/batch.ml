@@ -1,0 +1,384 @@
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+module Pool = Lf_parallel.Pool
+module Obs = Lf_obs.Obs
+
+(* Process-wide hit/miss counters, shared by every store handle and
+   batch: harnesses (bench --json, lfc) report deltas of these. *)
+let hits_total = Atomic.make 0
+let computed_total = Atomic.make 0
+let hit_count () = Atomic.get hits_total
+let computed_count () = Atomic.get computed_total
+
+module Store = struct
+  type t = {
+    sdir : string;
+    mu : Mutex.t;
+    mutable lookups : int;
+    mutable shits : int;
+  }
+
+  let default_dir () =
+    match Sys.getenv_opt "LF_CACHE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "_lf_cache"
+
+  let rec mkdir_p d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      mkdir_p (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+
+  let open_ ?dir () =
+    let sdir = match dir with Some d -> d | None -> default_dir () in
+    mkdir_p sdir;
+    { sdir; mu = Mutex.create (); lookups = 0; shits = 0 }
+
+  let dir t = t.sdir
+  let ext = ".lfres"
+  let path t digest = Filename.concat t.sdir (digest ^ ext)
+
+  let cacheable (r : Sim.request) =
+    match r.Sim.mode with Full -> false | Miss_only | Run_compressed -> true
+
+  (* Entry format: one observable per line, floats as the decimal
+     rendering of their IEEE-754 bits so the round trip is bit-exact.
+     Readers parse strictly and treat any anomaly as a miss. *)
+
+  let render (r : Sim.request) digest (res : Exec.result) =
+    let b = Buffer.create 256 in
+    let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s;
+                                     Buffer.add_char b '\n') fmt in
+    let fbits x = Int64.to_string (Int64.bits_of_float x) in
+    line "lfres1 %s" Sim.version_salt;
+    line "digest %s" digest;
+    line "mode %s" (Sim.mode_to_string r.Sim.mode);
+    line "cycles %s" (fbits res.Exec.cycles);
+    line "barrier %s" (fbits res.Exec.barrier_cycles);
+    line "phases %d" (Array.length res.Exec.phase_cycles);
+    Array.iter (fun c -> line "p %s" (fbits c)) res.Exec.phase_cycles;
+    line "refs %d" res.Exec.total_refs;
+    line "misses %d" res.Exec.total_misses;
+    line "cold %d" res.Exec.cold_misses;
+    line "tlb %d" res.Exec.tlb_misses;
+    line "procs %d" (Array.length res.Exec.proc_misses);
+    Array.iter (fun m -> line "m %d" m) res.Exec.proc_misses;
+    line "end";
+    Buffer.contents b
+
+  exception Bad
+
+  let parse digest text : Exec.result =
+    let lines = String.split_on_char '\n' text in
+    let cur = ref lines in
+    let next () =
+      match !cur with [] -> raise Bad | l :: tl -> cur := tl; l
+    in
+    let field key =
+      let l = next () in
+      let pl = String.length key + 1 in
+      if String.length l > pl && String.sub l 0 pl = key ^ " " then
+        String.sub l pl (String.length l - pl)
+      else raise Bad
+    in
+    let int key = try int_of_string (field key) with Failure _ -> raise Bad in
+    let flt key =
+      try Int64.float_of_bits (Int64.of_string (field key))
+      with Failure _ -> raise Bad
+    in
+    if field "lfres1" <> Sim.version_salt then raise Bad;
+    if field "digest" <> digest then raise Bad;
+    (match Sim.mode_of_string (field "mode") with
+    | Ok (Miss_only | Run_compressed) -> ()
+    | Ok Full | Error _ -> raise Bad);
+    let cycles = flt "cycles" in
+    let barrier_cycles = flt "barrier" in
+    let nphases = int "phases" in
+    if nphases < 0 || nphases > 1_000_000 then raise Bad;
+    let phase_cycles = Array.init nphases (fun _ -> flt "p") in
+    let total_refs = int "refs" in
+    let total_misses = int "misses" in
+    let cold_misses = int "cold" in
+    let tlb_misses = int "tlb" in
+    let nprocs = int "procs" in
+    if nprocs < 0 || nprocs > 1_000_000 then raise Bad;
+    let proc_misses = Array.init nprocs (fun _ -> int "m") in
+    if next () <> "end" then raise Bad;
+    {
+      Exec.cycles;
+      phase_cycles;
+      barrier_cycles;
+      total_refs;
+      total_misses;
+      cold_misses;
+      tlb_misses;
+      proc_misses;
+      store =
+        {
+          Lf_ir.Interp.arrays = Hashtbl.create 1;
+          extents = Hashtbl.create 1;
+        };
+    }
+
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let lookup t (r : Sim.request) =
+    if not (cacheable r) then None
+    else begin
+      let digest = Sim.digest r in
+      let res =
+        match read_file (path t digest) with
+        | exception _ -> None
+        | text -> ( try Some (parse digest text) with Bad | _ -> None)
+      in
+      Mutex.lock t.mu;
+      t.lookups <- t.lookups + 1;
+      if res <> None then t.shits <- t.shits + 1;
+      Mutex.unlock t.mu;
+      res
+    end
+
+  let add t (r : Sim.request) (res : Exec.result) =
+    cacheable r
+    &&
+    let digest = Sim.digest r in
+    match Filename.temp_file ~temp_dir:t.sdir "lfres-" ".tmp" with
+    | exception _ -> false
+    | tmp -> (
+        match
+          let oc = open_out_bin tmp in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (render r digest res));
+          Sys.rename tmp (path t digest)
+        with
+        | () -> true
+        | exception _ ->
+            (try Sys.remove tmp with _ -> ());
+            false)
+
+  type stats = { entries : int; bytes : int; lookups : int; hits : int }
+
+  let entries t =
+    match Sys.readdir t.sdir with
+    | exception _ -> []
+    | files ->
+        Array.to_list files
+        |> List.filter_map (fun f ->
+               if Filename.check_suffix f ext then
+                 let p = Filename.concat t.sdir f in
+                 match Unix.stat p with
+                 | exception _ -> None
+                 | st -> Some (p, st.Unix.st_size, st.Unix.st_mtime)
+               else None)
+
+  let stats t =
+    let es = entries t in
+    Mutex.lock t.mu;
+    let lookups = t.lookups and hits = t.shits in
+    Mutex.unlock t.mu;
+    {
+      entries = List.length es;
+      bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 es;
+      lookups;
+      hits;
+    }
+
+  let gc ~max_bytes t =
+    (* newest-first: keep entries while they fit, drop the stale tail *)
+    let es =
+      List.sort (fun (_, _, a) (_, _, b) -> compare b a) (entries t)
+    in
+    let removed = ref 0 and kept = ref 0 in
+    List.iter
+      (fun (p, sz, _) ->
+        if !kept + sz <= max_bytes then kept := !kept + sz
+        else if (try Sys.remove p; true with _ -> false) then incr removed)
+      es;
+    !removed
+
+  let clear t =
+    let removed = ref 0 in
+    List.iter
+      (fun (p, _, _) ->
+        if (try Sys.remove p; true with _ -> false) then incr removed)
+      (entries t);
+    !removed
+end
+
+type failure = Timed_out of float | Crashed of string
+
+type outcome = {
+  request : Sim.request;
+  rdigest : string;
+  result : (Exec.result, failure) Stdlib.result;
+  from_store : bool;
+  wall_s : float;
+}
+
+type summary = {
+  total : int;
+  unique : int;
+  hits : int;
+  computed : int;
+  failed : int;
+  wall_s : float;
+}
+
+let count_opt sink name = Option.iter (fun s -> Obs.count s name) sink
+
+let compute_one ?store ~jobs ?pool ?timeout_s req =
+  let t0 = Unix.gettimeofday () in
+  match Exec.run_request ~jobs ?pool req with
+  | exception e -> (Error (Crashed (Printexc.to_string e)), Unix.gettimeofday () -. t0)
+  | res -> (
+      let dt = Unix.gettimeofday () -. t0 in
+      match timeout_s with
+      | Some budget when dt > budget -> (Error (Timed_out dt), dt)
+      | _ ->
+          Option.iter (fun st -> ignore (Store.add st req res)) store;
+          Atomic.incr computed_total;
+          (Ok res, dt))
+
+let run ?store ?(cold = false) ?jobs ?pool ?timeout_s ?sink requests =
+  let t0 = Unix.gettimeofday () in
+  let reqs = Array.of_list requests in
+  let n = Array.length reqs in
+  let digests = Array.map Sim.digest reqs in
+  (* dedup: map each request to the first index with its digest *)
+  let first = Hashtbl.create (max 16 n) in
+  let rep = Array.init n (fun i ->
+      match Hashtbl.find_opt first digests.(i) with
+      | Some j -> j
+      | None -> Hashtbl.add first digests.(i) i; i)
+  in
+  let uniques = ref [] in
+  Array.iteri (fun i j -> if i = j then uniques := i :: !uniques) rep;
+  let uniques = Array.of_list (List.rev !uniques) in
+  for _ = 1 to n do count_opt sink "batch.requests" done;
+  (* answer what the store can; collect the rest for computation *)
+  let results :
+      ((Exec.result, failure) Stdlib.result * bool * float) option array =
+    Array.make n None
+  in
+  let to_compute = ref [] in
+  Array.iter
+    (fun i ->
+      let hit =
+        if cold then None
+        else
+          Option.bind store (fun st -> Store.lookup st reqs.(i))
+      in
+      match hit with
+      | Some res ->
+          Atomic.incr hits_total;
+          count_opt sink "batch.hit";
+          results.(i) <- Some (Ok res, true, 0.0)
+      | None -> to_compute := i :: !to_compute)
+    uniques;
+  let to_compute = Array.of_list (List.rev !to_compute) in
+  let m = Array.length to_compute in
+  let job k =
+    let i = to_compute.(k) in
+    (* inner runs stay serial: the batch layer owns the host domains *)
+    let r, dt = compute_one ?store ~jobs:1 ?timeout_s reqs.(i) in
+    results.(i) <- Some (r, false, dt)
+  in
+  let jobs = match jobs with Some j -> max 1 j | None -> Exec.default_jobs () in
+  let jobs = min jobs m in
+  (if m > 0 then
+     if jobs <= 1 then
+       for k = 0 to m - 1 do job k done
+     else
+       match pool with
+       | Some p -> Pool.dynamic_for p ~lo:0 ~hi:(m - 1) job
+       | None ->
+           Pool.with_pool jobs (fun p ->
+               Pool.dynamic_for p ~lo:0 ~hi:(m - 1) job));
+  Array.iter
+    (fun i ->
+      match results.(i) with
+      | Some ((Ok _, false, _)) -> count_opt sink "batch.computed"
+      | Some ((Error _, _, _)) -> count_opt sink "batch.failed"
+      | _ -> ())
+    to_compute;
+  let outcomes =
+    Array.init n (fun i ->
+        let result, from_store, wall_s =
+          match results.(rep.(i)) with
+          | Some x -> x
+          | None -> (Error (Crashed "batch: job never ran"), false, 0.0)
+        in
+        (* repeats share the representative's result but report no wall *)
+        let wall_s = if i = rep.(i) then wall_s else 0.0 in
+        { request = reqs.(i); rdigest = digests.(i); result; from_store;
+          wall_s })
+  in
+  let hits = ref 0 and computed = ref 0 and failed = ref 0 in
+  Array.iter
+    (fun i ->
+      match results.(i) with
+      | Some (Ok _, true, _) -> incr hits
+      | Some (Ok _, false, _) -> incr computed
+      | Some (Error _, _, _) | None -> incr failed)
+    uniques;
+  let summary =
+    {
+      total = n;
+      unique = Array.length uniques;
+      hits = !hits;
+      computed = !computed;
+      failed = !failed;
+      wall_s = Unix.gettimeofday () -. t0;
+    }
+  in
+  (outcomes, summary)
+
+let results_exn outcomes =
+  Array.map
+    (fun o ->
+      match o.result with
+      | Ok r -> r
+      | Error (Timed_out dt) ->
+          Fmt.failwith "batch: request %s timed out (%.2fs)" o.rdigest dt
+      | Error (Crashed msg) ->
+          Fmt.failwith "batch: request %s failed: %s" o.rdigest msg)
+    outcomes
+
+let run_one ?store ?(cold = false) ?jobs ?pool ?sink req =
+  match sink with
+  | Some _ ->
+      (* an instrumented run always computes: a replayed result cannot
+         populate the sink.  Persist it for future sink-less hits. *)
+      let res = Exec.run_request ?jobs ?pool ?sink req in
+      Atomic.incr computed_total;
+      Option.iter (fun st -> ignore (Store.add st req res)) store;
+      res
+  | None -> (
+      let hit =
+        if cold then None
+        else Option.bind store (fun st -> Store.lookup st req)
+      in
+      match hit with
+      | Some res ->
+          Atomic.incr hits_total;
+          res
+      | None ->
+          let res = Exec.run_request ?jobs ?pool req in
+          Atomic.incr computed_total;
+          Option.iter (fun st -> ignore (Store.add st req res)) store;
+          res)
+
+let pp_summary ppf s =
+  Fmt.pf ppf "%d request%s (%d unique): %d hit%s, %d computed%s in %.2fs"
+    s.total
+    (if s.total = 1 then "" else "s")
+    s.unique s.hits
+    (if s.hits = 1 then "" else "s")
+    s.computed
+    (if s.failed = 0 then "" else Printf.sprintf ", %d FAILED" s.failed)
+    s.wall_s

@@ -1,0 +1,161 @@
+(** Batch simulation with a persistent, content-addressed result store.
+
+    Every sweep in the system (bench experiments, [lfc tune], the
+    qcheck matrices) used to re-simulate identical configurations from
+    scratch on each invocation; the only memoisation was in-memory and
+    per-process.  [Lf_batch] adds the missing layers on top of
+    {!Lf_machine.Sim.request} — the value that {e names} a simulation:
+
+    - {!Store}: an on-disk map from request digest to serialised
+      {!Lf_machine.Exec.result}, shared by concurrent processes;
+    - {!run}: a batch orchestrator that dedups a request list by
+      digest, answers hits from the store, and shards the misses across
+      host domains.
+
+    {b Cache-key discipline} (see also sim.mli).  Only requests are
+    cacheable, and a request contains everything that determines the
+    simulated observables.  Three things deliberately live outside the
+    key and therefore cannot be served stale: [jobs]/[pool] (the engine
+    is bit-identical for every host-domain count), an attached [sink]
+    (observation is passive, but a {e replayed} result cannot populate
+    one — so a request executed with a per-run sink is always computed,
+    though its result is still stored for future sink-less hits), and
+    [Full]-mode array contents (the store persists observables, not
+    multi-megabyte float arrays, so [Full] requests are never answered
+    from the store). *)
+
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+
+(** {1 The persistent store} *)
+
+module Store : sig
+  type t
+
+  val default_dir : unit -> string
+  (** [$LF_CACHE_DIR] when set, else ["_lf_cache"] in the current
+      directory. *)
+
+  val open_ : ?dir:string -> unit -> t
+  (** Open (creating if necessary) the store rooted at [dir] (default
+      {!default_dir}).  Opening never scans the directory; entries are
+      addressed directly by digest. *)
+
+  val dir : t -> string
+
+  val cacheable : Sim.request -> bool
+  (** [false] exactly for [Full]-mode requests: their observable is the
+      array store, which is not persisted. *)
+
+  val lookup : t -> Sim.request -> Exec.result option
+  (** The persisted result of this request, or [None] on a miss.  A
+      corrupt, truncated, stale-salted or otherwise unreadable entry is
+      a miss, never an error — concurrent writers and killed processes
+      may leave anything on disk.  The returned result carries an empty
+      array store (like a [Miss_only] run). *)
+
+  val add : t -> Sim.request -> Exec.result -> bool
+  (** Persist a result (atomically: tempfile + rename, so concurrent
+      writers of the same digest are safe and readers never observe a
+      partial entry).  Returns [false] without writing when the request
+      is not {!cacheable}.  I/O failures are swallowed: a read-only or
+      full disk degrades the store to a no-op, it does not break the
+      simulation. *)
+
+  type stats = {
+    entries : int;
+    bytes : int;  (** total size of all entries *)
+    lookups : int;  (** lookups through this handle *)
+    hits : int;  (** hits through this handle *)
+  }
+
+  val stats : t -> stats
+
+  val gc : max_bytes:int -> t -> int
+  (** Delete oldest entries (by modification time) until the store
+      holds at most [max_bytes]; returns the number removed. *)
+
+  val clear : t -> int
+  (** Delete every entry; returns the number removed. *)
+end
+
+(** {1 Batch execution} *)
+
+type failure =
+  | Timed_out of float  (** wall-clock seconds the job actually took *)
+  | Crashed of string  (** exception text *)
+
+type outcome = {
+  request : Sim.request;
+  rdigest : string;
+  result : (Exec.result, failure) Stdlib.result;
+  from_store : bool;
+  wall_s : float;  (** 0.0 for store hits and deduplicated repeats *)
+}
+
+type summary = {
+  total : int;  (** requests submitted *)
+  unique : int;  (** distinct digests among them *)
+  hits : int;  (** unique requests answered from the store *)
+  computed : int;  (** unique requests simulated *)
+  failed : int;  (** unique requests that timed out or crashed *)
+  wall_s : float;
+}
+
+val run :
+  ?store:Store.t ->
+  ?cold:bool ->
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
+  ?timeout_s:float ->
+  ?sink:Lf_obs.Obs.sink ->
+  Sim.request list ->
+  outcome array * summary
+(** Execute a batch.  The requests are deduplicated by digest (repeats
+    share the representative's outcome); with a [store], hits are
+    answered without simulating unless [cold] (default [false]) forces
+    recomputation — computed results are persisted either way, so a
+    cold run warms the store.  Misses are sharded across up to [jobs]
+    (default {!Lf_machine.Exec.default_jobs}) host domains with
+    self-scheduling ([pool] supplies an existing domain pool to run
+    on); each simulation inside the batch runs on its worker domain
+    alone, so results remain bit-identical to a serial batch.
+
+    [timeout_s] is a per-job wall-clock budget: a simulation that
+    exceeds it is reported as {!Timed_out} and its result is neither
+    returned nor persisted.  (The check is cooperative — the job runs
+    to completion first; domains cannot be killed.)  A job that raises
+    is reported as {!Crashed}; neither aborts the rest of the batch,
+    and {!results_exn} re-raises the first failure in request order
+    after the join — the error-propagation contract of
+    {!Lf_parallel.Pool.run}, lifted to batches.
+
+    [sink] receives progress as named counters ([batch.requests],
+    [batch.hit], [batch.computed], [batch.failed]); it is {e not}
+    attached to the individual simulations (see the cache-key
+    discipline above — use {!run_one} for an instrumented run). *)
+
+val results_exn : outcome array -> Exec.result array
+(** The batch's results, raising [Failure] on the first (in request
+    order) timeout or crash. *)
+
+val run_one :
+  ?store:Store.t ->
+  ?cold:bool ->
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
+  ?sink:Lf_obs.Obs.sink ->
+  Sim.request -> Exec.result
+(** One request through the store: answered from it when possible
+    ([cold] forces computation), computed with
+    {!Lf_machine.Exec.run_request} ?jobs ?pool and persisted otherwise.
+    Unlike {!run}, [sink] here {e is} the per-run attribution sink: when
+    one is supplied the request is always computed (a replay cannot
+    populate a sink), and the fresh result is still persisted. *)
+
+val hit_count : unit -> int
+val computed_count : unit -> int
+(** Process-wide counters of store hits and computed simulations by
+    {!run}/{!run_one}, for hit/miss reporting in harnesses. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -48,7 +48,15 @@ let log2 x =
   let rec go acc x = if x <= 1 then acc else go (acc + 1) (x lsr 1) in
   go 0 x
 
-let create ?(footprint = 0) config =
+(* All instance-construction knobs in one record: the hardware shape
+   plus the workload footprint (create's former optional argument). *)
+type geometry = { shape : config; footprint : int }
+
+let geometry ?(footprint = 0) shape = { shape; footprint }
+let ksr2_geometry ?footprint () = geometry ?footprint ksr2_cache
+let convex_geometry ?footprint () = geometry ?footprint convex_cache
+
+let of_geometry { shape = config; footprint } =
   if config.capacity <= 0 || config.line <= 0 || config.assoc <= 0 then
     invalid_arg "Cache.create: non-positive parameter";
   if not (is_pow2 config.line) then invalid_arg "Cache.create: line not a power of 2";
@@ -74,6 +82,9 @@ let create ?(footprint = 0) config =
     seen_bits = Bytes.make ((seen_lines + 7) / 8) '\000';
     seen = Hashtbl.create 64;
   }
+
+(* Compatibility wrapper over [of_geometry]. *)
+let create ?footprint config = of_geometry (geometry ?footprint config)
 
 let config t = t.config
 

@@ -23,13 +23,33 @@ val convex_cache : config
 
 type t
 
+type geometry = { shape : config; footprint : int }
+(** Everything [of_geometry] needs to build a cache instance: the
+    hardware shape plus workload-derived sizing.  [footprint] (bytes, 0
+    = unknown) bounds the dense address space the workload touches:
+    cold-miss tracking for line addresses below it uses a bitset
+    instead of a hash table, with a hash fallback keeping addresses
+    beyond it correct.  Grew out of [create]'s optional-argument sprawl;
+    new knobs belong here, not as more optional arguments. *)
+
+val geometry : ?footprint:int -> config -> geometry
+(** [geometry ?footprint config] — [footprint] defaults to 0. *)
+
+val ksr2_geometry : ?footprint:int -> unit -> geometry
+(** The {!ksr2_cache} preset as a geometry (256 KB, 64 B lines,
+    2-way). *)
+
+val convex_geometry : ?footprint:int -> unit -> geometry
+(** The {!convex_cache} preset as a geometry (1 MB, 64 B lines,
+    direct-mapped). *)
+
+val of_geometry : geometry -> t
+(** Build a cache.  Raises [Invalid_argument] for non-power-of-two
+    lines or a capacity not divisible by [line * assoc]. *)
+
 val create : ?footprint:int -> config -> t
-(** [create ?footprint config] — [footprint] (bytes, default 0) bounds
-    the dense address space the workload touches: cold-miss tracking
-    for line addresses below it uses a bitset instead of a hash table.
-    Addresses beyond the footprint remain correct via a hash fallback.
-    Raises [Invalid_argument] for non-power-of-two lines or a capacity
-    not divisible by [line * assoc]. *)
+(** Compatibility wrapper: [create ?footprint config] is
+    [of_geometry (geometry ?footprint config)]. *)
 
 val config : t -> config
 

@@ -61,7 +61,7 @@ type result = {
   store : Interp.store;
 }
 
-type mode = Full | Miss_only | Run_compressed
+type mode = Sim.mode = Full | Miss_only | Run_compressed
 
 let proc0_misses r = r.proc_misses.(0)
 
@@ -813,14 +813,12 @@ let exec_box exec_stmts compiled nest_arity ctx (b : Schedule.box) =
   | Some p ->
     Obs.box_span p ~nest:b.Schedule.nest ~iters ~t0 ~t1:(ctx_cycles ctx)
 
-let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
+(* The engine proper: everything above drives this one function.  All
+   public entry points (run_request and the compatibility wrappers)
+   funnel through here. *)
+let run_sched ?sink ~layout ?init ~steps ~mode ?jobs ?pool
     ~machine:(m : Machine.config) (sched : Schedule.t) =
   let prog = sched.Schedule.prog in
-  let layout =
-    match layout with
-    | Some l -> l
-    | None -> Partition.contiguous prog.Ir.decls
-  in
   let nprocs = sched.Schedule.nprocs in
   (* Stream generation setup: the store and the name -> (values,
      extents) lookup the compiled statements close over.  The replay
@@ -877,8 +875,11 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
   let ctxs =
     Array.init nprocs (fun proc ->
         {
-          cache = Cache.create ~footprint m.cache;
-          tlb = Option.map (Cache.create ~footprint) m.Machine.tlb;
+          cache = Cache.of_geometry (Cache.geometry ~footprint m.cache);
+          tlb =
+            Option.map
+              (fun shape -> Cache.of_geometry (Cache.geometry ~footprint shape))
+              m.Machine.tlb;
           boxes = 0;
           iters = 0;
           ops = 0;
@@ -1003,17 +1004,31 @@ let run ?sink ?layout ?init ?(steps = 1) ?(mode = Full) ?jobs ?pool
     store;
   }
 
-(* Convenience: simulate the original (unfused) program. *)
+(* The primary entry point: a request names the simulation; host-side
+   knobs (jobs, pool, sink, and — for the compatibility layer — init)
+   ride alongside because they are bit-identity-preserving. *)
+let run_request_gen ?sink ?init ?jobs ?pool (req : Sim.request) =
+  run_sched ?sink ~layout:(Sim.layout_of req) ?init ~steps:req.Sim.steps
+    ~mode:req.Sim.mode ?jobs ?pool ~machine:req.Sim.machine
+    (Sim.schedule_of req)
+
+let run_request ?jobs ?pool ?sink req = run_request_gen ?sink ?jobs ?pool req
+
+(* Compatibility layer: the historical optional-argument entry points,
+   re-expressed as request builders (see exec.mli). *)
+let run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine sched =
+  run_request_gen ?sink ?init ?jobs ?pool
+    (Sim.of_schedule ?layout ?steps ?mode ~machine sched)
+
 let run_unfused ?sink ?layout ?init ?steps ?mode ?jobs ?pool ?grid ?depth
     ~machine ~nprocs p =
-  run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine
-    (Schedule.unfused ?grid ?depth ~nprocs p)
+  run_request_gen ?sink ?init ?jobs ?pool
+    (Sim.unfused ?grid ?depth ?layout ?steps ?mode ~machine ~nprocs p)
 
-(* Convenience: simulate the fused shift-and-peel version. *)
 let run_fused ?sink ?layout ?init ?steps ?mode ?jobs ?pool ?grid ?strip
     ?derive ~machine ~nprocs p =
-  run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine
-    (Schedule.fused ?grid ?strip ?derive ~nprocs p)
+  run_request_gen ?sink ?init ?jobs ?pool
+    (Sim.fused ?grid ?strip ?derive ?layout ?steps ?mode ~machine ~nprocs p)
 
 (* Attribution tables from a sink recorded by [run]. *)
 let breakdown sink ~by = Obs.breakdown sink ~by

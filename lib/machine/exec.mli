@@ -32,7 +32,7 @@ type result = {
                                    [Miss_only] mode *)
 }
 
-type mode =
+type mode = Sim.mode =
   | Full  (** interpret values and replay the cache (the default) *)
   | Miss_only
       (** trace-driven fast path: generate and replay only the address
@@ -77,6 +77,23 @@ val release_shared_pool : unit -> unit
     runs, and shut down automatically at exit; tests use this to force
     a fresh pool. *)
 
+val run_request :
+  ?jobs:int ->
+  ?pool:Lf_parallel.Pool.t ->
+  ?sink:Lf_obs.Obs.sink ->
+  Sim.request ->
+  result
+(** The primary entry point: simulate exactly the configuration the
+    {!Sim.request} names.  Everything that determines a simulated
+    observable lives inside the request (and hence inside
+    {!Sim.digest}); the arguments here are host-side execution knobs
+    that the engine guarantees are bit-identity-preserving — [jobs]
+    and [pool] choose how many OCaml domains interpret the simulated
+    processors, and [sink] attaches passive observability (see below).
+    [run_request r] equals the corresponding legacy call by
+    construction, which test/test_batch.ml checks as a QCheck property
+    over the paper's kernels. *)
+
 val run :
   ?sink:Lf_obs.Obs.sink ->
   ?layout:Lf_core.Partition.layout ->
@@ -88,7 +105,17 @@ val run :
   machine:Machine.config ->
   Lf_core.Schedule.t ->
   result
-(** [run ~machine sched] simulates [sched] with one cache per
+(** {b Compatibility layer.}  [run], {!run_unfused} and {!run_fused}
+    predate {!Sim.request}; they are retained as thin wrappers that
+    build the equivalent request ({!Sim.of_schedule}, {!Sim.unfused},
+    {!Sim.fused}) and call {!run_request}.  New call sites should build
+    a request — it is the value batch execution and the persistent
+    result store key on.  The only capability the wrappers add is
+    [?init], a custom store initialiser: a closure cannot be part of a
+    content-addressed request, so runs with [?init] exist outside the
+    caching world entirely.
+
+    [run ~machine sched] simulates [sched] with one cache per
     processor.  [layout] defaults to a dense contiguous placement;
     [steps] repeats the whole schedule (a sequential time-step loop
     around the parallel loop sequence, with caches persisting across

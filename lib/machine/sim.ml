@@ -1,0 +1,229 @@
+(* First-class simulation requests (see sim.mli).
+
+   The canonical form is a line-oriented text rendering of every field
+   that can influence a simulated observable.  Stability rules:
+
+   - the program is included via [Ir.program_to_string], the same
+     deterministic printer the front end round-trips through;
+   - floats (machine cost coefficients) are rendered with [%h], which
+     round-trips IEEE doubles exactly — two configs differing in the
+     last ulp of a cost coefficient get different digests;
+   - arrays and lists are length-prefixed so concatenations cannot
+     collide;
+   - an [Explicit] schedule is serialised structurally (grid, labels,
+     then every phase's per-processor box lists), so any schedule a
+     caller can build has a stable name.
+
+   Anything host-side (jobs, pool, sink) is excluded by construction:
+   it is not representable in a [request]. *)
+
+module Ir = Lf_ir.Ir
+module Schedule = Lf_core.Schedule
+module Partition = Lf_core.Partition
+module Derive = Lf_core.Derive
+module Cache = Lf_cache.Cache
+
+type mode = Full | Miss_only | Run_compressed
+
+type variant =
+  | Unfused of { grid : int array option; depth : int option }
+  | Fused of {
+      grid : int array option;
+      strip : int option;
+      derive : Derive.t option;
+    }
+  | Explicit of Schedule.t
+
+type request = {
+  prog : Ir.program;
+  machine : Machine.config;
+  variant : variant;
+  layout : Partition.layout option;
+  nprocs : int;
+  steps : int;
+  mode : mode;
+}
+
+let make ?layout ?(steps = 1) ?(mode = Full) ~machine ~nprocs ~variant prog =
+  if nprocs < 1 then invalid_arg "Sim.make: nprocs < 1";
+  if steps < 1 then invalid_arg "Sim.make: steps < 1";
+  { prog; machine; variant; layout; nprocs; steps; mode }
+
+let unfused ?grid ?depth ?layout ?steps ?mode ~machine ~nprocs prog =
+  make ?layout ?steps ?mode ~machine ~nprocs
+    ~variant:(Unfused { grid; depth })
+    prog
+
+let fused ?grid ?strip ?derive ?layout ?steps ?mode ~machine ~nprocs prog =
+  make ?layout ?steps ?mode ~machine ~nprocs
+    ~variant:(Fused { grid; strip; derive })
+    prog
+
+let of_schedule ?layout ?steps ?mode ~machine (sched : Schedule.t) =
+  make ?layout ?steps ?mode ~machine ~nprocs:sched.Schedule.nprocs
+    ~variant:(Explicit sched) sched.Schedule.prog
+
+let schedule_of r =
+  match r.variant with
+  | Explicit s -> s
+  | Unfused { grid; depth } ->
+    Schedule.unfused ?grid ?depth ~nprocs:r.nprocs r.prog
+  | Fused { grid; strip; derive } ->
+    Schedule.fused ?grid ?strip ?derive ~nprocs:r.nprocs r.prog
+
+let layout_of r =
+  match r.layout with
+  | Some l -> l
+  | None -> Partition.contiguous r.prog.Ir.decls
+
+(* Bump whenever the engine's observable behaviour changes (cost model,
+   cache policy, schedule construction, serialisation format): results
+   persisted under the previous salt must never be replayed. *)
+let version_salt = "lf-sim-1"
+
+let mode_to_string = function
+  | Full -> "full"
+  | Miss_only -> "miss-only"
+  | Run_compressed -> "runs"
+
+let mode_of_string = function
+  | "runs" | "run-compressed" -> Ok Run_compressed
+  | "miss-only" -> Ok Miss_only
+  | "full" -> Ok Full
+  | s -> Error ("unknown engine " ^ s ^ " (try runs, miss-only, full)")
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialisation                                             *)
+
+let add_int b n = Buffer.add_string b (string_of_int n); Buffer.add_char b ' '
+
+let add_float b f =
+  Buffer.add_string b (Printf.sprintf "%h" f);
+  Buffer.add_char b ' '
+
+let add_str b s =
+  (* length-prefixed so adjacent strings cannot collide *)
+  add_int b (String.length s);
+  Buffer.add_string b s;
+  Buffer.add_char b ' '
+
+let add_int_array b a =
+  add_int b (Array.length a);
+  Array.iter (add_int b) a
+
+let add_opt b add = function
+  | None -> Buffer.add_string b "- "
+  | Some v ->
+    Buffer.add_string b "+ ";
+    add b v
+
+let add_cache_config b (c : Cache.config) =
+  add_int b c.Cache.capacity;
+  add_int b c.Cache.line;
+  add_int b c.Cache.assoc
+
+let add_machine b (m : Machine.config) =
+  add_str b m.Machine.mname;
+  add_int b m.Machine.max_procs;
+  add_int b m.Machine.hypernode;
+  add_cache_config b m.Machine.cache;
+  add_opt b add_cache_config m.Machine.tlb;
+  let c = m.Machine.cost in
+  List.iter (add_float b)
+    [
+      c.Machine.op; c.Machine.hit; c.Machine.miss_local; c.Machine.miss_remote;
+      c.Machine.barrier_base; c.Machine.barrier_per_proc;
+      c.Machine.loop_overhead; c.Machine.iter_overhead; c.Machine.tlb_miss;
+    ]
+
+let add_layout b (l : Partition.layout) =
+  add_int b l.Partition.elem_bytes;
+  add_int b l.Partition.total_bytes;
+  add_int b (List.length l.Partition.placements);
+  List.iter
+    (fun (name, (p : Partition.placement)) ->
+      add_str b name;
+      add_str b p.Partition.name;
+      add_int b p.Partition.start;
+      add_int_array b p.Partition.aextents)
+    l.Partition.placements
+
+let add_derive b (d : Derive.t) =
+  add_int b d.Derive.depth;
+  add_int b d.Derive.nnests;
+  let mat m =
+    add_int b (Array.length m);
+    Array.iter (add_int_array b) m
+  in
+  mat d.Derive.shift;
+  mat d.Derive.peel
+
+let add_schedule b (s : Schedule.t) =
+  add_int b s.Schedule.nprocs;
+  add_int_array b s.Schedule.grid;
+  add_int b (List.length s.Schedule.labels);
+  List.iter (add_str b) s.Schedule.labels;
+  add_int b (List.length s.Schedule.phases);
+  List.iter
+    (fun (ph : Schedule.phase) ->
+      add_int b (Array.length ph);
+      Array.iter
+        (fun boxes ->
+          add_int b (List.length boxes);
+          List.iter
+            (fun (bx : Schedule.box) ->
+              add_int b bx.Schedule.nest;
+              add_int b (Array.length bx.Schedule.ranges);
+              Array.iter
+                (fun (lo, hi) ->
+                  add_int b lo;
+                  add_int b hi)
+                bx.Schedule.ranges)
+            boxes)
+        ph)
+    s.Schedule.phases
+
+let add_variant b = function
+  | Unfused { grid; depth } ->
+    Buffer.add_string b "unfused ";
+    add_opt b add_int_array grid;
+    add_opt b add_int depth
+  | Fused { grid; strip; derive } ->
+    Buffer.add_string b "fused ";
+    add_opt b add_int_array grid;
+    add_opt b add_int strip;
+    add_opt b add_derive derive
+  | Explicit s ->
+    Buffer.add_string b "explicit ";
+    add_schedule b s
+
+let canonical r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "lf-request ";
+  add_str b (Ir.program_to_string r.prog);
+  Buffer.add_string b "\nmachine ";
+  add_machine b r.machine;
+  Buffer.add_string b "\nvariant ";
+  add_variant b r.variant;
+  Buffer.add_string b "\nlayout ";
+  add_opt b add_layout r.layout;
+  Buffer.add_string b "\nnprocs ";
+  add_int b r.nprocs;
+  Buffer.add_string b "\nsteps ";
+  add_int b r.steps;
+  Buffer.add_string b "\nmode ";
+  Buffer.add_string b (mode_to_string r.mode);
+  Buffer.contents b
+
+let digest r = Digest.to_hex (Digest.string (version_salt ^ "\n" ^ canonical r))
+
+let variant_label = function
+  | Unfused _ -> "unfused"
+  | Fused _ -> "fused"
+  | Explicit s ->
+    Printf.sprintf "explicit(%d phases)" (List.length s.Schedule.phases)
+
+let pp ppf r =
+  Format.fprintf ppf "%s on %s: %s, P=%d, steps=%d, %s" r.prog.Ir.pname
+    r.machine.Machine.mname (variant_label r.variant) r.nprocs r.steps
+    (mode_to_string r.mode)

@@ -1,0 +1,138 @@
+(** First-class simulation requests: one value that {e names} a
+    simulation.
+
+    Historically every way of running the simulator ({!Exec.run},
+    [run_unfused], [run_fused], the autotuner's exact tier, the bench
+    sweeps) grew its own pile of optional arguments, and nothing in the
+    system could say "this exact simulation" — which is precisely what a
+    persistent result cache ({!Lf_batch.Batch.Store}) and a batch job
+    list ({!Lf_batch.Batch.run}) need.  A {!request} captures everything
+    that determines the simulated observables:
+
+    - the program (its canonical printed form),
+    - the machine configuration (geometry and every cost coefficient),
+    - the schedule variant (unfused / fused shift-and-peel / an explicit
+      prebuilt schedule, serialised box by box),
+    - the memory layout (concrete placements, padding included),
+    - the number of simulated processors, the step count, and the
+      engine mode.
+
+    {b Cache-key discipline.}  Host-side execution knobs — [jobs],
+    [pool], an attached [sink] — are deliberately {e outside} the
+    request: the engine guarantees they are bit-identity-preserving
+    (test/test_engine.ml, test/test_obs.ml), so they can vary freely
+    between the run that produced a cached result and the run that
+    reuses it.  Everything that could change a single observable bit is
+    {e inside} the request and hence inside {!digest}.  [?init]
+    (a custom store initialiser, a closure) cannot be named by data and
+    is therefore not part of a request: runs with a custom initialiser
+    take the compatibility entry points and are never cached.
+
+    {!digest} is salted with {!version_salt}; bump the salt whenever the
+    engine's observable behaviour changes so stale persisted results
+    can never be replayed (test/test_batch.ml pins known digests). *)
+
+type mode = Full | Miss_only | Run_compressed
+(** Engine tier, re-exported by {!Exec.mode} (which documents the
+    tiers).  All three produce bit-identical observables; only [Full]
+    materialises the store. *)
+
+type variant =
+  | Unfused of { grid : int array option; depth : int option }
+      (** {!Lf_core.Schedule.unfused}: one block-scheduled phase per
+          nest. *)
+  | Fused of {
+      grid : int array option;
+      strip : int option;
+      derive : Lf_core.Derive.t option;
+    }
+      (** {!Lf_core.Schedule.fused}: shift-and-peel at [strip]. *)
+  | Explicit of Lf_core.Schedule.t
+      (** A prebuilt schedule (clustered, wavefront, alignment+
+          replication, ...), serialised structurally — phases, boxes and
+          ranges — so any schedule has a stable digest. *)
+
+type request = {
+  prog : Lf_ir.Ir.program;
+  machine : Machine.config;
+  variant : variant;
+  layout : Lf_core.Partition.layout option;
+      (** [None] = the dense contiguous default layout. *)
+  nprocs : int;
+  steps : int;
+  mode : mode;
+}
+
+val make :
+  ?layout:Lf_core.Partition.layout ->
+  ?steps:int ->
+  ?mode:mode ->
+  machine:Machine.config ->
+  nprocs:int ->
+  variant:variant ->
+  Lf_ir.Ir.program ->
+  request
+(** [steps] defaults to 1, [mode] to [Full] (mirroring {!Exec.run}). *)
+
+val unfused :
+  ?grid:int array ->
+  ?depth:int ->
+  ?layout:Lf_core.Partition.layout ->
+  ?steps:int ->
+  ?mode:mode ->
+  machine:Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  request
+
+val fused :
+  ?grid:int array ->
+  ?strip:int ->
+  ?derive:Lf_core.Derive.t ->
+  ?layout:Lf_core.Partition.layout ->
+  ?steps:int ->
+  ?mode:mode ->
+  machine:Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  request
+
+val of_schedule :
+  ?layout:Lf_core.Partition.layout ->
+  ?steps:int ->
+  ?mode:mode ->
+  machine:Machine.config ->
+  Lf_core.Schedule.t ->
+  request
+(** Wrap a prebuilt schedule; [nprocs] and the program come from the
+    schedule itself. *)
+
+val schedule_of : request -> Lf_core.Schedule.t
+(** Realise the request's schedule ([Explicit] returns it unchanged).
+    May raise what {!Lf_core.Schedule.fused} raises on an illegal
+    fusion. *)
+
+val layout_of : request -> Lf_core.Partition.layout
+(** The request's layout, defaulting to dense contiguous placement. *)
+
+val version_salt : string
+(** Engine-behaviour version mixed into every {!digest}.  Bump on any
+    change that can alter a simulated observable; persisted results
+    keyed under the old salt then read as misses. *)
+
+val canonical : request -> string
+(** Canonical serialisation: a stable, human-greppable text form that
+    two structurally equal requests map to byte-for-byte.  Floats are
+    rendered in hexadecimal ([%h]) so the round trip is exact. *)
+
+val digest : request -> string
+(** Hex digest of {!version_salt} + {!canonical} — the content address
+    used by the persistent store. *)
+
+val mode_to_string : mode -> string
+(** ["full"], ["miss-only"], ["runs"] — the [--engine] vocabulary. *)
+
+val mode_of_string : string -> (mode, string) result
+
+val pp : Format.formatter -> request -> unit
+(** One-line summary: program name, machine, variant, nprocs, mode. *)

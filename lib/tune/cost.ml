@@ -145,15 +145,21 @@ let analytic ?depth ?calibration ~machine ~nprocs p cand =
 (* ------------------------------------------------------------------ *)
 (* Exact tier                                                          *)
 
-let exact ?depth ?steps ?cache ~machine ~nprocs p cand =
+let exact ?depth ?steps ?cache ?store ~machine ~nprocs p cand =
   let eval () =
     match Space.build ?depth ~machine ~nprocs p cand with
     | Error _ as e -> e
     | Ok (sched, layout) ->
       (* the tuner only reads cycles/misses/barrier, never the store,
          so the run-compressed address-stream engine is
-         semantics-preserving here *)
-      let r = Exec.run ~mode:Exec.Run_compressed ~layout ?steps ~machine sched in
+         semantics-preserving here.  Routing through Batch.run_one
+         makes every exact evaluation a content-addressed request:
+         with [store], evaluations persist across processes. *)
+      let req =
+        Lf_machine.Sim.of_schedule ~layout ?steps
+          ~mode:Lf_machine.Sim.Run_compressed ~machine sched
+      in
+      let r = Lf_batch.Batch.run_one ?store req in
       Ok
         {
           e_cycles = r.Exec.cycles;

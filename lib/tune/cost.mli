@@ -14,10 +14,12 @@
     and is memoised: results are keyed by a structural fingerprint of
     (program, candidate, machine, processor count, steps, depth), so
     re-evaluating a configuration is a hash lookup.  Cold evaluations
-    use the simulator's [Miss_only] address-stream fast path (cycle and
-    miss counts are bit-identical to a full run; only the store, which
-    the tuner never reads, is skipped) and inherit its host-domain
-    parallelism ({!Lf_machine.Exec.default_jobs}). *)
+    use the simulator's [Run_compressed] engine (cycle and miss counts
+    are bit-identical to a full run; only the store, which the tuner
+    never reads, is skipped), inherit its host-domain parallelism
+    ({!Lf_machine.Exec.default_jobs}), and are issued as
+    content-addressed requests through {!Lf_batch.Batch.run_one}, so an
+    on-disk {!Lf_batch.Batch.Store} persists them across processes. *)
 
 type exact = {
   e_cycles : float;  (** simulated execution time *)
@@ -82,9 +84,15 @@ val exact :
   ?depth:int ->
   ?steps:int ->
   ?cache:cache ->
+  ?store:Lf_batch.Batch.Store.t ->
   machine:Lf_machine.Machine.config ->
   nprocs:int ->
   Lf_ir.Ir.program ->
   Space.candidate ->
   (exact, string) result
-(** Simulated cycles of a candidate, memoised in [cache] when given. *)
+(** Simulated cycles of a candidate, memoised in [cache] when given.
+    Cold evaluations go through {!Lf_batch.Batch.run_one} as
+    content-addressed {!Lf_machine.Sim.request}s, so with [store] they
+    are also answered from (and persisted to) the on-disk result store —
+    the in-memory [cache] short-circuits repeats within a search, the
+    [store] short-circuits repeats across processes. *)

@@ -39,13 +39,13 @@ type outcome = {
   exact_evals : int;
 }
 
-let run ?depth ?steps ?cache ?calibration ?(driver = default_driver) ?sweep
-    ~machine ~nprocs p =
+let run ?depth ?steps ?cache ?store ?calibration ?(driver = default_driver)
+    ?sweep ~machine ~nprocs p =
   let cache = match cache with Some c -> c | None -> Cost.create_cache () in
   let evals = ref 0 in
   let ex c =
     incr evals;
-    Cost.exact ?depth ?steps ~cache ~machine ~nprocs p c
+    Cost.exact ?depth ?steps ~cache ?store ~machine ~nprocs p c
   in
   let cands = Space.enumerate ?sweep ~machine p in
   let space_size = List.length cands in

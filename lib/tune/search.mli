@@ -49,6 +49,7 @@ val run :
   ?depth:int ->
   ?steps:int ->
   ?cache:Cost.cache ->
+  ?store:Lf_batch.Batch.Store.t ->
   ?calibration:Cost.calibration ->
   ?driver:driver ->
   ?sweep:bool ->
@@ -58,6 +59,8 @@ val run :
   (outcome, string) result
 (** Search the space for [p] on [machine] with [nprocs] processors.
     [calibration] feeds measured conflict factors to the analytic
-    pruning tier (see {!Cost.calibration_of_sink}).  [Error] only when
-    not even the unfused fallback can be simulated (e.g. more
-    processors than iterations). *)
+    pruning tier (see {!Cost.calibration_of_sink}); [store] persists
+    exact-tier evaluations on disk across searches and processes
+    (see {!Cost.exact}).  [Error] only when not even the unfused
+    fallback can be simulated (e.g. more processors than
+    iterations). *)

@@ -13,6 +13,7 @@ val tune :
   ?depth:int ->
   ?steps:int ->
   ?cache:Cost.cache ->
+  ?store:Lf_batch.Batch.Store.t ->
   ?calibration:Cost.calibration ->
   ?driver:Search.driver ->
   ?sweep:bool ->

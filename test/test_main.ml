@@ -28,4 +28,5 @@ let () =
       ("tune", Test_tune.suite);
       ("obs", Test_obs.suite);
       ("roundtrip", Test_roundtrip.suite);
+      ("batch", Test_batch.suite);
     ]

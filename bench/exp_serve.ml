@@ -1,0 +1,320 @@
+(* `bench serve`: latency-measured load generation against the
+   simulation service (lf_serve).
+
+   Boots an `lfc serve` daemon (in a forked child running
+   Lf_serve.Serve.run — or attaches to an external one when
+   $LF_SERVE_SOCKET is set, which is how CI drives a cold-then-warm
+   pair against one long-lived server), then hammers it from N
+   concurrent client processes.  Each client draws requests from a
+   zipf-distributed mix over the paper's six kernels x two machine
+   models x two engines x fused/unfused — the popular head of the
+   distribution turns into store hits after its first compute, so a
+   single pass measures both paths.  Per-response wall-clock latency is
+   recorded and split by origin: warm (served from the store, never
+   touching the domain pool) vs miss (computed by a worker).
+
+   Reported (and persisted to BENCH_6.json via --json): p50/p99 per
+   split, throughput, hit ratio, overload count.
+
+   Fork discipline: OCaml processes must not fork while domains run, so
+   the daemon and every client are forked before this process touches
+   the simulation engine, and Exec.release_shared_pool() is called
+   first in case an earlier experiment in the same bench invocation
+   left the shared pool alive. *)
+
+module Sim = Lf_machine.Sim
+module Machine = Lf_machine.Machine
+module Exec = Lf_machine.Exec
+module Serve = Lf_serve.Serve
+module Client = Lf_serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* Request mix.                                                        *)
+
+let kernels : (string * (int -> Lf_ir.Ir.program)) list =
+  [
+    ("ll18", fun n -> Lf_kernels.Ll18.program ~n ());
+    ("calc", fun n -> Lf_kernels.Calc.program ~n ());
+    ("jacobi", fun n -> Lf_kernels.Jacobi.program ~n ());
+    ("filter", fun n -> Lf_kernels.Filter.program ~rows:n ~cols:(n / 2 + 8) ());
+    ( "tomcatv",
+      fun n ->
+        List.hd (Lf_kernels.Apps.tomcatv ~n ()).Lf_kernels.Apps.sequences );
+    ( "hydro2d",
+      fun n ->
+        List.hd
+          (Lf_kernels.Apps.hydro2d ~rows:n ~cols:(n / 2 + 8) ())
+            .Lf_kernels.Apps.sequences );
+  ]
+
+(* A candidate goes into the mix only if its schedule is actually
+   buildable — small sizes can violate the Theorem 1 iteration-count
+   threshold for some fused kernels, and the bench measures service
+   latency, not legality failures.  The probe is pure (no domains), so
+   it is fork-safe here. *)
+let legal req =
+  match Sim.schedule_of req with _ -> true | exception _ -> false
+
+let build_mix ~n =
+  List.concat_map
+    (fun (_, prog) ->
+      let p = prog n in
+      List.concat_map
+        (fun machine ->
+          let layout = Util.partitioned_layout machine p in
+          let strip = Util.strip_for machine p in
+          List.concat_map
+            (fun mode ->
+              List.filter legal
+                [
+                  Sim.unfused ~layout ~mode ~machine ~nprocs:4 p;
+                  Sim.fused ~layout ~mode ~machine ~nprocs:4 ~strip p;
+                ])
+            [ Sim.Miss_only; Sim.Run_compressed ])
+        [ Machine.ksr2; Machine.convex ])
+    kernels
+
+(* Deterministic per-client PRNG (so the bench is reproducible) and a
+   zipf(theta = 1) sampler over the mix: rank r has weight 1/(r+1). *)
+let lcg seed =
+  let s = ref (seed land 0x3FFFFFFF) in
+  fun () ->
+    s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !s /. 1073741824.0
+
+let zipf_cdf n =
+  let w = Array.init n (fun r -> 1.0 /. float_of_int (r + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let acc = ref 0.0 in
+  Array.map
+    (fun x ->
+      acc := !acc +. (x /. total);
+      !acc)
+    w
+
+let sample cdf u =
+  let n = Array.length cdf in
+  let rec find i = if i >= n - 1 || u < cdf.(i) then i else find (i + 1) in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Client process body: run the loop, append one line per response to
+   [out] ("h <s>" hit / "m <s>" miss / "o" overloaded / "e <reason>"). *)
+
+(* [sweep] makes this client walk the whole mix once before its zipf
+   loop.  Exactly one client sweeps: it guarantees every mix entry is
+   in the store after a pass, so a second --require-warm pass is
+   all-hits by construction, not by sampling luck. *)
+let client_body ~socket ~seed ~nreq ~mix ~sweep ~out =
+  let oc = open_out out in
+  let rand = lcg seed in
+  let cdf = zipf_cdf (Array.length mix) in
+  (try
+     let c = Client.connect ~socket () in
+     let total = nreq + if sweep then Array.length mix else 0 in
+     for i = 0 to total - 1 do
+       let req =
+         if sweep && i < Array.length mix then mix.(i)
+         else mix.(sample cdf (rand ()))
+       in
+       let t0 = Unix.gettimeofday () in
+       match Client.request_sync c ~rid:i req with
+       | Ok (Client.Served s) ->
+         Printf.fprintf oc "%c %.6f\n"
+           (if s.Client.from_store then 'h' else 'm')
+           (Unix.gettimeofday () -. t0)
+       | Ok (Client.Overloaded _) ->
+         Printf.fprintf oc "o\n";
+         (* back off briefly, then keep loading *)
+         Unix.sleepf (0.005 +. (0.02 *. rand ()))
+       | Ok (Client.Rejected reason) -> Printf.fprintf oc "e %s\n" reason
+       | Error e -> Printf.fprintf oc "e %s\n" e
+     done;
+     Client.close c
+   with e -> Printf.fprintf oc "e %s\n" (Printexc.to_string e));
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let wait_for_socket socket =
+  let rec go tries =
+    if tries > 100 then failwith ("serve bench: no server on " ^ socket)
+    else
+      match Client.connect ~socket () with
+      | c ->
+        let ok = Client.ping c in
+        Client.close c;
+        if not ok then begin
+          Unix.sleepf 0.05;
+          go (tries + 1)
+        end
+      | exception _ ->
+        Unix.sleepf 0.05;
+        go (tries + 1)
+  in
+  go 0
+
+let run (cfg : Util.cfg) =
+  Util.header "Serve: socket service under concurrent zipf load";
+  let n = Util.scale cfg 48 32 in
+  let nclients = Util.scale cfg 6 4 in
+  let nreq = Util.scale cfg 80 30 in
+  let mix = Array.of_list (build_mix ~n) in
+  Util.pr "mix: %d distinct requests (n=%d), %d clients x %d requests@."
+    (Array.length mix) n nclients nreq;
+  (* fork below: no live domains allowed in this process *)
+  Exec.release_shared_pool ();
+  let external_server = Sys.getenv_opt "LF_SERVE_SOCKET" <> None in
+  let socket, server_pid, store_dir =
+    if external_server then (Sys.getenv "LF_SERVE_SOCKET", None, None)
+    else begin
+      let dir = Filename.temp_file "lf_serve_bench" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let socket = Filename.concat dir "serve.sock" in
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        (* daemon child: quiet, bounded, its own store *)
+        let dc = Serve.default_config () in
+        (try
+           Serve.run
+             {
+               dc with
+               Serve.socket;
+               store_dir = Some (Filename.concat dir "store");
+               progress_interval_s = 0.0;
+               verbose = false;
+             }
+         with _ -> Stdlib.exit 1);
+        Stdlib.exit 0
+      end;
+      (socket, Some pid, Some dir)
+    end
+  in
+  wait_for_socket socket;
+  let outs =
+    List.init nclients (fun i ->
+        Filename.temp_file "lf_serve_client" (string_of_int i))
+  in
+  let t0 = Unix.gettimeofday () in
+  let pids =
+    List.mapi
+      (fun i out ->
+        let pid = Unix.fork () in
+        if pid = 0 then begin
+          (try
+             client_body ~socket ~seed:((i * 7919) + 17) ~nreq ~mix
+               ~sweep:(i = 0) ~out
+           with _ -> Stdlib.exit 1);
+          Stdlib.exit 0
+        end;
+        pid)
+      outs
+  in
+  let client_failures =
+    List.fold_left
+      (fun acc pid ->
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> acc
+        | _ -> acc + 1)
+      0 pids
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* aggregate the per-client logs *)
+  let hits = ref [] and misses = ref [] in
+  let overloaded = ref 0 and errors = ref 0 in
+  List.iter
+    (fun out ->
+      let ic = open_in out in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | "h" :: v :: _ -> hits := float_of_string v :: !hits
+           | "m" :: v :: _ -> misses := float_of_string v :: !misses
+           | "o" :: _ -> incr overloaded
+           | _ ->
+             incr errors;
+             Util.pr "client error: %s@." line
+         done
+       with End_of_file -> ());
+      close_in ic;
+      Sys.remove out)
+    outs;
+  let served = List.length !hits + List.length !misses in
+  let sorted l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a
+  in
+  let h = sorted !hits and m = sorted !misses in
+  let hit_ratio =
+    if served = 0 then 0.0
+    else float_of_int (Array.length h) /. float_of_int served
+  in
+  let throughput = float_of_int served /. Float.max 1e-9 wall in
+  Util.pr
+    "served %d (%d warm, %d miss), %d overloaded, %d errors in %.2f s \
+     (%.0f req/s, hit ratio %.2f)@."
+    served (Array.length h) (Array.length m) !overloaded !errors wall
+    throughput hit_ratio;
+  let pp_split name a =
+    Util.pr "%-5s p50 %8.2f ms   p99 %8.2f ms   (%d samples)@." name
+      (1e3 *. percentile a 0.50)
+      (1e3 *. percentile a 0.99)
+      (Array.length a)
+  in
+  pp_split "warm" h;
+  pp_split "miss" m;
+  (* drain the daemon we booted and insist the drain is clean *)
+  let drain_clean =
+    match server_pid with
+    | None -> true
+    | Some pid -> (
+      Unix.kill pid Sys.sigterm;
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> true
+      | _, _ ->
+        Util.pr "SERVER DRAIN FAILED (non-zero exit)@.";
+        false)
+  in
+  (match store_dir with
+  | None -> ()
+  | Some dir ->
+    ignore (Sys.command (Printf.sprintf "rm -rf %s" (Filename.quote dir))));
+  Util.note ~id:"serve"
+    [
+      ("clients", Util.Int nclients);
+      ("requests_per_client", Util.Int nreq);
+      ("mix_size", Util.Int (Array.length mix));
+      ("served", Util.Int served);
+      ("warm", Util.Int (Array.length h));
+      ("miss", Util.Int (Array.length m));
+      ("overloaded", Util.Int !overloaded);
+      ("errors", Util.Int !errors);
+      ("hit_ratio", Util.Float hit_ratio);
+      ("throughput_rps", Util.Float throughput);
+      ("warm_p50_ms", Util.Float (1e3 *. percentile h 0.50));
+      ("warm_p99_ms", Util.Float (1e3 *. percentile h 0.99));
+      ("miss_p50_ms", Util.Float (1e3 *. percentile m 0.50));
+      ("miss_p99_ms", Util.Float (1e3 *. percentile m 0.99));
+      ("drain_clean", Util.Bool drain_clean);
+      ("client_failures", Util.Int client_failures);
+    ];
+  if !errors > 0 || client_failures > 0 || not drain_clean then begin
+    Util.pr "serve bench FAILED@.";
+    Stdlib.exit 1
+  end;
+  (* CI warm pass: every response must have come from the store *)
+  if Sys.getenv_opt "LF_SERVE_REQUIRE_WARM" = Some "1" && Array.length m > 0
+  then begin
+    Util.pr "LF_SERVE_REQUIRE_WARM: %d response(s) were computed, not \
+             served from the store@."
+      (Array.length m);
+    Stdlib.exit 1
+  end

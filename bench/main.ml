@@ -36,6 +36,8 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
      Exp_engine.run);
     ("smoke", "Engine smoke: scalar vs run-compressed identity (CI tier)",
      Exp_smoke.run);
+    ("serve", "Socket service under concurrent zipf load (lf_serve)",
+     Exp_serve.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 

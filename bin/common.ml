@@ -135,6 +135,13 @@ let store_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
 
+let socket_arg =
+  let doc =
+    "Unix-domain socket of the simulation service (default \
+     $(b,LF_SERVE_SOCKET), else _lf_serve.sock)."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
 (* --- converters ------------------------------------------------------ *)
 
 let machine_of = function

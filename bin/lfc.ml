@@ -457,15 +457,183 @@ let pipeline_cmd =
        ~doc:"Distribute, cluster, fuse and verify a whole sequence")
     Term.(ret (const pipeline $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
 
+(* --- serve / request ----------------------------------------------- *)
+
+let serve_workers_arg =
+  let doc =
+    "Worker domains computing misses (default: max 2 host domains)."
+  in
+  Arg.(value & opt int 0 & info [ "workers"; "w" ] ~docv:"W" ~doc)
+
+let max_inflight_arg =
+  let doc = "Server-wide bound on queued + running jobs." in
+  Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N" ~doc)
+
+let max_client_queue_arg =
+  let doc = "Per-connection bound on queued requests." in
+  Arg.(value & opt int 8 & info [ "max-client-queue" ] ~docv:"N" ~doc)
+
+let quantum_arg =
+  let doc = "Deficit-round-robin credit granted per scheduling visit." in
+  Arg.(value & opt int 4 & info [ "quantum" ] ~docv:"Q" ~doc)
+
+let progress_interval_arg =
+  let doc = "Seconds between streamed progress frames (0 disables)." in
+  Arg.(
+    value & opt float 0.5 & info [ "progress-interval" ] ~docv:"SECONDS" ~doc)
+
+let verbose_arg =
+  let doc = "Log connections and drains to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let serve socket workers max_inflight max_client_queue quantum
+    progress_interval verbose store_dir jobs =
+  match apply_jobs jobs with
+  | Error m -> `Error (false, m)
+  | Ok () ->
+    let dc = Lf_serve.Serve.default_config () in
+    let cfg =
+      {
+        Lf_serve.Serve.socket = Option.value socket ~default:dc.socket;
+        workers = (if workers > 0 then workers else dc.workers);
+        max_inflight;
+        max_client_queue;
+        quantum;
+        store_dir;
+        progress_interval_s = progress_interval;
+        verbose;
+      }
+    in
+    (match Lf_serve.Serve.run cfg with
+    | () -> `Ok ()
+    | exception Failure m -> `Error (false, m))
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the simulation service: answer Sim.requests over a \
+          Unix-domain socket, warm hits from the result store, misses on \
+          worker domains behind DRR admission control.  SIGINT/SIGTERM \
+          drain gracefully.")
+    Term.(
+      ret
+        (const serve $ socket_arg $ serve_workers_arg $ max_inflight_arg
+       $ max_client_queue_arg $ quantum_arg $ progress_interval_arg
+       $ verbose_arg $ store_dir_arg $ jobs_arg))
+
+let unfused_variant_arg =
+  let doc = "Request the unfused schedule (default: fused shift-and-peel)." in
+  Arg.(value & flag & info [ "unfused" ] ~doc)
+
+let wait_arg =
+  let doc =
+    "When the server answers Overloaded, back off and retry until the \
+     request is admitted (default: fail immediately)."
+  in
+  Arg.(value & flag & info [ "wait" ] ~doc)
+
+let request kernel n machine_name procs strip layout_spec engine steps
+    unfused socket wait json =
+  with_program kernel n (fun p ->
+      match machine_of machine_name with
+      | Error m -> `Error (false, m)
+      | Ok machine -> (
+        match layout_of layout_spec machine p with
+        | Error m -> `Error (false, m)
+        | Ok layout -> (
+          match mode_of engine with
+          | Error m -> `Error (false, m)
+          | Ok mode -> (
+            let req =
+              if unfused then
+                Sim.unfused ~layout ~mode ~machine ~nprocs:procs ~steps p
+              else
+                Sim.fused ~layout ~mode ~machine ~nprocs:procs ~strip ~steps p
+            in
+            let module Client = Lf_serve.Client in
+            let module Wire = Lf_serve.Wire in
+            match Client.connect ?socket () with
+            | exception Unix.Unix_error (e, _, _) ->
+              `Error
+                ( false,
+                  Printf.sprintf "cannot reach server at %s: %s (is `lfc \
+                                  serve` running?)"
+                    (match socket with
+                    | Some s -> s
+                    | None -> Lf_serve.Serve.(default_config ()).socket)
+                    (Unix.error_message e) )
+            | c ->
+              let on_progress (g : Wire.progress) =
+                Fmt.epr
+                  "progress: %d phases, %d refs, %d misses (%.1f s)@."
+                  g.Wire.g_phases g.Wire.g_refs g.Wire.g_misses
+                  g.Wire.g_elapsed_s
+              in
+              let rec go attempt =
+                match Client.request_sync ~on_progress c ~rid:1 req with
+                | Ok (Client.Served s) ->
+                  let r = s.Client.result in
+                  if json then
+                    Fmt.pr
+                      "{\"cycles\": %.17g, \"barrier_cycles\": %.17g, \
+                       \"misses\": %d, \"from_store\": %b, \"wall_s\": \
+                       %.6f, \"position\": %d}@."
+                      r.Exec.cycles r.Exec.barrier_cycles r.Exec.total_misses
+                      s.Client.from_store s.Client.wall_s s.Client.position
+                  else begin
+                    Fmt.pr "%s %s (n=%d) on %s, %d processors@."
+                      (if unfused then "unfused" else "fused")
+                      kernel n machine.Machine.mname procs;
+                    Fmt.pr
+                      "cycles %.4e (barrier %.4e), misses %d — %s (wall \
+                       %.3f s, queue position %d)@."
+                      r.Exec.cycles r.Exec.barrier_cycles r.Exec.total_misses
+                      (if s.Client.from_store then "served from store"
+                       else "computed")
+                      s.Client.wall_s s.Client.position
+                  end;
+                  `Ok ()
+                | Ok (Client.Overloaded reason) when wait ->
+                  let backoff = Float.min 2.0 (0.1 *. (2.0 ** float attempt)) in
+                  Fmt.epr "overloaded (%s), retrying in %.1f s@." reason
+                    backoff;
+                  Unix.sleepf backoff;
+                  go (attempt + 1)
+                | Ok (Client.Overloaded reason) ->
+                  `Error (false, "server overloaded: " ^ reason)
+                | Ok (Client.Rejected reason) ->
+                  `Error (false, "request rejected: " ^ reason)
+                | Error e -> `Error (false, "transport error: " ^ e)
+              in
+              Fun.protect
+                ~finally:(fun () -> Client.close c)
+                (fun () -> go 0)))))
+
+let request_cmd =
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Submit one simulation request to a running `lfc serve` and print \
+          the (bit-identical) result; --wait retries through Overloaded \
+          backpressure.")
+    Term.(
+      ret
+        (const request $ kernel_arg $ size_arg $ machine_arg $ procs_arg
+       $ strip_arg $ layout_arg $ engine_arg $ steps_arg
+       $ unfused_variant_arg $ socket_arg $ wait_arg $ json_arg))
+
 (* --- cache --------------------------------------------------------- *)
 
 let cache_stats json store_dir =
   let store = store_of store_dir in
   let st = Lf_batch.Batch.Store.stats store in
   if json then
-    Fmt.pr "{\"dir\": \"%s\", \"entries\": %d, \"bytes\": %d}@."
+    Fmt.pr
+      "{\"dir\": \"%s\", \"entries\": %d, \"bytes\": %d, \"salt\": \"%s\"}@."
       (String.escaped (Lf_batch.Batch.Store.dir store))
       st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes
+      (String.escaped Sim.version_salt)
   else
     Fmt.pr "%s: %d entries, %d bytes@."
       (Lf_batch.Batch.Store.dir store)
@@ -514,6 +682,7 @@ let main_cmd =
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
-      pipeline_cmd; profile_cmd; tune_cmd; cache_cmd ]
+      pipeline_cmd; profile_cmd; tune_cmd; cache_cmd; serve_cmd;
+      request_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

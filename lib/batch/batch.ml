@@ -4,11 +4,33 @@ module Pool = Lf_parallel.Pool
 module Obs = Lf_obs.Obs
 
 (* Process-wide hit/miss counters, shared by every store handle and
-   batch: harnesses (bench --json, lfc) report deltas of these. *)
+   batch: harnesses (bench --json, lfc) report deltas of these.  A
+   Counters.scope is an additional pair bumped alongside them when a
+   caller wants a private window (per-connection stats in lfc serve). *)
 let hits_total = Atomic.make 0
 let computed_total = Atomic.make 0
 let hit_count () = Atomic.get hits_total
 let computed_count () = Atomic.get computed_total
+
+module Counters = struct
+  type scope = { s_hits : int Atomic.t; s_computed : int Atomic.t }
+
+  let create () = { s_hits = Atomic.make 0; s_computed = Atomic.make 0 }
+  let hits s = Atomic.get s.s_hits
+  let computed s = Atomic.get s.s_computed
+
+  let reset s =
+    Atomic.set s.s_hits 0;
+    Atomic.set s.s_computed 0
+end
+
+let note_hit scope =
+  Atomic.incr hits_total;
+  Option.iter (fun s -> Atomic.incr s.Counters.s_hits) scope
+
+let note_computed scope =
+  Atomic.incr computed_total;
+  Option.iter (fun s -> Atomic.incr s.Counters.s_computed) scope
 
 module Store = struct
   type t = {
@@ -231,7 +253,14 @@ type summary = {
 
 let count_opt sink name = Option.iter (fun s -> Obs.count s name) sink
 
-let compute_one ?store ~jobs ?pool ?timeout_s req =
+let try_store ?scope st req =
+  match Store.lookup st req with
+  | Some res ->
+      note_hit scope;
+      Some res
+  | None -> None
+
+let compute_one ?store ?scope ~jobs ?pool ?timeout_s req =
   let t0 = Unix.gettimeofday () in
   match Exec.run_request ~jobs ?pool req with
   | exception e -> (Error (Crashed (Printexc.to_string e)), Unix.gettimeofday () -. t0)
@@ -241,10 +270,10 @@ let compute_one ?store ~jobs ?pool ?timeout_s req =
       | Some budget when dt > budget -> (Error (Timed_out dt), dt)
       | _ ->
           Option.iter (fun st -> ignore (Store.add st req res)) store;
-          Atomic.incr computed_total;
+          note_computed scope;
           (Ok res, dt))
 
-let run ?store ?(cold = false) ?jobs ?pool ?timeout_s ?sink requests =
+let run ?store ?(cold = false) ?jobs ?pool ?timeout_s ?sink ?scope requests =
   let t0 = Unix.gettimeofday () in
   let reqs = Array.of_list requests in
   let n = Array.length reqs in
@@ -275,7 +304,7 @@ let run ?store ?(cold = false) ?jobs ?pool ?timeout_s ?sink requests =
       in
       match hit with
       | Some res ->
-          Atomic.incr hits_total;
+          note_hit scope;
           count_opt sink "batch.hit";
           results.(i) <- Some (Ok res, true, 0.0)
       | None -> to_compute := i :: !to_compute)
@@ -285,7 +314,7 @@ let run ?store ?(cold = false) ?jobs ?pool ?timeout_s ?sink requests =
   let job k =
     let i = to_compute.(k) in
     (* inner runs stay serial: the batch layer owns the host domains *)
-    let r, dt = compute_one ?store ~jobs:1 ?timeout_s reqs.(i) in
+    let r, dt = compute_one ?store ?scope ~jobs:1 ?timeout_s reqs.(i) in
     results.(i) <- Some (r, false, dt)
   in
   let jobs = match jobs with Some j -> max 1 j | None -> Exec.default_jobs () in
@@ -349,13 +378,13 @@ let results_exn outcomes =
           Fmt.failwith "batch: request %s failed: %s" o.rdigest msg)
     outcomes
 
-let run_one ?store ?(cold = false) ?jobs ?pool ?sink req =
+let run_one ?store ?(cold = false) ?jobs ?pool ?sink ?scope req =
   match sink with
   | Some _ ->
       (* an instrumented run always computes: a replayed result cannot
          populate the sink.  Persist it for future sink-less hits. *)
       let res = Exec.run_request ?jobs ?pool ?sink req in
-      Atomic.incr computed_total;
+      note_computed scope;
       Option.iter (fun st -> ignore (Store.add st req res)) store;
       res
   | None -> (
@@ -365,11 +394,11 @@ let run_one ?store ?(cold = false) ?jobs ?pool ?sink req =
       in
       match hit with
       | Some res ->
-          Atomic.incr hits_total;
+          note_hit scope;
           res
       | None ->
           let res = Exec.run_request ?jobs ?pool req in
-          Atomic.incr computed_total;
+          note_computed scope;
           Option.iter (fun st -> ignore (Store.add st req res)) store;
           res)
 

@@ -79,6 +79,28 @@ module Store : sig
   (** Delete every entry; returns the number removed. *)
 end
 
+(** {1 Counter scopes}
+
+    The process-wide {!hit_count}/{!computed_count} view below is
+    useless for per-client accounting in a long-running daemon: every
+    connection's traffic lands in the same two integers.  A
+    {!Counters.scope} is an independent, resettable hit/computed pair
+    that {!run}, {!run_one} and {!try_store} bump {e in addition to}
+    the process-wide view when one is passed — [lfc serve] keeps one
+    scope per client connection and reports it in that connection's
+    stats. *)
+
+module Counters : sig
+  type scope
+
+  val create : unit -> scope
+  val hits : scope -> int
+  val computed : scope -> int
+
+  val reset : scope -> unit
+  (** Zero both counters (e.g. between measurement windows). *)
+end
+
 (** {1 Batch execution} *)
 
 type failure =
@@ -109,6 +131,7 @@ val run :
   ?pool:Lf_parallel.Pool.t ->
   ?timeout_s:float ->
   ?sink:Lf_obs.Obs.sink ->
+  ?scope:Counters.scope ->
   Sim.request list ->
   outcome array * summary
 (** Execute a batch.  The requests are deduplicated by digest (repeats
@@ -145,6 +168,7 @@ val run_one :
   ?jobs:int ->
   ?pool:Lf_parallel.Pool.t ->
   ?sink:Lf_obs.Obs.sink ->
+  ?scope:Counters.scope ->
   Sim.request -> Exec.result
 (** One request through the store: answered from it when possible
     ([cold] forces computation), computed with
@@ -156,6 +180,14 @@ val run_one :
 val hit_count : unit -> int
 val computed_count : unit -> int
 (** Process-wide counters of store hits and computed simulations by
-    {!run}/{!run_one}, for hit/miss reporting in harnesses. *)
+    {!run}/{!run_one}/{!try_store}, for hit/miss reporting in
+    harnesses. *)
+
+val try_store :
+  ?scope:Counters.scope -> Store.t -> Sim.request -> Exec.result option
+(** {!Store.lookup} that also maintains the hit counters (process-wide
+    and, when given, [scope]) — the fast-path probe of a service that
+    answers warm hits without entering the batch layer at all.  A miss
+    counts nothing; the caller decides what to do with it. *)
 
 val pp_summary : Format.formatter -> summary -> unit

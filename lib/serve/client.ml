@@ -1,0 +1,107 @@
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+
+type t = { fd : Unix.file_descr; path : string; mutable open_ : bool }
+
+let connect ?socket () =
+  let path =
+    match socket with
+    | Some s -> s
+    | None -> (
+      match Sys.getenv_opt "LF_SERVE_SOCKET" with
+      | Some s when s <> "" -> s
+      | _ -> "_lf_serve.sock")
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd; path; open_ = true }
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    try Unix.close t.fd with _ -> ()
+  end
+
+let socket t = t.path
+let send t msg = Wire.write_frame t.fd (Wire.client_msg_to_payload msg)
+
+let recv t =
+  match Wire.read_frame t.fd with
+  | Error e -> Error e
+  | Ok payload -> (
+    match Wire.server_msg_of_payload payload with
+    | Ok msg -> Ok msg
+    | Error reason -> Error (Wire.Io ("bad server frame: " ^ reason)))
+
+let ping t =
+  match
+    send t Wire.Ping;
+    recv t
+  with
+  | Ok Wire.Pong -> true
+  | _ -> false
+  | exception _ -> false
+
+let stats t =
+  match
+    send t Wire.Stats_query;
+    let rec loop () =
+      match recv t with
+      | Ok (Wire.Stats_reply kvs) -> Ok kvs
+      | Ok (Wire.Progress _) -> loop () (* stale stream from earlier work *)
+      | Ok _ -> Error "unexpected reply to stats query"
+      | Error e -> Error (Wire.read_error_to_string e)
+    in
+    loop ()
+  with
+  | r -> r
+  | exception e -> Error (Printexc.to_string e)
+
+type served = {
+  from_store : bool;
+  wall_s : float;
+  position : int;
+  result : Exec.result;
+}
+
+type response = Served of served | Overloaded of string | Rejected of string
+
+(* After the ack, Progress frames stream until the terminal
+   Result/Rejected.  [position] is the queue position reported by
+   Accepted. *)
+let rec await_terminal ~on_progress t ~rid ~position =
+  match recv t with
+  | Error e -> Error (Wire.read_error_to_string e)
+  | Ok (Wire.Progress g) ->
+    if g.Wire.g_rid = rid then on_progress g;
+    await_terminal ~on_progress t ~rid ~position
+  | Ok (Wire.Result { rid = r; from_store; wall_s; result }) when r = rid ->
+    Ok (Served { from_store; wall_s; position; result })
+  | Ok (Wire.Rejected { rid = r; reason }) when r = rid -> Ok (Rejected reason)
+  | Ok _ -> Error "protocol violation: unexpected frame before result"
+
+let request_sync ?(on_progress = fun _ -> ()) t ~rid req =
+  match
+    send t (Wire.Request { rid; req });
+    (* first frame: the admission verdict *)
+    let rec first () =
+      match recv t with
+      | Error e -> Error (Wire.read_error_to_string e)
+      | Ok (Wire.Progress g) ->
+        on_progress g;
+        first ()
+      | Ok (Wire.Accepted { rid = r; position }) when r = rid ->
+        await_terminal ~on_progress t ~rid ~position
+      | Ok (Wire.Overloaded { rid = r; reason }) when r = rid ->
+        Ok (Overloaded reason)
+      | Ok (Wire.Rejected { rid = r; reason }) when r = rid ->
+        Ok (Rejected reason)
+      | Ok _ -> Error "protocol violation: unexpected frame before ack"
+    in
+    first ()
+  with
+  | r -> r
+  | exception e -> Error (Printexc.to_string e)

@@ -1,0 +1,57 @@
+(** Client side of the {!Serve} protocol: connect, send a request,
+    collect the streamed reply.  Used by [lfc request], the serve
+    bench and the tests; deliberately synchronous — one outstanding
+    request per call to {!request_sync} keeps the reply stream trivial
+    to demultiplex. *)
+
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+
+type t
+
+val connect : ?socket:string -> unit -> t
+(** Connect to the daemon's Unix-domain socket (default:
+    [$LF_SERVE_SOCKET], else ["_lf_serve.sock"]).  Raises
+    [Unix.Unix_error] when no server is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val socket : t -> string
+
+(** {1 Low-level frame exchange} *)
+
+val send : t -> Wire.client_msg -> unit
+val recv : t -> (Wire.server_msg, Wire.read_error) result
+
+(** {1 Synchronous helpers} *)
+
+val ping : t -> bool
+(** One Ping/Pong round trip. *)
+
+val stats : t -> ((string * int) list, string) result
+(** Query the server's counters; skips any interleaved [Progress]
+    frames from earlier requests. *)
+
+type served = {
+  from_store : bool;  (** answered on the fast path or by a worker recheck *)
+  wall_s : float;  (** server-side compute time; [0.] for store hits *)
+  position : int;  (** queue position at admission; [0] = fast path *)
+  result : Exec.result;
+}
+
+type response =
+  | Served of served
+  | Overloaded of string  (** admission refused — back off and retry *)
+  | Rejected of string  (** the request itself is unservable *)
+
+val request_sync :
+  ?on_progress:(Wire.progress -> unit) ->
+  t ->
+  rid:int ->
+  Sim.request ->
+  (response, string) result
+(** Send one request and block until its terminal reply, invoking
+    [on_progress] for each streamed [Progress] frame along the way.
+    [Error] is a transport failure (connection lost, protocol
+    violation) — distinct from the server refusing the request. *)

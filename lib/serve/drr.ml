@@ -1,0 +1,150 @@
+(* Deficit round-robin admission queue (see drr.mli).
+
+   One mutex guards the whole structure; the only blocking operation is
+   a consumer waiting in [next].  The round-robin order is a rotating
+   list of client ids: the scan in [try_pick] rotates one client per
+   step and keeps the rotation across calls, so the position of the
+   scan — not just the deficits — carries the fairness state between
+   dispatches. *)
+
+type 'a cq = {
+  jobs : (int * 'a) Queue.t;  (* (clamped cost, job) *)
+  mutable deficit : int;
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  cv : Condition.t;
+  clients : (int, 'a cq) Hashtbl.t;
+  mutable order : int list;  (* rotating round-robin order *)
+  mutable nqueued : int;
+  mutable inflight : int;
+  mutable draining : bool;
+  mutable next_id : int;
+  quantum : int;
+  max_inflight : int;
+  max_client_queue : int;
+}
+
+type reject = Queue_full | Server_full | Draining
+
+let reject_to_string = function
+  | Queue_full -> "per-client queue full"
+  | Server_full -> "server at capacity"
+  | Draining -> "server is draining"
+
+let create ?(quantum = 4) ~max_inflight ~max_client_queue () =
+  if quantum < 1 then invalid_arg "Drr.create: quantum < 1";
+  if max_inflight < 1 then invalid_arg "Drr.create: max_inflight < 1";
+  if max_client_queue < 1 then invalid_arg "Drr.create: max_client_queue < 1";
+  {
+    mu = Mutex.create ();
+    cv = Condition.create ();
+    clients = Hashtbl.create 16;
+    order = [];
+    nqueued = 0;
+    inflight = 0;
+    draining = false;
+    next_id = 0;
+    quantum;
+    max_inflight;
+    max_client_queue;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let register t =
+  locked t (fun () ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.clients id { jobs = Queue.create (); deficit = 0 };
+      t.order <- t.order @ [ id ];
+      id)
+
+let unregister t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.clients id with
+      | None -> ()
+      | Some cq ->
+        t.nqueued <- t.nqueued - Queue.length cq.jobs;
+        Hashtbl.remove t.clients id;
+        t.order <- List.filter (fun c -> c <> id) t.order;
+        Condition.broadcast t.cv)
+
+let submit t ~client ~cost job =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.clients client with
+      | None -> invalid_arg "Drr.submit: unregistered client"
+      | Some cq ->
+        if t.draining then Error Draining
+        else if t.nqueued + t.inflight >= t.max_inflight then Error Server_full
+        else if Queue.length cq.jobs >= t.max_client_queue then Error Queue_full
+        else begin
+          let cost = max 1 (min cost (16 * t.quantum)) in
+          Queue.push (cost, job) cq.jobs;
+          t.nqueued <- t.nqueued + 1;
+          Condition.signal t.cv;
+          Ok (t.nqueued + t.inflight)
+        end)
+
+(* One DRR step per loop iteration: rotate to the next client, grant it
+   a quantum, dispatch its head if covered.  Deficits grow by [quantum]
+   per full rotation and costs are clamped, so when any job is queued
+   the loop terminates. *)
+let try_pick t =
+  if t.nqueued = 0 then None
+  else begin
+    let picked = ref None in
+    while !picked = None do
+      match t.order with
+      | [] -> assert false (* nqueued > 0 implies a registered client *)
+      | c :: rest -> (
+        t.order <- rest @ [ c ];
+        match Hashtbl.find_opt t.clients c with
+        | None -> assert false
+        | Some cq ->
+          if Queue.is_empty cq.jobs then cq.deficit <- 0
+          else begin
+            cq.deficit <- cq.deficit + t.quantum;
+            let cost, _ = Queue.peek cq.jobs in
+            if cq.deficit >= cost then begin
+              let cost, job = Queue.pop cq.jobs in
+              cq.deficit <- cq.deficit - cost;
+              if Queue.is_empty cq.jobs then cq.deficit <- 0;
+              t.nqueued <- t.nqueued - 1;
+              t.inflight <- t.inflight + 1;
+              picked := Some job
+            end
+          end)
+    done;
+    !picked
+  end
+
+let next t =
+  locked t (fun () ->
+      let rec wait () =
+        match try_pick t with
+        | Some job -> Some job
+        | None ->
+          if t.draining then None
+          else begin
+            Condition.wait t.cv t.mu;
+            wait ()
+          end
+      in
+      wait ())
+
+let job_done t =
+  locked t (fun () ->
+      t.inflight <- t.inflight - 1;
+      Condition.broadcast t.cv)
+
+let drain t =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.cv)
+
+let outstanding t = locked t (fun () -> t.nqueued + t.inflight)
+let queued t = locked t (fun () -> t.nqueued)

@@ -1,0 +1,69 @@
+(** Admission-controlled job queue with deficit-round-robin fairness
+    across clients.
+
+    One instance sits between the service's connection handlers
+    (producers: one registered client per connection) and its worker
+    domains (consumers).  Admission is bounded twice — a per-client
+    queue depth and a server-wide outstanding-job bound — and a
+    rejected submission returns immediately (the caller turns it into
+    an [Overloaded] reply); nothing in the queue ever grows without
+    bound.
+
+    Dispatch order is deficit round-robin (Shreedhar & Varghese):
+    clients are visited cyclically, each visit grants the client
+    [quantum] credit, and its head job is dispatched once its
+    accumulated credit covers the job's [cost].  With uniform costs
+    this degenerates to plain round-robin; the service uses the
+    request's simulated step count as the cost so a client streaming
+    heavy multi-step jobs cannot crowd out one submitting light ones.
+    A client whose queue empties forfeits its credit (the standard DRR
+    rule, so sporadic clients cannot hoard credit while idle).
+
+    All operations are thread-safe; {!next} blocks consumers. *)
+
+type 'a t
+
+val create :
+  ?quantum:int -> max_inflight:int -> max_client_queue:int -> unit -> 'a t
+(** [quantum] (default 4) is the credit granted per round-robin visit;
+    [max_inflight] bounds queued-plus-running jobs server-wide;
+    [max_client_queue] bounds one client's queued jobs. *)
+
+val register : 'a t -> int
+(** Add a client; returns its id. *)
+
+val unregister : 'a t -> int -> unit
+(** Remove a client and drop its still-queued jobs (a disconnected
+    client's results have nowhere to go).  Running jobs are unaffected.
+    Unknown ids are ignored. *)
+
+type reject =
+  | Queue_full  (** this client's queue is at [max_client_queue] *)
+  | Server_full  (** outstanding jobs are at [max_inflight] *)
+  | Draining  (** {!drain} was called; no new admissions *)
+
+val reject_to_string : reject -> string
+
+val submit : 'a t -> client:int -> cost:int -> 'a -> (int, reject) result
+(** Enqueue a job for [client]; never blocks.  [Ok position] is the
+    number of outstanding (queued or running) jobs including this one.
+    [cost] is clamped to [1 .. 16 x quantum] so one absurd cost cannot
+    stall its queue forever.  Raises [Invalid_argument] on an
+    unregistered client. *)
+
+val next : 'a t -> 'a option
+(** Dequeue the next job by DRR order, blocking while the queue is
+    empty; [None] once the queue is draining and empty (consumers
+    exit).  The job counts as running until {!job_done}. *)
+
+val job_done : 'a t -> unit
+(** Mark one running job finished (frees one [max_inflight] slot). *)
+
+val drain : 'a t -> unit
+(** Stop admitting; wake blocked consumers.  Already-queued jobs are
+    still dispatched — {!next} returns [None] only when empty. *)
+
+val outstanding : 'a t -> int
+(** Queued plus running jobs. *)
+
+val queued : 'a t -> int

@@ -29,4 +29,5 @@ let () =
       ("obs", Test_obs.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("batch", Test_batch.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -50,10 +50,9 @@ let kernels : (string * (int -> Lf_ir.Ir.program)) list =
 (* A candidate goes into the mix only if its schedule is actually
    buildable — small sizes can violate the Theorem 1 iteration-count
    threshold for some fused kernels, and the bench measures service
-   latency, not legality failures.  The probe is pure (no domains), so
+   latency, not legality failures.  Sim.legal is pure (no domains), so
    it is fork-safe here. *)
-let legal req =
-  match Sim.schedule_of req with _ -> true | exception _ -> false
+let legal = Sim.legal
 
 let build_mix ~n =
   List.concat_map

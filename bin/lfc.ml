@@ -5,6 +5,7 @@
      lfc derive   <kernel>   shift-and-peel amounts (Table 2)
      lfc emit     <kernel>   generated fused code (Figures 11/12/16)
      lfc simulate <kernel>   run on the simulated KSR2/Convex
+     lfc transform <kernel> <script.lft>  apply a transformation script
      lfc verify   <kernel>   check fused execution against the reference
      lfc profile  --kernel K simulate with event counters (lf_obs)
      lfc tune     --kernel K autotune fusion/strip/layout on the simulator
@@ -457,6 +458,163 @@ let pipeline_cmd =
        ~doc:"Distribute, cluster, fuse and verify a whole sequence")
     Term.(ret (const pipeline $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
 
+(* --- transform ------------------------------------------------------ *)
+
+let script_arg =
+  let doc =
+    "Transformation script (.lft): one step per line — fuse, fission, \
+     shift_peel, strip_mine, interchange, partition, wavefront, align."
+  in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"SCRIPT" ~doc)
+
+let checkpoint_dir_arg =
+  let doc =
+    "Write the per-step checkpoint stream \
+     ($(i,program)_NN_$(i,step).loop, 00 = input) into $(docv)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+
+let emit_form_arg =
+  let doc =
+    "Output after the final step: $(b,loop) (IR + schedule annotations, \
+     the default), $(b,c) (generated fused code), or $(b,none)."
+  in
+  Arg.(value & opt string "loop" & info [ "emit" ] ~docv:"FORM" ~doc)
+
+let simulate_flag_arg =
+  let doc =
+    "Realize the scripted schedule as a Sim.request and run it through \
+     the batch layer and the persistent result store."
+  in
+  Arg.(value & flag & info [ "simulate" ] ~doc)
+
+let transform kernel n script_path ck_dir emit_form simulate_ machine_name
+    procs jobs engine store_dir =
+  let module Script = Lf_script.Script in
+  let module Realize = Lf_script.Realize in
+  let module Lft = Lf_front.Lft in
+  with_program kernel n (fun p ->
+      match apply_jobs jobs with
+      | Error m -> `Error (false, m)
+      | Ok () -> (
+      match machine_of machine_name with
+      | Error m -> `Error (false, m)
+      | Ok machine -> (
+        match mode_of engine with
+        | Error m -> `Error (false, m)
+        | Ok mode -> (
+          match Lft.parse_file script_path with
+          | exception Sys_error m -> `Error (false, m)
+          | exception (Lft.Error _ as e) ->
+            `Error
+              (false, Option.get (Lft.error_to_string ~file:script_path e))
+          | steps -> (
+            let write_checkpoint i name st =
+              match ck_dir with
+              | None -> ()
+              | Some dir ->
+                if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+                let file =
+                  Filename.concat dir
+                    (Printf.sprintf "%s_%02d_%s.loop" p.Ir.pname i name)
+                in
+                let oc = open_out file in
+                output_string oc (Script.checkpoint_to_string st);
+                close_out oc;
+                Fmt.pr "checkpoint %s@." file
+            in
+            write_checkpoint 0 "input" (Script.init p);
+            match
+              Script.run
+                ~checkpoint:(fun i step st ->
+                  write_checkpoint (i + 1) (Script.step_name step) st)
+                p steps
+            with
+            | Error e -> `Error (false, Script.error_to_string e)
+            | Ok st ->
+              (* rewrites must be semantics-preserving: compare every
+                 original array against the untransformed reference *)
+              let reference = Interp.run p and got = Interp.run st.Script.prog in
+              let same (d : Ir.decl) =
+                Interp.find_array reference d.Ir.aname
+                = Interp.find_array got d.Ir.aname
+              in
+              if not (List.for_all same p.Ir.decls) then
+                `Error
+                  ( false,
+                    "transformed program is not bit-identical to the input \
+                     (script-engine bug; please report)" )
+              else begin
+                Fmt.pr
+                  "%d step(s) applied; semantics bit-identical to the input@."
+                  (List.length steps);
+                let emit_result =
+                  match emit_form with
+                  | "none" -> Ok ()
+                  | "loop" ->
+                    Fmt.pr "%s" (Script.checkpoint_to_string st);
+                    Ok ()
+                  | "c" ->
+                    (match Realize.whole_program_derive st with
+                    | Some (depth, d) ->
+                      let strip =
+                        Option.value st.Script.strip
+                          ~default:Schedule.default_strip
+                      in
+                      if depth = 1 then
+                        Fmt.pr "%s@."
+                          (Codegen.strip_mined_to_string ~strip st.Script.prog
+                             d)
+                      else
+                        Fmt.pr "%s@."
+                          (Codegen.multidim_to_string ~strip st.Script.prog d)
+                    | None -> Fmt.pr "%s" (Ir.program_to_string st.Script.prog));
+                    Ok ()
+                  | f -> Error ("unknown --emit form " ^ f ^ " (try loop, c, none)")
+                in
+                match emit_result with
+                | Error m -> `Error (false, m)
+                | Ok () ->
+                  if not simulate_ then `Ok ()
+                  else begin
+                    match
+                      Realize.request ~mode ~machine ~nprocs:procs st
+                    with
+                    | exception Schedule.Illegal m ->
+                      `Error (false, "scripted schedule is illegal here: " ^ m)
+                    | req ->
+                      if not (Sim.legal req) then
+                        `Error
+                          ( false,
+                            "scripted schedule violates the Theorem 1 \
+                             threshold for this size/processor count" )
+                      else begin
+                        let r = Batch.run_one ~store:(store_of store_dir) req in
+                        Fmt.pr
+                          "simulated on %s, %d processors: %.4e cycles \
+                           (barrier %.4e), %d misses@."
+                          machine.Machine.mname procs r.Exec.cycles
+                          r.Exec.barrier_cycles r.Exec.total_misses;
+                        `Ok ()
+                      end
+                  end
+              end)))))
+
+let transform_cmd =
+  Cmd.v
+    (Cmd.info "transform"
+       ~doc:
+         "Apply a .lft transformation script to a program: per-step \
+          legality checks against the dependence graph, per-step \
+          checkpoints, semantic verification, and optional simulation of \
+          the scripted schedule")
+    Term.(
+      ret
+        (const transform $ kernel_arg $ size_arg $ script_arg
+       $ checkpoint_dir_arg $ emit_form_arg $ simulate_flag_arg $ machine_arg
+       $ procs_arg $ jobs_arg $ engine_arg $ store_dir_arg))
+
 (* --- serve / request ----------------------------------------------- *)
 
 let serve_workers_arg =
@@ -682,7 +840,7 @@ let main_cmd =
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
-      pipeline_cmd; profile_cmd; tune_cmd; cache_cmd; serve_cmd;
-      request_cmd ]
+      transform_cmd; pipeline_cmd; profile_cmd; tune_cmd; cache_cmd;
+      serve_cmd; request_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -27,35 +27,44 @@ let verdict_to_string = function
   | Fusion_preventing m -> "fusion-preventing dependence: " ^ m
   | Not_analyzable m -> "not analyzable: " ^ m
 
+type witness = {
+  w_verdict : verdict;
+  w_edge : Dep.edge option;
+      (** the dependence edge that decided the verdict (the first
+          backward edge for [Fusion_preventing], the first forward edge
+          for [Fusable_serial], the first non-uniform edge for
+          [Not_analyzable]; [None] for [Fusable_parallel]) *)
+}
+
 (* Classify plain (unshifted, unpeeled) fusion of the outermost [depth]
-   dimensions. *)
-let classify ?(depth = 1) (p : Ir.program) =
+   dimensions, keeping the deciding edge so callers (lib/script) can
+   name the offending dependence in typed errors. *)
+let classify_witness ?(depth = 1) (p : Ir.program) =
   let g = Dep.build ~depth p in
   match Dep.not_uniform_edges g with
-  | e :: _ -> Not_analyzable (Fmt.str "%a" Dep.pp_edge e)
+  | e :: _ ->
+    { w_verdict = Not_analyzable (Fmt.str "%a" Dep.pp_edge e); w_edge = Some e }
   | [] ->
     let backward = ref None and forward = ref None in
     List.iter
       (fun (e : Dep.edge) ->
-        match e.Dep.dist with
-        | Dep.Not_uniform _ -> ()
-        | Dep.Dist d ->
-          (* lexicographic sign over the fused dimensions *)
-          let rec sign k =
-            if k >= Array.length d then 0
-            else if d.(k) < 0 then -1
-            else if d.(k) > 0 then 1
-            else sign (k + 1)
-          in
-          (match sign 0 with
-          | -1 -> if !backward = None then backward := Some e
-          | 1 -> if !forward = None then forward := Some e
-          | _ -> ()))
+        (* lexicographic sign over the fused dimensions *)
+        match Dep.dist_sign e.Dep.dist with
+        | Some (-1) -> if !backward = None then backward := Some e
+        | Some 1 -> if !forward = None then forward := Some e
+        | _ -> ())
       g.Dep.edges;
     (match (!backward, !forward) with
-    | Some e, _ -> Fusion_preventing (Fmt.str "%a" Dep.pp_edge e)
-    | None, Some e -> Fusable_serial (Fmt.str "%a" Dep.pp_edge e)
-    | None, None -> Fusable_parallel)
+    | Some e, _ ->
+      {
+        w_verdict = Fusion_preventing (Fmt.str "%a" Dep.pp_edge e);
+        w_edge = Some e;
+      }
+    | None, Some e ->
+      { w_verdict = Fusable_serial (Fmt.str "%a" Dep.pp_edge e); w_edge = Some e }
+    | None, None -> { w_verdict = Fusable_parallel; w_edge = None })
+
+let classify ?depth p = (classify_witness ?depth p).w_verdict
 
 (* Can shift-and-peel handle the sequence?  It requires only uniform
    dependences and parallel nests (§3.5, Theorem 1). *)

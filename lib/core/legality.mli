@@ -22,6 +22,17 @@ val classify : ?depth:int -> Lf_ir.Ir.program -> verdict
 (** Classify plain (unshifted, unpeeled) fusion of the outermost
     [depth] dimensions. *)
 
+type witness = {
+  w_verdict : verdict;
+  w_edge : Lf_dep.Dep.edge option;
+      (** the dependence edge that decided the verdict; [None] for
+          {!Fusable_parallel} *)
+}
+
+val classify_witness : ?depth:int -> Lf_ir.Ir.program -> witness
+(** Like {!classify}, but keeps the deciding dependence edge so callers
+    can name the offending dependence in typed errors (lib/script). *)
+
 val shift_and_peel_applicable :
   ?depth:int -> Lf_ir.Ir.program -> (unit, string) result
 (** Shift-and-peel's own applicability: uniform inter-nest dependences

@@ -271,6 +271,19 @@ let not_uniform_edges g =
     (fun e -> match e.dist with Not_uniform _ -> true | Dist _ -> false)
     g.edges
 
+(* Lexicographic sign of a uniform distance over the fused dimensions:
+   -1 = backward, 0 = loop-independent, +1 = forward. *)
+let dist_sign = function
+  | Not_uniform _ -> None
+  | Dist d ->
+    let rec sign k =
+      if k >= Array.length d then 0
+      else if d.(k) < 0 then -1
+      else if d.(k) > 0 then 1
+      else sign (k + 1)
+    in
+    Some (sign 0)
+
 (* Distance components of all uniform edges in fused dimension [dim]. *)
 let dim_weights g ~dim =
   List.filter_map

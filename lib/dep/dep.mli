@@ -62,6 +62,10 @@ val build : ?depth:int -> Lf_ir.Ir.program -> multigraph
 val edges_between : multigraph -> int -> int -> edge list
 val not_uniform_edges : multigraph -> edge list
 
+val dist_sign : distance -> int option
+(** Lexicographic sign of a uniform distance over the fused dimensions
+    ([Some (-1|0|1)]); [None] for {!Not_uniform}. *)
+
 val dim_weights : multigraph -> dim:int -> (int * int * int) list
 (** [(src, dst, distance)] for every uniform edge, in dimension [dim]. *)
 

@@ -1,0 +1,156 @@
+(* Parser for the .lft transformation-script language: one step per
+   line, '#' comments, nests addressed by name.  Deliberately tiny —
+   the token stream per line is short enough that a hand-rolled
+   splitter with column tracking beats a lexer dependency, and every
+   error carries an exact 1-based line/column (asserted by the
+   test-suite's error-position property). *)
+
+module Script = Lf_script.Script
+
+exception Error of { line : int; col : int; msg : string }
+
+let error ~line ~col fmt =
+  Printf.ksprintf (fun msg -> raise (Error { line; col; msg })) fmt
+
+let error_to_string ~file = function
+  | Error { line; col; msg } ->
+    Some (Printf.sprintf "%s:%d:%d: %s" file line col msg)
+  | _ -> None
+
+type tok = { text : string; col : int (* 1-based *) }
+
+(* Tokenise one line: strip the '#' comment, split on blanks, record
+   each token's starting column. *)
+let tokens line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    while !i < n && (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r') do
+      incr i
+    done;
+    if !i < n then begin
+      let start = !i in
+      while
+        !i < n && not (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r')
+      do
+        incr i
+      done;
+      out := { text = String.sub line start (!i - start); col = start + 1 } :: !out
+    end
+  done;
+  List.rev !out
+
+let is_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let eol_col line = String.length line + 1
+
+(* [ID ID... [into ID]] — target lists for fuse / shift_peel. *)
+let parse_targets ~lineno ~src_line what toks =
+  let rec go acc = function
+    | [] -> (List.rev acc, None)
+    | [ { text = "into"; _ } ] ->
+      error ~line:lineno ~col:(eol_col src_line)
+        "expected a name after 'into'"
+    | { text = "into"; _ } :: [ t ] when is_ident t.text ->
+      (List.rev acc, Some t.text)
+    | { text = "into"; _ } :: t :: _ when not (is_ident t.text) ->
+      error ~line:lineno ~col:t.col "expected a name after 'into', got '%s'"
+        t.text
+    | { text = "into"; _ } :: _ :: t :: _ ->
+      error ~line:lineno ~col:t.col "trailing tokens after 'into NAME'"
+    | t :: rest ->
+      if is_ident t.text then go (t.text :: acc) rest
+      else
+        error ~line:lineno ~col:t.col "expected a loop name, got '%s'" t.text
+  in
+  match go [] toks with
+  | [], _ ->
+    error ~line:lineno ~col:(eol_col src_line) "%s needs at least one target"
+      what
+  | targets, into -> (targets, into)
+
+let parse_one_ident ~lineno ~src_line what = function
+  | t :: _ when not (is_ident t.text) ->
+    error ~line:lineno ~col:t.col "expected a loop name, got '%s'" t.text
+  | [ t ] -> t.text
+  | _ :: t :: _ -> error ~line:lineno ~col:t.col "trailing tokens after %s" what
+  | [] ->
+    error ~line:lineno ~col:(eol_col src_line) "%s needs a target loop name"
+      what
+
+let parse_int ~lineno t =
+  match int_of_string_opt t.text with
+  | Some v -> v
+  | None ->
+    error ~line:lineno ~col:t.col "expected an integer, got '%s'" t.text
+
+let no_args ~lineno what = function
+  | [] -> ()
+  | t :: _ ->
+    error ~line:lineno ~col:t.col "unexpected token '%s' after %s" t.text what
+
+let parse_line ~lineno src_line =
+  match tokens src_line with
+  | [] -> []
+  | head :: rest -> (
+    match head.text with
+    | "fuse" ->
+      let targets, into = parse_targets ~lineno ~src_line "fuse" rest in
+      [ Script.Fuse { targets; into } ]
+    | "fission" ->
+      [ Script.Fission { target = parse_one_ident ~lineno ~src_line "fission" rest } ]
+    | "shift_peel" ->
+      let targets, into = parse_targets ~lineno ~src_line "shift_peel" rest in
+      [ Script.Shift_peel { targets; into } ]
+    | "strip_mine" -> (
+      match rest with
+      | [ t ] -> [ Script.Strip_mine { strip = parse_int ~lineno t } ]
+      | [] ->
+        error ~line:lineno ~col:(eol_col src_line)
+          "strip_mine needs an integer factor"
+      | _ :: t :: _ ->
+        error ~line:lineno ~col:t.col "trailing tokens after strip_mine INT")
+    | "interchange" ->
+      [
+        Script.Interchange
+          { target = parse_one_ident ~lineno ~src_line "interchange" rest };
+      ]
+    | "partition" ->
+      no_args ~lineno "partition" rest;
+      [ Script.Partition ]
+    | "wavefront" -> (
+      match rest with
+      | [] -> [ Script.Wavefront { tile = None } ]
+      | [ t ] -> [ Script.Wavefront { tile = Some (parse_int ~lineno t) } ]
+      | _ :: t :: _ ->
+        error ~line:lineno ~col:t.col "trailing tokens after wavefront [INT]")
+    | "align" ->
+      no_args ~lineno "align" rest;
+      [ Script.Align ]
+    | other ->
+      error ~line:lineno ~col:head.col
+        "unknown step '%s' (expected fuse, fission, shift_peel, strip_mine, \
+         interchange, partition, wavefront or align)"
+        other)
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  List.concat (List.mapi (fun i l -> parse_line ~lineno:(i + 1) l) lines)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s

@@ -1,0 +1,37 @@
+(** Parser for the [.lft] transformation-script language.
+
+    One step per line; [#] starts a comment; blank lines are ignored.
+    Steps address nests by name:
+
+    {v
+    # fuse the paper's Figure 9 chain with shift-and-peel
+    shift_peel L1 L2 L3 into F
+    strip_mine 16
+    partition
+    v}
+
+    Grammar (one line each):
+    - [fuse ID ID... [into ID]]
+    - [fission ID]
+    - [shift_peel ID ID... [into ID]]
+    - [strip_mine INT]
+    - [interchange ID]
+    - [partition]
+    - [wavefront [INT]]
+    - [align]
+
+    {!Lf_script.Script.script_to_string} prints scripts back into this
+    syntax; print -> parse -> print is a fixpoint. *)
+
+exception Error of { line : int; col : int; msg : string }
+(** Parse error at a 1-based line/column. *)
+
+val error_to_string : file:string -> exn -> string option
+(** Render an {!Error} as ["file:line:col: msg"]; [None] for other
+    exceptions. *)
+
+val parse : string -> Lf_script.Script.step list
+(** Parse script source text; raises {!Error}. *)
+
+val parse_file : string -> Lf_script.Script.step list
+(** Raises {!Error} or [Sys_error]. *)

@@ -127,6 +127,26 @@ let nest_arrays n =
 let program_arrays p =
   List.sort_uniq String.compare (List.concat_map nest_arrays p.nests)
 
+(* Simultaneous loop-variable renaming, used by transformations that
+   merge nests whose levels carry different variable names (lib/script
+   fusion renames every member nest onto the first nest's variables).
+   The mapping is applied in one pass, so swaps are safe. *)
+let rename_affine f a = { a with terms = List.map (fun (c, x) -> (c, f x)) a.terms }
+let rename_aref f r = { r with index = List.map (rename_affine f) r.index }
+
+let rec rename_expr f = function
+  | Const k -> Const k
+  | Read r -> Read (rename_aref f r)
+  | Neg e -> Neg (rename_expr f e)
+  | Bin (op, a, b) -> Bin (op, rename_expr f a, rename_expr f b)
+
+let rename_stmt f s =
+  {
+    lhs = rename_aref f s.lhs;
+    rhs = rename_expr f s.rhs;
+    guard = List.map (fun (v, lo, hi) -> (f v, lo, hi)) s.guard;
+  }
+
 let find_decl p name =
   match List.find_opt (fun d -> String.equal d.aname name) p.decls with
   | Some d -> d

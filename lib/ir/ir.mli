@@ -96,6 +96,15 @@ val nest_vars : nest -> var list
 val nest_arrays : nest -> string list
 val program_arrays : program -> string list
 
+val rename_affine : (var -> var) -> affine -> affine
+val rename_aref : (var -> var) -> aref -> aref
+val rename_expr : (var -> var) -> expr -> expr
+
+val rename_stmt : (var -> var) -> stmt -> stmt
+(** Apply a simultaneous loop-variable renaming to a statement
+    (subscripts and guard); the mapping is applied in one pass, so
+    variable swaps are safe. *)
+
 val find_decl : program -> string -> decl
 val find_nest : program -> string -> nest
 val num_elements : decl -> int

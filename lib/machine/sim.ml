@@ -71,6 +71,12 @@ let schedule_of r =
   | Fused { grid; strip; derive } ->
     Schedule.fused ?grid ?strip ?derive ~nprocs:r.nprocs r.prog
 
+(* Pure legality probe: can the request's schedule actually be built?
+   Small iteration spaces can violate the Theorem 1 threshold for fused
+   variants.  No domains are touched, so the probe is fork-safe — the
+   serve bench and the script realizer both rely on that. *)
+let legal r = match schedule_of r with _ -> true | exception _ -> false
+
 let layout_of r =
   match r.layout with
   | Some l -> l

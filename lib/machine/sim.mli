@@ -112,6 +112,12 @@ val schedule_of : request -> Lf_core.Schedule.t
     May raise what {!Lf_core.Schedule.fused} raises on an illegal
     fusion. *)
 
+val legal : request -> bool
+(** Pure legality probe: [true] iff {!schedule_of} succeeds (small
+    iteration spaces can violate the Theorem 1 threshold for fused
+    variants).  Touches no domains, so it is fork-safe; the single
+    source of truth shared by the serve bench and the script engine. *)
+
 val layout_of : request -> Lf_core.Partition.layout
 (** The request's layout, defaulting to dense contiguous placement. *)
 

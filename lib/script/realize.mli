@@ -1,0 +1,44 @@
+(** Lowering a scripted state to the execution machinery.
+
+    The script engine accumulates a program plus schedule directives
+    ({!Script.state}); this module turns that state into the canonical
+    execution forms — an untimed {!Lf_core.Schedule.t} for semantic
+    verification, and a {!Lf_machine.Sim.request} so scripted pipelines
+    are simulable, storable in the persistent result store, and tunable
+    exactly like the built-in kernels. *)
+
+val whole_program_derive : Script.state -> (int * Lf_core.Derive.t) option
+(** [(depth, derive)] when a single shift-and-peel group covers the
+    entire program — the case that lowers to the canonical
+    [Sim.Fused] variant. *)
+
+val cluster_groups : Script.state -> Lf_core.Cluster.group list
+(** The recorded groups as a {!Lf_core.Cluster} covering: fused groups
+    where recorded, singleton unfused groups elsewhere. *)
+
+val schedule : ?grid:int array -> nprocs:int -> Script.state -> Lf_core.Schedule.t
+(** Untimed executable schedule for the scripted state.  May raise
+    {!Lf_core.Schedule.Illegal} when a block falls below the Theorem 1
+    threshold for this [nprocs]. *)
+
+val layout :
+  machine:Lf_machine.Machine.config ->
+  Script.state ->
+  Lf_core.Partition.layout option
+(** The cache-partitioned layout when the script requested [partition];
+    [None] (dense contiguous) otherwise. *)
+
+val request :
+  ?steps:int ->
+  ?mode:Lf_machine.Sim.mode ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Script.state ->
+  Lf_machine.Sim.request
+(** The canonical simulation identity of the scripted state.  A
+    whole-program group lowers to [Sim.Fused] (with the group's
+    explicit derive record), a group-free all-parallel program to
+    [Sim.Unfused], and everything else — partial groups, serial nests,
+    wavefront — to [Sim.Explicit].  Check {!Lf_machine.Sim.legal}
+    before submitting: explicit variants are built eagerly, so this
+    function itself may raise on a Theorem 1 violation. *)

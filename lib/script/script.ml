@@ -1,0 +1,576 @@
+(* Transformation scripts over the loop IR (OptiTrust-style).
+
+   A script composes small targeted steps against named loop nests.
+   Every step is legality-checked against the CURRENT program by the
+   dependence machinery (lf_dep) before it touches the state; an
+   illegal step yields a typed error carrying the offending dependence
+   edge, so tests can assert on the exact dependence that was violated,
+   not just on "an exception happened".
+
+   Program rewrites (fuse / fission / interchange / align) transform
+   the nest structure and must preserve Interp semantics bit-exactly;
+   schedule directives (shift_peel / strip_mine / partition /
+   wavefront) leave the IR unchanged and accumulate the execution
+   strategy realised by Realize.  Keeping shift-and-peel a directive —
+   rather than a source rewrite — mirrors the paper: the transformed
+   loops execute original iterations in original order within each
+   block; only the block schedule changes. *)
+
+module Ir = Lf_ir.Ir
+module Dep = Lf_dep.Dep
+module Legality = Lf_core.Legality
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Distribute = Lf_core.Distribute
+module Partition = Lf_core.Partition
+module Alignrep = Lf_core.Alignrep
+
+type step =
+  | Fuse of { targets : string list; into : string option }
+  | Fission of { target : string }
+  | Shift_peel of { targets : string list; into : string option }
+  | Strip_mine of { strip : int }
+  | Interchange of { target : string }
+  | Partition
+  | Wavefront of { tile : int option }
+  | Align
+
+let step_name = function
+  | Fuse _ -> "fuse"
+  | Fission _ -> "fission"
+  | Shift_peel _ -> "shift_peel"
+  | Strip_mine _ -> "strip_mine"
+  | Interchange _ -> "interchange"
+  | Partition -> "partition"
+  | Wavefront _ -> "wavefront"
+  | Align -> "align"
+
+let step_to_string s =
+  let targets ts into =
+    String.concat " " ts
+    ^ match into with None -> "" | Some id -> " into " ^ id
+  in
+  match s with
+  | Fuse { targets = ts; into } -> "fuse " ^ targets ts into
+  | Fission { target } -> "fission " ^ target
+  | Shift_peel { targets = ts; into } -> "shift_peel " ^ targets ts into
+  | Strip_mine { strip } -> "strip_mine " ^ string_of_int strip
+  | Interchange { target } -> "interchange " ^ target
+  | Partition -> "partition"
+  | Wavefront { tile = None } -> "wavefront"
+  | Wavefront { tile = Some t } -> "wavefront " ^ string_of_int t
+  | Align -> "align"
+
+let script_to_string steps =
+  String.concat "" (List.map (fun s -> step_to_string s ^ "\n") steps)
+
+let fuse ?into targets = Fuse { targets; into }
+let fission target = Fission { target }
+let shift_peel ?into targets = Shift_peel { targets; into }
+let strip_mine strip = Strip_mine { strip }
+let interchange target = Interchange { target }
+let partition = Partition
+let wavefront ?tile () = Wavefront { tile }
+let align = Align
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+
+type group = { gname : string; members : string list }
+type style = Peel | Wave of int option
+
+type state = {
+  prog : Ir.program;
+  groups : group list;
+  strip : int option;
+  style : style;
+  partitioned : bool;
+}
+
+let init p =
+  Ir.validate p;
+  { prog = p; groups = []; strip = None; style = Peel; partitioned = false }
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+
+type error = {
+  e_step : step;
+  e_index : int;
+  reason : string;
+  witness_dep : Dep.edge option;
+}
+
+exception Illegal of error
+
+let error_to_string e =
+  Fmt.str "step %d (%s): %s" e.e_index (step_name e.e_step) e.reason
+
+(* Internal failure carrier; [apply] wraps it into [error]. *)
+exception Fail of string * Dep.edge option
+
+let fail ?witness fmt =
+  Printf.ksprintf (fun s -> raise (Fail (s, witness))) fmt
+
+(* Render a dependence edge with nest names from the slice it was built
+   over, so error messages name the offending dependence readably. *)
+let edge_str (nests : Ir.nest array) (e : Dep.edge) =
+  let id i = if i < Array.length nests then nests.(i).Ir.nid else string_of_int i in
+  Fmt.str "%s dependence on %s, %s -> %s, distance %s"
+    (Dep.kind_to_string e.Dep.dkind)
+    e.Dep.array (id e.Dep.src) (id e.Dep.dst)
+    (match e.Dep.dist with
+    | Dep.Dist d ->
+      "(" ^ String.concat "," (Array.to_list (Array.map string_of_int d)) ^ ")"
+    | Dep.Not_uniform r -> "<not uniform: " ^ r ^ ">")
+
+(* ------------------------------------------------------------------ *)
+(* Target resolution                                                   *)
+
+let nest_pos st id =
+  let rec go i = function
+    | [] -> fail "no nest named %s in program %s" id st.prog.Ir.pname
+    | (n : Ir.nest) :: rest -> if String.equal n.Ir.nid id then i else go (i + 1) rest
+  in
+  go 0 st.prog.Ir.nests
+
+let group_of st id =
+  List.find_opt (fun g -> List.mem id g.members) st.groups
+
+let check_free st id =
+  match group_of st id with
+  | Some g ->
+    fail "nest %s already belongs to shift-and-peel group %s" id g.gname
+  | None -> ()
+
+(* Wavefront derives its shifts from the whole program as it stood when
+   the step was checked; a later program rewrite could silently
+   invalidate them (a legal script must stay realizable). *)
+let check_not_wave st what =
+  match st.style with
+  | Wave _ ->
+    fail "%s: wavefront schedules the whole sequence; program rewrites \
+          cannot follow it"
+      what
+  | Peel -> ()
+
+(* Resolve a >=2 target list naming consecutive nests (in program
+   order) that are not claimed by any recorded group. *)
+let resolve_slice st what targets =
+  (match targets with
+  | [] | [ _ ] -> fail "%s needs at least two target nests" what
+  | _ -> ());
+  let distinct = List.sort_uniq String.compare targets in
+  if List.length distinct <> List.length targets then
+    fail "%s targets must be distinct" what;
+  List.iter (check_free st) targets;
+  let pos = List.map (fun id -> (nest_pos st id, id)) targets in
+  let rec consecutive = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if b <> a + 1 then
+        fail "%s targets must be consecutive nests in program order" what
+      else consecutive rest
+    | _ -> ()
+  in
+  consecutive pos;
+  let start = fst (List.hd pos) in
+  let nests =
+    List.filteri
+      (fun i _ -> i >= start && i < start + List.length targets)
+      st.prog.Ir.nests
+  in
+  (start, nests)
+
+let splice prog ~start ~len replacement =
+  let before = List.filteri (fun i _ -> i < start) prog.Ir.nests in
+  let after = List.filteri (fun i _ -> i >= start + len) prog.Ir.nests in
+  { prog with Ir.nests = before @ replacement @ after }
+
+let check_fresh_nid st ~replacing nid =
+  if
+    List.exists
+      (fun (n : Ir.nest) ->
+        String.equal n.Ir.nid nid && not (List.mem n.Ir.nid replacing))
+      st.prog.Ir.nests
+  then fail "a nest named %s already exists" nid
+
+(* ------------------------------------------------------------------ *)
+(* fuse: plain fusion (paper §2.2)                                     *)
+
+let do_fuse st ~targets ~into =
+  check_not_wave st "fuse";
+  let start, nests = resolve_slice st "fuse" targets in
+  let base = List.hd nests in
+  let depth = List.length base.Ir.levels in
+  List.iter
+    (fun (n : Ir.nest) ->
+      if List.length n.Ir.levels <> depth then
+        fail "fuse: nest %s has %d loop level(s), %s has %d — mismatched nesting"
+          n.Ir.nid (List.length n.Ir.levels) base.Ir.nid depth)
+    nests;
+  let slice = { st.prog with Ir.nests = nests } in
+  let arr = Array.of_list nests in
+  let w = Legality.classify_witness ~depth slice in
+  (match w.Legality.w_verdict with
+  | Legality.Fusion_preventing _ ->
+    let e = Option.get w.Legality.w_edge in
+    fail ~witness:e
+      "fuse: backward loop-carried dependence makes plain fusion illegal \
+       (Figure 3): %s; use shift_peel"
+      (edge_str arr e)
+  | Legality.Not_analyzable _ ->
+    let e = Option.get w.Legality.w_edge in
+    fail ~witness:e "fuse: dependence distance is not uniform: %s"
+      (edge_str arr e)
+  | Legality.Fusable_serial _ | Legality.Fusable_parallel -> ());
+  let serialized = match w.Legality.w_verdict with
+    | Legality.Fusable_serial _ -> true
+    | _ -> false
+  in
+  (* union bounds per level; members with narrower bounds get guards *)
+  let union_levels =
+    List.mapi
+      (fun d (l : Ir.level) ->
+        let lo =
+          List.fold_left
+            (fun acc (n : Ir.nest) -> min acc (List.nth n.Ir.levels d).Ir.lo)
+            l.Ir.lo nests
+        and hi =
+          List.fold_left
+            (fun acc (n : Ir.nest) -> max acc (List.nth n.Ir.levels d).Ir.hi)
+            l.Ir.hi nests
+        and parallel =
+          (not serialized)
+          && List.for_all
+               (fun (n : Ir.nest) -> (List.nth n.Ir.levels d).Ir.parallel)
+               nests
+        in
+        { l with Ir.lo; hi; parallel })
+      base.Ir.levels
+  in
+  let fvars = List.map (fun (l : Ir.level) -> l.Ir.lvar) base.Ir.levels in
+  let body =
+    List.concat_map
+      (fun (n : Ir.nest) ->
+        let mapping =
+          List.map2 (fun (l : Ir.level) fv -> (l.Ir.lvar, fv)) n.Ir.levels fvars
+        in
+        let rename v = try List.assoc v mapping with Not_found -> v in
+        let extra_guard =
+          List.concat
+            (List.map2
+               (fun (l : Ir.level) (u : Ir.level) ->
+                 if l.Ir.lo = u.Ir.lo && l.Ir.hi = u.Ir.hi then []
+                 else [ (u.Ir.lvar, l.Ir.lo, l.Ir.hi) ])
+               n.Ir.levels union_levels)
+        in
+        List.map
+          (fun s ->
+            let s = Ir.rename_stmt rename s in
+            { s with Ir.guard = extra_guard @ s.Ir.guard })
+          n.Ir.body)
+      nests
+  in
+  let nid = match into with Some id -> id | None -> base.Ir.nid in
+  check_fresh_nid st ~replacing:targets nid;
+  let fused = { Ir.nid; levels = union_levels; body } in
+  (* safety net: fusion may create intra-nest carried dependences the
+     inter-nest classifier cannot see through guards; demote to serial
+     rather than ship an unsound doall *)
+  let fused =
+    if Dep.verify_doall fused = Ok () then fused
+    else
+      {
+        fused with
+        Ir.levels =
+          List.map (fun (l : Ir.level) -> { l with Ir.parallel = false }) fused.Ir.levels;
+      }
+  in
+  let prog = splice st.prog ~start ~len:(List.length targets) [ fused ] in
+  Ir.validate prog;
+  { st with prog }
+
+(* ------------------------------------------------------------------ *)
+(* fission: loop distribution into pi-blocks                           *)
+
+let do_fission st ~target =
+  check_not_wave st "fission";
+  let idx = nest_pos st target in
+  check_free st target;
+  let n = List.nth st.prog.Ir.nests idx in
+  if List.length n.Ir.body <= 1 then
+    fail "fission: nest %s has a single statement; nothing to distribute"
+      target;
+  let parts = Distribute.distribute_nest n in
+  if List.length parts = 1 then
+    fail
+      "fission: the statements of %s form a single pi-block (a dependence \
+       cycle ties them together); distribution is illegal"
+      target;
+  List.iter (fun (p : Ir.nest) -> check_fresh_nid st ~replacing:[ target ] p.Ir.nid) parts;
+  let prog = splice st.prog ~start:idx ~len:1 parts in
+  Ir.validate prog;
+  { st with prog }
+
+(* ------------------------------------------------------------------ *)
+(* shift_peel: record a shift-and-peel fusion group (paper §3)         *)
+
+let slice_of_members st members =
+  let nests =
+    List.filter (fun (n : Ir.nest) -> List.mem n.Ir.nid members) st.prog.Ir.nests
+  in
+  { st.prog with Ir.nests = nests }
+
+let group_derive st g =
+  let slice = slice_of_members st g.members in
+  let depth = max 1 (Dep.max_parallel_depth slice) in
+  (depth, Derive.of_program ~depth slice)
+
+let do_shift_peel st ~targets ~into =
+  (match st.style with
+  | Wave _ ->
+    fail "shift_peel: a wavefront schedule is already in place; choose \
+          one style"
+  | Peel -> ());
+  let _start, nests = resolve_slice st "shift_peel" targets in
+  let slice = { st.prog with Ir.nests = nests } in
+  let arr = Array.of_list nests in
+  let depth = Dep.max_parallel_depth slice in
+  if depth = 0 then begin
+    let culprit =
+      List.find
+        (fun (n : Ir.nest) -> not (List.hd n.Ir.levels).Ir.parallel)
+        nests
+    in
+    fail "shift_peel: nest %s has no outer doall level — shift-and-peel \
+          fuses parallel loops only"
+      culprit.Ir.nid
+  end;
+  (match Dep.verify_program slice with
+  | Error m -> fail "shift_peel: %s" m
+  | Ok () -> ());
+  let g = Dep.build ~depth slice in
+  (match Dep.not_uniform_edges g with
+  | e :: _ ->
+    fail ~witness:e
+      "shift_peel: shift and peel amounts need uniform dependence \
+       distances, but %s"
+      (edge_str arr e)
+  | [] -> ());
+  let derive =
+    match Derive.of_multigraph g with
+    | d -> d
+    | exception Derive.Not_applicable m -> fail "shift_peel: %s" m
+  in
+  (* Theorem 1 probe on one processor: is the fused schedule buildable
+     at all?  Per-nprocs block thresholds are re-checked at realize
+     time (Sim.legal). *)
+  (match Schedule.fused ~derive ~nprocs:1 slice with
+  | _ -> ()
+  | exception Schedule.Illegal m ->
+    fail "shift_peel: %s" m);
+  let gname =
+    match into with
+    | Some id -> id
+    | None -> Printf.sprintf "F%d" (List.length st.groups + 1)
+  in
+  if List.exists (fun g -> String.equal g.gname gname) st.groups then
+    fail "a fusion group named %s already exists" gname;
+  (* keep groups sorted by program position *)
+  let pos id = nest_pos st id in
+  let groups =
+    List.sort
+      (fun a b -> compare (pos (List.hd a.members)) (pos (List.hd b.members)))
+      ({ gname; members = targets } :: st.groups)
+  in
+  { st with groups }
+
+(* ------------------------------------------------------------------ *)
+(* strip_mine / interchange / partition / wavefront / align            *)
+
+let do_strip_mine st ~strip =
+  if strip < 1 then fail "strip-mining factor must be positive (got %d)" strip;
+  if st.groups = [] then
+    fail "no fused group to strip-mine; apply shift_peel first";
+  (match st.style with
+  | Wave _ -> fail "wavefront tiles the fused space itself; strip_mine \
+                    applies to the shift-and-peel style"
+  | Peel -> ());
+  { st with strip = Some strip }
+
+let do_interchange st ~target =
+  check_not_wave st "interchange";
+  let idx = nest_pos st target in
+  check_free st target;
+  let n = List.nth st.prog.Ir.nests idx in
+  (match n.Ir.levels with
+  | _ :: _ :: _ -> ()
+  | ls ->
+    fail "interchange: nest %s has %d loop level(s); interchange needs two"
+      target (List.length ls));
+  let l0 = List.nth n.Ir.levels 0 and l1 = List.nth n.Ir.levels 1 in
+  List.iter
+    (fun (dim, (l : Ir.level)) ->
+      if Dep.may_carry_dim n ~dim then
+        fail
+          "interchange: loop level %d (%s) of %s may carry a dependence; \
+           interchanging would reorder its iterations"
+          dim l.Ir.lvar target)
+    [ (0, l0); (1, l1) ];
+  let levels = l1 :: l0 :: List.filteri (fun i _ -> i >= 2) n.Ir.levels in
+  let prog =
+    splice st.prog ~start:idx ~len:1 [ { n with Ir.levels } ]
+  in
+  Ir.validate prog;
+  { st with prog }
+
+let do_partition st =
+  if Partition.program_compatible st.prog then { st with partitioned = true }
+  else begin
+    let refs = List.concat_map Ir.nest_refs st.prog.Ir.nests in
+    let bad =
+      List.find_map
+        (fun (r1 : Ir.aref) ->
+          List.find_map
+            (fun (r2 : Ir.aref) ->
+              if
+                List.length r1.Ir.index = List.length r2.Ir.index
+                && not (Partition.compatible_refs r1 r2)
+              then Some (r1, r2)
+              else None)
+            refs)
+        refs
+    in
+    match bad with
+    | Some (r1, r2) ->
+      fail
+        "partition: references %s and %s have different subscript mappings; \
+         cache partitioning cannot keep them conflict-free (§4)"
+        (Fmt.str "%a" Ir.pp_aref r1)
+        (Fmt.str "%a" Ir.pp_aref r2)
+    | None -> fail "partition: references are not pairwise compatible"
+  end
+
+let do_wavefront st ~tile =
+  (match tile with
+  | Some t when t < 1 -> fail "wavefront tile must be positive (got %d)" t
+  | _ -> ());
+  (match st.groups with
+  | g :: _ ->
+    fail "wavefront schedules the whole sequence; it cannot follow \
+          shift_peel group %s"
+      g.gname
+  | [] -> ());
+  let depth = Dep.max_parallel_depth st.prog in
+  if depth = 0 then
+    fail "wavefront: the program has no common outer doall level";
+  (match Dep.verify_program st.prog with
+  | Error m -> fail "wavefront: %s" m
+  | Ok () -> ());
+  let g = Dep.build ~depth st.prog in
+  let arr = Array.of_list st.prog.Ir.nests in
+  (match Dep.not_uniform_edges g with
+  | e :: _ ->
+    fail ~witness:e "wavefront: shifting needs uniform dependence \
+                     distances, but %s"
+      (edge_str arr e)
+  | [] -> ());
+  (match Derive.of_multigraph g with
+  | _ -> ()
+  | exception Derive.Not_applicable m -> fail "wavefront: %s" m);
+  { st with style = Wave tile }
+
+let do_align st =
+  (match st.groups with
+  | g :: _ ->
+    fail "align rewrites the whole sequence; it cannot follow shift_peel \
+          group %s"
+      g.gname
+  | [] -> ());
+  (match st.style with
+  | Wave _ -> fail "align cannot follow wavefront; choose one style"
+  | Peel -> ());
+  match Alignrep.transform st.prog with
+  | Error m -> fail "align: %s" m
+  | Ok r ->
+    (match Alignrep.verify_sync_free r with
+    | Error m -> fail "align: %s" m
+    | Ok () -> ());
+    Ir.validate r.Alignrep.prog;
+    { st with prog = r.Alignrep.prog }
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoints                                                         *)
+
+let matrix_str (m : int array array) =
+  let row (r : int array) =
+    match Array.to_list r with
+    | [ x ] -> string_of_int x
+    | xs -> "(" ^ String.concat " " (List.map string_of_int xs) ^ ")"
+  in
+  "[" ^ String.concat " " (Array.to_list (Array.map row m)) ^ "]"
+
+let checkpoint_to_string st =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Ir.program_to_string st.prog);
+  let annotate fmt = Printf.ksprintf (fun s ->
+      Buffer.add_string b ("/* schedule: " ^ s ^ " */\n")) fmt
+  in
+  List.iter
+    (fun g ->
+      let depth, d = group_derive st g in
+      annotate "group %s = %s (depth %d; shift %s; peel %s)" g.gname
+        (String.concat " " g.members)
+        depth
+        (matrix_str d.Derive.shift)
+        (matrix_str d.Derive.peel))
+    st.groups;
+  (match st.strip with
+  | Some s -> annotate "strip %d" s
+  | None -> ());
+  (match st.style with
+  | Wave None -> annotate "wavefront"
+  | Wave (Some t) -> annotate "wavefront tile %d" t
+  | Peel -> ());
+  if st.partitioned then annotate "cache-partitioned layout";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Application                                                         *)
+
+let apply ?(index = 0) st step =
+  let go () =
+    match step with
+    | Fuse { targets; into } -> do_fuse st ~targets ~into
+    | Fission { target } -> do_fission st ~target
+    | Shift_peel { targets; into } -> do_shift_peel st ~targets ~into
+    | Strip_mine { strip } -> do_strip_mine st ~strip
+    | Interchange { target } -> do_interchange st ~target
+    | Partition -> do_partition st
+    | Wavefront { tile } -> do_wavefront st ~tile
+    | Align -> do_align st
+  in
+  match go () with
+  | st' -> Ok st'
+  | exception Fail (reason, witness) ->
+    Error { e_step = step; e_index = index; reason; witness_dep = witness }
+  | exception Ir.Invalid m ->
+    Error
+      {
+        e_step = step;
+        e_index = index;
+        reason = "produced an invalid program: " ^ m;
+        witness_dep = None;
+      }
+
+let run ?(checkpoint = fun _ _ _ -> ()) p steps =
+  let rec go i st = function
+    | [] -> Ok st
+    | s :: rest -> (
+      match apply ~index:i st s with
+      | Error e -> Error e
+      | Ok st' ->
+        checkpoint i s st';
+        go (i + 1) st' rest)
+  in
+  go 0 (init p) steps

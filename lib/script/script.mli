@@ -1,0 +1,128 @@
+(** Transformation scripts over the loop IR (OptiTrust-style).
+
+    A script composes small targeted steps against {e named} loop nests:
+    [fuse], [fission], [shift_peel], [strip_mine], [interchange],
+    [partition], [wavefront] and [align] are first-class values.  Each
+    step is legality-checked by {!Lf_dep.Dep} against the current
+    program {e before} it touches the state; an illegal step produces a
+    typed {!error} carrying the offending dependence edge.  The state
+    after every step can be checkpointed as pretty-printed IR plus
+    schedule annotations — the testing backbone: goldens per step under
+    [test/golden/], diffed by [dune runtest].
+
+    Steps come in two kinds: program rewrites ([fuse], [fission],
+    [interchange], [align]) change the nest structure while preserving
+    {!Lf_ir.Interp} semantics bit-exactly; schedule directives
+    ([shift_peel], [strip_mine], [partition], [wavefront]) leave the IR
+    unchanged and accumulate the execution strategy that
+    {!Realize} lowers to a {!Lf_core.Schedule.t} /
+    {!Lf_machine.Sim.request}. *)
+
+type step =
+  | Fuse of { targets : string list; into : string option }
+      (** Plain fusion (paper §2.2) of consecutive nests into one, with
+          union bounds and guards where member bounds differ; illegal
+          under a backward loop-carried dependence (Figure 3), legal but
+          serialized under a forward one (Figure 4). *)
+  | Fission of { target : string }
+      (** Loop distribution into pi-blocks ({!Lf_core.Distribute});
+          illegal when the statements form a single dependence cycle. *)
+  | Shift_peel of { targets : string list; into : string option }
+      (** Fuse consecutive nests with shift-and-peel (paper §3): the
+          IR is left unchanged; the group and its derived shift/peel
+          amounts become part of the schedule. *)
+  | Strip_mine of { strip : int }
+      (** Strip-mining factor for the fused dimensions (§3.4). *)
+  | Interchange of { target : string }
+      (** Swap the outer two loop levels of a nest; conservatively
+          requires both levels free of carried dependences. *)
+  | Partition
+      (** Cache-partitioned array layout (Figure 19); requires pairwise
+          compatible references (§4). *)
+  | Wavefront of { tile : int option }
+      (** Wavefront execution of the shifted fused space instead of
+          peeling (the authors' companion technique).  Terminal for the
+          loop structure: later program rewrites or [shift_peel] are
+          rejected, since they would invalidate the derived shifts. *)
+  | Align
+      (** Alignment + replication baseline ({!Lf_core.Alignrep});
+          rewrites the program with copy nests and replicas. *)
+
+val step_name : step -> string
+(** Short identifier used in checkpoint file names ("fuse",
+    "shift_peel", ...). *)
+
+val step_to_string : step -> string
+(** One [.lft] script line (without newline); {!Lf_front.Lft.parse}
+    inverts it. *)
+
+val script_to_string : step list -> string
+(** Canonical [.lft] text: one step per line, trailing newline.
+    Print -> parse -> print is a fixpoint. *)
+
+(** {1 Combinator constructors} *)
+
+val fuse : ?into:string -> string list -> step
+val fission : string -> step
+val shift_peel : ?into:string -> string list -> step
+val strip_mine : int -> step
+val interchange : string -> step
+val partition : step
+val wavefront : ?tile:int -> unit -> step
+val align : step
+
+(** {1 State} *)
+
+type group = { gname : string; members : string list }
+(** A recorded shift-and-peel fusion group (consecutive nest ids). *)
+
+type style = Peel | Wave of int option
+
+type state = {
+  prog : Lf_ir.Ir.program;
+  groups : group list;  (** shift-and-peel groups, in program order *)
+  strip : int option;  (** strip-mining factor, when set *)
+  style : style;
+  partitioned : bool;  (** cache-partitioned layout requested *)
+}
+
+val init : Lf_ir.Ir.program -> state
+(** Validates the program (raises {!Lf_ir.Ir.Invalid}). *)
+
+val group_derive : state -> group -> int * Lf_core.Derive.t
+(** [(depth, derive)] for a recorded group, recomputed from the current
+    program slice. *)
+
+val checkpoint_to_string : state -> string
+(** Pretty-printed IR followed by [/* schedule: ... */] annotation
+    comments (still parseable as a [.loop] file). *)
+
+(** {1 Errors} *)
+
+type error = {
+  e_step : step;
+  e_index : int;  (** 0-based position of the step in the script *)
+  reason : string;
+  witness_dep : Lf_dep.Dep.edge option;
+      (** the dependence that makes the step illegal, when one does *)
+}
+
+exception Illegal of error
+
+val error_to_string : error -> string
+
+(** {1 Application} *)
+
+val apply : ?index:int -> state -> step -> (state, error) result
+(** Check legality of one step against the current state and apply it.
+    Never raises {!Illegal}; the program in a returned [Ok] state is
+    validated. *)
+
+val run :
+  ?checkpoint:(int -> step -> state -> unit) ->
+  Lf_ir.Ir.program ->
+  step list ->
+  (state, error) result
+(** Fold {!apply} over a script from {!init}; [checkpoint i step st] is
+    called after step [i] (0-based) succeeds.  Stops at the first
+    illegal step. *)

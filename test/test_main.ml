@@ -30,4 +30,5 @@ let () =
       ("roundtrip", Test_roundtrip.suite);
       ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);
+      ("script", Test_script.suite);
     ]

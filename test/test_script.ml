@@ -1,0 +1,727 @@
+(* The transformation-script engine (lib/script + the .lft language).
+
+   Four pillars:
+
+   1. Golden checkpoints: the shipped fig9/heat2d scripts replay the
+      paper's fused shift-and-peel schedules; the pretty-printed state
+      after every step is pinned to test/golden/<prog>_NN_<step>_exp.loop.
+      Regenerate intentionally changed goldens with
+      LF_PROMOTE=1 dune runtest (the CLI-driven copies in test/dune are
+      refreshed with dune promote).
+
+   2. Semantic equivalence (qcheck): any random script whose steps all
+      pass the legality checks yields a program whose Interp results
+      are bit-identical to the untransformed program on random inputs —
+      over the six paper kernels plus the two shipped .loop examples.
+      A second property checks the realized schedule executes
+      bit-identically under all processor interleavings.
+
+   3. The .lft language: print -> parse -> print is a fixpoint, and
+      parse errors carry exact 1-based line/column positions.
+
+   4. Negative-legality matrix: for every step kind at least one
+      illegal application is rejected with the offending dependence
+      named in the message (and carried as a typed witness edge). *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Dep = Lf_dep.Dep
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Script = Lf_script.Script
+module Realize = Lf_script.Realize
+module Lft = Lf_front.Lft
+module Sim = Lf_machine.Sim
+module Machine = Lf_machine.Machine
+
+open QCheck
+
+let contains = Tutil.contains
+
+(* ------------------------------------------------------------------ *)
+(* Paths: tests run from _build/default/test; fall back to the repo
+   root so the suite also works under `dune exec test/test_main.exe`
+   from the top. *)
+
+let first_existing what candidates =
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None ->
+    Alcotest.failf "cannot locate %s (tried %s)" what
+      (String.concat ", " candidates)
+
+let example path =
+  first_existing path [ "../examples/" ^ path; "examples/" ^ path ]
+
+let golden_path name =
+  first_existing name [ "golden/" ^ name; "test/golden/" ^ name ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let promote = Sys.getenv_opt "LF_PROMOTE" = Some "1"
+
+(* LF_PROMOTE must rewrite the goldens in the SOURCE tree, not the
+   build mirror. *)
+let promote_path name =
+  let dir =
+    first_existing "source test/golden directory"
+      [ "../../../test/golden"; "test/golden"; "golden" ]
+  in
+  Filename.concat dir name
+
+let check_golden name actual =
+  if promote then begin
+    let oc = open_out_bin (promote_path name) in
+    output_string oc actual;
+    close_out oc
+  end
+  else
+    match read_file (golden_path name) with
+    | expected -> Alcotest.(check string) name expected actual
+    | exception _ ->
+      Alcotest.failf "missing golden %s (regenerate with LF_PROMOTE=1 dune \
+                      runtest)" name
+
+(* ------------------------------------------------------------------ *)
+(* Golden checkpoint corpus: the paper's schedules for the two shipped
+   .loop examples. *)
+
+let run_with_checkpoints p steps =
+  let cks = ref [ (0, "input", Script.checkpoint_to_string (Script.init p)) ] in
+  match
+    Script.run
+      ~checkpoint:(fun i s st ->
+        cks := (i + 1, Script.step_name s, Script.checkpoint_to_string st)
+               :: !cks)
+      p steps
+  with
+  | Error e -> Alcotest.failf "script failed: %s" (Script.error_to_string e)
+  | Ok st -> (st, List.rev !cks)
+
+let int_matrix = Alcotest.(array (array int))
+
+let golden_case ~prog ~script ~shift ~peel () =
+  let p = Lf_front.Parse.program_of_file (example ("programs/" ^ prog)) in
+  let steps = Lft.parse_file (example ("scripts/" ^ script)) in
+  let st, cks = run_with_checkpoints p steps in
+  List.iter
+    (fun (i, name, text) ->
+      check_golden (Printf.sprintf "%s_%02d_%s_exp.loop" p.Ir.pname i name) text)
+    cks;
+  (* the recorded group must reproduce the paper's shift/peel vectors *)
+  (match Realize.whole_program_derive st with
+  | None -> Alcotest.fail "expected a whole-program shift-and-peel group"
+  | Some (_depth, d) ->
+    Alcotest.check int_matrix (prog ^ ": shifts") shift d.Derive.shift;
+    Alcotest.check int_matrix (prog ^ ": peels") peel d.Derive.peel);
+  (* the realized schedule executes bit-identically to the reference *)
+  let sched = Realize.schedule ~nprocs:4 st in
+  let reference = Interp.run p in
+  List.iter
+    (fun order ->
+      Alcotest.(check bool)
+        (prog ^ ": schedule bit-identical") true
+        (Interp.equal reference (Schedule.execute ~order sched)))
+    [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ];
+  (* the realized request is the canonical Fused variant and is legal *)
+  let req = Realize.request ~machine:Machine.convex ~nprocs:4 st in
+  Alcotest.(check bool) (prog ^ ": Sim.legal") true (Sim.legal req);
+  (match req.Sim.variant with
+  | Sim.Fused { strip = Some _; derive = Some _; _ } -> ()
+  | _ -> Alcotest.fail (prog ^ ": expected the canonical Fused variant"));
+  Alcotest.(check bool)
+    (prog ^ ": partitioned layout requested") true
+    (req.Sim.layout <> None)
+
+let test_fig9_goldens () =
+  golden_case ~prog:"fig9.loop" ~script:"fig9_shift_peel.lft"
+    ~shift:[| [| 0 |]; [| 1 |]; [| 2 |] |]
+    ~peel:[| [| 0 |]; [| 1 |]; [| 2 |] |]
+    ()
+
+let test_heat2d_goldens () =
+  golden_case ~prog:"heat2d.loop" ~script:"heat2d_shift_peel.lft"
+    ~shift:[| [| 0; 0 |]; [| 1; 1 |] |]
+    ~peel:[| [| 0; 0 |]; [| 1; 1 |] |]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Random-script semantic equivalence. *)
+
+(* Deterministic random init, respecting the double-underscore alias
+   convention (Interp.default_init): arrays introduced by a
+   transformation ("za__copy") must start from the base array's
+   values. *)
+let base_name name =
+  let n = String.length name in
+  let rec go i =
+    if i + 1 >= n then name
+    else if name.[i] = '_' && name.[i + 1] = '_' then String.sub name 0 i
+    else go (i + 1)
+  in
+  go 0
+
+let seeded_init seed name k =
+  let h = Hashtbl.hash (seed, base_name name, k) land 0xFFFFF in
+  1.0 +. (float_of_int h /. 1048576.0)
+
+(* The six paper kernels (test_roundtrip sizes) plus the two shipped
+   .loop examples. *)
+let pool =
+  lazy
+    [
+      ("ll18", Lf_kernels.Ll18.program ~n:32 ());
+      ("calc", Lf_kernels.Calc.program ~n:32 ());
+      ("filter", Lf_kernels.Filter.program ~rows:24 ~cols:20 ());
+      ("jacobi", Lf_kernels.Jacobi.program ~n:24 ());
+      ( "fig9",
+        Tutil.chain_program ~name:"fig9" ~lo:2 ~hi:30
+          [ [ 0 ]; [ 1; -1 ]; [ 1; -1 ] ] );
+      ( "tomcatv-seq1",
+        List.hd (Lf_kernels.Apps.tomcatv ~n:33 ()).Lf_kernels.Apps.sequences );
+      ( "fig9.loop",
+        Lf_front.Parse.program_of_file (example "programs/fig9.loop") );
+      ( "heat2d.loop",
+        Lf_front.Parse.program_of_file (example "programs/heat2d.loop") );
+    ]
+
+(* Random steps drawing targets from the program's actual nest ids
+   (consecutive slices for fuse/shift_peel, so a decent fraction of
+   scripts is legal; steps whose targets vanished after a rewrite are
+   rejected by the legality layer, which is exactly the contract). *)
+let gen_step ids =
+  let open Gen in
+  let nids = Array.of_list ids in
+  let n = Array.length nids in
+  let id = oneofl ids in
+  let slice =
+    if n < 2 then return ids
+    else
+      let* start = int_range 0 (n - 2) in
+      let* len = int_range 2 (n - start) in
+      return (Array.to_list (Array.sub nids start len))
+  in
+  frequency
+    [
+      (3, slice >|= fun ts -> Script.shift_peel ts);
+      (2, slice >|= fun ts -> Script.fuse ts);
+      (2, id >|= Script.fission);
+      (1, int_range (-2) 24 >|= Script.strip_mine);
+      (1, id >|= Script.interchange);
+      (1, return Script.partition);
+      ((1, opt (int_range 1 9) >|= fun tile -> Script.Wavefront { tile }));
+      (1, return Script.align);
+    ]
+
+let arb_script_case =
+  let progs = Array.of_list (Lazy.force pool) in
+  let gen =
+    let open Gen in
+    let* k = int_range 0 (Array.length progs - 1) in
+    let _, p = progs.(k) in
+    let ids = List.map (fun (n : Ir.nest) -> n.Ir.nid) p.Ir.nests in
+    let* steps = list_size (int_range 1 5) (gen_step ids) in
+    let* seed = int_range 0 1_000_000 in
+    return (k, steps, seed)
+  in
+  make
+    ~print:(fun (k, steps, seed) ->
+      let name, _ = progs.(k) in
+      Printf.sprintf "%s seed=%d\n%s" name seed (Script.script_to_string steps))
+    gen
+
+(* Any script that passes every per-step legality check preserves
+   Interp semantics bit-exactly on random inputs (original arrays). *)
+let prop_legal_script_bit_identical =
+  let progs = Array.of_list (Lazy.force pool) in
+  Test.make ~count:400 ~name:"legal script => bit-identical semantics"
+    arb_script_case
+    (fun (k, steps, seed) ->
+      let _, p = progs.(k) in
+      match Script.run p steps with
+      | Error _ -> true (* rejected scripts are vacuously fine *)
+      | Ok st ->
+        let init = seeded_init seed in
+        let reference = Interp.run ~init p in
+        let got = Interp.run ~init st.Script.prog in
+        List.for_all
+          (fun (d : Ir.decl) ->
+            Interp.find_array reference d.Ir.aname
+            = Interp.find_array got d.Ir.aname)
+          p.Ir.decls)
+
+(* ... and the REALIZED schedule of a legal script executes
+   bit-identically to the serial reference under every interleaving
+   (whenever the Theorem 1 threshold admits the configuration). *)
+let prop_legal_script_schedule =
+  let progs = Array.of_list (Lazy.force pool) in
+  Test.make ~count:150 ~name:"legal script => realized schedule bit-identical"
+    (pair arb_script_case (int_range 1 4))
+    (fun ((k, steps, seed), nprocs) ->
+      let _, p = progs.(k) in
+      match Script.run p steps with
+      | Error _ -> true
+      | Ok st -> (
+        match Realize.schedule ~nprocs st with
+        | exception Schedule.Illegal _ -> true (* threshold rejects *)
+        | exception Invalid_argument _ -> true (* more procs than iters *)
+        | sched ->
+          let init = seeded_init seed in
+          let reference = Interp.run ~init st.Script.prog in
+          List.for_all
+            (fun order ->
+              Interp.equal reference (Schedule.execute ~order ~init sched))
+            [ Schedule.Natural; Schedule.Reversed; Schedule.Interleaved ]))
+
+(* ------------------------------------------------------------------ *)
+(* The .lft language. *)
+
+let gen_ident =
+  Gen.oneofl [ "L1"; "L2"; "L3"; "step"; "copyback"; "F"; "a_1"; "x9" ]
+
+(* Arbitrary printable steps (targets need not name real nests: the
+   fixpoint is a parser property, not a legality property). *)
+let gen_print_step =
+  let open Gen in
+  let targets = list_size (int_range 1 3) gen_ident in
+  let into = opt gen_ident in
+  frequency
+    [
+      ( 2,
+        let* ts = targets and* into = into in
+        return (Script.Fuse { targets = ts; into }) );
+      ( 2,
+        let* ts = targets and* into = into in
+        return (Script.Shift_peel { targets = ts; into }) );
+      (2, gen_ident >|= Script.fission);
+      (1, int_range (-5) 99 >|= Script.strip_mine);
+      (2, gen_ident >|= Script.interchange);
+      (1, return Script.partition);
+      ((1, opt (int_range 0 99) >|= fun tile -> Script.Wavefront { tile }));
+      (1, return Script.align);
+    ]
+
+let arb_print_script =
+  make
+    ~print:(fun steps -> Script.script_to_string steps)
+    Gen.(list_size (int_range 0 8) gen_print_step)
+
+let prop_lft_fixpoint =
+  Test.make ~count:250 ~name:".lft print -> parse -> print is a fixpoint"
+    arb_print_script
+    (fun steps ->
+      let s = Script.script_to_string steps in
+      let steps' = Lft.parse s in
+      steps' = steps && String.equal (Script.script_to_string steps') s)
+
+(* An unparseable line inserted anywhere is reported at exactly that
+   1-based line (and column 1 for an unknown step word). *)
+let prop_lft_error_position =
+  Test.make ~count:120 ~name:".lft parse errors carry line/column"
+    (pair arb_print_script small_nat)
+    (fun (steps, idx) ->
+      let lines = List.map Script.step_to_string steps in
+      let k = idx mod (List.length lines + 1) in
+      let before = List.filteri (fun i _ -> i < k) lines in
+      let after = List.filteri (fun i _ -> i >= k) lines in
+      let src = String.concat "\n" (before @ ("@@@ bogus" :: after)) ^ "\n" in
+      match Lft.parse src with
+      | _ -> false
+      | exception Lft.Error { line; col; _ } -> line = k + 1 && col = 1)
+
+let test_lft_error_columns () =
+  let check_err src eline ecol =
+    match Lft.parse src with
+    | _ -> Alcotest.failf "expected a parse error for %S" src
+    | exception Lft.Error { line; col; msg } ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "%S -> %s" src msg)
+        (eline, ecol) (line, col)
+  in
+  check_err "strip_mine xyz\n" 1 12;
+  check_err "fuse L1 L2\nbogus L1\n" 2 1;
+  check_err "partition extra\n" 1 11;
+  check_err "fuse L1 into\n" 1 13;
+  check_err "wavefront 3 4\n" 1 13;
+  check_err "shift_peel L1 9x\n" 1 15;
+  check_err "fission\n" 1 8;
+  (* comments and blank lines do not shift positions *)
+  check_err "# header\n\nshift_peel L1 L2 # ok\nstrip_mine many\n" 4 12;
+  (* error rendering *)
+  (match Lft.parse "strip_mine xyz" with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception e ->
+    (match Lft.error_to_string ~file:"s.lft" e with
+    | Some s ->
+      Alcotest.(check bool) "rendered position" true (contains s "s.lft:1:12")
+    | None -> Alcotest.fail "error_to_string returned None"))
+
+(* ------------------------------------------------------------------ *)
+(* Negative-legality matrix: one rejected application per step kind,
+   with the offending dependence named. *)
+
+let expect_illegal ?(witness = false) p steps fragments =
+  match Script.run p steps with
+  | Ok _ ->
+    Alcotest.failf "expected an illegal step in:\n%s"
+      (Script.script_to_string steps)
+  | Error e ->
+    let msg = Script.error_to_string e in
+    List.iter
+      (fun frag ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" msg frag)
+          true (contains msg frag))
+      fragments;
+    if witness then
+      Alcotest.(check bool) "carries a witness dependence" true
+        (e.Script.witness_dep <> None);
+    e
+
+(* A 1-D two-nest program with a non-uniform (2*i) cross-nest read. *)
+let nonuniform_program () =
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "nonuni";
+      decls =
+        List.map
+          (fun a -> { Ir.aname = a; extents = [ 64 ] })
+          [ "a0"; "a1"; "a2" ];
+      nests =
+        [
+          {
+            Ir.nid = "L1";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 10; parallel = true } ];
+            body = [ Ir.stmt (Ir.aref "a1" [ i 0 ]) (Ir.Read (Ir.aref "a0" [ i 0 ])) ];
+          };
+          {
+            Ir.nid = "L2";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 10; parallel = true } ];
+            body =
+              [
+                Ir.stmt
+                  (Ir.aref "a2" [ i 0 ])
+                  (Ir.Read (Ir.aref "a1" [ Ir.affine [ (2, "i") ] ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  p
+
+let test_illegal_fuse () =
+  (* a2[i] = a1[i+1]: backward (distance -1) flow dependence, the
+     Figure 3 case plain fusion must reject *)
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1 ] ] in
+  let e =
+    expect_illegal ~witness:true p
+      [ Script.fuse [ "L1"; "L2" ] ]
+      [ "fuse"; "backward"; "a1"; "L1 -> L2"; "(-1)" ]
+  in
+  (match e.Script.witness_dep with
+  | Some edge ->
+    Alcotest.(check string) "witness array" "a1" edge.Dep.array;
+    Alcotest.(check bool) "witness kind" true (edge.Dep.dkind = Dep.Flow)
+  | None -> Alcotest.fail "no witness");
+  (* unknown target *)
+  ignore
+    (expect_illegal p
+       [ Script.fuse [ "L1"; "Lx" ] ]
+       [ "no nest named Lx" ]);
+  (* non-consecutive targets *)
+  let p3 = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 0 ]; [ 0 ] ] in
+  ignore
+    (expect_illegal p3
+       [ Script.fuse [ "L1"; "L3" ] ]
+       [ "consecutive" ])
+
+let test_illegal_fission () =
+  (* mutually dependent statements: a[i] = b[i-1]; b[i] = a[i-1] form
+     one pi-block *)
+  let i o = Ir.av ~c:o "i" in
+  let p =
+    {
+      Ir.pname = "cyc";
+      decls =
+        List.map (fun a -> { Ir.aname = a; extents = [ 32 ] }) [ "a"; "b" ];
+      nests =
+        [
+          {
+            Ir.nid = "L";
+            levels = [ { Ir.lvar = "i"; lo = 1; hi = 20; parallel = false } ];
+            body =
+              [
+                Ir.stmt (Ir.aref "a" [ i 0 ]) (Ir.Read (Ir.aref "b" [ i (-1) ]));
+                Ir.stmt (Ir.aref "b" [ i 0 ]) (Ir.Read (Ir.aref "a" [ i (-1) ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  ignore (expect_illegal p [ Script.fission "L" ] [ "fission"; "pi-block" ]);
+  (* single-statement nest: nothing to distribute *)
+  let p1 = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ] ] in
+  ignore
+    (expect_illegal p1 [ Script.fission "L1" ] [ "single statement" ])
+
+let test_illegal_shift_peel () =
+  let e =
+    expect_illegal ~witness:true (nonuniform_program ())
+      [ Script.shift_peel [ "L1"; "L2" ] ]
+      [ "shift_peel"; "uniform"; "a1" ]
+  in
+  (match e.Script.witness_dep with
+  | Some edge -> (
+    Alcotest.(check string) "witness array" "a1" edge.Dep.array;
+    match edge.Dep.dist with
+    | Dep.Not_uniform _ -> ()
+    | Dep.Dist _ -> Alcotest.fail "expected a non-uniform witness")
+  | None -> Alcotest.fail "no witness");
+  (* a serial nest cannot join a shift-and-peel group *)
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 0 ] ] in
+  let serial =
+    {
+      p with
+      Ir.nests =
+        List.map
+          (fun (n : Ir.nest) ->
+            if n.Ir.nid = "L2" then
+              {
+                n with
+                Ir.levels =
+                  List.map
+                    (fun (l : Ir.level) -> { l with Ir.parallel = false })
+                    n.Ir.levels;
+              }
+            else n)
+          p.Ir.nests;
+    }
+  in
+  ignore
+    (expect_illegal serial
+       [ Script.shift_peel [ "L1"; "L2" ] ]
+       [ "shift_peel"; "L2"; "doall" ])
+
+let test_illegal_strip_mine () =
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1; -1 ] ] in
+  ignore
+    (expect_illegal p [ Script.strip_mine 8 ] [ "no fused group" ]);
+  ignore
+    (expect_illegal p
+       [ Script.shift_peel [ "L1"; "L2" ]; Script.strip_mine 0 ]
+       [ "positive" ])
+
+let test_illegal_interchange () =
+  (* a[i][j] reads a[i-1][j]: the outer level carries a dependence *)
+  let p =
+    {
+      Ir.pname = "carry";
+      decls = [ { Ir.aname = "a"; extents = [ 16; 16 ] } ];
+      nests =
+        [
+          {
+            Ir.nid = "L";
+            levels =
+              [
+                { Ir.lvar = "i"; lo = 1; hi = 10; parallel = false };
+                { Ir.lvar = "j"; lo = 0; hi = 10; parallel = true };
+              ];
+            body =
+              [
+                Ir.stmt
+                  (Ir.aref "a" [ Ir.av "i"; Ir.av "j" ])
+                  (Ir.Read (Ir.aref "a" [ Ir.av ~c:(-1) "i"; Ir.av "j" ]));
+              ];
+          };
+        ];
+    }
+  in
+  Ir.validate p;
+  ignore
+    (expect_illegal p
+       [ Script.interchange "L" ]
+       [ "interchange"; "may carry" ]);
+  (* one loop level: nothing to interchange *)
+  let p1 = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ] ] in
+  ignore
+    (expect_illegal p1
+       [ Script.interchange "L1" ]
+       [ "interchange"; "needs two" ])
+
+let test_illegal_partition () =
+  (* a[2*i] vs a[i]: different subscript mappings, incompatible (§4) *)
+  ignore
+    (expect_illegal (nonuniform_program ())
+       [ Script.partition ]
+       [ "partition"; "subscript mappings"; "a1[2*i]" ])
+
+let test_illegal_wavefront () =
+  ignore
+    (expect_illegal ~witness:true (nonuniform_program ())
+       [ Script.wavefront () ]
+       [ "wavefront"; "uniform" ]);
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1; -1 ] ] in
+  ignore
+    (expect_illegal p
+       [ Script.shift_peel ~into:"G" [ "L1"; "L2" ]; Script.wavefront () ]
+       [ "wavefront"; "cannot follow"; "G" ]);
+  ignore (expect_illegal p [ Script.wavefront ~tile:0 () ] [ "positive" ]);
+  (* wavefront is terminal: later program rewrites would invalidate the
+     derived shifts (found by the schedule-equivalence property) *)
+  let q = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 0 ] ] in
+  ignore
+    (expect_illegal q
+       [ Script.wavefront (); Script.fuse [ "L1"; "L2" ] ]
+       [ "fuse"; "cannot follow" ]);
+  ignore
+    (expect_illegal q
+       [ Script.wavefront (); Script.interchange "L1" ]
+       [ "interchange"; "cannot follow" ]);
+  ignore
+    (expect_illegal q
+       [ Script.wavefront (); Script.shift_peel [ "L1"; "L2" ] ]
+       [ "shift_peel"; "one style" ])
+
+let test_illegal_align () =
+  ignore
+    (expect_illegal (nonuniform_program ()) [ Script.align ] [ "align" ]);
+  let p = Tutil.chain_program ~lo:2 ~hi:30 [ [ 0 ]; [ 1; -1 ] ] in
+  ignore
+    (expect_illegal p
+       [ Script.shift_peel [ "L1"; "L2" ]; Script.align ]
+       [ "align"; "cannot follow" ])
+
+(* ------------------------------------------------------------------ *)
+(* Combinator rewrites: fuse/fission round trip, serialized fusion. *)
+
+let test_fuse_fission_roundtrip () =
+  (* distance-0 flow: plain fusion is legal and stays parallel *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 0 ] ] in
+  let st =
+    match Script.run p [ Script.fuse ~into:"F" [ "L1"; "L2" ] ] with
+    | Ok st -> st
+    | Error e -> Alcotest.failf "fuse failed: %s" (Script.error_to_string e)
+  in
+  Alcotest.(check int) "one fused nest" 1 (List.length st.Script.prog.Ir.nests);
+  let f = List.hd st.Script.prog.Ir.nests in
+  Alcotest.(check string) "fused nest is named" "F" f.Ir.nid;
+  Alcotest.(check bool)
+    "fused nest stays doall" true
+    (List.for_all (fun (l : Ir.level) -> l.Ir.parallel) f.Ir.levels);
+  Alcotest.(check bool)
+    "fusion preserves semantics" true
+    (Interp.equal (Interp.run p) (Interp.run st.Script.prog));
+  (* ... and fission splits it back into two pi-block nests *)
+  let st2 =
+    match Script.apply st (Script.fission "F") with
+    | Ok st2 -> st2
+    | Error e -> Alcotest.failf "fission failed: %s" (Script.error_to_string e)
+  in
+  Alcotest.(check int) "fission splits the fused nest" 2
+    (List.length st2.Script.prog.Ir.nests);
+  Alcotest.(check bool)
+    "fission preserves semantics" true
+    (Interp.equal (Interp.run p) (Interp.run st2.Script.prog))
+
+let test_fuse_serializes_forward_dep () =
+  (* a2[i] = a1[i-1]: forward carried dependence — legal but the fused
+     loop loses parallelism (Figure 4) *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ -1 ] ] in
+  match Script.run p [ Script.fuse [ "L1"; "L2" ] ] with
+  | Error e -> Alcotest.failf "fuse failed: %s" (Script.error_to_string e)
+  | Ok st ->
+    let f = List.hd st.Script.prog.Ir.nests in
+    Alcotest.(check bool)
+      "fused loop is serialized" true
+      (List.for_all (fun (l : Ir.level) -> not l.Ir.parallel) f.Ir.levels);
+    Alcotest.(check bool)
+      "serialized fusion preserves semantics" true
+      (Interp.equal (Interp.run p) (Interp.run st.Script.prog))
+
+let test_fuse_union_bounds () =
+  (* members with different bounds fuse under union bounds + guards *)
+  let p = Tutil.chain_program ~lo:2 ~hi:20 [ [ 0 ]; [ 0 ] ] in
+  let narrowed =
+    {
+      p with
+      Ir.nests =
+        List.map
+          (fun (n : Ir.nest) ->
+            if n.Ir.nid = "L2" then
+              {
+                n with
+                Ir.levels =
+                  List.map
+                    (fun (l : Ir.level) -> { l with Ir.lo = 5; hi = 15 })
+                    n.Ir.levels;
+              }
+            else n)
+          p.Ir.nests;
+    }
+  in
+  match Script.run narrowed [ Script.fuse [ "L1"; "L2" ] ] with
+  | Error e -> Alcotest.failf "fuse failed: %s" (Script.error_to_string e)
+  | Ok st ->
+    let f = List.hd st.Script.prog.Ir.nests in
+    let l = List.hd f.Ir.levels in
+    Alcotest.(check (pair int int)) "union bounds" (2, 20) (l.Ir.lo, l.Ir.hi);
+    Alcotest.(check bool)
+      "narrow member is guarded" true
+      (List.exists (fun (s : Ir.stmt) -> s.Ir.guard <> []) f.Ir.body);
+    Alcotest.(check bool)
+      "guarded fusion preserves semantics" true
+      (Interp.equal (Interp.run narrowed) (Interp.run st.Script.prog))
+
+(* ------------------------------------------------------------------ *)
+(* Sim.legal: the shared legality probe (also used by bench/exp_serve). *)
+
+let test_sim_legal () =
+  (* 6 iterations, shift 3, 4 processors: blocks fall below the
+     Theorem 1 threshold *)
+  let tiny = Tutil.chain_program ~lo:1 ~hi:6 [ [ 0 ]; [ 3 ] ] in
+  let fused =
+    Sim.fused ~machine:Machine.convex ~nprocs:4 ~strip:2 tiny
+  in
+  Alcotest.(check bool) "tiny fused request is illegal" false (Sim.legal fused);
+  Alcotest.(check bool)
+    "unfused request is legal" true
+    (Sim.legal (Sim.unfused ~machine:Machine.convex ~nprocs:2 tiny));
+  (* legal <=> schedule_of succeeds *)
+  (match Sim.schedule_of fused with
+  | _ -> Alcotest.fail "schedule_of should have raised"
+  | exception _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    Alcotest.test_case "fig9 golden checkpoints" `Quick test_fig9_goldens;
+    Alcotest.test_case "heat2d golden checkpoints" `Quick test_heat2d_goldens;
+    Alcotest.test_case "lft error columns" `Quick test_lft_error_columns;
+    Alcotest.test_case "illegal fuse" `Quick test_illegal_fuse;
+    Alcotest.test_case "illegal fission" `Quick test_illegal_fission;
+    Alcotest.test_case "illegal shift_peel" `Quick test_illegal_shift_peel;
+    Alcotest.test_case "illegal strip_mine" `Quick test_illegal_strip_mine;
+    Alcotest.test_case "illegal interchange" `Quick test_illegal_interchange;
+    Alcotest.test_case "illegal partition" `Quick test_illegal_partition;
+    Alcotest.test_case "illegal wavefront" `Quick test_illegal_wavefront;
+    Alcotest.test_case "illegal align" `Quick test_illegal_align;
+    Alcotest.test_case "fuse/fission round trip" `Quick
+      test_fuse_fission_roundtrip;
+    Alcotest.test_case "fuse serializes forward dep" `Quick
+      test_fuse_serializes_forward_dep;
+    Alcotest.test_case "fuse union bounds" `Quick test_fuse_union_bounds;
+    Alcotest.test_case "Sim.legal probe" `Quick test_sim_legal;
+    Tutil.to_alcotest prop_legal_script_bit_identical;
+    Tutil.to_alcotest prop_legal_script_schedule;
+    Tutil.to_alcotest prop_lft_fixpoint;
+    Tutil.to_alcotest prop_lft_error_position;
+  ]

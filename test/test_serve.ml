@@ -77,7 +77,8 @@ let request_of_pick (ki, n, mi, variant_pick, mode, steps, with_layout) =
   let mk variant = Sim.make ?layout ~steps ~mode ~machine ~nprocs:4 ~variant p in
   let fused_or_unfused f =
     match f () with
-    | req -> (try ignore (Sim.schedule_of req); req with _ -> mk (Sim.Unfused { grid = None; depth = None }))
+    | req when Sim.legal req -> req
+    | _ -> mk (Sim.Unfused { grid = None; depth = None })
     | exception _ -> mk (Sim.Unfused { grid = None; depth = None })
   in
   match variant_pick with

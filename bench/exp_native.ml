@@ -1,0 +1,160 @@
+(* BENCH_7 ("native"): the simulator's predicted fused-vs-unfused
+   speedups raced against measured wall-clock of the same schedules
+   executing natively on the host's cores.
+
+   For each of the six evaluation kernels x a doubling ladder of
+   domain counts, the very same Schedule.t is (a) submitted to the
+   cycle simulator as a content-addressed request — predictions are
+   pure simulation, so they route through the result store — and (b)
+   compiled by lf_native, proven bit-identical to the reference
+   interpreter, and timed under the Bench_timer policy.  Measured
+   times are printed and written to the JSON report but never
+   persisted in _lf_cache/ (DESIGN §7/§11).
+
+   The paper's claim is about *relative* benefit: fusion pays because
+   it removes barriers and reuses lines across nests.  The simulator
+   predicts that ratio from a 1995 memory model; this experiment shows
+   where a 2020s host agrees and where it does not. *)
+
+module Ir = Lf_ir.Ir
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Machine = Lf_machine.Machine
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+module Pool = Lf_parallel.Pool
+module Native = Lf_native.Native
+module Bench_timer = Lf_native.Bench_timer
+module Apps = Lf_kernels.Apps
+
+(* The six kernels of the evaluation (test/test_roundtrip.ml uses the
+   same inventory), sized so a native run is long enough to time but a
+   simulated run stays cheap. *)
+let kernels cfg =
+  let n1 = Util.scale cfg 512 96 in
+  let n2 = Util.scale cfg 128 48 in
+  [
+    ("ll18", Lf_kernels.Ll18.program ~n:n1 (), 1);
+    ("calc", Lf_kernels.Calc.program ~n:n1 (), 1);
+    ("filter", Lf_kernels.Filter.program ~rows:n2 ~cols:n2 (), 1);
+    ("jacobi", Lf_kernels.Jacobi.program ~n:n2 (), 2);
+    ("fig9", Exp_worked.fig9_sequence ~n:n1 (), 1);
+    ( "tomcatv-seq1",
+      List.hd (Apps.tomcatv ~n:(Util.scale cfg 129 65) ()).Apps.sequences,
+      1 );
+  ]
+
+(* 1, 2, 4, ... up to the host's cores — and always through 2, so the
+   bit-identity obligation is exercised on real parallel execution
+   even on a single-core host (where the extra domains just share the
+   core through the barrier's sleep fallback). *)
+let domain_counts cfg =
+  let hi = max 2 (Domain.recommended_domain_count ()) in
+  let hi = match cfg.Util.procs_cap with
+    | Some cap -> max 2 (min cap hi)
+    | None -> hi
+  in
+  let rec up d = if d > hi then [] else d :: up (2 * d) in
+  let ladder = up 1 in
+  if List.mem hi ladder then ladder else ladder @ [ hi ]
+
+let policy cfg =
+  if cfg.Util.quick then
+    { Bench_timer.default_policy with warmup = 1; repetitions = 3 }
+  else Bench_timer.default_policy
+
+let run cfg =
+  Util.header
+    "BENCH_7: native multicore execution — simulator-predicted vs \
+     measured fused/unfused speedups";
+  let machine = Machine.convex in
+  let pol = policy cfg in
+  let ncores = Domain.recommended_domain_count () in
+  Util.pr
+    "host: %d core(s); policy: %d warmup, %d reps, min-of-k headline, \
+     outliers > %.1fx median dropped; clock: monotonic@."
+    ncores pol.Bench_timer.warmup pol.Bench_timer.repetitions
+    pol.Bench_timer.outlier_cutoff;
+  Util.note ~id:"native-policy"
+    [
+      ("host_cores", Util.Int ncores);
+      ("warmup", Util.Int pol.Bench_timer.warmup);
+      ("repetitions", Util.Int pol.Bench_timer.repetitions);
+      ("outlier_cutoff", Util.Float pol.Bench_timer.outlier_cutoff);
+      ("clock", Util.Str "CLOCK_MONOTONIC");
+      ("headline", Util.Str "min");
+      ("gc", Util.Str "full major before every timed repetition");
+    ];
+  List.iter
+    (fun (name, p, depth) ->
+      let strip = Util.strip_for machine p in
+      let derive = Derive.of_program ~depth p in
+      Util.subheader
+        (Printf.sprintf "%s (strip %d, depth %d)" name strip depth);
+      Util.pr "%6s  %12s %12s  %14s %14s  %s@." "P" "sim-speedup"
+        "meas-speedup" "unfused-ms" "fused-ms" "identity";
+      List.iter
+        (fun d ->
+          match
+            ( Schedule.unfused ~nprocs:d p,
+              Schedule.fused ~nprocs:d ~strip ~derive p )
+          with
+          | exception Schedule.Illegal m ->
+            Util.pr "%6d  infeasible at this size: %s@." d m
+          | exception Invalid_argument m ->
+            Util.pr "%6d  infeasible at this size: %s@." d m
+          | su, sf ->
+            (* prediction: the same schedules through the simulator *)
+            let ru, rf =
+              match
+                Util.run_requests
+                  [
+                    Sim.of_schedule ~mode:Sim.Run_compressed ~machine su;
+                    Sim.of_schedule ~mode:Sim.Run_compressed ~machine sf;
+                  ]
+              with
+              | [| ru; rf |] -> (ru, rf)
+              | _ -> assert false
+            in
+            (* measurement: one pool for both variants, verified first *)
+            let tu, tf =
+              Pool.with_pool d (fun pool ->
+                  (match Native.verify ~pool su with
+                  | Ok () -> ()
+                  | Error m ->
+                    failwith
+                      (Printf.sprintf "%s unfused P=%d not bit-identical: %s"
+                         name d m));
+                  (match Native.verify ~pool sf with
+                  | Ok () -> ()
+                  | Error m ->
+                    failwith
+                      (Printf.sprintf "%s fused P=%d not bit-identical: %s"
+                         name d m));
+                  ( Native.measure ~policy:pol ~pool su,
+                    Native.measure ~policy:pol ~pool sf ))
+            in
+            let mu = tu.Native.t_measure and mf = tf.Native.t_measure in
+            let pred = ru.Exec.cycles /. rf.Exec.cycles in
+            let meas = mu.Bench_timer.min_s /. mf.Bench_timer.min_s in
+            Util.pr "%6d  %12.2f %12.2f  %14.3f %14.3f  %s@." d pred meas
+              (mu.Bench_timer.min_s *. 1e3)
+              (mf.Bench_timer.min_s *. 1e3)
+              "bit-identical";
+            Util.note ~id:"native"
+              [
+                ("kernel", Util.Str name);
+                ("procs", Util.Int d);
+                ("strip", Util.Int strip);
+                ("predicted_speedup", Util.Float pred);
+                ("measured_speedup", Util.Float meas);
+                ("unfused_cycles", Util.Float ru.Exec.cycles);
+                ("fused_cycles", Util.Float rf.Exec.cycles);
+                ("unfused_min_s", Util.Float mu.Bench_timer.min_s);
+                ("fused_min_s", Util.Float mf.Bench_timer.min_s);
+                ("unfused_median_s", Util.Float mu.Bench_timer.median_s);
+                ("fused_median_s", Util.Float mf.Bench_timer.median_s);
+                ("bit_identical", Util.Bool true);
+              ])
+        (domain_counts cfg))
+    (kernels cfg)

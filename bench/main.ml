@@ -38,6 +38,9 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
      Exp_smoke.run);
     ("serve", "Socket service under concurrent zipf load (lf_serve)",
      Exp_serve.run);
+    ("native", "BENCH_7: native multicore execution, predicted vs measured \
+                speedups (lf_native)",
+     Exp_native.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 

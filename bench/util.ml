@@ -132,9 +132,13 @@ let misses_table ~labels rows =
       pr "@.")
     rows
 
+(* Monotonic elapsed-seconds timer, shared with the measurement
+   harness (Lf_native.Bench_timer) — gettimeofday jumps with NTP
+   adjustments; experiment wall-clock should not. *)
 let elapsed_timer () =
-  let t0 = Unix.gettimeofday () in
-  fun () -> Unix.gettimeofday () -. t0
+  let t0 = Lf_native.Bench_timer.now_ns () in
+  fun () ->
+    Int64.to_float (Int64.sub (Lf_native.Bench_timer.now_ns ()) t0) *. 1e-9
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (--json FILE).  Experiments append flat

@@ -5,10 +5,12 @@
      lfc derive   <kernel>   shift-and-peel amounts (Table 2)
      lfc emit     <kernel>   generated fused code (Figures 11/12/16)
      lfc simulate <kernel>   run on the simulated KSR2/Convex
+     lfc run      <kernel>   execute natively on the host's cores (lf_native)
      lfc transform <kernel> <script.lft>  apply a transformation script
      lfc verify   <kernel>   check fused execution against the reference
      lfc profile  --kernel K simulate with event counters (lf_obs)
      lfc tune     --kernel K autotune fusion/strip/layout on the simulator
+                             (--objective wallclock tunes on measured time)
      lfc cache    stats|gc|clear  manage the persistent result store
 
    Kernels: ll18, calc, filter, jacobi, fig9 (tune also accepts the
@@ -35,6 +37,8 @@ module Apps = Lf_kernels.Apps
 module Tune = Lf_tune.Tune
 module TSearch = Lf_tune.Search
 module TCost = Lf_tune.Cost
+module Native = Lf_native.Native
+module Bench_timer = Lf_native.Bench_timer
 
 open Cmdliner
 open Common
@@ -91,18 +95,19 @@ let emit kernel n method_ strip =
       let depth = depth_of p kernel in
       let d = Derive.of_program ~depth p in
       match method_ with
-      | "direct" ->
-        if depth <> 1 then `Error (false, "direct method is 1-D only")
-        else begin
-          Fmt.pr "%s@." (Codegen.direct_to_string p d);
-          `Ok ()
-        end
-      | "strip" ->
-        if depth <> 1 then `Error (false, "strip method is 1-D only")
-        else begin
-          Fmt.pr "%s@." (Codegen.strip_mined_to_string ~strip p d);
-          `Ok ()
-        end
+      | "direct" -> (
+        match Codegen.direct_to_string p d with
+        | exception Codegen.Unsupported m -> `Error (false, m)
+        | s ->
+          Fmt.pr "%s@." s;
+          `Ok ())
+      | "strip" -> (
+        (* multidim programs dispatch to the multidim renderer *)
+        match Codegen.strip_mined_to_string ~strip p d with
+        | exception Codegen.Unsupported m -> `Error (false, m)
+        | s ->
+          Fmt.pr "%s@." s;
+          `Ok ())
       | "multidim" ->
         Fmt.pr "%s@." (Codegen.multidim_to_string ~strip p d);
         `Ok ()
@@ -191,6 +196,126 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Verify fused execution against the reference")
     Term.(ret (const verify $ kernel_arg $ size_arg $ procs_arg $ strip_arg))
 
+(* --- run ----------------------------------------------------------- *)
+
+let backend_arg =
+  let doc =
+    "Execution backend: $(b,native) (real OCaml domains on the host's \
+     cores, measured wall-clock — the default) or $(b,sim) (the cycle \
+     simulator, for side-by-side comparison)."
+  in
+  Arg.(value & opt string "native" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let reps_arg =
+  let doc = "Timed repetitions (native backend)." in
+  Arg.(
+    value
+    & opt int Bench_timer.default_policy.Bench_timer.repetitions
+    & info [ "reps" ] ~docv:"K" ~doc)
+
+let warmup_arg =
+  let doc = "Untimed warmup repetitions (native backend)." in
+  Arg.(
+    value
+    & opt int Bench_timer.default_policy.Bench_timer.warmup
+    & info [ "warmup" ] ~docv:"W" ~doc)
+
+let run_unfused_arg =
+  let doc = "Run the unfused schedule (default: fused shift-and-peel)." in
+  Arg.(value & flag & info [ "unfused" ] ~doc)
+
+(* Execute a schedule for real: every native run is verified
+   bit-identical to the serial reference interpreter before it is
+   timed, and a mismatch is a hard error — measured numbers for wrong
+   answers are worthless. *)
+let run_native kernel n p sched variant procs strip steps reps warmup json =
+  (match Native.verify ~steps sched with
+  | Error m -> `Error (false, "bit-identity verification failed: " ^ m)
+  | Ok () ->
+    let policy =
+      { Bench_timer.default_policy with warmup; repetitions = reps }
+    in
+    let t = Native.measure ~policy ~steps sched in
+    let m = t.Native.t_measure in
+    if json then
+      Fmt.pr
+        "{\"backend\": \"native\", \"kernel\": \"%s\", \"variant\": \
+         \"%s\", \"n\": %d, \"procs\": %d, \"strip\": %d, \"steps\": %d, \
+         \"bit_identical\": true, \"min_s\": %.9f, \"median_s\": %.9f, \
+         \"reps\": %d, \"kept\": %d, \"warmup\": %d, \"checksum\": %.17g}@."
+        (String.escaped kernel) variant n procs strip steps
+        m.Bench_timer.min_s m.Bench_timer.median_s
+        (Array.length m.Bench_timer.samples) m.Bench_timer.kept
+        policy.Bench_timer.warmup t.Native.t_checksum
+    else begin
+      Fmt.pr "%s %s (n=%d) native on %d domains, strip %d, %d step(s)@."
+        variant p.Ir.pname n procs strip steps;
+      Fmt.pr "bit-identity vs reference interpreter: OK@.";
+      Fmt.pr "measured: %a@." Bench_timer.pp m;
+      Fmt.pr "checksum %.17g@." t.Native.t_checksum
+    end;
+    `Ok ())
+
+let run_sim kernel n p sched variant machine_name procs store_dir json =
+  ignore kernel;
+  match machine_of machine_name with
+  | Error m -> `Error (false, m)
+  | Ok machine ->
+    let req =
+      Sim.of_schedule ~mode:Sim.Run_compressed ~machine sched
+    in
+    let r = Batch.run_one ~store:(store_of store_dir) req in
+    if json then
+      Fmt.pr
+        "{\"backend\": \"sim\", \"kernel\": \"%s\", \"variant\": \"%s\", \
+         \"n\": %d, \"procs\": %d, \"machine\": \"%s\", \"cycles\": %.17g, \
+         \"barrier_cycles\": %.17g, \"misses\": %d}@."
+        (String.escaped p.Ir.pname) variant n procs machine.Machine.mname
+        r.Exec.cycles r.Exec.barrier_cycles r.Exec.total_misses
+    else
+      Fmt.pr "%s %s (n=%d) on simulated %s, %d processors: %.4e cycles, %d \
+              misses@."
+        variant p.Ir.pname n machine.Machine.mname procs r.Exec.cycles
+        r.Exec.total_misses;
+    `Ok ()
+
+let run_exec kernel n backend machine_name procs strip steps unfused reps
+    warmup store_dir json =
+  with_program kernel n (fun p ->
+      let depth = depth_of p kernel in
+      match
+        if unfused then Schedule.unfused ~nprocs:procs p
+        else
+          Schedule.fused ~nprocs:procs ~strip
+            ~derive:(Derive.of_program ~depth p) p
+      with
+      | exception Schedule.Illegal m -> `Error (false, m)
+      | exception Derive.Not_applicable m -> `Error (false, m)
+      | exception Invalid_argument m -> `Error (false, m)
+      | sched -> (
+        let variant = if unfused then "unfused" else "fused" in
+        match backend with
+        | "native" ->
+          run_native kernel n p sched variant procs strip steps reps warmup
+            json
+        | "sim" ->
+          run_sim kernel n p sched variant machine_name procs store_dir json
+        | b -> `Error (false, "unknown backend " ^ b ^ " (try native, sim)")))
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Execute a schedule natively on the host's cores (one domain per \
+          simulated processor), verified bit-identical to the reference \
+          interpreter before any timing; or on the simulator with \
+          --backend sim")
+    Term.(
+      ret
+        (const run_exec $ kernel_arg $ size_arg $ backend_arg $ machine_arg
+       $ procs_arg $ strip_arg $ steps_arg $ run_unfused_arg $ reps_arg
+       $ warmup_arg $ store_dir_arg $ json_arg))
+
 (* --- tune ---------------------------------------------------------- *)
 
 let tune_kernel_arg =
@@ -214,10 +339,21 @@ let search_arg =
   in
   Arg.(value & opt string "auto" & info [ "search" ] ~docv:"DRIVER" ~doc)
 
+let objective_arg =
+  let doc =
+    "What the search minimises: $(b,cycles) (simulated execution time, \
+     the default) or $(b,wallclock) (measured seconds of the native \
+     multicore execution — every evaluated candidate is verified \
+     bit-identical to the reference interpreter and then timed on \
+     --procs real domains; measured times are never persisted in the \
+     result store)."
+  in
+  Arg.(value & opt string "cycles" & info [ "objective" ] ~docv:"OBJ" ~doc)
+
 (* Tune every fusible sequence of an application model; the never-fused
    remainder runs unfused under both configurations, so it contributes
    the same cycles to each side of the comparison. *)
-let tune_app ~driver ~store ~machine ~nprocs (app : Apps.t) =
+let tune_app ~driver ~objective ~store ~machine ~nprocs (app : Apps.t) =
   let cache = TCost.create_cache () in
   Fmt.pr "autotuning %s on %s, %d processors (%d fusible sequences)@."
     app.Apps.app_name machine.Machine.mname nprocs
@@ -227,7 +363,7 @@ let tune_app ~driver ~store ~machine ~nprocs (app : Apps.t) =
   let tuned = ref 0.0 and dflt = ref 0.0 and failed = ref None in
   List.iter
     (fun (seq : Ir.program) ->
-      match Tune.tune ~cache ~store ~driver ~machine ~nprocs seq with
+      match Tune.tune ~cache ~store ~driver ~objective ~machine ~nprocs seq with
       | Error m -> if !failed = None then failed := Some (seq.Ir.pname, m)
       | Ok o ->
         tuned := !tuned +. o.TSearch.best_cost.TCost.e_cycles;
@@ -238,26 +374,42 @@ let tune_app ~driver ~store ~machine ~nprocs (app : Apps.t) =
   | Some (name, m) ->
     `Error (false, Printf.sprintf "tuning sequence %s failed: %s" name m)
   | None ->
+    let unit_ =
+      match objective with
+      | TSearch.Cycles -> "cycles"
+      | TSearch.Wallclock -> "s measured"
+    in
     (match app.Apps.remainder with
     | None -> ()
     | Some rem ->
-      let layout =
-        Partition.cache_partitioned
-          ~cache:(Lf_tune.Space.cache_shape machine)
-          rem.Ir.decls
+      (* the never-fused remainder contributes the same amount to both
+         sides; price it in the objective's own unit *)
+      let per_rep =
+        match objective with
+        | TSearch.Cycles ->
+          let layout =
+            Partition.cache_partitioned
+              ~cache:(Lf_tune.Space.cache_shape machine)
+              rem.Ir.decls
+          in
+          let r =
+            Batch.run_one ~store
+              (Sim.unfused ~layout ~mode:Sim.Run_compressed ~machine ~nprocs
+                 rem)
+          in
+          r.Exec.cycles
+        | TSearch.Wallclock ->
+          let t = Native.measure (Schedule.unfused ~nprocs rem) in
+          t.Native.t_measure.Bench_timer.min_s
       in
-      let r =
-        Batch.run_one ~store
-          (Sim.unfused ~layout ~mode:Sim.Run_compressed ~machine ~nprocs rem)
-      in
-      let add = float_of_int app.Apps.remainder_reps *. r.Exec.cycles in
+      let add = float_of_int app.Apps.remainder_reps *. per_rep in
       tuned := !tuned +. add;
       dflt := !dflt +. add;
-      Fmt.pr "  %-14s %14.4e cycles (never fused, x%d)@." "remainder"
-        r.Exec.cycles app.Apps.remainder_reps);
+      Fmt.pr "  %-14s %14.4e %s (never fused, x%d)@." "remainder" per_rep
+        unit_ app.Apps.remainder_reps);
     let st = TCost.stats cache in
-    Fmt.pr "total: default %.4e cycles, tuned %.4e cycles (%+.1f%%)@." !dflt
-      !tuned
+    Fmt.pr "total: default %.4e %s, tuned %.4e %s (%+.1f%%)@." !dflt unit_
+      !tuned unit_
       (100.0 *. ((!dflt /. !tuned) -. 1.0));
     Fmt.pr "memo cache: %d entries, %d hits, %d cold evaluations@."
       st.TCost.entries st.TCost.hits st.TCost.misses;
@@ -265,7 +417,8 @@ let tune_app ~driver ~store ~machine ~nprocs (app : Apps.t) =
       (Batch.computed_count ());
     `Ok ()
 
-let tune kernel size machine_name procs search quick jobs store_dir =
+let tune kernel size machine_name procs search objective quick jobs store_dir
+    =
   match apply_jobs jobs with
   | Error m -> `Error (false, m)
   | Ok () -> (
@@ -275,6 +428,9 @@ let tune kernel size machine_name procs search quick jobs store_dir =
     match Tune.driver_of_string search with
     | Error m -> `Error (false, m)
     | Ok driver -> (
+      match Tune.objective_of_string objective with
+      | Error m -> `Error (false, m)
+      | Ok objective -> (
       let store = store_of store_dir in
       let app =
         match kernel with
@@ -294,33 +450,42 @@ let tune kernel size machine_name procs search quick jobs store_dir =
         | _ -> None
       in
       match app with
-      | Some app -> tune_app ~driver ~store ~machine ~nprocs:procs app
+      | Some app ->
+        tune_app ~driver ~objective ~store ~machine ~nprocs:procs app
       | None ->
         let n =
           match size with Some n -> n | None -> if quick then 64 else 128
         in
         with_program kernel n (fun p ->
             let depth = depth_of p kernel in
-            Fmt.pr "autotuning %s (n=%d) on %s, %d processors@." kernel n
-              machine.Machine.mname procs;
-            match Tune.tune ~depth ~store ~driver ~machine ~nprocs:procs p with
+            Fmt.pr "autotuning %s (n=%d) on %s, %d processors%s@." kernel n
+              machine.Machine.mname procs
+              (match objective with
+              | TSearch.Cycles -> ""
+              | TSearch.Wallclock -> ", objective: measured wall-clock");
+            match
+              Tune.tune ~depth ~store ~driver ~objective ~machine
+                ~nprocs:procs p
+            with
             | Error m -> `Error (false, m)
             | Ok o ->
               Fmt.pr "%a" Tune.pp_outcome o;
               Fmt.pr "result store: %d hits, %d simulations run@."
                 (Batch.hit_count ()) (Batch.computed_count ());
-              `Ok ()))))
+              `Ok ())))))
 
 let tune_cmd =
   Cmd.v
     (Cmd.info "tune"
        ~doc:
          "Autotune fusion clustering, strip size and cache layout on the \
-          simulated machine (lf_tune)")
+          simulated machine (lf_tune); with --objective wallclock, on \
+          measured native execution time")
     Term.(
       ret
         (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
-       $ procs_arg $ search_arg $ quick_arg $ jobs_arg $ store_dir_arg))
+       $ procs_arg $ search_arg $ objective_arg $ quick_arg $ jobs_arg
+       $ store_dir_arg))
 
 (* --- profile ------------------------------------------------------- *)
 
@@ -839,7 +1004,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
-    [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; verify_cmd;
+    [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; run_cmd; verify_cmd;
       transform_cmd; pipeline_cmd; profile_cmd; tune_cmd; cache_cmd;
       serve_cmd; request_cmd ]
 

@@ -60,8 +60,29 @@ module Store = struct
   let ext = ".lfres"
   let path t digest = Filename.concat t.sdir (digest ^ ext)
 
+  (* Persistence is an explicit allow-list over the engine modes, and
+     every mode on it is a pure simulation: its observables are a
+     deterministic function of the request, so a persisted entry can be
+     replayed on any host at any time.  Two things are kept out by
+     construction:
+
+     - [Full] runs: their observable is the materialised array store,
+       which is not persisted (multi-megabyte floats, reproducible by
+       re-running);
+     - measured wall-clock (the lf_native execution backend): host
+       time is nondeterministic — machine, load, thermal state — so it
+       must never be answered from a content-addressed cache.  Native
+       measurements live in their own types ({!Lf_native.Native.timing})
+       and cannot even be expressed as an [Exec.result]-under-digest;
+       this allow-list is the second line of defence should a future
+       mode blur that boundary.  The [wall_s] a batch outcome reports
+       is measured around the store itself and is deliberately outside
+       {!render} — warm hits report 0.0, not a replayed stale timing. *)
   let cacheable (r : Sim.request) =
-    match r.Sim.mode with Full -> false | Miss_only | Run_compressed -> true
+    match r.Sim.mode with
+    | Sim.Miss_only -> true
+    | Sim.Run_compressed -> true
+    | Sim.Full -> false
 
   (* Entry format: one observable per line, floats as the decimal
      rendering of their IEEE-754 bits so the round trip is bit-exact.

@@ -44,8 +44,18 @@ module Store : sig
   val dir : t -> string
 
   val cacheable : Sim.request -> bool
-  (** [false] exactly for [Full]-mode requests: their observable is the
-      array store, which is not persisted. *)
+  (** Explicit allow-list of persistable requests: [true] exactly for
+      the pure simulation modes ([Miss_only], [Run_compressed]), whose
+      observables are deterministic functions of the request.
+      [Full]-mode requests are excluded (their observable is the array
+      store, which is not persisted), and measured wall-clock results
+      from the native execution backend are excluded {e by type}: a
+      native timing is never an [Exec.result] and has no request digest
+      to be stored under.  Host time is nondeterministic, so replaying
+      it from a content-addressed cache would be a lie — the [wall_s]
+      in an {!outcome} is measured around the store and reports [0.0]
+      for warm hits.  (DESIGN §7 states the rule; test/test_batch.ml
+      pins it.) *)
 
   val lookup : t -> Sim.request -> Exec.result option
   (** The persisted result of this request, or [None] on a miss.  A

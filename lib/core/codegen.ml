@@ -54,12 +54,27 @@ let off base k =
   else if k > 0 then Printf.sprintf "%s+%d" base k
   else Printf.sprintf "%s%d" base k
 
+exception Unsupported of string
+
+(* The 1-D emitters render only the fused loop variable; a nest with
+   levels beyond the derivation depth would leave its inner variables
+   unbound in the emitted text.  Detect that up front instead of
+   silently printing broken code. *)
+let multidim_nests (p : Ir.program) (d : Derive.t) =
+  List.exists (fun (n : Ir.nest) -> List.length n.levels > d.depth) p.nests
+
 (* ------------------------------------------------------------------ *)
 (* Direct method (Figure 11(a)): one loop over fused positions with
    guards; shifted statements get rewritten subscripts.               *)
 
 let emit_direct ppf (p : Ir.program) (d : Derive.t) =
-  if d.depth <> 1 then invalid_arg "Codegen.emit_direct: depth must be 1";
+  if d.depth <> 1 then
+    raise (Unsupported "Codegen.emit_direct: derivation depth must be 1");
+  if multidim_nests p d then
+    raise
+      (Unsupported
+         "Codegen.emit_direct: program has loop levels below the fusion \
+          depth; the direct method is 1-D only (use emit_multidim)");
   let nests = Array.of_list p.nests in
   let n0 = nests.(0) in
   let v = List.hd (Ir.nest_vars n0) in
@@ -97,9 +112,8 @@ let emit_direct ppf (p : Ir.program) (d : Derive.t) =
 (* Strip-mined method (Figures 11(b) and 12)                           *)
 
 
-let emit_strip_mined ?(strip = Schedule.default_strip) ppf (p : Ir.program)
-    (d : Derive.t) =
-  if d.depth <> 1 then invalid_arg "Codegen.emit_strip_mined: depth must be 1";
+let emit_strip_mined_1d ?(strip = Schedule.default_strip) ppf
+    (p : Ir.program) (d : Derive.t) =
   let nests = Array.of_list p.nests in
   Fmt.pf ppf
     "/* strip-mined fusion, block istart..iend of one processor (s = %d) */@."
@@ -255,6 +269,16 @@ let emit_multidim ?(strip = Schedule.default_strip) ppf (p : Ir.program)
         end
       done)
     nests
+
+(* Strip-mined entry point: the 1-D renderer when every loop level is
+   fused, the multidimensional renderer (which emits the inner serial
+   loops) otherwise. *)
+let emit_strip_mined ?strip ppf (p : Ir.program) (d : Derive.t) =
+  if d.depth <> 1 then
+    raise
+      (Unsupported "Codegen.emit_strip_mined: derivation depth must be 1");
+  if multidim_nests p d then emit_multidim ?strip ppf p d
+  else emit_strip_mined_1d ?strip ppf p d
 
 let direct_to_string p d = Fmt.str "%a" (fun ppf () -> emit_direct ppf p d) ()
 

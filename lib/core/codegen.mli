@@ -16,15 +16,25 @@ val subst_stmt : Lf_ir.Ir.stmt -> Lf_ir.Ir.var -> int -> Lf_ir.Ir.stmt
 val subst_stmt_dims :
   Lf_ir.Ir.nest -> depth:int -> int array -> Lf_ir.Ir.stmt -> Lf_ir.Ir.stmt
 
+exception Unsupported of string
+(** Raised by the 1-D emitters on input they cannot render faithfully
+    (a derivation of depth > 1, or — for the direct method — a program
+    whose nests have loop levels below the fusion depth).  Historically
+    these cases silently emitted code with unbound inner variables. *)
+
 val emit_direct : Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit
 (** Direct method (Figure 11(a)): one loop over fused positions, guards
-    on shifted statements, rewritten subscripts.  1-D only. *)
+    on shifted statements, rewritten subscripts.  Strictly 1-D: raises
+    {!Unsupported} when the derivation depth is not 1 or any nest has
+    inner loop levels. *)
 
 val emit_strip_mined :
   ?strip:int -> Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit
 (** Strip-mined method with peeling (Figures 11(b) and 12): control
     loop, per-nest inner loops with max/min bounds, barrier, tails.
-    1-D only. *)
+    Raises {!Unsupported} when the derivation depth is not 1; a program
+    with serial levels below the (depth-1) fusion dispatches to
+    {!emit_multidim}, which renders the inner loops. *)
 
 val emit_multidim :
   ?strip:int -> Format.formatter -> Lf_ir.Ir.program -> Derive.t -> unit

@@ -1,0 +1,73 @@
+(* Measurement policy: warmup / GC quiescence / min-of-k / outlier
+   rejection (see bench_timer.mli for the rationale). *)
+
+type policy = { warmup : int; repetitions : int; outlier_cutoff : float }
+
+let default_policy = { warmup = 2; repetitions = 5; outlier_cutoff = 3.0 }
+
+let check_policy p =
+  if p.warmup < 0 then invalid_arg "Bench_timer: warmup < 0";
+  if p.repetitions < 1 then invalid_arg "Bench_timer: repetitions < 1";
+  if not (p.outlier_cutoff >= 1.0) then
+    invalid_arg "Bench_timer: outlier_cutoff < 1.0"
+
+let now_ns = Monotonic_clock.now
+
+type measurement = {
+  samples : float array;
+  kept : int;
+  min_s : float;
+  median_s : float;
+  mean_s : float;
+}
+
+(* Median of a sorted array: middle element, or the average of the two
+   middle elements for even lengths. *)
+let median_sorted s =
+  let n = Array.length s in
+  if n mod 2 = 1 then s.(n / 2) else 0.5 *. (s.((n / 2) - 1) +. s.(n / 2))
+
+let aggregate ?(policy = default_policy) samples =
+  check_policy policy;
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Bench_timer.aggregate: no samples";
+  let sorted = Array.copy samples in
+  Array.sort Float.compare sorted;
+  (* the rejection threshold comes from the raw median: a slow half
+     cannot vote itself back in by dragging the kept median up *)
+  let cut = policy.outlier_cutoff *. median_sorted sorted in
+  let kept_samples = Array.of_list
+      (List.filter (fun s -> s <= cut) (Array.to_list sorted))
+  in
+  (* cutoff >= 1 guarantees the median survives, so kept is never 0 *)
+  let kept = Array.length kept_samples in
+  let sum = Array.fold_left ( +. ) 0.0 kept_samples in
+  {
+    samples;
+    kept;
+    min_s = sorted.(0);
+    median_s = median_sorted kept_samples;
+    mean_s = sum /. float_of_int kept;
+  }
+
+let measure ?(policy = default_policy) ?(prepare = ignore) f =
+  check_policy policy;
+  for _ = 1 to policy.warmup do
+    prepare ();
+    f ()
+  done;
+  let samples =
+    Array.init policy.repetitions (fun _ ->
+        prepare ();
+        Gc.full_major ();
+        let t0 = now_ns () in
+        f ();
+        let t1 = now_ns () in
+        Int64.to_float (Int64.sub t1 t0) *. 1e-9)
+  in
+  aggregate ~policy samples
+
+let pp ppf m =
+  Fmt.pf ppf "min %.3f ms, median %.3f ms (%d reps, %d kept)"
+    (m.min_s *. 1e3) (m.median_s *. 1e3)
+    (Array.length m.samples) m.kept

@@ -1,0 +1,62 @@
+(** Wall-clock measurement policy shared by every component that times
+    real execution: the bench experiments, the autotuner's measured
+    cost tier, and `lfc run`.
+
+    Measured time is {e nondeterministic} — it depends on the host, its
+    load, its thermal state — which is why it must never enter the
+    content-addressed result store ({!Lf_batch.Batch.Store} persists
+    simulated observables only; see DESIGN §7).  What this module
+    provides instead is a single, testable definition of how raw
+    nondeterministic samples become a reported number:
+
+    - {b monotonic clock}: {!now_ns} reads [CLOCK_MONOTONIC] through
+      bechamel's stub, immune to wall-clock adjustments;
+    - {b warmup}: the first [warmup] repetitions are discarded
+      (allocators touch pages, branch predictors and caches settle);
+    - {b GC quiescence}: a full major collection runs before every
+      timed repetition, so collector debt accumulated while preparing
+      never lands inside a timed region;
+    - {b min-of-k}: the minimum of the timed repetitions is the
+      headline number — external interference only ever {e adds} time,
+      so the minimum is the best estimator of the code's cost;
+    - {b outlier rejection}: samples above [outlier_cutoff] times the
+      sample median are excluded from the mean/median summary (the
+      minimum is unaffected by construction).
+
+    {!aggregate} is pure, so the policy arithmetic is unit-testable
+    without timing anything. *)
+
+type policy = {
+  warmup : int;  (** discarded leading repetitions (>= 0) *)
+  repetitions : int;  (** timed repetitions (>= 1) *)
+  outlier_cutoff : float;
+      (** reject samples above cutoff x median (>= 1.0) *)
+}
+
+val default_policy : policy
+(** [{ warmup = 2; repetitions = 5; outlier_cutoff = 3.0 }]. *)
+
+val now_ns : unit -> int64
+(** Monotonic clock, nanoseconds.  Only differences are meaningful. *)
+
+type measurement = {
+  samples : float array;  (** every timed repetition, seconds, in order *)
+  kept : int;  (** samples surviving outlier rejection *)
+  min_s : float;  (** minimum over all samples — the headline number *)
+  median_s : float;  (** median of the kept samples *)
+  mean_s : float;  (** mean of the kept samples *)
+}
+
+val aggregate : ?policy:policy -> float array -> measurement
+(** Pure aggregation of raw samples (seconds) under the policy's
+    outlier rule.  Raises [Invalid_argument] on an empty array or a
+    malformed policy. *)
+
+val measure :
+  ?policy:policy -> ?prepare:(unit -> unit) -> (unit -> unit) -> measurement
+(** [measure ~prepare f] runs [prepare(); f()] [warmup] times untimed,
+    then [repetitions] times with [f] timed ([prepare] and the full
+    major collection stay outside the timed region), and aggregates. *)
+
+val pp : Format.formatter -> measurement -> unit
+(** ["min 1.23 ms, median 1.31 ms (5 reps, 5 kept)"]. *)

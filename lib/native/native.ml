@@ -1,0 +1,288 @@
+(* Native execution of schedules (see native.mli).
+
+   Lowering: per nest, every statement is compiled once into
+   - a guard as (vals-index, lo, hi) triples,
+   - an rhs closure (int array -> float) mirroring Interp.eval_expr
+     operation for operation (same IEEE-754 ops on the same operands,
+     so results are bit-identical), and
+   - a left-hand side as precomputed flat-index coefficients:
+     row-major strides folded through the affine subscripts, so the
+     address of a[i+1][j-1] is base + ci*i + cj*j with ci, cj, base
+     computed at compile time.
+
+   Execution then walks boxes exactly like Schedule.exec_box — the
+   recursive range walk over b.ranges with a per-worker value vector —
+   but through the compiled bodies and real Bigarray loads/stores.
+   Bigarray access is bounds-checked on the flat index; a per-dimension
+   excursion that stays in the allocation (impossible for legal
+   schedules) would be caught by [verify]'s element-wise comparison. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Schedule = Lf_core.Schedule
+module Pool = Lf_parallel.Pool
+module Spin_barrier = Lf_parallel.Spin_barrier
+
+type ba = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type buffers = {
+  b_prog : Ir.program;
+  b_tbl : (string, ba) Hashtbl.t;
+}
+
+let fill_array ~init name (a : ba) =
+  for k = 0 to Bigarray.Array1.dim a - 1 do
+    Bigarray.Array1.set a k (init name k)
+  done
+
+let create ?(init = Interp.default_init) (p : Ir.program) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ir.decl) ->
+      let a =
+        Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout
+          (Ir.num_elements d)
+      in
+      fill_array ~init d.Ir.aname a;
+      Hashtbl.replace tbl d.Ir.aname a)
+    p.Ir.decls;
+  { b_prog = p; b_tbl = tbl }
+
+let reset ?(init = Interp.default_init) bufs =
+  List.iter
+    (fun (d : Ir.decl) ->
+      fill_array ~init d.Ir.aname (Hashtbl.find bufs.b_tbl d.Ir.aname))
+    bufs.b_prog.Ir.decls
+
+let to_store bufs =
+  let arrays = Hashtbl.create 16 and extents = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ir.decl) ->
+      let a = Hashtbl.find bufs.b_tbl d.Ir.aname in
+      Hashtbl.replace arrays d.Ir.aname
+        (Array.init (Bigarray.Array1.dim a) (Bigarray.Array1.get a));
+      Hashtbl.replace extents d.Ir.aname (Array.of_list d.Ir.extents))
+    bufs.b_prog.Ir.decls;
+  { Interp.arrays; extents }
+
+let checksum bufs = Interp.checksum (to_store bufs)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+
+(* Flat address of an array reference as coefficients over the nest's
+   value vector: flat = base + sum coeff.(i) * vals.(i). *)
+type cref = { r_buf : ba; r_coeff : int array; r_base : int }
+
+type cstmt = {
+  c_guard : (int * int * int) array;  (* (vals index, lo, hi) *)
+  c_rhs : int array -> float;
+  c_lhs : cref;
+}
+
+type cnest = { cn_nvars : int; cn_stmts : cstmt array }
+
+let var_index vars x =
+  let rec find i =
+    if i >= Array.length vars then
+      invalid_arg ("Native: unbound variable " ^ x)
+    else if String.equal vars.(i) x then i
+    else find (i + 1)
+  in
+  find 0
+
+let compile_ref bufs extents_of vars (r : Ir.aref) =
+  let buf =
+    match Hashtbl.find_opt bufs.b_tbl r.Ir.array with
+    | Some b -> b
+    | None -> invalid_arg ("Native: unknown array " ^ r.Ir.array)
+  in
+  let ext = extents_of r.Ir.array in
+  let rank = Array.length ext in
+  if List.length r.Ir.index <> rank then
+    invalid_arg ("Native: rank mismatch on " ^ r.Ir.array);
+  (* row-major strides *)
+  let stride = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    stride.(d) <- stride.(d + 1) * ext.(d + 1)
+  done;
+  let coeff = Array.make (Array.length vars) 0 in
+  let base = ref 0 in
+  List.iteri
+    (fun d (a : Ir.affine) ->
+      base := !base + (a.Ir.const * stride.(d));
+      List.iter
+        (fun (c, v) ->
+          let i = var_index vars v in
+          coeff.(i) <- coeff.(i) + (c * stride.(d)))
+        a.Ir.terms)
+    r.Ir.index;
+  { r_buf = buf; r_coeff = coeff; r_base = !base }
+
+let flat (r : cref) (vals : int array) =
+  let k = ref r.r_base in
+  for i = 0 to Array.length r.r_coeff - 1 do
+    k := !k + (r.r_coeff.(i) * vals.(i))
+  done;
+  !k
+
+(* Mirror of Interp.eval_expr as a closure tree: Const / Read / Neg /
+   Bin with the identical float operations. *)
+let rec compile_expr bufs extents_of vars (e : Ir.expr) : int array -> float =
+  match e with
+  | Ir.Const k -> fun _ -> k
+  | Ir.Read r ->
+    let cr = compile_ref bufs extents_of vars r in
+    fun vals -> Bigarray.Array1.get cr.r_buf (flat cr vals)
+  | Ir.Neg e ->
+    let f = compile_expr bufs extents_of vars e in
+    fun vals -> -.f vals
+  | Ir.Bin (op, x, y) -> (
+    let fx = compile_expr bufs extents_of vars x
+    and fy = compile_expr bufs extents_of vars y in
+    match op with
+    | Ir.Add -> fun vals -> fx vals +. fy vals
+    | Ir.Sub -> fun vals -> fx vals -. fy vals
+    | Ir.Mul -> fun vals -> fx vals *. fy vals
+    | Ir.Div -> fun vals -> fx vals /. fy vals)
+
+let compile_nest bufs extents_of (n : Ir.nest) =
+  let vars = Array.of_list (Ir.nest_vars n) in
+  let stmts =
+    List.map
+      (fun (s : Ir.stmt) ->
+        {
+          c_guard =
+            Array.of_list
+              (List.map
+                 (fun (v, lo, hi) -> (var_index vars v, lo, hi))
+                 s.Ir.guard);
+          c_rhs = compile_expr bufs extents_of vars s.Ir.rhs;
+          c_lhs = compile_ref bufs extents_of vars s.Ir.lhs;
+        })
+      n.Ir.body
+  in
+  { cn_nvars = Array.length vars; cn_stmts = Array.of_list stmts }
+
+let compile bufs (p : Ir.program) =
+  let ext_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Ir.decl) ->
+      Hashtbl.replace ext_tbl d.Ir.aname (Array.of_list d.Ir.extents))
+    p.Ir.decls;
+  let extents_of a =
+    match Hashtbl.find_opt ext_tbl a with
+    | Some e -> e
+    | None -> invalid_arg ("Native: unknown array " ^ a)
+  in
+  Array.of_list (List.map (compile_nest bufs extents_of) p.Ir.nests)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+
+let guard_ok (g : (int * int * int) array) (vals : int array) =
+  let ok = ref true in
+  for i = 0 to Array.length g - 1 do
+    let idx, lo, hi = g.(i) in
+    let v = vals.(idx) in
+    if v < lo || v > hi then ok := false
+  done;
+  !ok
+
+(* Same statement-instance order as Schedule.exec_box: the recursive
+   range walk, and per point guard -> eval rhs -> write lhs. *)
+let exec_box (cnests : cnest array) (scratch : int array array)
+    (b : Schedule.box) =
+  let cn = cnests.(b.Schedule.nest) in
+  let vals = scratch.(b.Schedule.nest) in
+  let nd = Array.length b.Schedule.ranges in
+  let stmts = cn.cn_stmts in
+  let nstmts = Array.length stmts in
+  let rec go d =
+    if d = nd then
+      for s = 0 to nstmts - 1 do
+        let st = stmts.(s) in
+        if guard_ok st.c_guard vals then begin
+          let v = st.c_rhs vals in
+          Bigarray.Array1.set st.c_lhs.r_buf (flat st.c_lhs vals) v
+        end
+      done
+    else begin
+      let lo, hi = b.Schedule.ranges.(d) in
+      for v = lo to hi do
+        vals.(d) <- v;
+        go (d + 1)
+      done
+    end
+  in
+  go 0
+
+let run_into ?(steps = 1) ?pool bufs (t : Schedule.t) =
+  let cnests = compile bufs t.Schedule.prog in
+  let phases = Array.of_list t.Schedule.phases in
+  let nprocs = t.Schedule.nprocs in
+  let exec pool =
+    if Pool.size pool <> nprocs then
+      invalid_arg
+        (Printf.sprintf "Native.run: pool has %d workers, schedule wants %d"
+           (Pool.size pool) nprocs);
+    let bar = Spin_barrier.create nprocs in
+    (* per-worker value vectors: workers share the compiled nests but
+       never a mutable iteration point *)
+    let scratch =
+      Array.init nprocs (fun _ ->
+          Array.map (fun cn -> Array.make (max 1 cn.cn_nvars) 0) cnests)
+    in
+    Pool.run pool (fun w ->
+        let mine = scratch.(w) in
+        for _step = 1 to steps do
+          for pi = 0 to Array.length phases - 1 do
+            List.iter (exec_box cnests mine) phases.(pi).(w);
+            Spin_barrier.wait bar
+          done
+        done)
+  in
+  match pool with Some p -> exec p | None -> Pool.with_pool nprocs exec
+
+let run ?init ?steps ?pool (t : Schedule.t) =
+  let bufs = create ?init t.Schedule.prog in
+  run_into ?steps ?pool bufs t;
+  bufs
+
+let verify ?init ?(steps = 1) ?pool (t : Schedule.t) =
+  let bufs = run ?init ~steps ?pool t in
+  let reference = Interp.run ?init ~steps t.Schedule.prog in
+  match Interp.diff reference (to_store bufs) with
+  | None -> Ok ()
+  | Some (name, k, want, got) ->
+    Error
+      (Printf.sprintf
+         "native execution diverges from the reference: %s[%d] = %h, \
+          expected %h"
+         name k got want)
+
+type timing = {
+  t_measure : Bench_timer.measurement;
+  t_checksum : float;
+  t_nprocs : int;
+  t_steps : int;
+}
+
+let measure ?policy ?(steps = 1) ?pool (t : Schedule.t) =
+  let bufs = create t.Schedule.prog in
+  let go pool =
+    Bench_timer.measure ?policy
+      ~prepare:(fun () -> reset bufs)
+      (fun () -> run_into ~steps ~pool bufs t)
+  in
+  let m =
+    match pool with
+    | Some p -> go p
+    | None -> Pool.with_pool t.Schedule.nprocs go
+  in
+  {
+    t_measure = m;
+    t_checksum = checksum bufs;
+    t_nprocs = t.Schedule.nprocs;
+    t_steps = steps;
+  }

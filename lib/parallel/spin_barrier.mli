@@ -1,0 +1,30 @@
+(** Busy-waiting barrier for latency-sensitive native execution.
+
+    {!Barrier} parks waiters on a condition variable — right for
+    simulation workers that may hold a phase for milliseconds, wrong
+    for native kernel execution where a barrier separates phases that
+    can be microseconds long and a futex round trip would dominate the
+    measurement.  A spin barrier keeps arrivals on-core: waiters poll a
+    generation counter with {!Domain.cpu_relax} until the last arrival
+    flips it.
+
+    The party count is fixed at creation (native runs know their
+    processor count up front; only the simulator's serve path resizes
+    barriers).  No observation sink either — this barrier exists to be
+    timed, and counting arrivals would perturb exactly what the
+    measurement harness is trying to read. *)
+
+type t
+
+val create : int -> t
+(** [create parties]; raises [Invalid_argument] when [parties <= 0]. *)
+
+val parties : t -> int
+
+val wait : t -> unit
+(** Spin until all [parties] participants have arrived; reusable
+    across any number of generations.  Waiters poll on-core for a
+    bounded budget, then back off to the shortest possible sleep — so
+    more parties than cores degrades to scheduler granularity instead
+    of livelocking, and on a big enough machine the fast path never
+    issues a syscall. *)

@@ -182,3 +182,83 @@ let exact ?depth ?steps ?cache ?store ~machine ~nprocs p cand =
         Hashtbl.add c.tbl key e;
         ok
       | Error _ as err -> err))
+
+(* ------------------------------------------------------------------ *)
+(* Measured tier                                                       *)
+
+module Native = Lf_native.Native
+module Bench_timer = Lf_native.Bench_timer
+
+type measured = {
+  m_min_s : float;
+  m_median_s : float;
+  m_reps : int;
+  m_kept : int;
+}
+
+(* In-memory only, by design: measured wall-clock is host- and
+   moment-dependent, so it must never reach the content-addressed
+   on-disk store (DESIGN §7/§11) — hence no [?store] anywhere below,
+   and nothing here knows how to serialise a [measured]. *)
+type mcache = {
+  mtbl : (string, measured) Hashtbl.t;
+  mutable m_hits : int;
+  mutable m_misses : int;
+}
+
+let create_mcache () = { mtbl = Hashtbl.create 16; m_hits = 0; m_misses = 0 }
+
+let mstats c =
+  { hits = c.m_hits; misses = c.m_misses; entries = Hashtbl.length c.mtbl }
+
+(* Layout placement is a property of the *simulated* memory system; a
+   native run puts every array in its own Bigarray regardless.  The
+   memo key therefore pins the layout to a fixed tag so candidates
+   differing only on the layout axis share one measurement.  The
+   policy *is* in the key: min-of-3 and min-of-10 are different
+   observables. *)
+let mfingerprint ?depth ?steps ~policy ~machine ~nprocs p cand =
+  let canonical = { cand with Space.layout = Space.Contiguous } in
+  Printf.sprintf "%s|native|w%d.r%d.x%h"
+    (fingerprint ?depth ?steps ~machine ~nprocs p canonical)
+    policy.Bench_timer.warmup policy.Bench_timer.repetitions
+    policy.Bench_timer.outlier_cutoff
+
+let measured ?depth ?steps ?(policy = Bench_timer.default_policy) ?cache ?pool
+    ~machine ~nprocs p cand =
+  let eval () =
+    match Space.build ?depth ~machine ~nprocs p cand with
+    | Error _ as e -> e
+    | Ok (sched, _layout) -> (
+      (* Never time what is not proven correct: one verified run
+         against the serial interpreter, bit for bit, before the
+         clock starts. *)
+      match Native.verify ?steps ?pool sched with
+      | Error m ->
+        Error ("native run diverges from the reference interpreter: " ^ m)
+      | Ok () ->
+        let t = Native.measure ~policy ?steps ?pool sched in
+        let m = t.Native.t_measure in
+        Ok
+          {
+            m_min_s = m.Bench_timer.min_s;
+            m_median_s = m.Bench_timer.median_s;
+            m_reps = Array.length m.Bench_timer.samples;
+            m_kept = m.Bench_timer.kept;
+          })
+  in
+  match cache with
+  | None -> eval ()
+  | Some c -> (
+    let key = mfingerprint ?depth ?steps ~policy ~machine ~nprocs p cand in
+    match Hashtbl.find_opt c.mtbl key with
+    | Some m ->
+      c.m_hits <- c.m_hits + 1;
+      Ok m
+    | None -> (
+      c.m_misses <- c.m_misses + 1;
+      match eval () with
+      | Ok m as ok ->
+        Hashtbl.add c.mtbl key m;
+        ok
+      | Error _ as err -> err))

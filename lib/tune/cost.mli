@@ -96,3 +96,54 @@ val exact :
     are also answered from (and persisted to) the on-disk result store —
     the in-memory [cache] short-circuits repeats within a search, the
     [store] short-circuits repeats across processes. *)
+
+(** {1 Measured tier}
+
+    The third tier prices a candidate in real seconds: it builds the
+    schedule, proves the native execution bit-identical to the
+    reference interpreter ({!Lf_native.Native.verify}), then times it
+    on the host's cores under {!Lf_native.Bench_timer}'s
+    warmup/min-of-k/outlier policy.
+
+    Deliberately {e unlike} {!exact}, there is no [?store] parameter
+    and never will be: wall-clock depends on the host, its load, its
+    thermals — replaying a measurement from the content-addressed
+    [_lf_cache/] would serve stale time as truth (DESIGN §7/§11).  The
+    only memoisation is the in-memory [mcache], scoped to one process
+    and keyed by measurement policy as well as configuration. *)
+
+type measured = {
+  m_min_s : float;  (** headline: minimum over all repetitions *)
+  m_median_s : float;  (** median of the outlier-filtered repetitions *)
+  m_reps : int;  (** timed repetitions taken *)
+  m_kept : int;  (** repetitions surviving outlier rejection *)
+}
+
+type mcache
+(** In-memory memo table for measured-tier evaluations.  Never backed
+    by disk — see above. *)
+
+val create_mcache : unit -> mcache
+
+val mstats : mcache -> cache_stats
+
+val measured :
+  ?depth:int ->
+  ?steps:int ->
+  ?policy:Lf_native.Bench_timer.policy ->
+  ?cache:mcache ->
+  ?pool:Lf_parallel.Pool.t ->
+  machine:Lf_machine.Machine.config ->
+  nprocs:int ->
+  Lf_ir.Ir.program ->
+  Space.candidate ->
+  (measured, string) result
+(** Measured wall-clock of a candidate.  Every cold evaluation first
+    runs {!Lf_native.Native.verify} — a candidate whose native output
+    is not bit-identical to the interpreter is reported as [Error],
+    never timed.  [pool] must hold exactly [nprocs] workers and keeps
+    domain spawn/join out of the timed region; without one a fresh
+    pool is created per evaluation.  The candidate's layout does not
+    affect native execution (arrays are plain Bigarrays; the host
+    cache is not programmable), so the memo key normalises it away —
+    in a search, the whole layout axis costs one measurement. *)

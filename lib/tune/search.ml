@@ -28,24 +28,50 @@ let prune ~margin ~keep items =
       (fun ((_, v) as it) -> v <= margin *. best || List.memq it top)
       items
 
+type objective = Cycles | Wallclock
+
 type outcome = {
   best : Space.candidate;
   best_cost : Cost.exact;
   default : Space.candidate;
   default_cost : Cost.exact;
   default_is_paper : bool;
+  objective : objective;
   space_size : int;
   considered : int;
   exact_evals : int;
 }
 
 let run ?depth ?steps ?cache ?store ?calibration ?(driver = default_driver)
-    ?sweep ~machine ~nprocs p =
+    ?(objective = Cycles) ?policy ?sweep ~machine ~nprocs p =
   let cache = match cache with Some c -> c | None -> Cost.create_cache () in
+  (* Wallclock: one pool for the whole search, so domain spawn/join
+     happens once, not once per candidate (and never inside a timed
+     region).  The in-memory measurement memo lives and dies with this
+     call — measured time is never written to [store]. *)
+  let mcache = Cost.create_mcache () in
+  let pool =
+    match objective with
+    | Cycles -> None
+    | Wallclock -> Some (Lf_parallel.Pool.create nprocs)
+  in
+  let finally () = Option.iter Lf_parallel.Pool.shutdown pool in
+  Fun.protect ~finally @@ fun () ->
   let evals = ref 0 in
   let ex c =
     incr evals;
-    Cost.exact ?depth ?steps ~cache ?store ~machine ~nprocs p c
+    match objective with
+    | Cycles -> Cost.exact ?depth ?steps ~cache ?store ~machine ~nprocs p c
+    | Wallclock -> (
+      match
+        Cost.measured ?depth ?steps ?policy ~cache:mcache ?pool ~machine
+          ~nprocs p c
+      with
+      | Error _ as e -> e
+      | Ok m ->
+        (* seconds ride in [e_cycles]; the outcome's [objective] field
+           tells consumers which unit they are looking at *)
+        Ok { Cost.e_cycles = m.Cost.m_min_s; e_misses = 0; e_barrier = 0.0 })
   in
   let cands = Space.enumerate ?sweep ~machine p in
   let space_size = List.length cands in
@@ -131,6 +157,7 @@ let run ?depth ?steps ?cache ?store ?calibration ?(driver = default_driver)
         default;
         default_cost;
         default_is_paper;
+        objective;
         space_size;
         considered =
           (match driver with

@@ -32,6 +32,17 @@ val prune : margin:float -> keep:int -> ('a * float) list -> ('a * float) list
     estimate is within [margin] times the best estimate, plus at least
     the [keep] lowest-estimate items. *)
 
+type objective =
+  | Cycles  (** minimise simulated cycles ({!Cost.exact}) *)
+  | Wallclock
+      (** minimise measured seconds on the host ({!Cost.measured}):
+          every evaluated candidate is executed natively — verified
+          bit-identical to the interpreter first — and timed under the
+          warmup/min-of-k/outlier policy.  Analytic pruning still uses
+          the machine model (it only {e ranks}, it never decides the
+          winner), and measurements are memoised in memory only, never
+          in the on-disk store. *)
+
 type outcome = {
   best : Space.candidate;
   best_cost : Cost.exact;
@@ -40,6 +51,9 @@ type outcome = {
   default_is_paper : bool;
       (** false when the paper default was infeasible and the unfused
           fallback serves as the reference *)
+  objective : objective;
+      (** under [Wallclock], [best_cost]/[default_cost] carry measured
+          {e seconds} in [e_cycles] ([e_misses] = 0, [e_barrier] = 0.) *)
   space_size : int;
   considered : int;  (** candidates handed to the exact tier *)
   exact_evals : int;  (** exact-tier lookups issued (memo hits included) *)
@@ -52,6 +66,8 @@ val run :
   ?store:Lf_batch.Batch.Store.t ->
   ?calibration:Cost.calibration ->
   ?driver:driver ->
+  ?objective:objective ->
+  ?policy:Lf_native.Bench_timer.policy ->
   ?sweep:bool ->
   machine:Lf_machine.Machine.config ->
   nprocs:int ->
@@ -63,4 +79,15 @@ val run :
     exact-tier evaluations on disk across searches and processes
     (see {!Cost.exact}).  [Error] only when not even the unfused
     fallback can be simulated (e.g. more processors than
-    iterations). *)
+    iterations).
+
+    [objective] (default [Cycles]) selects the deciding tier.  Under
+    [Wallclock], [policy] overrides the measurement policy, [store] is
+    ignored (measured time is never persisted — DESIGN §7/§11), one
+    domain pool of [nprocs] workers is created up front and reused for
+    every candidate so spawn/join never lands in a timed region, and
+    the reference-seeding guarantee still holds: the returned
+    configuration's measured time is never worse than the reference's
+    {e as measured in this search}.  Repeating a [Wallclock] search
+    measures again — host time is not deterministic, unlike every
+    other number in the system. *)

@@ -23,10 +23,25 @@ let driver_of_string s =
          "unknown search driver %s (try auto, exhaustive, greedy[:budget], \
           beam[:width])" s)
 
+let objective_of_string = function
+  | "cycles" -> Ok Search.Cycles
+  | "wallclock" -> Ok Search.Wallclock
+  | s ->
+    Error
+      (Printf.sprintf "unknown objective %s (try cycles or wallclock)" s)
+
 let improvement_pct (o : Search.outcome) =
   100.0
   *. ((o.Search.default_cost.Cost.e_cycles /. o.Search.best_cost.Cost.e_cycles)
      -. 1.0)
+
+(* Under Wallclock, [e_cycles] carries measured seconds and the miss
+   count is meaningless — print the unit the outcome actually holds. *)
+let pp_cost o ppf (e : Cost.exact) =
+  match o.Search.objective with
+  | Search.Cycles ->
+    Fmt.pf ppf "%.4e cycles, %d misses" e.Cost.e_cycles e.Cost.e_misses
+  | Search.Wallclock -> Fmt.pf ppf "%.3f ms measured" (e.Cost.e_cycles *. 1e3)
 
 let pp_outcome ppf (o : Search.outcome) =
   let reference =
@@ -34,14 +49,11 @@ let pp_outcome ppf (o : Search.outcome) =
     else "unfused fallback (fusion infeasible)"
   in
   Fmt.pf ppf "selected:  %a@." Space.pp o.Search.best;
-  Fmt.pf ppf "           %.4e cycles, %d misses@."
-    o.Search.best_cost.Cost.e_cycles o.Search.best_cost.Cost.e_misses;
+  Fmt.pf ppf "           %a@." (pp_cost o) o.Search.best_cost;
   Fmt.pf ppf "%s: %a@."
     (if o.Search.default_is_paper then "reference" else "fallback ")
     Space.pp o.Search.default;
-  Fmt.pf ppf "           %.4e cycles, %d misses (%s)@."
-    o.Search.default_cost.Cost.e_cycles o.Search.default_cost.Cost.e_misses
-    reference;
+  Fmt.pf ppf "           %a (%s)@." (pp_cost o) o.Search.default_cost reference;
   Fmt.pf ppf "gain over reference: %+.1f%%@." (improvement_pct o);
   Fmt.pf ppf "search: %d candidates, %d exact-evaluated, %d exact lookups@."
     o.Search.space_size o.Search.considered o.Search.exact_evals

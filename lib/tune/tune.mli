@@ -16,23 +16,32 @@ val tune :
   ?store:Lf_batch.Batch.Store.t ->
   ?calibration:Cost.calibration ->
   ?driver:Search.driver ->
+  ?objective:Search.objective ->
+  ?policy:Lf_native.Bench_timer.policy ->
   ?sweep:bool ->
   machine:Lf_machine.Machine.config ->
   nprocs:int ->
   Lf_ir.Ir.program ->
   (Search.outcome, string) result
+(** With [~objective:Wallclock] the deciding tier is real measured
+    time on the host's cores rather than simulated cycles — see
+    {!Search.run} for the measurement and caching rules. *)
 
 val driver_of_string : string -> (Search.driver, string) result
 (** "auto" (the default {!Search.default_driver}), "exhaustive",
     "greedy", "beam", optionally with ":budget" (e.g. "beam:8"). *)
 
+val objective_of_string : string -> (Search.objective, string) result
+(** "cycles" (the default) or "wallclock". *)
+
 val improvement_pct : Search.outcome -> float
-(** Percent cycle improvement of the tuned configuration over the
-    reference (>= 0 by construction). *)
+(** Percent improvement of the tuned configuration over the reference
+    (>= 0 by construction), in the outcome's own objective. *)
 
 val pp_outcome : Format.formatter -> Search.outcome -> unit
-(** Multi-line report: chosen configuration, predicted cycles, the
-    reference configuration and its cycles, search statistics. *)
+(** Multi-line report: chosen configuration, its cost (cycles or
+    measured seconds, per the outcome's objective), the reference
+    configuration and its cost, search statistics. *)
 
 val pp_row : Format.formatter -> Search.outcome -> unit
-(** One table row: default cycles, tuned cycles, gain, chosen config. *)
+(** One table row: default cost, tuned cost, gain, chosen config. *)

@@ -565,6 +565,38 @@ let test_cache_geometry () =
 
 (* ------------------------------------------------------------------ *)
 
+(* The store guard is an explicit allow-list of pure simulation modes:
+   only requests whose observables are deterministic functions of the
+   request may persist.  Full mode is out (its observable is the array
+   store, which is not serialised), and measured wall-clock from the
+   native backend is excluded *by type* — a Lf_native.Native.timing is
+   not an Exec.result and has no Sim.request digest to be filed under,
+   so there is no code path by which host time can reach _lf_cache/.
+   This test pins the allow-list; the Full-mode half is also covered
+   end-to-end by prop_store_roundtrip above. *)
+let test_cacheable_allowlist () =
+  Alcotest.(check bool)
+    "Miss_only is cacheable" true
+    (Store.cacheable (sample_request ~mode:Sim.Miss_only ()));
+  Alcotest.(check bool)
+    "Run_compressed is cacheable" true
+    (Store.cacheable (sample_request ~mode:Sim.Run_compressed ()));
+  Alcotest.(check bool)
+    "Full is excluded" false
+    (Store.cacheable (sample_request ~mode:Sim.Full ()));
+  (* a warm hit reports zero wall time: wall-clock lives outside the
+     persisted entry *)
+  let store = scratch_store () in
+  let req = sample_request ~n:24 () in
+  let outcomes, _ = Batch.run ~store [ req ] in
+  Alcotest.(check bool)
+    "cold run takes time" true
+    (outcomes.(0).Batch.wall_s >= 0.0 && not outcomes.(0).Batch.from_store);
+  let warm, _ = Batch.run ~store [ req ] in
+  Alcotest.(check bool) "warm hit" true warm.(0).Batch.from_store;
+  Alcotest.(check (float 0.0)) "warm wall_s is 0" 0.0 warm.(0).Batch.wall_s;
+  ignore (Store.clear store)
+
 let machine_cases =
   [ (Machine.convex, "convex"); (Machine.ksr2, "ksr2") ]
 
@@ -599,4 +631,6 @@ let suite =
         test_digest_discriminates;
       Alcotest.test_case "mode string round trip" `Quick test_mode_strings;
       Alcotest.test_case "Cache.geometry record" `Quick test_cache_geometry;
+      Alcotest.test_case "cacheable is an allow-list" `Quick
+        test_cacheable_allowlist;
     ]

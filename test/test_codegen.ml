@@ -80,8 +80,37 @@ let test_direct_rejects_depth2 () =
   let p = Lf_kernels.Jacobi.program ~n:16 () in
   let d = Derive.of_program ~depth:2 p in
   (match Codegen.direct_to_string p d with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument")
+  | exception Codegen.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Codegen.Unsupported")
+
+let test_strip_rejects_depth2 () =
+  let p = Lf_kernels.Jacobi.program ~n:16 () in
+  let d = Derive.of_program ~depth:2 p in
+  (match Codegen.strip_mined_to_string p d with
+  | exception Codegen.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Codegen.Unsupported")
+
+(* Historically the 1-D emitters accepted a multidim program with a
+   depth-1 derivation and printed code whose inner loop variables were
+   never bound.  The direct method now refuses; the strip-mined method
+   dispatches to the multidim renderer, which emits the inner loops. *)
+let test_direct_rejects_multidim_program () =
+  let p = Lf_kernels.Filter.program ~rows:16 ~cols:12 () in
+  let d = Derive.of_program ~depth:1 p in
+  (match Codegen.direct_to_string p d with
+  | exception Codegen.Unsupported m ->
+    check bool "error names the cause" true
+      (Tutil.contains m "levels below the fusion depth")
+  | _ -> Alcotest.fail "expected Codegen.Unsupported")
+
+let test_strip_mined_dispatches_multidim () =
+  let p = Lf_kernels.Filter.program ~rows:16 ~cols:12 () in
+  let d = Derive.of_program ~depth:1 p in
+  let s = Codegen.strip_mined_to_string ~strip:8 p d in
+  check bool "inner loop variable bound" true (Tutil.contains s "for (j = ");
+  check bool "multidim renderer used" true
+    (Tutil.contains s "multidimensional shift-and-peel");
+  check bool "barrier emitted" true (Tutil.contains s "BARRIER")
 
 let suite =
   [
@@ -94,4 +123,9 @@ let suite =
     ("multidim prologue (Fig 16)", `Quick, test_multidim_prologue);
     ("multidim depth-1", `Quick, test_multidim_depth1_works);
     ("direct rejects depth 2", `Quick, test_direct_rejects_depth2);
+    ("strip-mined rejects depth 2", `Quick, test_strip_rejects_depth2);
+    ("direct rejects multidim program", `Quick,
+     test_direct_rejects_multidim_program);
+    ("strip-mined dispatches multidim", `Quick,
+     test_strip_mined_dispatches_multidim);
   ]

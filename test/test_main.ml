@@ -31,4 +31,5 @@ let () =
       ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);
       ("script", Test_script.suite);
+      ("native", Test_native.suite);
     ]

@@ -1,0 +1,350 @@
+(* The native execution backend (lf_native) and its measurement
+   harness.
+
+   Three obligations:
+   - Bench_timer's aggregation policy is pure arithmetic — pinned here
+     sample by sample (min over all, outliers out of median/mean,
+     malformed policies refused);
+   - native execution is bit-identical to the reference interpreter
+     for every kernel x schedule variant x domain count the paper
+     cares about — direct cases plus a QCheck property with
+     non-divisible strips and peel-heavy sizes;
+   - the measured cost tier verifies before it times, memoises in
+     memory only, and the Wallclock search never returns a
+     configuration measured slower than the paper default. *)
+
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Wavefront = Lf_core.Wavefront
+module Machine = Lf_machine.Machine
+module Pool = Lf_parallel.Pool
+module Native = Lf_native.Native
+module Bench_timer = Lf_native.Bench_timer
+module Space = Lf_tune.Space
+module Cost = Lf_tune.Cost
+module Search = Lf_tune.Search
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let flt = Alcotest.float 1e-12
+
+(* ------------------------------------------------------------------ *)
+(* Bench_timer aggregation (pure)                                      *)
+
+let test_aggregate_min_of_k () =
+  let m = Bench_timer.aggregate [| 3.0; 1.0; 2.0 |] in
+  check flt "min over all samples" 1.0 m.Bench_timer.min_s;
+  check int "all kept" 3 m.Bench_timer.kept;
+  check flt "median" 2.0 m.Bench_timer.median_s;
+  check flt "mean" 2.0 m.Bench_timer.mean_s
+
+let test_aggregate_outlier_rejection () =
+  (* raw median 1.0, cutoff 3.0 -> 100.0 is rejected from median/mean
+     but the minimum is untouched by construction *)
+  let m = Bench_timer.aggregate [| 1.0; 0.9; 1.1; 100.0; 1.0 |] in
+  check int "outlier dropped" 4 m.Bench_timer.kept;
+  check flt "min unaffected" 0.9 m.Bench_timer.min_s;
+  check flt "median of kept" 1.0 m.Bench_timer.median_s;
+  check bool "mean excludes the outlier" true (m.Bench_timer.mean_s < 1.05)
+
+let test_aggregate_even_median () =
+  let m = Bench_timer.aggregate [| 4.0; 1.0; 3.0; 2.0 |] in
+  check flt "average of the two middles" 2.5 m.Bench_timer.median_s
+
+let test_aggregate_cutoff_from_raw_median () =
+  (* the slow half cannot vote itself back in: with cutoff 2 and raw
+     median 2.0, the 10.0 samples are out even though they would be
+     within 2x of a recomputed (kept) median that included them *)
+  let m =
+    Bench_timer.aggregate
+      ~policy:{ Bench_timer.default_policy with outlier_cutoff = 2.0 }
+      [| 1.0; 2.0; 10.0 |]
+  in
+  check int "kept" 2 m.Bench_timer.kept;
+  check flt "median of kept" 1.5 m.Bench_timer.median_s
+
+let test_aggregate_rejects_malformed () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool "empty samples" true
+    (raises (fun () -> Bench_timer.aggregate [||]));
+  check bool "zero repetitions" true
+    (raises (fun () ->
+         Bench_timer.aggregate
+           ~policy:{ Bench_timer.default_policy with repetitions = 0 }
+           [| 1.0 |]));
+  check bool "negative warmup" true
+    (raises (fun () ->
+         Bench_timer.aggregate
+           ~policy:{ Bench_timer.default_policy with warmup = -1 }
+           [| 1.0 |]));
+  check bool "cutoff below 1" true
+    (raises (fun () ->
+         Bench_timer.aggregate
+           ~policy:{ Bench_timer.default_policy with outlier_cutoff = 0.5 }
+           [| 1.0 |]))
+
+let test_measure_counts_reps () =
+  let prepared = ref 0 and ran = ref 0 in
+  let m =
+    Bench_timer.measure
+      ~policy:{ warmup = 2; repetitions = 3; outlier_cutoff = 3.0 }
+      ~prepare:(fun () -> incr prepared)
+      (fun () -> incr ran)
+  in
+  check int "warmup + timed runs" 5 !ran;
+  check int "prepare before every run" 5 !prepared;
+  check int "one sample per timed rep" 3 (Array.length m.Bench_timer.samples)
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: direct cases                                          *)
+
+let fig9 n = Tutil.chain_program ~lo:2 ~hi:n [ [ 0 ]; [ 1; -1 ]; [ 1; -1 ] ]
+
+let heat2d () =
+  Lf_front.Parse.program_of_file "../examples/programs/heat2d.loop"
+
+let assert_identical name sched =
+  match Native.verify sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: %s" name m
+
+let test_native_fig9_two_domains () =
+  let p = fig9 40 in
+  let d = Derive.of_program ~depth:1 p in
+  assert_identical "fig9 fused P=2"
+    (Schedule.fused ~nprocs:2 ~strip:7 ~derive:d p);
+  assert_identical "fig9 unfused P=2" (Schedule.unfused ~nprocs:2 p)
+
+let test_native_heat2d_two_domains () =
+  let p = heat2d () in
+  let depth = max 1 (min 2 (Lf_dep.Dep.max_parallel_depth p)) in
+  let d = Derive.of_program ~depth p in
+  assert_identical "heat2d fused P=2"
+    (Schedule.fused ~nprocs:2 ~strip:5 ~derive:d p);
+  assert_identical "heat2d unfused P=2" (Schedule.unfused ~nprocs:2 p)
+
+let test_native_jacobi_grid () =
+  (* depth-2 fusion: a 2x2 processor grid with per-dimension peels *)
+  let p = Lf_kernels.Jacobi.program ~n:20 () in
+  let d = Derive.of_program ~depth:2 p in
+  assert_identical "jacobi fused P=4"
+    (Schedule.fused ~nprocs:4 ~strip:6 ~derive:d p)
+
+let test_native_steps_match_interp () =
+  (* multi-step runs repeat the whole schedule like Interp ~steps *)
+  let p = fig9 30 in
+  let d = Derive.of_program ~depth:1 p in
+  let sched = Schedule.fused ~nprocs:2 ~strip:5 ~derive:d p in
+  (match Native.verify ~steps:3 sched with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "steps=3: %s" m);
+  let bufs = Native.run ~steps:3 sched in
+  check bool "checksum matches the 3-step reference" true
+    (Native.checksum bufs = Interp.checksum (Interp.run ~steps:3 p))
+
+let test_native_pool_size_mismatch () =
+  let p = fig9 30 in
+  let sched = Schedule.unfused ~nprocs:2 p in
+  Pool.with_pool 3 (fun pool ->
+      match Native.run ~pool sched with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "expected Invalid_argument on pool/nprocs mismatch")
+
+(* ------------------------------------------------------------------ *)
+(* Bit-identity: QCheck property                                       *)
+
+(* Same inventory as test_roundtrip; sizes vary per case. *)
+let property_kernels : (string * (int -> Ir.program) * int) array =
+  [|
+    ("ll18", (fun n -> Lf_kernels.Ll18.program ~n ()), 1);
+    ("calc", (fun n -> Lf_kernels.Calc.program ~n ()), 1);
+    ( "filter",
+      (fun n -> Lf_kernels.Filter.program ~rows:n ~cols:(n / 2 + 8) ()),
+      1 );
+    ("jacobi", (fun n -> Lf_kernels.Jacobi.program ~n ()), 2);
+    ("fig9", (fun n -> fig9 n), 1);
+    ( "tomcatv-seq1",
+      (fun n ->
+        List.hd (Lf_kernels.Apps.tomcatv ~n ()).Lf_kernels.Apps.sequences),
+      1 );
+  |]
+
+type variant = V_unfused | V_fused | V_wavefront
+
+type ncase = {
+  nc_kernel : int;
+  nc_n : int;
+  nc_procs : int;  (** 1, 2 or 4 *)
+  nc_strip : int;  (** deliberately allowed to be non-divisible *)
+  nc_variant : variant;
+}
+
+let ncase_gen =
+  QCheck.Gen.(
+    let* nc_kernel = int_bound (Array.length property_kernels - 1) in
+    (* odd-ish sizes so strips do not divide ranges and peel boundaries
+       land mid-block *)
+    let* nc_n = int_range 17 41 in
+    let* nc_procs = oneofl [ 1; 2; 4 ] in
+    let* nc_strip = int_range 2 13 in
+    let* nc_variant = oneofl [ V_unfused; V_fused; V_wavefront ] in
+    return { nc_kernel; nc_n; nc_procs; nc_strip; nc_variant })
+
+let ncase_print c =
+  let name, _, _ = property_kernels.(c.nc_kernel) in
+  Printf.sprintf "%s n=%d P=%d strip=%d %s" name c.nc_n c.nc_procs c.nc_strip
+    (match c.nc_variant with
+    | V_unfused -> "unfused"
+    | V_fused -> "fused"
+    | V_wavefront -> "wavefront")
+
+let prop_native_bit_identical c =
+  let _, build, depth = property_kernels.(c.nc_kernel) in
+  let p = build c.nc_n in
+  match
+    match c.nc_variant with
+    | V_unfused -> Schedule.unfused ~nprocs:c.nc_procs p
+    | V_fused ->
+      Schedule.fused ~nprocs:c.nc_procs ~strip:c.nc_strip
+        ~derive:(Derive.of_program ~depth p)
+        p
+    | V_wavefront ->
+      Wavefront.schedule ~tile:c.nc_strip
+        ~derive:(Derive.of_program ~depth p)
+        ~nprocs:c.nc_procs p
+  with
+  | exception Schedule.Illegal _ -> true (* infeasible here: vacuous *)
+  | exception Invalid_argument _ -> true
+  | exception Derive.Not_applicable _ -> true
+  | sched -> (
+    match Native.verify sched with
+    | Ok () -> true
+    | Error m -> QCheck.Test.fail_report (ncase_print c ^ ": " ^ m))
+
+let native_identity_prop =
+  QCheck.Test.make
+    ~name:"native execution bit-identical to Interp (kernels x variants x P)"
+    ~count:40
+    (QCheck.make ~print:ncase_print ncase_gen)
+    prop_native_bit_identical
+
+(* ------------------------------------------------------------------ *)
+(* Measured cost tier + Wallclock search                               *)
+
+let fast_policy = { Bench_timer.warmup = 0; repetitions = 1; outlier_cutoff = 3.0 }
+
+let ll18 () = Lf_kernels.Ll18.program ~n:32 ()
+
+let test_measured_tier () =
+  let p = ll18 () in
+  let machine = Machine.convex in
+  let cand = Space.paper_default ~machine p in
+  let cache = Cost.create_mcache () in
+  let m =
+    match
+      Cost.measured ~policy:fast_policy ~cache ~machine ~nprocs:2 p cand
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "measured tier failed: %s" e
+  in
+  check int "one timed rep" 1 m.Cost.m_reps;
+  check bool "positive time" true (m.Cost.m_min_s > 0.0);
+  let s1 = Cost.mstats cache in
+  check int "one cold measurement" 1 s1.Cost.misses;
+  (* repeat: memo hit, no re-measure *)
+  ignore
+    (Cost.measured ~policy:fast_policy ~cache ~machine ~nprocs:2 p cand);
+  let s2 = Cost.mstats cache in
+  check int "second call hits" 1 s2.Cost.hits;
+  check int "still one measurement" 1 s2.Cost.misses
+
+let test_measured_layout_normalised () =
+  (* layout does not exist natively: candidates differing only on the
+     layout axis share one measurement *)
+  let p = ll18 () in
+  let machine = Machine.convex in
+  let cand = Space.paper_default ~machine p in
+  let cache = Cost.create_mcache () in
+  let run c =
+    ignore (Cost.measured ~policy:fast_policy ~cache ~machine ~nprocs:2 p c)
+  in
+  run cand;
+  run { cand with Space.layout = Space.Contiguous };
+  run { cand with Space.layout = Space.Padded 8 };
+  let s = Cost.mstats cache in
+  check int "one measurement for three layouts" 1 s.Cost.misses;
+  check int "two memo hits" 2 s.Cost.hits
+
+let test_wallclock_search_never_loses () =
+  let p = ll18 () in
+  let o =
+    match
+      Search.run ~driver:(Search.Beam { width = 3; budget = 8 })
+        ~objective:Search.Wallclock ~policy:fast_policy
+        ~machine:Machine.convex ~nprocs:2 p
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "wallclock search failed: %s" e
+  in
+  check bool "outcome tagged with its objective" true
+    (o.Search.objective = Search.Wallclock);
+  check bool "measured best <= measured default" true
+    (o.Search.best_cost.Cost.e_cycles
+    <= o.Search.default_cost.Cost.e_cycles);
+  check bool "seconds, not cycles" true
+    (o.Search.best_cost.Cost.e_cycles < 10.0);
+  check int "no miss count under wallclock" 0
+    o.Search.best_cost.Cost.e_misses
+
+let test_cycles_outcome_tagged () =
+  let p = ll18 () in
+  let o =
+    match
+      Search.run ~driver:(Search.Beam { width = 2; budget = 4 })
+        ~machine:Machine.convex ~nprocs:2 p
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "cycles search failed: %s" e
+  in
+  check bool "default objective is Cycles" true
+    (o.Search.objective = Search.Cycles)
+
+let suite =
+  [
+    Alcotest.test_case "aggregate: min of k" `Quick test_aggregate_min_of_k;
+    Alcotest.test_case "aggregate: outlier rejection" `Quick
+      test_aggregate_outlier_rejection;
+    Alcotest.test_case "aggregate: even-length median" `Quick
+      test_aggregate_even_median;
+    Alcotest.test_case "aggregate: cutoff uses the raw median" `Quick
+      test_aggregate_cutoff_from_raw_median;
+    Alcotest.test_case "aggregate: malformed inputs refused" `Quick
+      test_aggregate_rejects_malformed;
+    Alcotest.test_case "measure: warmup/rep accounting" `Quick
+      test_measure_counts_reps;
+    Alcotest.test_case "native fig9 on 2 domains" `Quick
+      test_native_fig9_two_domains;
+    Alcotest.test_case "native heat2d on 2 domains" `Quick
+      test_native_heat2d_two_domains;
+    Alcotest.test_case "native jacobi 2x2 grid" `Quick test_native_jacobi_grid;
+    Alcotest.test_case "native multi-step checksum" `Quick
+      test_native_steps_match_interp;
+    Alcotest.test_case "pool size mismatch refused" `Quick
+      test_native_pool_size_mismatch;
+    QCheck_alcotest.to_alcotest native_identity_prop;
+    Alcotest.test_case "measured tier: verify, time, memoise" `Quick
+      test_measured_tier;
+    Alcotest.test_case "measured tier: layout axis is free" `Quick
+      test_measured_layout_normalised;
+    Alcotest.test_case "wallclock search never loses to the default" `Quick
+      test_wallclock_search_never_loses;
+    Alcotest.test_case "cycles outcome carries its objective" `Quick
+      test_cycles_outcome_tagged;
+  ]

@@ -160,6 +160,50 @@ let test_barrier_resize_releases_stale_waiters () =
           Atomic.incr crossings);
       check int "reusable after resize" 2 (Atomic.get crossings))
 
+(* ------------------------------------------------------------------ *)
+(* Spin barrier (lf_native's phase separator)                          *)
+
+module Spin = Lf_parallel.Spin_barrier
+
+let test_spin_barrier_phases () =
+  (* all participants finish phase 1 before any enters phase 2 *)
+  with_pool 4 (fun pool ->
+      let b = Spin.create 4 in
+      let phase1 = Atomic.make 0 in
+      let violations = Atomic.make 0 in
+      Pool.run pool (fun _ ->
+          Atomic.incr phase1;
+          Spin.wait b;
+          if Atomic.get phase1 <> 4 then Atomic.incr violations);
+      check int "no violations" 0 (Atomic.get violations))
+
+let test_spin_barrier_reusable () =
+  (* sense reversal: many generations through the same barrier, with
+     enough crossings to cross the spin budget's sleep fallback on an
+     oversubscribed host *)
+  with_pool 3 (fun pool ->
+      let b = Spin.create 3 in
+      let count = Atomic.make 0 in
+      Pool.run pool (fun _ ->
+          for _ = 1 to 50 do
+            Spin.wait b;
+            Atomic.incr count
+          done);
+      check int "150 crossings" 150 (Atomic.get count))
+
+let test_spin_barrier_single_party () =
+  let b = Spin.create 1 in
+  for _ = 1 to 5 do Spin.wait b done;
+  check int "parties" 1 (Spin.parties b)
+
+let test_spin_barrier_rejects_nonpositive () =
+  (match Spin.create 0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for 0 parties");
+  match Spin.create (-3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for negative parties"
+
 let test_native_ll18_matches_ir () =
   let n = 48 in
   let a = N.Ll18_native.create n in
@@ -238,6 +282,11 @@ let suite =
     ("dynamic_for imbalanced", `Quick, test_dynamic_for_imbalanced);
     ("barrier resize releases stale waiters", `Quick,
      test_barrier_resize_releases_stale_waiters);
+    ("spin barrier phases", `Quick, test_spin_barrier_phases);
+    ("spin barrier reusable", `Quick, test_spin_barrier_reusable);
+    ("spin barrier single party", `Quick, test_spin_barrier_single_party);
+    ("spin barrier rejects nonpositive", `Quick,
+     test_spin_barrier_rejects_nonpositive);
     ("native ll18 = IR", `Quick, test_native_ll18_matches_ir);
     ("native ll18 fused parallel", `Quick, test_native_ll18_fused_parallel);
     ("native jacobi fused parallel", `Quick, test_native_jacobi_fused_parallel);

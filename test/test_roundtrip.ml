@@ -81,14 +81,31 @@ let test_codegen_emission () =
           (name ^ ": peeled iterations emitted after the barrier") true
           (Tutil.contains emitted "BARRIER");
       if depth = 1 then begin
-        let direct = Codegen.direct_to_string p d in
+        let multidim =
+          List.exists
+            (fun (n : Ir.nest) -> List.length n.Ir.levels > 1)
+            p.Ir.nests
+        in
+        (* the direct method is strictly 1-D: multidim programs get the
+           typed refusal instead of text with unbound inner variables *)
+        (match Codegen.direct_to_string p d with
+        | exception Codegen.Unsupported _ ->
+          Alcotest.(check bool)
+            (name ^ ": direct refuses only multidim programs") true multidim
+        | direct ->
+          Alcotest.(check bool) (name ^ ": direct is 1-D only") false multidim;
+          Alcotest.(check bool)
+            (name ^ ": direct emission nonempty") true
+            (String.length direct > 0));
+        (* strip-mined dispatches multidim programs to the multidim
+           renderer; the control loop doubles the fused variable *)
         let stripped = Codegen.strip_mined_to_string ~strip:8 p d in
-        Alcotest.(check bool)
-          (name ^ ": direct emission nonempty") true
-          (String.length direct > 0);
+        let v0 =
+          List.hd (Ir.nest_vars (List.hd p.Ir.nests))
+        in
         Alcotest.(check bool)
           (name ^ ": strip-mined emission mentions the strip loop") true
-          (Tutil.contains stripped "ii")
+          (Tutil.contains stripped (v0 ^ v0))
       end)
     (kernels ())
 

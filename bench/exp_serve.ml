@@ -29,49 +29,12 @@ module Serve = Lf_serve.Serve
 module Client = Lf_serve.Client
 
 (* ------------------------------------------------------------------ *)
-(* Request mix.                                                        *)
+(* Request mix: the standard sweep (Lf_queue.Sweep), shared with the
+   sweep CLI and the queue bench so digests agree across the system.
+   Mix construction is pure (Sim.legal touches no domains), hence
+   fork-safe here. *)
 
-let kernels : (string * (int -> Lf_ir.Ir.program)) list =
-  [
-    ("ll18", fun n -> Lf_kernels.Ll18.program ~n ());
-    ("calc", fun n -> Lf_kernels.Calc.program ~n ());
-    ("jacobi", fun n -> Lf_kernels.Jacobi.program ~n ());
-    ("filter", fun n -> Lf_kernels.Filter.program ~rows:n ~cols:(n / 2 + 8) ());
-    ( "tomcatv",
-      fun n ->
-        List.hd (Lf_kernels.Apps.tomcatv ~n ()).Lf_kernels.Apps.sequences );
-    ( "hydro2d",
-      fun n ->
-        List.hd
-          (Lf_kernels.Apps.hydro2d ~rows:n ~cols:(n / 2 + 8) ())
-            .Lf_kernels.Apps.sequences );
-  ]
-
-(* A candidate goes into the mix only if its schedule is actually
-   buildable — small sizes can violate the Theorem 1 iteration-count
-   threshold for some fused kernels, and the bench measures service
-   latency, not legality failures.  Sim.legal is pure (no domains), so
-   it is fork-safe here. *)
-let legal = Sim.legal
-
-let build_mix ~n =
-  List.concat_map
-    (fun (_, prog) ->
-      let p = prog n in
-      List.concat_map
-        (fun machine ->
-          let layout = Util.partitioned_layout machine p in
-          let strip = Util.strip_for machine p in
-          List.concat_map
-            (fun mode ->
-              List.filter legal
-                [
-                  Sim.unfused ~layout ~mode ~machine ~nprocs:4 p;
-                  Sim.fused ~layout ~mode ~machine ~nprocs:4 ~strip p;
-                ])
-            [ Sim.Miss_only; Sim.Run_compressed ])
-        [ Machine.ksr2; Machine.convex ])
-    kernels
+let build_mix ~n = Lf_queue.Sweep.mix ~n ()
 
 (* Deterministic per-client PRNG (so the bench is reproducible) and a
    zipf(theta = 1) sampler over the mix: rank r has weight 1/(r+1). *)

@@ -41,6 +41,9 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("native", "BENCH_7: native multicore execution, predicted vs measured \
                 speedups (lf_native)",
      Exp_native.run);
+    ("queue", "BENCH_8: multi-process sweep fan-out through the work queue \
+               + fingerprint invalidation (lf_queue)",
+     Exp_queue.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 

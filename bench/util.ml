@@ -49,35 +49,16 @@ let cap_procs cfg procs =
   in
   if cfg.quick then List.filter (fun p -> p <= 8) procs else procs
 
-let cache_shape (m : Machine.config) =
-  {
-    Partition.capacity = m.Machine.cache.Cache.capacity;
-    line = m.Machine.cache.Cache.line;
-    assoc = m.Machine.cache.Cache.assoc;
-  }
-
-let partitioned_layout m (p : Ir.program) =
-  Partition.cache_partitioned ~cache:(cache_shape m) p.Ir.decls
+(* Layout/strip helpers now live in Lf_queue.Sweep (shared with the
+   sweep CLI and the queue bench); these are the historical names. *)
+let cache_shape = Lf_queue.Sweep.cache_shape
+let partitioned_layout = Lf_queue.Sweep.partitioned_layout
 
 let contiguous_layout (p : Ir.program) = Partition.contiguous p.Ir.decls
 
 let padded_layout ~pad (p : Ir.program) = Partition.padded ~pad p.Ir.decls
 
-(* Strip-mining factor sized so one strip of every array fits in its
-   cache partition (paper §3.4): per fused iteration each array touches
-   one "row" of inner elements. *)
-let strip_for m (p : Ir.program) =
-  let narrays = List.length p.Ir.decls in
-  let inner_bytes =
-    List.fold_left
-      (fun acc (d : Ir.decl) ->
-        match d.extents with
-        | [] -> acc
-        | _ :: rest -> max acc (List.fold_left ( * ) 8 rest))
-      8 p.Ir.decls
-  in
-  let sp = Partition.partition_size ~cache:(cache_shape m) ~narrays in
-  max 2 ((sp / inner_bytes) - 2)
+let strip_for = Lf_queue.Sweep.strip_for
 
 (* One fused-vs-unfused measurement with cache-partitioned layout. *)
 type pair = {

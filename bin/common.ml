@@ -135,6 +135,23 @@ let store_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "store-dir" ] ~docv:"DIR" ~doc)
 
+let queue_dir_arg =
+  let doc =
+    "Work-queue directory shared by the sweep enqueuer and workers \
+     (default $(b,LF_QUEUE_DIR), else _lf_queue)."
+  in
+  Arg.(value & opt (some string) None & info [ "queue" ] ~docv:"DIR" ~doc)
+
+let fingerprint_arg =
+  let doc =
+    "Override one module fingerprint, $(b,MODULE=VALUE) (repeatable; \
+     modules: ir, schedule, derive, partition, cache, machine).  \
+     Changes the digests of exactly the requests depending on that \
+     module — the incremental-invalidation lever."
+  in
+  Arg.(
+    value & opt_all string [] & info [ "fingerprint" ] ~docv:"MODULE=VALUE" ~doc)
+
 let socket_arg =
   let doc =
     "Unix-domain socket of the simulation service (default \
@@ -187,3 +204,23 @@ let layout_of spec machine (p : Ir.program) =
   | s -> Error ("unknown layout " ^ s)
 
 let store_of dir = Lf_batch.Batch.Store.open_ ?dir ()
+
+let queue_dir_of dir =
+  match dir with
+  | Some d -> d
+  | None -> (
+    match Sys.getenv_opt "LF_QUEUE_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "_lf_queue")
+
+let queue_of dir = Lf_queue.Queue.open_ ~dir:(queue_dir_of dir)
+
+let apply_fingerprints specs =
+  let rec go = function
+    | [] -> Ok ()
+    | s :: tl -> (
+      match Sim.Fingerprint.set_spec s with
+      | Ok () -> go tl
+      | Error _ as e -> e)
+  in
+  go specs

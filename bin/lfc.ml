@@ -221,8 +221,24 @@ let warmup_arg =
     & info [ "warmup" ] ~docv:"W" ~doc)
 
 let run_unfused_arg =
-  let doc = "Run the unfused schedule (default: fused shift-and-peel)." in
+  let doc = "Alias for --schedule unfused." in
   Arg.(value & flag & info [ "unfused" ] ~doc)
+
+let run_schedule_arg =
+  let doc =
+    "Schedule to execute: $(b,fused) (shift-and-peel, the default), \
+     $(b,unfused) (one phase per nest), or $(b,wavefront) (tiled \
+     anti-diagonals; --strip is the tile size)."
+  in
+  Arg.(value & opt string "fused" & info [ "schedule" ] ~docv:"SCHED" ~doc)
+
+let run_script_arg =
+  let doc =
+    "Build the schedule from a .lft transformation script (the steps are \
+     legality-checked and realized exactly as `lfc transform --simulate` \
+     does) instead of --schedule."
+  in
+  Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE.lft" ~doc)
 
 (* Execute a schedule for real: every native run is verified
    bit-identical to the serial reference interpreter before it is
@@ -279,21 +295,49 @@ let run_sim kernel n p sched variant machine_name procs store_dir json =
         r.Exec.total_misses;
     `Ok ()
 
-let run_exec kernel n backend machine_name procs strip steps unfused reps
-    warmup store_dir json =
+let run_exec kernel n backend machine_name procs strip steps schedule_name
+    unfused script reps warmup store_dir json =
   with_program kernel n (fun p ->
       let depth = depth_of p kernel in
-      match
-        if unfused then Schedule.unfused ~nprocs:procs p
-        else
-          Schedule.fused ~nprocs:procs ~strip
-            ~derive:(Derive.of_program ~depth p) p
-      with
+      let variant = if unfused then "unfused" else schedule_name in
+      let build () =
+        match script with
+        | Some path -> (
+          let module Script = Lf_script.Script in
+          let module Realize = Lf_script.Realize in
+          let module Lft = Lf_front.Lft in
+          match Lft.parse_file path with
+          | exception Sys_error m -> Error m
+          | exception (Lft.Error _ as e) ->
+            Error (Option.get (Lft.error_to_string ~file:path e))
+          | steps_ -> (
+            match Script.run p steps_ with
+            | Error e -> Error (Script.error_to_string e)
+            | Ok st ->
+              Ok
+                ( "script:" ^ Filename.basename path,
+                  Realize.schedule ~nprocs:procs st )))
+        | None -> (
+          match variant with
+          | "unfused" -> Ok ("unfused", Schedule.unfused ~nprocs:procs p)
+          | "fused" ->
+            Ok
+              ( "fused",
+                Schedule.fused ~nprocs:procs ~strip
+                  ~derive:(Derive.of_program ~depth p) p )
+          | "wavefront" ->
+            Ok
+              ( "wavefront",
+                Lf_core.Wavefront.schedule ~tile:strip ~nprocs:procs p )
+          | s ->
+            Error ("unknown schedule " ^ s ^ " (try fused, unfused, wavefront)"))
+      in
+      match build () with
       | exception Schedule.Illegal m -> `Error (false, m)
       | exception Derive.Not_applicable m -> `Error (false, m)
       | exception Invalid_argument m -> `Error (false, m)
-      | sched -> (
-        let variant = if unfused then "unfused" else "fused" in
+      | Error m -> `Error (false, m)
+      | Ok (variant, sched) -> (
         match backend with
         | "native" ->
           run_native kernel n p sched variant procs strip steps reps warmup
@@ -306,15 +350,17 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:
-         "Execute a schedule natively on the host's cores (one domain per \
+         "Execute a schedule (fused, unfused, wavefront, or one built by a \
+          .lft script) natively on the host's cores (one domain per \
           simulated processor), verified bit-identical to the reference \
           interpreter before any timing; or on the simulator with \
           --backend sim")
     Term.(
       ret
         (const run_exec $ kernel_arg $ size_arg $ backend_arg $ machine_arg
-       $ procs_arg $ strip_arg $ steps_arg $ run_unfused_arg $ reps_arg
-       $ warmup_arg $ store_dir_arg $ json_arg))
+       $ procs_arg $ strip_arg $ steps_arg $ run_schedule_arg
+       $ run_unfused_arg $ run_script_arg $ reps_arg $ warmup_arg
+       $ store_dir_arg $ json_arg))
 
 (* --- tune ---------------------------------------------------------- *)
 
@@ -949,18 +995,65 @@ let request_cmd =
 (* --- cache --------------------------------------------------------- *)
 
 let cache_stats json store_dir =
+  let module Store = Lf_batch.Batch.Store in
   let store = store_of store_dir in
-  let st = Lf_batch.Batch.Store.stats store in
-  if json then
-    Fmt.pr
-      "{\"dir\": \"%s\", \"entries\": %d, \"bytes\": %d, \"salt\": \"%s\"}@."
-      (String.escaped (Lf_batch.Batch.Store.dir store))
-      st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes
-      (String.escaped Sim.version_salt)
-  else
-    Fmt.pr "%s: %d entries, %d bytes@."
-      (Lf_batch.Batch.Store.dir store)
-      st.Lf_batch.Batch.Store.entries st.Lf_batch.Batch.Store.bytes;
+  let st = Store.stats store in
+  let fs = Store.fingerprint_stats store in
+  if json then begin
+    let b = Buffer.create 512 in
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"dir\": \"%s\", \"entries\": %d, \"bytes\": %d, \"salt\": \
+          \"%s\", \"live_fingerprints\": {"
+         (String.escaped (Store.dir store))
+         st.Store.entries st.Store.bytes
+         (String.escaped Sim.version_salt));
+    List.iteri
+      (fun i (m, v) ->
+        Buffer.add_string b
+          (Printf.sprintf "%s\"%s\": \"%s\""
+             (if i = 0 then "" else ", ")
+             (String.escaped m) (String.escaped v)))
+      fs.Store.fp_live;
+    Buffer.add_string b "}, \"fingerprint_counts\": [";
+    List.iteri
+      (fun i ((m, v), n) ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "%s{\"module\": \"%s\", \"version\": \"%s\", \"entries\": %d}"
+             (if i = 0 then "" else ", ")
+             (String.escaped m) (String.escaped v) n))
+      fs.Store.fp_counts;
+    Buffer.add_string b
+      (Printf.sprintf
+         "], \"stale_entries\": %d, \"fp_scanned\": %d, \"fp_unreadable\": \
+          %d}"
+         fs.Store.fp_stale fs.Store.fp_scanned fs.Store.fp_unreadable);
+    Fmt.pr "%s@." (Buffer.contents b)
+  end
+  else begin
+    Fmt.pr "%s: %d entries, %d bytes@." (Store.dir store) st.Store.entries
+      st.Store.bytes;
+    Fmt.pr "live fingerprints:";
+    List.iter (fun (m, v) -> Fmt.pr " %s=%s" m v) fs.Store.fp_live;
+    Fmt.pr "@.";
+    List.iter
+      (fun ((m, v), n) ->
+        let stale =
+          match List.assoc_opt m fs.Store.fp_live with
+          | Some lv when lv = v -> ""
+          | _ -> "  (stale)"
+        in
+        Fmt.pr "  %-10s %-16s %6d entr%s%s@." m v n
+          (if n = 1 then "y" else "ies")
+          stale)
+      fs.Store.fp_counts;
+    if fs.Store.fp_stale > 0 then
+      Fmt.pr "%d of %d entr%s stale under the live fingerprints (gc \
+              reclaims them)@."
+        fs.Store.fp_stale fs.Store.fp_scanned
+        (if fs.Store.fp_scanned = 1 then "y is" else "ies are")
+  end;
   `Ok ()
 
 let max_bytes_arg =
@@ -1000,12 +1093,289 @@ let cache_cmd =
         Term.(ret (const cache_clear $ store_dir_arg));
     ]
 
+(* --- sweep / worker ------------------------------------------------- *)
+
+module Queue = Lf_queue.Queue
+module Sweep = Lf_queue.Sweep
+
+let sweep_kernels_arg =
+  let doc =
+    "Comma-separated kernels to sweep (default: all of ll18, calc, \
+     jacobi, filter, tomcatv, hydro2d)."
+  in
+  Arg.(value & opt (some string) None & info [ "kernels" ] ~docv:"K1,K2" ~doc)
+
+let sweep_size_arg =
+  let doc = "Problem size per kernel." in
+  Arg.(value & opt int 48 & info [ "size"; "n" ] ~docv:"N" ~doc)
+
+let sweep_workers_arg =
+  let doc =
+    "Fork $(docv) local worker processes to drain the queue (0 = enqueue \
+     only; external `lfc worker` processes drain)."
+  in
+  Arg.(value & opt int 0 & info [ "workers"; "w" ] ~docv:"W" ~doc)
+
+let require_warm_arg =
+  let doc =
+    "Fail unless, after the drain, every sweep request is answered by \
+     the store (the CI all-hits assertion)."
+  in
+  Arg.(value & flag & info [ "require-warm" ] ~doc)
+
+let ttl_arg =
+  let doc = "Lease time-to-live in seconds (crash-reclaim window)." in
+  Arg.(value & opt float Queue.default_ttl & info [ "ttl" ] ~docv:"SECONDS" ~doc)
+
+let watch_arg =
+  let doc =
+    "After the initial pass, watch the queue's fingerprint file and \
+     re-enqueue exactly the digests a fingerprint change invalidates."
+  in
+  Arg.(value & flag & info [ "watch" ] ~doc)
+
+let watch_rounds_arg =
+  let doc = "Fingerprint changes to process before exiting --watch." in
+  Arg.(value & opt int 1 & info [ "watch-rounds" ] ~docv:"R" ~doc)
+
+let watch_timeout_arg =
+  let doc = "Seconds to wait for each fingerprint change in --watch." in
+  Arg.(value & opt float 600.0 & info [ "watch-timeout" ] ~docv:"SECONDS" ~doc)
+
+(* Fork [nworkers] children that each run a draining Queue.worker.
+   Callers must not have live domains (Exec.release_shared_pool first);
+   the children may spawn their own. *)
+let fork_workers ~nworkers ~ttl ~store_dir ~queue_dir =
+  List.init nworkers (fun i ->
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        (try
+           let store = store_of store_dir in
+           let q = queue_of queue_dir in
+           let st =
+             Queue.worker
+               ~wid:(Printf.sprintf "w%d-%d" (Unix.getpid ()) i)
+               ~ttl ~store q
+           in
+           if st.Queue.w_failed > 0 then Stdlib.exit 1
+         with _ -> Stdlib.exit 1);
+        Stdlib.exit 0
+      end;
+      pid)
+
+let wait_workers pids =
+  List.fold_left
+    (fun acc pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> acc
+      | _ -> acc + 1)
+    0 pids
+
+let sweep kernels_spec n procs workers queue_dir store_dir cold require_warm
+    watch watch_rounds watch_timeout fingerprints ttl jobs json =
+  match apply_jobs jobs with
+  | Error m -> `Error (false, m)
+  | Ok () -> (
+  match apply_fingerprints fingerprints with
+  | Error m -> `Error (false, m)
+  | Ok () -> (
+  let kernels =
+    Option.map (String.split_on_char ',') kernels_spec
+  in
+  match Sweep.mix ?kernels ~nprocs:procs ~n () with
+  | exception Invalid_argument m -> `Error (false, m)
+  | mix ->
+    let store = store_of store_dir in
+    let q = queue_of queue_dir in
+    (* forking below: keep this process free of live domains *)
+    Exec.release_shared_pool ();
+    let misses_now () =
+      let seen = Hashtbl.create 64 in
+      List.fold_left
+        (fun acc r ->
+          let d = Sim.digest r in
+          if Hashtbl.mem seen d then acc
+          else begin
+            Hashtbl.add seen d ();
+            if Batch.Store.lookup store r = None then acc + 1 else acc
+          end)
+        0 mix
+    in
+    let drain label =
+      if workers <= 0 then Ok 0
+      else begin
+        let pids =
+          fork_workers ~nworkers:workers ~ttl ~store_dir ~queue_dir
+        in
+        let failures = wait_workers pids in
+        if failures > 0 then
+          Error (Printf.sprintf "%s: %d worker(s) exited non-zero" label
+                   failures)
+        else
+          match Queue.wait ~timeout_s:1.0 q with
+          | `Drained -> Ok failures
+          | `Timeout ->
+            Error (label ^ ": queue not drained after workers exited")
+      end
+    in
+    let pass label ~save_fingerprints =
+      let enq = Queue.enqueue_misses ~save_fingerprints ~cold q ~store mix in
+      Fmt.pr
+        "%s: %d requests (%d unique): %d store hits, %d enqueued, %d \
+         already queued, %d failed earlier@."
+        label enq.Queue.e_total enq.Queue.e_unique enq.Queue.e_hits
+        enq.Queue.e_enqueued enq.Queue.e_queued_before
+        enq.Queue.e_failed_before;
+      match drain label with
+      | Error m -> Error m
+      | Ok _ ->
+        let st = Queue.status q in
+        Fmt.pr "%s: queue %a@." label Queue.pp_status st;
+        List.iter
+          (fun (d, msg) -> Fmt.pr "  failed %s: %s@." d msg)
+          (Queue.failures q);
+        if st.Queue.failed > 0 then
+          Error
+            (Printf.sprintf "%s: %d task(s) failed terminally" label
+               st.Queue.failed)
+        else Ok enq
+    in
+    match pass "sweep" ~save_fingerprints:true with
+    | Error m -> `Error (false, m)
+    | Ok enq0 -> (
+      let watch_result =
+        if not watch then Ok ()
+        else begin
+          let fpfile = Queue.fingerprint_file q in
+          let mtime () =
+            match Unix.stat fpfile with
+            | st -> st.Unix.st_mtime
+            | exception _ -> 0.0
+          in
+          let rec rounds r last =
+            if r > watch_rounds then Ok ()
+            else begin
+              Fmt.pr "watch: waiting for a fingerprint change (round %d/%d)@."
+                r watch_rounds;
+              let t0 = Unix.gettimeofday () in
+              let rec poll () =
+                let m = mtime () in
+                if m > last then Ok m
+                else if Unix.gettimeofday () -. t0 > watch_timeout then
+                  Error "watch: timed out waiting for a fingerprint change"
+                else begin
+                  Unix.sleepf 0.05;
+                  poll ()
+                end
+              in
+              match poll () with
+              | Error m -> Error m
+              | Ok stamp -> (
+                (match Sim.Fingerprint.load_file fpfile with
+                | Ok () -> ()
+                | Error m -> Fmt.pr "watch: bad fingerprint file: %s@." m);
+                match
+                  pass
+                    (Printf.sprintf "watch round %d" r)
+                    ~save_fingerprints:false
+                with
+                | Error m -> Error m
+                | Ok enq ->
+                  Fmt.pr
+                    "watch round %d: fingerprint change invalidated %d \
+                     digest(s)@."
+                    r enq.Queue.e_enqueued;
+                  rounds (r + 1) stamp)
+            end
+          in
+          rounds 1 (mtime ())
+        end
+      in
+      match watch_result with
+      | Error m -> `Error (false, m)
+      | Ok () ->
+        let missing = misses_now () in
+        if json then
+          Fmt.pr
+            "{\"mix\": %d, \"unique\": %d, \"hits\": %d, \"enqueued\": %d, \
+             \"workers\": %d, \"missing_after\": %d}@."
+            enq0.Queue.e_total enq0.Queue.e_unique enq0.Queue.e_hits
+            enq0.Queue.e_enqueued workers missing;
+        if require_warm && missing > 0 then
+          `Error
+            ( false,
+              Printf.sprintf
+                "--require-warm: %d sweep request(s) still missing from the \
+                 store"
+                missing )
+        else `Ok ())))
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Enqueue a sweep's store misses as work-queue tasks and \
+          optionally fork local workers to drain them; any number of `lfc \
+          worker` processes sharing the queue directory participate.  \
+          --watch re-enqueues exactly the digests a fingerprint change \
+          invalidates.")
+    Term.(
+      ret
+        (const sweep $ sweep_kernels_arg $ sweep_size_arg $ procs_arg
+       $ sweep_workers_arg $ queue_dir_arg $ store_dir_arg $ cold_arg
+       $ require_warm_arg $ watch_arg $ watch_rounds_arg $ watch_timeout_arg
+       $ fingerprint_arg $ ttl_arg $ jobs_arg $ json_arg))
+
+let worker_wid_arg =
+  let doc = "Worker id used in lease filenames (default: pid-derived)." in
+  Arg.(value & opt (some string) None & info [ "wid" ] ~docv:"ID" ~doc)
+
+let idle_timeout_arg =
+  let doc =
+    "Keep polling for new tasks until $(docv) seconds pass with none \
+     (default: exit once the queue is drained)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+
+let worker_run wid queue_dir store_dir ttl idle_timeout jobs json =
+  match apply_jobs jobs with
+  | Error m -> `Error (false, m)
+  | Ok () ->
+    let store = store_of store_dir in
+    let q = queue_of queue_dir in
+    let st = Queue.worker ?wid ~ttl ?idle_timeout_s:idle_timeout ~store q in
+    if json then
+      Fmt.pr
+        "{\"claimed\": %d, \"computed\": %d, \"hits\": %d, \"failed\": %d, \
+         \"reclaimed\": %d}@."
+        st.Queue.w_claimed st.Queue.w_computed st.Queue.w_hits
+        st.Queue.w_failed st.Queue.w_reclaimed
+    else Fmt.pr "%a@." Queue.pp_worker_stats st;
+    `Ok ()
+
+let worker_cmd =
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Drain a sweep work queue: claim tasks by atomic rename, compute \
+          them through the batch layer, publish results to the shared \
+          store.  Crash-safe — a worker that dies mid-task stops \
+          heartbeating and its lease is reclaimed by any peer after the \
+          ttl.")
+    Term.(
+      ret
+        (const worker_run $ worker_wid_arg $ queue_dir_arg $ store_dir_arg
+       $ ttl_arg $ idle_timeout_arg $ jobs_arg $ json_arg))
+
 let main_cmd =
   Cmd.group
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
     [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; run_cmd; verify_cmd;
       transform_cmd; pipeline_cmd; profile_cmd; tune_cmd; cache_cmd;
-      serve_cmd; request_cmd ]
+      serve_cmd; request_cmd; sweep_cmd; worker_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -95,6 +95,9 @@ module Store = struct
     let fbits x = Int64.to_string (Int64.bits_of_float x) in
     line "lfres1 %s" Sim.version_salt;
     line "digest %s" digest;
+    let fps = Sim.Fingerprint.of_request r in
+    line "fps %d" (List.length fps);
+    List.iter (fun (n, v) -> line "f %s %s" n v) fps;
     line "mode %s" (Sim.mode_to_string r.Sim.mode);
     line "cycles %s" (fbits res.Exec.cycles);
     line "barrier %s" (fbits res.Exec.barrier_cycles);
@@ -131,6 +134,12 @@ module Store = struct
     in
     if field "lfres1" <> Sim.version_salt then raise Bad;
     if field "digest" <> digest then raise Bad;
+    (* fp lines are metadata for stats: a digest match already implies
+       the fingerprints match (they are folded into the digest), so the
+       values are consumed, not checked. *)
+    let nfps = int "fps" in
+    if nfps < 0 || nfps > 64 then raise Bad;
+    for _ = 1 to nfps do ignore (field "f") done;
     (match Sim.mode_of_string (field "mode") with
     | Ok (Miss_only | Run_compressed) -> ()
     | Ok Full | Error _ -> raise Bad);
@@ -229,6 +238,88 @@ module Store = struct
       bytes = List.fold_left (fun a (_, sz, _) -> a + sz) 0 es;
       lookups;
       hits;
+    }
+
+  (* Fingerprint metadata of one entry, straight off the header lines:
+     None for entries predating the fp lines or otherwise unreadable. *)
+  let entry_fingerprints text =
+    match String.split_on_char '\n' text with
+    | _salt :: _digest :: fps :: rest -> (
+        let pfx = "fps " in
+        let pl = String.length pfx in
+        if String.length fps <= pl || String.sub fps 0 pl <> pfx then None
+        else
+          match int_of_string_opt (String.sub fps pl (String.length fps - pl))
+          with
+          | None -> None
+          | Some n when n < 0 || n > 64 -> None
+          | Some n -> (
+              let rec take k lines acc =
+                if k = 0 then Some (List.rev acc)
+                else
+                  match lines with
+                  | l :: tl when String.length l > 2 && String.sub l 0 2 = "f "
+                    -> (
+                      let body = String.sub l 2 (String.length l - 2) in
+                      match String.index_opt body ' ' with
+                      | None -> None
+                      | Some i ->
+                          take (k - 1) tl
+                            ((String.sub body 0 i,
+                              String.sub body (i + 1)
+                                (String.length body - i - 1))
+                            :: acc))
+                  | _ -> None
+              in
+              take n rest []))
+    | _ -> None
+
+  type fingerprint_stats = {
+    fp_live : (string * string) list;
+    fp_counts : ((string * string) * int) list;
+    fp_stale : int;
+    fp_scanned : int;
+    fp_unreadable : int;
+  }
+
+  let fingerprint_stats t =
+    let live = Sim.Fingerprint.all () in
+    let counts = Hashtbl.create 16 in
+    let stale = ref 0 and scanned = ref 0 and unreadable = ref 0 in
+    List.iter
+      (fun (p, _, _) ->
+        incr scanned;
+        match read_file p with
+        | exception _ -> incr unreadable
+        | text -> (
+            match entry_fingerprints text with
+            | None -> incr unreadable
+            | Some fps ->
+                let is_stale =
+                  List.exists
+                    (fun (n, v) ->
+                      match List.assoc_opt n live with
+                      | Some lv -> lv <> v
+                      | None -> true)
+                    fps
+                in
+                if is_stale then incr stale;
+                List.iter
+                  (fun fp ->
+                    Hashtbl.replace counts fp
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt counts fp)))
+                  fps))
+      (entries t);
+    let fp_counts =
+      Hashtbl.fold (fun fp n acc -> (fp, n) :: acc) counts []
+      |> List.sort compare
+    in
+    {
+      fp_live = live;
+      fp_counts;
+      fp_stale = !stale;
+      fp_scanned = !scanned;
+      fp_unreadable = !unreadable;
     }
 
   let gc ~max_bytes t =

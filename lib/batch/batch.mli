@@ -81,6 +81,31 @@ module Store : sig
 
   val stats : t -> stats
 
+  type fingerprint_stats = {
+    fp_live : (string * string) list;
+        (** the process's live fingerprint set
+            ({!Sim.Fingerprint.all}) *)
+    fp_counts : ((string * string) * int) list;
+        (** entry count per (module, version) pair found on disk,
+            sorted *)
+    fp_stale : int;
+        (** entries carrying at least one fingerprint that differs
+            from the live set — unreachable by current digests, but
+            still occupying bytes until {!gc} *)
+    fp_scanned : int;
+    fp_unreadable : int;
+        (** entries without parseable fingerprint metadata *)
+  }
+
+  val fingerprint_stats : t -> fingerprint_stats
+  (** Scan every entry's fingerprint header lines: how much of the
+      store is live under the current module versions and how much is
+      stale, per fingerprint — visible {e before} deciding to gc.
+      Entries record the fingerprints they were computed under
+      ({!Sim.Fingerprint.of_request}); a digest lookup never consults
+      them (the digest already folds them in), so this is pure
+      reporting. *)
+
   val gc : max_bytes:int -> t -> int
   (** Delete oldest entries (by modification time) until the store
       holds at most [max_bytes]; returns the number removed. *)

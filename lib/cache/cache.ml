@@ -21,6 +21,11 @@ type config = { capacity : int; line : int; assoc : int }
 let ksr2_cache = { capacity = 256 * 1024; line = 64; assoc = 2 }
 let convex_cache = { capacity = 1024 * 1024; line = 64; assoc = 1 }
 
+(* Fingerprint of the cache/TLB simulation (probe/victim policy, LRU
+   clock, run-tier closed forms).  Every Sim.request exercises it; bump
+   on any change to hit/miss classification.  No spaces. *)
+let version = "lf-cache-1"
+
 type t = {
   config : config;
   nsets : int;

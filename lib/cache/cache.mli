@@ -21,6 +21,11 @@ val ksr2_cache : config
 val convex_cache : config
 (** 1 MB, 64-byte lines, direct-mapped (Convex SPP-1000). *)
 
+val version : string
+(** Fingerprint of the cache/TLB simulation's observable behaviour,
+    folded into every {!Lf_machine.Sim.digest}.  Bump on any change to
+    hit/miss classification or replacement; no spaces. *)
+
 type t
 
 type geometry = { shape : config; footprint : int }

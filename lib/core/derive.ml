@@ -103,6 +103,12 @@ let of_multigraph (g : Lf_dep.Dep.multigraph) =
 let of_program ?(depth = 1) (p : Ir.program) =
   of_multigraph (Lf_dep.Dep.build ~depth p)
 
+(* Fingerprint of the shift/peel derivation (this module plus the
+   lf_dep multigraph construction it consumes).  Only Fused-variant
+   Sim.requests depend on it: bumping it invalidates their persisted
+   results and nobody else's.  No spaces. *)
+let version = "lf-derive-1"
+
 let pp ppf d =
   Fmt.pf ppf "loop  shifts       peels@.";
   for k = 0 to d.nnests - 1 do

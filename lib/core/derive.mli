@@ -34,4 +34,10 @@ val of_multigraph : Lf_dep.Dep.multigraph -> t
 val of_program : ?depth:int -> Lf_ir.Ir.program -> t
 (** Convenience: build the multigraph and derive. *)
 
+val version : string
+(** Fingerprint of the derivation's observable behaviour (including
+    the {!Lf_dep.Dep} multigraph it consumes), folded into
+    {!Lf_machine.Sim.digest} for fused-variant requests only.  Bump on
+    any change to derived shift/peel amounts; no spaces. *)
+
 val pp : Format.formatter -> t -> unit

@@ -48,6 +48,12 @@ let align_up x a = (x + a - 1) / a * a
 (* ------------------------------------------------------------------ *)
 (* Contiguous and padded layouts                                       *)
 
+(* Fingerprint of default-layout construction: a Sim.request with
+   [layout = None] materialises [contiguous] at run time, so only those
+   requests depend on this module — explicit layouts serialise their
+   placements into the request and survive a bump here.  No spaces. *)
+let version = "lf-partition-1"
+
 (* Arrays one after another in declaration order, each start aligned to
    [align] bytes (typically the cache line size). *)
 let contiguous ?(elem_bytes = 8) ?(align = 64) (decls : Ir.decl list) =

@@ -72,3 +72,9 @@ val compatible_refs : Lf_ir.Ir.aref -> Lf_ir.Ir.aref -> bool
     throughout the loop. *)
 
 val program_compatible : Lf_ir.Ir.program -> bool
+
+val version : string
+(** Fingerprint of the default ([contiguous]) layout construction,
+    folded into {!Lf_machine.Sim.digest} for requests that carry no
+    explicit layout.  Bump when default placement changes; no
+    spaces. *)

@@ -204,6 +204,12 @@ let tail_range (d : Derive.t) geo ~k ~dim ~bend ~last =
 
 let default_strip = 64
 
+(* Fingerprint of schedule *construction* (unfused/fused box layout,
+   blocking, peeling structure).  Explicit Sim.requests serialise their
+   phases/boxes structurally and so do not depend on it; Unfused/Fused
+   variants rebuild their schedule at replay time and do.  No spaces. *)
+let version = "lf-schedule-1"
+
 (* Build the fused + peeled schedule.  [strip] is the strip-mining
    factor applied to every fused dimension (paper §3.4: the strip size
    is chosen so the data referenced per strip fits in one cache

@@ -70,6 +70,13 @@ val geometry : Lf_ir.Ir.program -> Derive.t -> geometry
 
 val default_strip : int
 
+val version : string
+(** Fingerprint of schedule construction ({!unfused}/{!fused} box
+    layout), folded into {!Lf_machine.Sim.digest} for variant requests
+    that rebuild their schedule at replay time ([Explicit] requests
+    serialise the structure instead).  Bump when constructed schedules
+    change; no spaces. *)
+
 val fused :
   ?grid:int array ->
   ?strip:int ->

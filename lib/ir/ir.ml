@@ -293,3 +293,11 @@ let pp_program ppf p =
 
 let program_to_string p = Fmt.str "%a" pp_program p
 let nest_to_string n = Fmt.str "%a" pp_nest n
+
+(* Observable-behaviour fingerprint of this module: the program
+   semantics and the canonical printer above.  Bump on any change that
+   alters what a printed program means or how it prints — Sim.digest
+   folds this into every cache key, so persisted results computed under
+   the old behaviour read as misses.  No spaces (the store's entry
+   header is line/space-delimited). *)
+let version = "lf-ir-1"

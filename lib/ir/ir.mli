@@ -124,3 +124,9 @@ val pp_nest : Format.formatter -> nest -> unit
 val pp_program : Format.formatter -> program -> unit
 val program_to_string : program -> string
 val nest_to_string : nest -> string
+
+val version : string
+(** Fingerprint of this module's observable behaviour (program
+    semantics + canonical printer), folded into
+    {!Lf_machine.Sim.digest}.  Bump on any change that can alter a
+    simulated observable; must contain no spaces. *)

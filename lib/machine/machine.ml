@@ -49,6 +49,13 @@ let miss_penalty m ~nprocs =
 let barrier_cost m ~nprocs =
   m.cost.barrier_base +. (m.cost.barrier_per_proc *. float_of_int nprocs)
 
+(* Observable-behaviour fingerprint of the machine model AND of the
+   timed executor built on top of it (Exec sits above Sim in the module
+   graph, so its version lives here where sim.ml can read it).  Bump on
+   any change to the cycle model, miss attribution, or executor
+   semantics; no spaces. *)
+let version = "lf-machine-1"
+
 (* KSR2: 40 MHz processors, 256 KB two-way set-associative caches, up to
    56 processors on the ALLCACHE ring.  Slow clock relative to its
    memory gives a comparatively low miss penalty, which is why the paper

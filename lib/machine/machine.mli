@@ -32,6 +32,11 @@ val remote_fraction : config -> nprocs:int -> float
 val miss_penalty : config -> nprocs:int -> float
 val barrier_cost : config -> nprocs:int -> float
 
+val version : string
+(** Fingerprint of the machine cost model and the timed executor
+    ({!Exec}) built on it, folded into every {!Sim.digest}.  Bump on
+    any observable change to either; no spaces. *)
+
 val ksr2 : config
 (** KSR2: 56 processors, 256 KB two-way caches, 32-processor ALLCACHE
     ring; slow clock → relatively cheap misses, hence the paper's

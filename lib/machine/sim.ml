@@ -82,10 +82,128 @@ let layout_of r =
   | Some l -> l
   | None -> Partition.contiguous r.prog.Ir.decls
 
-(* Bump whenever the engine's observable behaviour changes (cost model,
-   cache policy, schedule construction, serialisation format): results
-   persisted under the previous salt must never be replayed. *)
+(* Version of the request serialisation itself (field set, canonical
+   text layout).  Behavioural versioning lives in the per-module
+   fingerprints below; bump this only when [canonical] changes shape. *)
 let version_salt = "lf-sim-1"
+
+(* ------------------------------------------------------------------ *)
+(* Per-module fingerprints                                             *)
+
+module Fingerprint = struct
+  type t = (string * string) list
+
+  (* Canonical order; every digest folds its subset in this order. *)
+  let builtin =
+    [
+      ("cache", Cache.version);
+      ("derive", Derive.version);
+      ("ir", Ir.version);
+      ("machine", Machine.version);
+      ("partition", Partition.version);
+      ("schedule", Schedule.version);
+    ]
+
+  let overrides : (string, string) Hashtbl.t = Hashtbl.create 7
+
+  let valid_value v =
+    v <> ""
+    && String.for_all
+         (fun c -> c <> ' ' && c <> '\t' && c <> '\n' && c <> '\r')
+         v
+
+  let set_override name value =
+    if not (List.mem_assoc name builtin) then
+      Error (Printf.sprintf "unknown module %S (try %s)" name
+               (String.concat ", " (List.map fst builtin)))
+    else if not (valid_value value) then
+      Error (Printf.sprintf "invalid fingerprint value %S (nonempty, no whitespace)" value)
+    else begin
+      Hashtbl.replace overrides name value;
+      Ok ()
+    end
+
+  let set_spec spec =
+    match String.index_opt spec '=' with
+    | None -> Error (Printf.sprintf "bad fingerprint spec %S (want module=value)" spec)
+    | Some i ->
+      set_override
+        (String.sub spec 0 i)
+        (String.sub spec (i + 1) (String.length spec - i - 1))
+
+  let clear_overrides () = Hashtbl.reset overrides
+
+  let value name =
+    match Hashtbl.find_opt overrides name with
+    | Some v -> v
+    | None -> List.assoc name builtin
+
+  let all () = List.map (fun (n, _) -> (n, value n)) builtin
+
+  (* The save/load file lets cooperating processes (sweep enqueuer,
+     queue workers) agree on one fingerprint view even when the
+     enqueuer carries overrides: one "name value" line per module,
+     written atomically so a reader never sees a torn view. *)
+  let save_file path =
+    let dir = Filename.dirname path in
+    let tmp = Filename.temp_file ~temp_dir:dir ".lffp" ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc "lffp1\n";
+    List.iter (fun (n, v) -> Printf.fprintf oc "%s %s\n" n v) (all ());
+    close_out oc;
+    Sys.rename tmp path
+
+  let load_file path =
+    match open_in_bin path with
+    | exception Sys_error e -> Error e
+    | ic ->
+      let fin r = close_in_noerr ic; r in
+      (match input_line ic with
+      | exception End_of_file -> fin (Error "empty fingerprint file")
+      | "lffp1" ->
+        let rec loop () =
+          match input_line ic with
+          | exception End_of_file -> Ok ()
+          | line when String.trim line = "" -> loop ()
+          | line ->
+            (match String.index_opt line ' ' with
+            | None -> Error (Printf.sprintf "bad fingerprint line %S" line)
+            | Some i ->
+              let name = String.sub line 0 i in
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              (match set_override name v with
+              | Ok () -> loop ()
+              | Error _ as e -> e))
+        in
+        fin (loop ())
+      | l -> fin (Error (Printf.sprintf "bad fingerprint header %S" l)))
+
+  (* Which modules can influence this request's observables.  ir, cache
+     and machine always can.  schedule only when the schedule is rebuilt
+     at replay time (Explicit requests serialise the structure).  derive
+     only when the fused variant derives its shift/peel itself; an
+     explicit Derive.t is serialised as data.  partition only when the
+     request falls back to the default constructed layout. *)
+  let modules_of r =
+    let schedule, derive =
+      match r.variant with
+      | Unfused _ -> (true, false)
+      | Fused { derive; _ } -> (true, derive = None)
+      | Explicit _ -> (false, false)
+    in
+    let partition = r.layout = None in
+    List.filter
+      (fun (n, _) ->
+        match n with
+        | "schedule" -> schedule
+        | "derive" -> derive
+        | "partition" -> partition
+        | _ -> true)
+      builtin
+    |> List.map fst
+
+  let of_request r = List.map (fun n -> (n, value n)) (modules_of r)
+end
 
 let mode_to_string = function
   | Full -> "full"
@@ -221,7 +339,22 @@ let canonical r =
   Buffer.add_string b (mode_to_string r.mode);
   Buffer.contents b
 
-let digest r = Digest.to_hex (Digest.string (version_salt ^ "\n" ^ canonical r))
+(* The salt line folds in only the fingerprints of the modules this
+   request depends on, so bumping one module's version invalidates
+   exactly the digests that could replay differently. *)
+let salt_line r =
+  let b = Buffer.create 96 in
+  Buffer.add_string b version_salt;
+  List.iter
+    (fun (n, v) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b n;
+      Buffer.add_char b '=';
+      Buffer.add_string b v)
+    (Fingerprint.of_request r);
+  Buffer.contents b
+
+let digest r = Digest.to_hex (Digest.string (salt_line r ^ "\n" ^ canonical r))
 
 let variant_label = function
   | Unfused _ -> "unfused"

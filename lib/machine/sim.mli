@@ -28,9 +28,12 @@
     is therefore not part of a request: runs with a custom initialiser
     take the compatibility entry points and are never cached.
 
-    {!digest} is salted with {!version_salt}; bump the salt whenever the
-    engine's observable behaviour changes so stale persisted results
-    can never be replayed (test/test_batch.ml pins known digests). *)
+    {!digest} is salted with {!version_salt} plus the {!Fingerprint}s
+    of exactly the modules the request depends on; bump a module's
+    [version] whenever its observable behaviour changes so stale
+    persisted results can never be replayed (test/test_batch.ml pins
+    known digests), without cold-starting results that never depended
+    on that module. *)
 
 type mode = Full | Miss_only | Run_compressed
 (** Engine tier, re-exported by {!Exec.mode} (which documents the
@@ -122,9 +125,65 @@ val layout_of : request -> Lf_core.Partition.layout
 (** The request's layout, defaulting to dense contiguous placement. *)
 
 val version_salt : string
-(** Engine-behaviour version mixed into every {!digest}.  Bump on any
-    change that can alter a simulated observable; persisted results
-    keyed under the old salt then read as misses. *)
+(** Version of the request serialisation itself, mixed into every
+    {!digest}.  Behavioural versioning lives in the per-module
+    {!Fingerprint}s; bump this only when {!canonical} changes shape. *)
+
+(** Per-module behaviour fingerprints salted into {!digest}.
+
+    Each library module whose code can alter a simulated observable
+    exports a [version] string (Ir, Schedule, Derive, Partition, Cache,
+    Machine — the last also covering the timed executor).  A request's
+    digest folds in only the fingerprints of the modules it actually
+    depends on:
+
+    - ["ir"], ["cache"], ["machine"] — always;
+    - ["schedule"] — only when the schedule is rebuilt at replay time
+      ([Unfused]/[Fused]; [Explicit] serialises the structure);
+    - ["derive"] — only for [Fused] with [derive = None] (an explicit
+      [Derive.t] is serialised as data);
+    - ["partition"] — only when [layout = None] (the constructed default
+      layout).
+
+    Bumping one module's version therefore invalidates exactly the
+    store entries that could replay differently — e.g. a [Derive] bump
+    cold-starts fused-variant digests and nothing else, and modules
+    with no fingerprint at all (the autotuner, the CLI) never
+    invalidate anything. *)
+module Fingerprint : sig
+  type t = (string * string) list
+  (** Module-name/version pairs in canonical (alphabetical) order. *)
+
+  val all : unit -> t
+  (** The full live fingerprint set (overrides applied). *)
+
+  val modules_of : request -> string list
+  (** Names of the modules this request depends on. *)
+
+  val of_request : request -> t
+  (** The live fingerprints of exactly {!modules_of}. *)
+
+  val value : string -> string
+  (** Live value for a module name; raises [Not_found] if unknown. *)
+
+  val set_override : string -> string -> (unit, string) result
+  (** Replace one module's fingerprint process-wide (testing and the
+      sweep invalidation experiment).  Fails on unknown module names
+      and on values containing whitespace. *)
+
+  val set_spec : string -> (unit, string) result
+  (** [set_spec "module=value"] — the [--fingerprint] CLI form. *)
+
+  val clear_overrides : unit -> unit
+
+  val save_file : string -> unit
+  (** Atomically write the live set as one ["name value"] line per
+      module, so cooperating processes (sweep enqueuer, queue workers)
+      share one fingerprint view. *)
+
+  val load_file : string -> (unit, string) result
+  (** Install every entry of a {!save_file} file as an override. *)
+end
 
 val canonical : request -> string
 (** Canonical serialisation: a stable, human-greppable text form that
@@ -132,8 +191,9 @@ val canonical : request -> string
     rendered in hexadecimal ([%h]) so the round trip is exact. *)
 
 val digest : request -> string
-(** Hex digest of {!version_salt} + {!canonical} — the content address
-    used by the persistent store. *)
+(** Hex digest of {!version_salt}, the request's {!Fingerprint.of_request}
+    pairs and {!canonical} — the content address used by the persistent
+    store. *)
 
 val mode_to_string : mode -> string
 (** ["full"], ["miss-only"], ["runs"] — the [--engine] vocabulary. *)

@@ -1,0 +1,86 @@
+(* Shared sweep-mix construction (see sweep.mli). *)
+
+module Ir = Lf_ir.Ir
+module Partition = Lf_core.Partition
+module Cache = Lf_cache.Cache
+module Machine = Lf_machine.Machine
+module Sim = Lf_machine.Sim
+
+let cache_shape (m : Machine.config) =
+  {
+    Partition.capacity = m.Machine.cache.Cache.capacity;
+    line = m.Machine.cache.Cache.line;
+    assoc = m.Machine.cache.Cache.assoc;
+  }
+
+let partitioned_layout m (p : Ir.program) =
+  Partition.cache_partitioned ~cache:(cache_shape m) p.Ir.decls
+
+(* Strip-mining factor sized so one strip of every array fits in its
+   cache partition (paper §3.4): per fused iteration each array touches
+   one "row" of inner elements. *)
+let strip_for m (p : Ir.program) =
+  let narrays = List.length p.Ir.decls in
+  let inner_bytes =
+    List.fold_left
+      (fun acc (d : Ir.decl) ->
+        match d.extents with
+        | [] -> acc
+        | _ :: rest -> max acc (List.fold_left ( * ) 8 rest))
+      8 p.Ir.decls
+  in
+  let sp = Partition.partition_size ~cache:(cache_shape m) ~narrays in
+  max 2 ((sp / inner_bytes) - 2)
+
+let kernels : (string * (int -> Ir.program)) list =
+  [
+    ("ll18", fun n -> Lf_kernels.Ll18.program ~n ());
+    ("calc", fun n -> Lf_kernels.Calc.program ~n ());
+    ("jacobi", fun n -> Lf_kernels.Jacobi.program ~n ());
+    ("filter", fun n -> Lf_kernels.Filter.program ~rows:n ~cols:(n / 2 + 8) ());
+    ( "tomcatv",
+      fun n ->
+        List.hd (Lf_kernels.Apps.tomcatv ~n ()).Lf_kernels.Apps.sequences );
+    ( "hydro2d",
+      fun n ->
+        List.hd
+          (Lf_kernels.Apps.hydro2d ~rows:n ~cols:(n / 2 + 8) ())
+            .Lf_kernels.Apps.sequences );
+  ]
+
+let kernel_names = List.map fst kernels
+let kernel name = List.assoc_opt name kernels
+
+(* A candidate goes into the mix only if its schedule is actually
+   buildable — small sizes can violate the Theorem 1 iteration-count
+   threshold for some fused kernels.  Sim.legal is pure (no domains),
+   so mix construction is fork-safe. *)
+let mix ?(kernels = kernel_names) ?(machines = [ Machine.ksr2; Machine.convex ])
+    ?(modes = [ Sim.Miss_only; Sim.Run_compressed ]) ?(nprocs = 4) ~n () =
+  let progs =
+    List.map
+      (fun name ->
+        match kernel name with
+        | Some f -> f n
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Sweep.mix: unknown kernel %S (try %s)" name
+               (String.concat ", " kernel_names)))
+      kernels
+  in
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun machine ->
+          let layout = partitioned_layout machine p in
+          let strip = strip_for machine p in
+          List.concat_map
+            (fun mode ->
+              List.filter Sim.legal
+                [
+                  Sim.unfused ~layout ~mode ~machine ~nprocs p;
+                  Sim.fused ~layout ~mode ~machine ~nprocs ~strip p;
+                ])
+            modes)
+        machines)
+    progs

@@ -479,9 +479,10 @@ let test_run_one_sink_always_computes () =
 (* ------------------------------------------------------------------ *)
 (* Digest stability                                                    *)
 
-(* Golden digests: these move only when the canonical form or the
-   version salt changes — both of which invalidate every persisted
-   result, which is exactly what this test makes deliberate. *)
+(* Golden digests: these move only when the canonical form, the
+   serialisation salt or a dependent module fingerprint changes — all
+   of which invalidate the affected persisted results, which is
+   exactly what this test makes deliberate. *)
 let test_digest_golden () =
   let ll18 =
     sample_request ~n:48 ~nprocs:3 ()
@@ -494,11 +495,11 @@ let test_digest_golden () =
     Sim.of_schedule ~machine:Machine.convex
       (Schedule.unfused ~nprocs:2 (Lf_kernels.Calc.program ~n:32 ()))
   in
-  Alcotest.(check string) "ll18 fused digest" "1ca755b7cae818b178eb75bf73572e87"
+  Alcotest.(check string) "ll18 fused digest" "89af1d649796201da17e4e5f8c826bac"
     (Sim.digest ll18);
-  Alcotest.(check string) "jacobi unfused digest" "ecf4da0d5721a452490d58ce3dfafd46"
+  Alcotest.(check string) "jacobi unfused digest" "e1a08727634c4bbbf17bcdc1f7b735d7"
     (Sim.digest jacobi);
-  Alcotest.(check string) "calc explicit digest" "cebcb75cf5895f5f5b40573c697fefcc"
+  Alcotest.(check string) "calc explicit digest" "8117871436bba3a9b65ed8e4e1ecae6c"
     (Sim.digest explicit)
 
 let test_digest_discriminates () =
@@ -529,6 +530,100 @@ let test_digest_discriminates () =
       if Sim.digest req = d0 then
         Alcotest.failf "digest ignores the %s field" what)
     variants
+
+(* ------------------------------------------------------------------ *)
+(* Per-module fingerprints                                             *)
+
+(* of_request folds in exactly the modules the request depends on:
+   ir/cache/machine always; schedule only when the request realises a
+   schedule (not Explicit); derive only when a Fused request must
+   derive its shift/peel amounts; partition only for the default
+   layout. *)
+let test_fingerprint_modules () =
+  let names r = List.map fst (Sim.Fingerprint.of_request r) in
+  let p = Lf_kernels.Ll18.program ~n:32 () in
+  let layout = Partition.contiguous p.Ir.decls in
+  let machine = Machine.convex in
+  let fused = Sim.fused ~strip:6 ~layout ~machine ~nprocs:2 p in
+  Alcotest.(check (list string)) "fused, explicit layout"
+    [ "cache"; "derive"; "ir"; "machine"; "schedule" ]
+    (names fused);
+  let unfused = Sim.unfused ~machine ~nprocs:2 p in
+  Alcotest.(check (list string)) "unfused, default layout"
+    [ "cache"; "ir"; "machine"; "partition"; "schedule" ]
+    (names unfused);
+  let explicit =
+    Sim.of_schedule ~layout ~machine (Schedule.unfused ~nprocs:2 p)
+  in
+  Alcotest.(check (list string)) "explicit schedule, explicit layout"
+    [ "cache"; "ir"; "machine" ]
+    (names explicit)
+
+(* An override moves the digests of exactly the dependent requests:
+   bumping "derive" re-keys fused-with-derivation requests and nothing
+   else; clearing restores every digest. *)
+let test_fingerprint_override_digests () =
+  Sim.Fingerprint.clear_overrides ();
+  let p = Lf_kernels.Ll18.program ~n:32 () in
+  let layout = Partition.contiguous p.Ir.decls in
+  let machine = Machine.convex in
+  let fused = Sim.fused ~strip:6 ~layout ~machine ~nprocs:2 p in
+  let unfused = Sim.unfused ~layout ~machine ~nprocs:2 p in
+  let df0 = Sim.digest fused and du0 = Sim.digest unfused in
+  (match Sim.Fingerprint.set_override "derive" "test-bump" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "override visible" "test-bump"
+    (Sim.Fingerprint.value "derive");
+  Alcotest.(check bool) "fused digest moved" true (Sim.digest fused <> df0);
+  Alcotest.(check string) "unfused digest unmoved" du0 (Sim.digest unfused);
+  Sim.Fingerprint.clear_overrides ();
+  Alcotest.(check string) "fused digest restored" df0 (Sim.digest fused);
+  (match Sim.Fingerprint.set_spec "schedule=v2" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "set_spec applies" true (Sim.digest unfused <> du0);
+  Sim.Fingerprint.clear_overrides ();
+  (match Sim.Fingerprint.set_override "no-such-module" "x" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unknown module accepted");
+  (match Sim.Fingerprint.set_spec "derive=has space" with
+  | Error _ -> ()
+  | Ok () ->
+    Sim.Fingerprint.clear_overrides ();
+    Alcotest.fail "whitespace fingerprint accepted");
+  match Sim.Fingerprint.set_spec "garbage" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "spec without '=' accepted"
+
+(* fingerprint_stats: entries written under the live set are live;
+   after an override the old entries read as stale, per-pair counts
+   split accordingly. *)
+let test_fingerprint_stats () =
+  Sim.Fingerprint.clear_overrides ();
+  let store = scratch_store () in
+  let add req = ignore (Store.add store req (Exec.run_request req)) in
+  add (sample_request ~n:24 ());
+  add (sample_request ~n:28 ());
+  let st = Store.fingerprint_stats store in
+  Alcotest.(check int) "scanned both" 2 st.Store.fp_scanned;
+  Alcotest.(check int) "none unreadable" 0 st.Store.fp_unreadable;
+  Alcotest.(check int) "none stale under live set" 0 st.Store.fp_stale;
+  Alcotest.(check bool) "derive pair counted" true
+    (List.assoc_opt ("derive", Sim.Fingerprint.value "derive") st.Store.fp_counts
+    = Some 2);
+  (match Sim.Fingerprint.set_override "derive" "stats-bump" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  add (sample_request ~n:32 ());
+  let st = Store.fingerprint_stats store in
+  Alcotest.(check int) "three entries scanned" 3 st.Store.fp_scanned;
+  Alcotest.(check int) "old entries now stale" 2 st.Store.fp_stale;
+  Alcotest.(check bool) "both derive versions counted" true
+    (List.assoc_opt ("derive", "stats-bump") st.Store.fp_counts = Some 1
+    && List.assoc_opt ("derive", "lf-derive-1") st.Store.fp_counts = Some 2);
+  Sim.Fingerprint.clear_overrides ();
+  ignore (Store.clear store)
 
 let test_mode_strings () =
   List.iter
@@ -629,6 +724,12 @@ let suite =
       Alcotest.test_case "digest golden values" `Quick test_digest_golden;
       Alcotest.test_case "digest discriminates every field" `Quick
         test_digest_discriminates;
+      Alcotest.test_case "fingerprint module dependence" `Quick
+        test_fingerprint_modules;
+      Alcotest.test_case "fingerprint overrides re-key dependents only"
+        `Quick test_fingerprint_override_digests;
+      Alcotest.test_case "store fingerprint stats" `Quick
+        test_fingerprint_stats;
       Alcotest.test_case "mode string round trip" `Quick test_mode_strings;
       Alcotest.test_case "Cache.geometry record" `Quick test_cache_geometry;
       Alcotest.test_case "cacheable is an allow-list" `Quick

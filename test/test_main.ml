@@ -30,6 +30,7 @@ let () =
       ("roundtrip", Test_roundtrip.suite);
       ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);
+      ("queue", Test_queue.suite);
       ("script", Test_script.suite);
       ("native", Test_native.suite);
     ]

@@ -44,6 +44,9 @@ let experiments : (string * string * (Util.cfg -> unit)) list =
     ("queue", "BENCH_8: multi-process sweep fan-out through the work queue \
                + fingerprint invalidation (lf_queue)",
      Exp_queue.run);
+    ("lazy", "BENCH_9: lazy-array frontend, fused DAG blocks vs \
+              op-at-a-time traces (lf_lazy)",
+     Exp_lazy.run);
     ("bech", "Bechamel micro-benchmarks", Bechamel_suite.run);
   ]
 

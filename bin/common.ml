@@ -159,6 +159,10 @@ let socket_arg =
   in
   Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
+let timeout_arg =
+  let doc = "Per-request wall-clock budget in seconds (batch layer)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
 (* --- converters ------------------------------------------------------ *)
 
 let machine_of = function
@@ -224,3 +228,61 @@ let apply_fingerprints specs =
       | Error _ as e -> e)
   in
   go specs
+
+(* --- unified request options ----------------------------------------- *)
+
+module Run_opts = Lf_batch.Run_opts
+
+(* The one options bundle every execution subcommand (simulate, run,
+   tune, profile, sweep, trace) shares: --jobs/--engine/--cold/
+   --store-dir/--timeout lowered onto a Run_opts.t, environment
+   defaults (LF_ENGINE, LF_STORE, LF_COLD, LF_TIMEOUT_S) applied
+   first so explicit flags win.  --jobs is applied as a side effect
+   through Exec.set_default_jobs — the options' [jobs] field stays
+   [None] so every consumer (batch, serve, queue, bench) keeps
+   deferring to the same source of truth. *)
+
+let engine_opt_arg =
+  let doc =
+    "Simulation engine: $(b,runs) (batched run-compressed replay, the \
+     default), $(b,miss-only) (scalar address replay), or $(b,full) \
+     (interpret values too).  All three produce bit-identical \
+     observables; they differ only in wall clock.  Defaults from \
+     $(b,LF_ENGINE)."
+  in
+  Arg.(value & opt (some string) None & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let run_opts_of jobs engine cold store_dir timeout =
+  let ( let* ) = Result.bind in
+  let* () = apply_jobs jobs in
+  let* t = Run_opts.of_env () in
+  let* t =
+    match engine with
+    | None -> Ok t
+    | Some e -> Result.map (fun m -> Run_opts.with_engine m t) (mode_of e)
+  in
+  let t =
+    match store_dir with
+    | None -> t
+    | Some d ->
+      (* an explicit root keeps whatever cold/warm polarity is set *)
+      Run_opts.with_store
+        (if Run_opts.is_cold t then Run_opts.Store_cold (Some d)
+         else Run_opts.Store_in (Some d))
+        t
+  in
+  let t = if cold then Run_opts.cold t else t in
+  match timeout with
+  | None -> Ok t
+  | Some s when s > 0.0 -> Ok (Run_opts.with_timeout s t)
+  | Some s ->
+    Error (Printf.sprintf "bad --timeout value %g (want positive seconds)" s)
+
+let run_opts_term =
+  Cmdliner.Term.(
+    const run_opts_of $ jobs_arg $ engine_opt_arg $ cold_arg $ store_dir_arg
+    $ timeout_arg)
+
+(* Unpack the bundle inside a `ret`-style subcommand body. *)
+let with_run_opts opts_result f =
+  match opts_result with Error m -> `Error (false, m) | Ok opts -> f opts

@@ -6,6 +6,8 @@
      lfc emit     <kernel>   generated fused code (Figures 11/12/16)
      lfc simulate <kernel>   run on the simulated KSR2/Convex
      lfc run      <kernel>   execute natively on the host's cores (lf_native)
+     lfc trace    <trace>    run a lazy whole-array trace: fuse the DAG,
+                             prove bit-identity, execute sim or native
      lfc transform <kernel> <script.lft>  apply a transformation script
      lfc verify   <kernel>   check fused execution against the reference
      lfc profile  --kernel K simulate with event counters (lf_obs)
@@ -120,29 +122,23 @@ let emit_cmd =
 
 (* --- simulate ------------------------------------------------------ *)
 
-let simulate kernel n machine_name procs strip layout_spec jobs engine cold
-    store_dir =
+let simulate kernel n machine_name procs strip layout_spec opts_result =
   with_program kernel n (fun p ->
-      match apply_jobs jobs with
-      | Error m -> `Error (false, m)
-      | Ok () -> (
+      with_run_opts opts_result (fun opts ->
       match machine_of machine_name with
       | Error m -> `Error (false, m)
       | Ok machine -> (
         match layout_of layout_spec machine p with
         | Error m -> `Error (false, m)
         | Ok layout -> (
-          match mode_of engine with
-          | Error m -> `Error (false, m)
-          | Ok mode ->
-          let store = store_of store_dir in
+          let mode = opts.Run_opts.engine in
           let requests =
             [
               Sim.unfused ~layout ~mode ~machine ~nprocs:procs p;
               Sim.fused ~layout ~mode ~machine ~nprocs:procs ~strip p;
             ]
           in
-          let outcomes, summary = Batch.run ~store ~cold requests in
+          let outcomes, summary = Batch.run_with opts requests in
           match Batch.results_exn outcomes with
           | exception Failure m -> `Error (false, m)
           | [| u; f |] ->
@@ -169,8 +165,7 @@ let simulate_cmd =
     Term.(
       ret
         (const simulate $ kernel_arg $ size_arg $ machine_arg $ procs_arg
-       $ strip_arg $ layout_arg $ jobs_arg $ engine_arg $ cold_arg
-       $ store_dir_arg))
+       $ strip_arg $ layout_arg $ run_opts_term))
 
 (* --- verify -------------------------------------------------------- *)
 
@@ -272,15 +267,15 @@ let run_native kernel n p sched variant procs strip steps reps warmup json =
     end;
     `Ok ())
 
-let run_sim kernel n p sched variant machine_name procs store_dir json =
+let run_sim kernel n p sched variant machine_name procs opts json =
   ignore kernel;
   match machine_of machine_name with
   | Error m -> `Error (false, m)
   | Ok machine ->
     let req =
-      Sim.of_schedule ~mode:Sim.Run_compressed ~machine sched
+      Sim.of_schedule ~mode:opts.Run_opts.engine ~machine sched
     in
-    let r = Batch.run_one ~store:(store_of store_dir) req in
+    let r = Batch.run_one_with opts req in
     if json then
       Fmt.pr
         "{\"backend\": \"sim\", \"kernel\": \"%s\", \"variant\": \"%s\", \
@@ -296,8 +291,9 @@ let run_sim kernel n p sched variant machine_name procs store_dir json =
     `Ok ()
 
 let run_exec kernel n backend machine_name procs strip steps schedule_name
-    unfused script reps warmup store_dir json =
+    unfused script reps warmup opts_result json =
   with_program kernel n (fun p ->
+      with_run_opts opts_result @@ fun opts ->
       let depth = depth_of p kernel in
       let variant = if unfused then "unfused" else schedule_name in
       let build () =
@@ -343,7 +339,7 @@ let run_exec kernel n backend machine_name procs strip steps schedule_name
           run_native kernel n p sched variant procs strip steps reps warmup
             json
         | "sim" ->
-          run_sim kernel n p sched variant machine_name procs store_dir json
+          run_sim kernel n p sched variant machine_name procs opts json
         | b -> `Error (false, "unknown backend " ^ b ^ " (try native, sim)")))
 
 let run_cmd =
@@ -360,7 +356,268 @@ let run_cmd =
         (const run_exec $ kernel_arg $ size_arg $ backend_arg $ machine_arg
        $ procs_arg $ strip_arg $ steps_arg $ run_schedule_arg
        $ run_unfused_arg $ run_script_arg $ reps_arg $ warmup_arg
-       $ store_dir_arg $ json_arg))
+       $ run_opts_term $ json_arg))
+
+(* --- trace ---------------------------------------------------------- *)
+
+module Lazy_ctx = Lf_lazy.Ctx
+module Lazy_node = Lf_lazy.Node
+module Lazy_plan = Lf_lazy.Plan
+module Lazy_eval = Lf_lazy.Eval
+module Lazy_trace = Lf_lazy.Trace
+
+let trace_input_arg =
+  let doc =
+    "Recorded trace to run: a built-in workload ($(b,heat), \
+     $(b,pipeline), $(b,mismatch), $(b,blur2)) or a trace file — one \
+     whole-array op per line (source/fill/map/zip/force; see \
+     lib/lazy/trace.mli for the grammar)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+
+let trace_backend_arg =
+  let doc =
+    "Execution backend: $(b,sim) (each fused block becomes a \
+     Sim.request dispatched through the batch layer and the result \
+     store — the default) or $(b,native) (each block verified \
+     bit-identical against the reference interpreter and timed on \
+     real host domains)."
+  in
+  Arg.(value & opt string "sim" & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let no_fuse_arg =
+  let doc =
+    "Disable DAG fusion: one block per recorded op (the op-at-a-time \
+     baseline the bench compares against)."
+  in
+  Arg.(value & flag & info [ "no-fuse" ] ~doc)
+
+let trace_require_warm_arg =
+  let doc =
+    "Fail unless every block request is answered by the result store \
+     (the CI cold-then-warm assertion; --backend sim only)."
+  in
+  Arg.(value & flag & info [ "require-warm" ] ~doc)
+
+let envs_bit_identical (a : Lazy_eval.env) (b : Lazy_eval.env) =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun k v acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b k with
+         | Some v' ->
+           Array.length v = Array.length v'
+           && Array.for_all2
+                (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+                v v'
+         | None -> false)
+       a true
+
+let trace_exec input n machine_name procs strip backend no_fuse require_warm
+    opts_result json =
+  with_run_opts opts_result @@ fun opts ->
+  let loaded =
+    match Lazy_trace.builtin_text input with
+    | Some text -> Lazy_trace.of_string ~n text
+    | None ->
+      if Sys.file_exists input then Lazy_trace.load ~n input
+      else
+        Error
+          (Printf.sprintf "unknown trace %s (builtins: %s; or a trace file)"
+             input
+             (String.concat ", " (List.map fst Lazy_trace.builtins)))
+  in
+  match loaded with
+  | Error m -> `Error (false, m)
+  | Ok (cx, outs) -> (
+    match Lazy_ctx.plan ~fuse:(not no_fuse) ~nprocs:procs ~strip cx with
+    | exception Lazy_node.Error m -> `Error (false, m)
+    | plan -> (
+      let blocks = plan.Lazy_plan.blocks in
+      if not json then begin
+        Fmt.pr "trace %s (n=%d): %d op(s) recorded, %d block(s)@." input n
+          (Lazy_plan.ops plan) (List.length blocks);
+        List.iter
+          (fun (b : Lazy_plan.block) ->
+            Fmt.pr "  block %d: %d op(s)%s -> %s@." b.Lazy_plan.b_index
+              (List.length b.Lazy_plan.b_nodes)
+              (if b.Lazy_plan.b_fused then " fused (shift-and-peel)" else "")
+              (String.concat ", " b.Lazy_plan.b_written);
+            match b.Lazy_plan.b_reason with
+            | None -> ()
+            | Some r ->
+              Fmt.pr "    split from previous block: %a@." Lazy_plan.pp_reason
+                r)
+          blocks
+      end;
+      (* every backend first proves the plan equivalent to eager
+         op-at-a-time interpretation — numbers for wrong answers are
+         worthless (same discipline as `lfc run`) *)
+      let reference = Lazy_eval.eager plan in
+      let env = Lazy_eval.materialise plan in
+      if not (envs_bit_identical reference env) then
+        `Error
+          ( false,
+            "planned execution is not bit-identical to eager evaluation \
+             (lazy-frontend bug; please report)" )
+      else begin
+        let checksums =
+          List.map
+            (fun (name, v) ->
+              let cname = Lazy_plan.name_of plan v.Lazy_node.v_node in
+              let a =
+                match Hashtbl.find_opt env cname with
+                | Some a -> a
+                | None -> [||]
+              in
+              (name, Array.fold_left ( +. ) 0.0 a))
+            outs
+        in
+        if not json then begin
+          Fmt.pr "bit-identity planned vs eager: OK@.";
+          List.iter
+            (fun (name, s) -> Fmt.pr "  output %s checksum %.17g@." name s)
+            checksums
+        end;
+        let json_blocks () =
+          String.concat ", "
+            (List.map
+               (fun (b : Lazy_plan.block) ->
+                 Printf.sprintf
+                   "{\"index\": %d, \"ops\": %d, \"fused\": %b%s}"
+                   b.Lazy_plan.b_index
+                   (List.length b.Lazy_plan.b_nodes)
+                   b.Lazy_plan.b_fused
+                   (match b.Lazy_plan.b_reason with
+                   | None -> ""
+                   | Some r ->
+                     Printf.sprintf ", \"split\": \"%s\""
+                       (String.escaped
+                          (Fmt.str "%a" Lazy_plan.pp_reason r))))
+               blocks)
+        in
+        let json_checksums () =
+          String.concat ", "
+            (List.map
+               (fun (name, s) ->
+                 Printf.sprintf "{\"name\": \"%s\", \"checksum\": %.17g}"
+                   (String.escaped name) s)
+               checksums)
+        in
+        match backend with
+        | "sim" -> (
+          match machine_of machine_name with
+          | Error m -> `Error (false, m)
+          | Ok machine ->
+            let outcomes, summary = Lazy_eval.simulate ~opts ~machine plan in
+            let cycles = ref 0.0 and misses = ref 0 in
+            Array.iteri
+              (fun i (o : Batch.outcome) ->
+                match o.Batch.result with
+                | Error _ -> ()
+                | Ok r ->
+                  cycles := !cycles +. r.Exec.cycles;
+                  misses := !misses + r.Exec.total_misses;
+                  if not json then
+                    Fmt.pr "  block %d on %s: %.4e cycles, %d misses — %s@."
+                      i machine.Machine.mname r.Exec.cycles
+                      r.Exec.total_misses
+                      (if o.Batch.from_store then "store" else "computed"))
+              outcomes;
+            (match Batch.results_exn outcomes with
+            | exception Failure m -> `Error (false, m)
+            | _ ->
+              let warm =
+                Array.for_all (fun (o : Batch.outcome) -> o.Batch.from_store)
+                  outcomes
+              in
+              if json then
+                Fmt.pr
+                  "{\"trace\": \"%s\", \"n\": %d, \"backend\": \"sim\", \
+                   \"machine\": \"%s\", \"fused\": %b, \"blocks\": [%s], \
+                   \"bit_identical\": true, \"cycles\": %.17g, \"misses\": \
+                   %d, \"hits\": %d, \"computed\": %d, \"outputs\": [%s]}@."
+                  (String.escaped input) n machine.Machine.mname
+                  (not no_fuse) (json_blocks ()) !cycles !misses
+                  summary.Batch.hits summary.Batch.computed
+                  (json_checksums ())
+              else begin
+                Fmt.pr "total: %.4e cycles, %d misses@." !cycles !misses;
+                Fmt.pr "store: %a@." Batch.pp_summary summary
+              end;
+              if require_warm && not warm then
+                `Error
+                  ( false,
+                    "--require-warm: at least one block was computed, not \
+                     answered by the store" )
+              else `Ok ()))
+        | "native" ->
+          if require_warm then
+            `Error (false, "--require-warm only applies to --backend sim")
+          else begin
+            let nenv = Lazy_eval.env_create () in
+            let rec go wall = function
+              | [] -> Ok wall
+              | (b : Lazy_plan.block) :: tl -> (
+                match
+                  Native.verify ~init:(Lazy_eval.init_of nenv)
+                    b.Lazy_plan.b_sched
+                with
+                | Error m ->
+                  Error
+                    (Printf.sprintf
+                       "block %d bit-identity verification failed: %s"
+                       b.Lazy_plan.b_index m)
+                | Ok () ->
+                  let t = Native.measure b.Lazy_plan.b_sched in
+                  if not json then
+                    Fmt.pr "  block %d native on %d domain(s): %a@."
+                      b.Lazy_plan.b_index procs Bench_timer.pp
+                      t.Native.t_measure;
+                  Lazy_eval.advance nenv b;
+                  go (wall +. t.Native.t_measure.Bench_timer.min_s) tl)
+            in
+            match go 0.0 blocks with
+            | Error m -> `Error (false, m)
+            | Ok wall ->
+              if not (envs_bit_identical reference nenv) then
+                `Error
+                  ( false,
+                    "native block stepping diverged from eager evaluation \
+                     (lazy-frontend bug; please report)" )
+              else begin
+                if json then
+                  Fmt.pr
+                    "{\"trace\": \"%s\", \"n\": %d, \"backend\": \
+                     \"native\", \"procs\": %d, \"fused\": %b, \"blocks\": \
+                     [%s], \"bit_identical\": true, \"min_s\": %.9f, \
+                     \"outputs\": [%s]}@."
+                    (String.escaped input) n procs (not no_fuse)
+                    (json_blocks ()) wall (json_checksums ())
+                else Fmt.pr "total min-of-k wall: %.9f s@." wall;
+                `Ok ()
+              end
+          end
+        | b -> `Error (false, "unknown backend " ^ b ^ " (try sim, native)")
+      end))
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a recorded whole-array operation trace through the lazy \
+          frontend: partition the DAG into maximal fusible blocks \
+          (shift-and-peel legality; shape mismatches and dependence \
+          cycles split with typed reasons), prove the plan bit-identical \
+          to eager op-at-a-time evaluation, then execute the blocks on \
+          the simulator (through the batch layer and result store) or \
+          natively on host domains.")
+    Term.(
+      ret
+        (const trace_exec $ trace_input_arg $ size_arg $ machine_arg
+       $ procs_arg $ strip_arg $ trace_backend_arg $ no_fuse_arg
+       $ trace_require_warm_arg $ run_opts_term $ json_arg))
 
 (* --- tune ---------------------------------------------------------- *)
 
@@ -399,7 +656,7 @@ let objective_arg =
 (* Tune every fusible sequence of an application model; the never-fused
    remainder runs unfused under both configurations, so it contributes
    the same cycles to each side of the comparison. *)
-let tune_app ~driver ~objective ~store ~machine ~nprocs (app : Apps.t) =
+let tune_app ~driver ~objective ?store ~machine ~nprocs (app : Apps.t) =
   let cache = TCost.create_cache () in
   Fmt.pr "autotuning %s on %s, %d processors (%d fusible sequences)@."
     app.Apps.app_name machine.Machine.mname nprocs
@@ -409,7 +666,7 @@ let tune_app ~driver ~objective ~store ~machine ~nprocs (app : Apps.t) =
   let tuned = ref 0.0 and dflt = ref 0.0 and failed = ref None in
   List.iter
     (fun (seq : Ir.program) ->
-      match Tune.tune ~cache ~store ~driver ~objective ~machine ~nprocs seq with
+      match Tune.tune ~cache ?store ~driver ~objective ~machine ~nprocs seq with
       | Error m -> if !failed = None then failed := Some (seq.Ir.pname, m)
       | Ok o ->
         tuned := !tuned +. o.TSearch.best_cost.TCost.e_cycles;
@@ -439,7 +696,7 @@ let tune_app ~driver ~objective ~store ~machine ~nprocs (app : Apps.t) =
               rem.Ir.decls
           in
           let r =
-            Batch.run_one ~store
+            Batch.run_one ?store
               (Sim.unfused ~layout ~mode:Sim.Run_compressed ~machine ~nprocs
                  rem)
           in
@@ -463,12 +720,9 @@ let tune_app ~driver ~objective ~store ~machine ~nprocs (app : Apps.t) =
       (Batch.computed_count ());
     `Ok ()
 
-let tune kernel size machine_name procs search objective quick jobs store_dir
-    =
-  match apply_jobs jobs with
-  | Error m -> `Error (false, m)
-  | Ok () -> (
-  match machine_of machine_name with
+let tune kernel size machine_name procs search objective quick opts_result =
+  with_run_opts opts_result @@ fun opts ->
+  (match machine_of machine_name with
   | Error m -> `Error (false, m)
   | Ok machine -> (
     match Tune.driver_of_string search with
@@ -477,7 +731,7 @@ let tune kernel size machine_name procs search objective quick jobs store_dir
       match Tune.objective_of_string objective with
       | Error m -> `Error (false, m)
       | Ok objective -> (
-      let store = store_of store_dir in
+      let store = Batch.store_of_opts opts in
       let app =
         match kernel with
         | "tomcatv" ->
@@ -497,7 +751,7 @@ let tune kernel size machine_name procs search objective quick jobs store_dir
       in
       match app with
       | Some app ->
-        tune_app ~driver ~objective ~store ~machine ~nprocs:procs app
+        tune_app ~driver ~objective ?store ~machine ~nprocs:procs app
       | None ->
         let n =
           match size with Some n -> n | None -> if quick then 64 else 128
@@ -510,7 +764,7 @@ let tune kernel size machine_name procs search objective quick jobs store_dir
               | TSearch.Cycles -> ""
               | TSearch.Wallclock -> ", objective: measured wall-clock");
             match
-              Tune.tune ~depth ~store ~driver ~objective ~machine
+              Tune.tune ~depth ?store ~driver ~objective ~machine
                 ~nprocs:procs p
             with
             | Error m -> `Error (false, m)
@@ -524,14 +778,14 @@ let tune_cmd =
   Cmd.v
     (Cmd.info "tune"
        ~doc:
-         "Autotune fusion clustering, strip size and cache layout on the \
-          simulated machine (lf_tune); with --objective wallclock, on \
-          measured native execution time")
+         "Autotune the schedule variant (unfused, fused shift-and-peel — \
+          plain or clustered —, wavefront, alignment+replication), strip \
+          size and cache layout on the simulated machine (lf_tune); with \
+          --objective wallclock, on measured native execution time")
     Term.(
       ret
         (const tune $ tune_kernel_arg $ tune_size_arg $ machine_arg
-       $ procs_arg $ search_arg $ objective_arg $ quick_arg $ jobs_arg
-       $ store_dir_arg))
+       $ procs_arg $ search_arg $ objective_arg $ quick_arg $ run_opts_term))
 
 (* --- profile ------------------------------------------------------- *)
 
@@ -556,11 +810,9 @@ let unfused_arg =
 let layout_tag = function "partition" -> "partitioned" | s -> s
 
 let profile kernel n machine_name procs strip layout_spec by trace unfused
-    steps jobs engine store_dir =
+    steps opts_result =
   with_program kernel n (fun p ->
-      match apply_jobs jobs with
-      | Error m -> `Error (false, m)
-      | Ok () -> (
+      with_run_opts opts_result (fun opts ->
       match machine_of machine_name with
       | Error m -> `Error (false, m)
       | Ok machine -> (
@@ -575,10 +827,8 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
             | s -> Error ("unknown grouping " ^ s ^ " (try array, phase, proc)")
           with
           | Error m -> `Error (false, m)
-          | Ok by -> (
-            match mode_of engine with
-            | Error m -> `Error (false, m)
-            | Ok mode ->
+          | Ok by ->
+            let mode = opts.Run_opts.engine in
             let sink = Lf_obs.Obs.create ~layout:(layout_tag layout_spec) () in
             let req =
               if unfused then
@@ -589,7 +839,7 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
             (* a profiled run always computes (the sink must be
                populated) but still warms the store for sink-less
                reuse of the same request *)
-            let r = Batch.run_one ~store:(store_of store_dir) ~sink req in
+            let r = Batch.run_one_with (Run_opts.with_sink sink opts) req in
             Fmt.pr "%s %s (n=%d) on %s: %d processors, layout %s, %d phases@."
               (if unfused then "unfused" else "fused")
               kernel n machine.Machine.mname procs layout_spec
@@ -615,7 +865,7 @@ let profile kernel n machine_name procs strip layout_spec by trace unfused
               Fmt.pr "trace: %d events written to %s@."
                 (List.length (Lf_obs.Obs.events sink))
                 file);
-            `Ok ())))))
+            `Ok ()))))
 
 let profile_cmd =
   Cmd.v
@@ -627,7 +877,7 @@ let profile_cmd =
       ret
         (const profile $ profile_kernel_arg $ size_arg $ machine_arg
        $ procs_arg $ strip_arg $ layout_arg $ by_arg $ trace_arg
-       $ unfused_arg $ steps_arg $ jobs_arg $ engine_arg $ store_dir_arg))
+       $ unfused_arg $ steps_arg $ run_opts_term))
 
 (* --- pipeline ------------------------------------------------------ *)
 
@@ -1171,12 +1421,15 @@ let wait_workers pids =
       | _ -> acc + 1)
     0 pids
 
-let sweep kernels_spec n procs workers queue_dir store_dir cold require_warm
-    watch watch_rounds watch_timeout fingerprints ttl jobs json =
-  match apply_jobs jobs with
-  | Error m -> `Error (false, m)
-  | Ok () -> (
-  match apply_fingerprints fingerprints with
+let sweep kernels_spec n procs workers queue_dir require_warm
+    watch watch_rounds watch_timeout fingerprints ttl opts_result json =
+  (* the sweep enqueues BOTH pure engines per configuration (that is
+     the point of the mix), so opts.engine is deliberately ignored;
+     store root, cold polarity and --jobs apply *)
+  with_run_opts opts_result @@ fun opts ->
+  let store_dir = Run_opts.store_root opts in
+  let cold = Run_opts.is_cold opts in
+  (match apply_fingerprints fingerprints with
   | Error m -> `Error (false, m)
   | Ok () -> (
   let kernels =
@@ -1322,9 +1575,9 @@ let sweep_cmd =
     Term.(
       ret
         (const sweep $ sweep_kernels_arg $ sweep_size_arg $ procs_arg
-       $ sweep_workers_arg $ queue_dir_arg $ store_dir_arg $ cold_arg
+       $ sweep_workers_arg $ queue_dir_arg
        $ require_warm_arg $ watch_arg $ watch_rounds_arg $ watch_timeout_arg
-       $ fingerprint_arg $ ttl_arg $ jobs_arg $ json_arg))
+       $ fingerprint_arg $ ttl_arg $ run_opts_term $ json_arg))
 
 let worker_wid_arg =
   let doc = "Worker id used in lease filenames (default: pid-derived)." in
@@ -1374,8 +1627,8 @@ let main_cmd =
   Cmd.group
     (Cmd.info "lfc" ~version:"1.0"
        ~doc:"Shift-and-peel loop fusion (Manjikian & Abdelrahman, ICPP 1995)")
-    [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; run_cmd; verify_cmd;
-      transform_cmd; pipeline_cmd; profile_cmd; tune_cmd; cache_cmd;
-      serve_cmd; request_cmd; sweep_cmd; worker_cmd ]
+    [ analyze_cmd; derive_cmd; emit_cmd; simulate_cmd; run_cmd; trace_cmd;
+      verify_cmd; transform_cmd; pipeline_cmd; profile_cmd; tune_cmd;
+      cache_cmd; serve_cmd; request_cmd; sweep_cmd; worker_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,51 @@
+(* The blessed single-opens surface.
+
+   Every other library in the repo is a layer with its own internal
+   vocabulary (lf_ir, lf_core, lf_machine, ...); user programs kept
+   re-deriving the same module aliases at the top of every file.  This
+   module is that prelude, maintained in one place: `open Lf_api` (or
+   qualify as [Lf_api.Arr] etc.) and the supported entry points are in
+   scope under their documented names.
+
+   Nothing here adds behaviour — each binding is a re-export, so types
+   are equal (not merely isomorphic) to the originals and values built
+   through Lf_api interoperate with code using the layered libraries
+   directly. *)
+
+(* compiler layers: programs, dependences, shift-and-peel schedules *)
+module Ir = Lf_ir.Ir
+module Interp = Lf_ir.Interp
+module Dep = Lf_dep.Dep
+module Derive = Lf_core.Derive
+module Schedule = Lf_core.Schedule
+module Codegen = Lf_core.Codegen
+module Partition = Lf_core.Partition
+
+(* execution: the simulated machines, the host backend, the autotuner *)
+module Machine = Lf_machine.Machine
+module Sim = Lf_machine.Sim
+module Exec = Lf_machine.Exec
+module Native = Lf_native.Native
+module Tune = Lf_tune.Tune
+
+(* the batch layer and its unified request-options bundle *)
+module Batch = Lf_batch.Batch
+module Run_opts = Lf_batch.Run_opts
+module Store = Lf_batch.Batch.Store
+
+(* the lazy whole-array frontend *)
+module Arr = Lf_lazy.Arr
+module Node = Lf_lazy.Node
+module Ctx = Lf_lazy.Ctx
+module Plan = Lf_lazy.Plan
+module Eval = Lf_lazy.Eval
+module Trace = Lf_lazy.Trace
+
+(* paper kernels, for examples and experiments *)
+module Kernels = struct
+  module Ll18 = Lf_kernels.Ll18
+  module Calc = Lf_kernels.Calc
+  module Filter = Lf_kernels.Filter
+  module Jacobi = Lf_kernels.Jacobi
+  module Apps = Lf_kernels.Apps
+end

@@ -514,6 +514,43 @@ let run_one ?store ?(cold = false) ?jobs ?pool ?sink ?scope req =
           Option.iter (fun st -> ignore (Store.add st req res)) store;
           res)
 
+(* One memoised handle per resolved store root, so every consumer of
+   the same Run_opts policy (CLI, serve workers, tests) shares a handle
+   and its lookup/hit stats.  Policies name roots, never handles. *)
+let handles : (string, Store.t) Hashtbl.t = Hashtbl.create 4
+let handles_mu = Mutex.create ()
+
+let store_of_opts (o : Run_opts.t) =
+  match o.Run_opts.store with
+  | Run_opts.Store_off -> None
+  | Store_in dir | Store_cold dir ->
+      let root =
+        match dir with Some d -> d | None -> Store.default_dir ()
+      in
+      Mutex.lock handles_mu;
+      let st =
+        match Hashtbl.find_opt handles root with
+        | Some st -> st
+        | None ->
+            let st = Store.open_ ~dir:root () in
+            Hashtbl.add handles root st;
+            st
+      in
+      Mutex.unlock handles_mu;
+      Some st
+
+let run_with ?pool ?scope (o : Run_opts.t) requests =
+  run
+    ?store:(store_of_opts o)
+    ~cold:(Run_opts.is_cold o) ?jobs:o.Run_opts.jobs ?pool
+    ?timeout_s:o.Run_opts.timeout_s ?sink:o.Run_opts.sink ?scope requests
+
+let run_one_with ?pool ?scope (o : Run_opts.t) req =
+  run_one
+    ?store:(store_of_opts o)
+    ~cold:(Run_opts.is_cold o) ?jobs:o.Run_opts.jobs ?pool
+    ?sink:o.Run_opts.sink ?scope req
+
 let pp_summary ppf s =
   Fmt.pf ppf "%d request%s (%d unique): %d hit%s, %d computed%s in %.2fs"
     s.total

@@ -159,6 +159,35 @@ type summary = {
   wall_s : float;
 }
 
+val run_with :
+  ?pool:Lf_parallel.Pool.t ->
+  ?scope:Counters.scope ->
+  Run_opts.t ->
+  Sim.request list ->
+  outcome array * summary
+(** The primary batch entry point: {!run} with the policy knobs
+    carried by one {!Run_opts.t} — engine choices are already inside
+    the requests; jobs, store policy (root + cold), timeout and sink
+    come from the options.  [pool] and [scope] are live host resources
+    and are passed alongside (see run_opts.mli).  Bit-identical to the
+    equivalent legacy {!run} call by construction
+    (test/test_run_opts.ml pins it). *)
+
+val run_one_with :
+  ?pool:Lf_parallel.Pool.t ->
+  ?scope:Counters.scope ->
+  Run_opts.t ->
+  Sim.request ->
+  Exec.result
+(** {!run_one} under a {!Run_opts.t}: store policy, jobs and sink from
+    the options.  [timeout_s] does not apply — a single synchronous
+    run has no batch to report a timeout into. *)
+
+val store_of_opts : Run_opts.t -> Store.t option
+(** The store handle a policy names: [None] for {!Run_opts.Store_off},
+    else a handle memoised per resolved root so every consumer of the
+    same policy shares one handle (and its {!Store.stats}). *)
+
 val run :
   ?store:Store.t ->
   ?cold:bool ->
@@ -169,7 +198,11 @@ val run :
   ?scope:Counters.scope ->
   Sim.request list ->
   outcome array * summary
-(** Execute a batch.  The requests are deduplicated by digest (repeats
+(** {!run_with} with the options spelled as optional arguments — the
+    historical surface, deprecated in favour of {!Run_opts.t} but kept
+    bit-identical (both forms drive the same core).
+
+    Execute a batch.  The requests are deduplicated by digest (repeats
     share the representative's outcome); with a [store], hits are
     answered without simulating unless [cold] (default [false]) forces
     recomputation — computed results are persisted either way, so a

@@ -1,0 +1,35 @@
+module Ir = Lf_ir.Ir
+
+type t = Node.view
+
+let source = Node.source
+let fill = Node.fill
+let copy v = Node.map Node.Id v
+let neg v = Node.map Node.Neg v
+let scale c v = Node.map (Node.Scale c) v
+let bias c v = Node.map (Node.Bias c) v
+let add x y = Node.zip Ir.Add x y
+let sub x y = Node.zip Ir.Sub x y
+let mul x y = Node.zip Ir.Mul x y
+let div x y = Node.zip Ir.Div x y
+let shift off v = Node.shift v off
+let shift1 c v = Node.shift v [| c |]
+let shape v = Array.copy v.Node.v_node.Node.nd_shape
+let ctx v = v.Node.v_node.Node.nd_ctx
+let force = Eval.force
+
+let get ?fuse ?nprocs ?strip v idx =
+  let a = Eval.force ?fuse ?nprocs ?strip v in
+  let sh = v.Node.v_node.Node.nd_shape in
+  if Array.length idx <> Array.length sh then
+    raise (Node.Error "lazy: get index rank mismatch");
+  let flat = ref 0 in
+  Array.iteri
+    (fun d i ->
+      if i < 0 || i >= sh.(d) then
+        raise (Node.Error "lazy: get index out of bounds");
+      flat := (!flat * sh.(d)) + i)
+    idx;
+  a.(!flat)
+
+let sum = Eval.sum

@@ -1,0 +1,63 @@
+(** Lazily recorded whole-array values — the public DSL surface.
+
+    An [Arr.t] names a float64 array expression recorded in a
+    {!Ctx.t}; nothing is computed until {!force}, {!sum} or
+    {!Ctx.flush}.  Operations are elementwise over arrays of rank 1 or
+    2; {!shift} composes stencil offsets for free (it records no op —
+    offsets become the read subscripts, i.e. the uniform dependence
+    distances shift-and-peel fuses across).  Stencil reads shrink the
+    written region by their halo; halo elements keep the array's
+    deterministic initial values, identically under every evaluation
+    strategy. *)
+
+type t = Node.view
+(** Recording errors (rank/shape mismatch, empty region after a shift,
+    bad source names) raise {!Node.Error}. *)
+
+(** {2 Introduction} *)
+
+val source : Ctx.t -> string -> int array -> t
+(** A named external input of the given shape.  Its contents are
+    {!Lf_ir.Interp.default_init} applied to the name — deterministic
+    data, so recorded traces stay content-addressable end to end. *)
+
+val fill : Ctx.t -> int array -> float -> t
+(** A constant array. *)
+
+(** {2 Elementwise operators} *)
+
+val copy : t -> t
+val neg : t -> t
+val scale : float -> t -> t
+val bias : float -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+
+(** {2 Stencil shifts} *)
+
+val shift : int array -> t -> t
+(** [shift off a] reads [a] at [i + off] per dimension — a view, not
+    an op. *)
+
+val shift1 : int -> t -> t
+(** Rank-1 convenience. *)
+
+(** {2 Inspection} *)
+
+val shape : t -> int array
+val ctx : t -> Ctx.t
+
+(** {2 Evaluation} *)
+
+val force : ?fuse:bool -> ?nprocs:int -> ?strip:int -> t -> float array
+(** Materialise (fused by default; [~fuse:false] is the op-at-a-time
+    baseline) and return this value's contents, row-major.  See
+    {!Eval.force}. *)
+
+val get : ?fuse:bool -> ?nprocs:int -> ?strip:int -> t -> int array -> float
+(** [force] and index (row-major). *)
+
+val sum : ?fuse:bool -> ?nprocs:int -> ?strip:int -> t -> float
+(** The reduction: materialise, then a fixed-order float sum. *)

@@ -1,0 +1,6 @@
+type t = Node.ctx
+
+let create = Node.create_ctx
+let ops cx = List.length (List.filter Node.is_op (Node.nodes cx))
+let plan ?fuse ?nprocs ?strip cx = Plan.of_ctx ?fuse ?nprocs ?strip cx
+let flush = Eval.flush

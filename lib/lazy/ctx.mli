@@ -1,0 +1,32 @@
+(** A recording context: the unit of lazy evaluation.
+
+    Create one, build {!Arr} values inside it, then evaluate —
+    {!Arr.force}, {!Arr.sum} or an explicit {!flush} materialises the
+    whole recorded DAG at once, fused into maximal legal blocks.
+
+    {[
+      let cx = Ctx.create () in
+      let a = Arr.source cx "a" [| 1024 |] in
+      let s = Arr.add (Arr.shift1 (-1) a) (Arr.shift1 1 a) in
+      let h = Arr.scale 0.5 s in
+      let values = Arr.force h in
+      ...
+    ]} *)
+
+type t = Node.ctx
+
+val create : unit -> t
+
+val ops : t -> int
+(** Number of recorded array operations (sources are inputs, not
+    ops). *)
+
+val plan : ?fuse:bool -> ?nprocs:int -> ?strip:int -> t -> Plan.t
+(** Partition the recorded DAG into fusible blocks without executing
+    anything — inspection, simulation ({!Eval.simulate}) and the CLI
+    go through the plan. *)
+
+val flush : ?fuse:bool -> ?nprocs:int -> ?strip:int -> t -> unit
+(** Materialise everything recorded so far; subsequent {!Arr.force}
+    calls on an unchanged context are answered from the cached
+    environment. *)

@@ -1,0 +1,333 @@
+module Ir = Lf_ir.Ir
+
+type unop = Id | Neg | Scale of float | Bias of float
+
+type ctx = {
+  mutable rev_nodes : node list;
+  mutable nnodes : int;
+  source_names : (string, unit) Hashtbl.t;
+  mutable cache : (string * (string, float array) Hashtbl.t) option;
+      (* materialised environment, keyed by the plan signature that
+         produced it (see Eval) *)
+}
+
+and node = {
+  nd_id : int;
+  nd_ctx : ctx;
+  nd_shape : int array;
+  nd_kind : kind;
+  mutable nd_digest : string option;
+}
+
+and kind =
+  | Source of string
+  | Fill of float
+  | Map of unop * operand
+  | Zip of Ir.binop * operand * operand
+
+and operand = { op_node : node; op_off : int array }
+
+type view = { v_node : node; v_off : int array }
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let create_ctx () =
+  { rev_nodes = []; nnodes = 0; source_names = Hashtbl.create 8;
+    cache = None }
+
+let nodes cx = List.rev cx.rev_nodes
+let is_op nd = match nd.nd_kind with Source _ -> false | _ -> true
+let rank nd = Array.length nd.nd_shape
+
+let shape_str shape =
+  String.concat "x" (Array.to_list (Array.map string_of_int shape))
+
+let offs_str off =
+  String.concat "," (Array.to_list (Array.map string_of_int off))
+
+(* The written region: the full extent shrunk by the stencil halo so
+   every read subscript [i + c] stays inside the operand (operands
+   always share the node's shape).  Lazy and eager evaluation both
+   leave the halo elements at their initial value, so the two agree
+   bit-for-bit at the borders by construction. *)
+let region nd =
+  let r = rank nd in
+  let lo = Array.make r 0 in
+  let hi = Array.init r (fun d -> nd.nd_shape.(d) - 1) in
+  let clamp (o : operand) =
+    for d = 0 to r - 1 do
+      let c = o.op_off.(d) in
+      if c < 0 then lo.(d) <- max lo.(d) (-c)
+      else if c > 0 then hi.(d) <- min hi.(d) (nd.nd_shape.(d) - 1 - c)
+    done
+  in
+  (match nd.nd_kind with
+  | Source _ | Fill _ -> ()
+  | Map (_, a) -> clamp a
+  | Zip (_, a, b) ->
+      clamp a;
+      clamp b);
+  Array.init r (fun d -> (lo.(d), hi.(d)))
+
+let check_region nd =
+  Array.iter
+    (fun (lo, hi) ->
+      if lo > hi then
+        err "lazy: shift leaves an empty written region on shape %s"
+          (shape_str nd.nd_shape))
+    (region nd)
+
+let record cx shape kind =
+  let nd =
+    { nd_id = cx.nnodes; nd_ctx = cx; nd_shape = shape; nd_kind = kind;
+      nd_digest = None }
+  in
+  check_region nd;
+  cx.nnodes <- cx.nnodes + 1;
+  cx.rev_nodes <- nd :: cx.rev_nodes;
+  nd
+
+let check_shape shape =
+  let r = Array.length shape in
+  if r < 1 || r > 2 then
+    err "lazy: rank %d unsupported (1- and 2-d arrays only)" r;
+  Array.iter
+    (fun n -> if n < 1 then err "lazy: non-positive extent in %s"
+                                (shape_str shape))
+    shape
+
+let valid_name n =
+  n <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_')
+       n
+
+let source cx name shape =
+  check_shape shape;
+  if not (valid_name name) then err "lazy: bad source name %S" name;
+  if Hashtbl.mem cx.source_names name then
+    err "lazy: duplicate source name %S" name;
+  Hashtbl.add cx.source_names name ();
+  { v_node = record cx (Array.copy shape) (Source name);
+    v_off = Array.make (Array.length shape) 0 }
+
+let fill cx shape v =
+  check_shape shape;
+  { v_node = record cx (Array.copy shape) (Fill v);
+    v_off = Array.make (Array.length shape) 0 }
+
+let shift v off =
+  if Array.length off <> Array.length v.v_off then
+    err "lazy: shift offset rank %d on rank-%d value" (Array.length off)
+      (Array.length v.v_off);
+  { v with v_off = Array.init (Array.length off)
+                      (fun d -> v.v_off.(d) + off.(d)) }
+
+let operand_of v = { op_node = v.v_node; op_off = Array.copy v.v_off }
+
+let map u v =
+  let cx = v.v_node.nd_ctx in
+  let shape = v.v_node.nd_shape in
+  { v_node = record cx (Array.copy shape) (Map (u, operand_of v));
+    v_off = Array.make (Array.length shape) 0 }
+
+let zip b x y =
+  if x.v_node.nd_ctx != y.v_node.nd_ctx then
+    err "lazy: zip of values from different contexts";
+  if x.v_node.nd_shape <> y.v_node.nd_shape then
+    err "lazy: zip shape mismatch %s vs %s"
+      (shape_str x.v_node.nd_shape) (shape_str y.v_node.nd_shape);
+  let cx = x.v_node.nd_ctx in
+  let shape = x.v_node.nd_shape in
+  { v_node = record cx (Array.copy shape)
+               (Zip (b, operand_of x, operand_of y));
+    v_off = Array.make (Array.length shape) 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Structure                                                           *)
+
+let fbits x = Int64.to_string (Int64.bits_of_float x)
+
+let unop_str = function
+  | Id -> "id"
+  | Neg -> "neg"
+  | Scale c -> "scale:" ^ fbits c
+  | Bias c -> "bias:" ^ fbits c
+
+let binop_str : Ir.binop -> string = function
+  | Ir.Add -> "add"
+  | Ir.Sub -> "sub"
+  | Ir.Mul -> "mul"
+  | Ir.Div -> "div"
+
+(* Structural digest: everything that determines the node's value and
+   fusibility, nothing that depends on recording order. *)
+let rec digest nd =
+  match nd.nd_digest with
+  | Some d -> d
+  | None ->
+      let od (o : operand) = digest o.op_node ^ "@" ^ offs_str o.op_off in
+      let body =
+        match nd.nd_kind with
+        | Source n -> "src " ^ n
+        | Fill v -> "fill " ^ fbits v
+        | Map (u, a) -> "map " ^ unop_str u ^ " " ^ od a
+        | Zip (b, x, y) -> "zip " ^ binop_str b ^ " " ^ od x ^ " " ^ od y
+      in
+      let d = Digest.to_hex (Digest.string (shape_str nd.nd_shape ^ "|" ^ body)) in
+      nd.nd_digest <- Some d;
+      d
+
+let producers nd =
+  let ops =
+    match nd.nd_kind with
+    | Source _ | Fill _ -> []
+    | Map (_, a) -> [ a.op_node ]
+    | Zip (_, x, y) -> [ x.op_node; y.op_node ]
+  in
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun p ->
+      if Hashtbl.mem seen p.nd_id then false
+      else (Hashtbl.add seen p.nd_id (); true))
+    ops
+
+(* Kahn's algorithm with the ready set ordered by structural digest
+   (nd_id only breaks ties between structurally identical twins, which
+   are interchangeable): the order is a function of the DAG, not of
+   the recording sequence. *)
+let canonical_order cx =
+  let all = nodes cx in
+  let indegree = Hashtbl.create 16 in
+  let dependants = Hashtbl.create 16 in
+  List.iter (fun nd -> Hashtbl.replace indegree nd.nd_id 0) all;
+  List.iter
+    (fun nd ->
+      List.iter
+        (fun p ->
+          Hashtbl.replace indegree nd.nd_id
+            (1 + Hashtbl.find indegree nd.nd_id);
+          Hashtbl.replace dependants p.nd_id
+            (nd :: Option.value ~default:[]
+                     (Hashtbl.find_opt dependants p.nd_id)))
+        (producers nd))
+    all;
+  let cmp a b =
+    match compare (digest a) (digest b) with
+    | 0 -> compare a.nd_id b.nd_id
+    | c -> c
+  in
+  let ready =
+    ref (List.sort cmp (List.filter (fun nd ->
+             Hashtbl.find indegree nd.nd_id = 0) all))
+  in
+  let out = ref [] in
+  while !ready <> [] do
+    match !ready with
+    | [] -> ()
+    | nd :: rest ->
+        ready := rest;
+        out := nd :: !out;
+        let unblocked =
+          List.filter
+            (fun d ->
+              let k = Hashtbl.find indegree d.nd_id - 1 in
+              Hashtbl.replace indegree d.nd_id k;
+              k = 0)
+            (Option.value ~default:[] (Hashtbl.find_opt dependants nd.nd_id))
+        in
+        ready := List.merge cmp !ready (List.sort cmp unblocked)
+  done;
+  List.rev !out
+
+let canonical_names order =
+  let names = Hashtbl.create 16 in
+  let k = ref 0 in
+  List.iter
+    (fun nd ->
+      match nd.nd_kind with
+      | Source n -> Hashtbl.replace names nd.nd_id n
+      | _ ->
+          Hashtbl.replace names nd.nd_id (Printf.sprintf "t%d" !k);
+          incr k)
+    order;
+  names
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+
+let level_vars = [| "i"; "j" |]
+
+let name_of names nd =
+  match Hashtbl.find_opt names nd.nd_id with
+  | Some n -> n
+  | None -> err "lazy: node %d has no canonical name" nd.nd_id
+
+let read_of names (o : operand) =
+  Ir.Read
+    (Ir.aref (name_of names o.op_node)
+       (List.init (Array.length o.op_off) (fun d ->
+            Ir.av ~c:o.op_off.(d) level_vars.(d))))
+
+let nest_of ~names nd =
+  let r = rank nd in
+  let reg = region nd in
+  let rhs =
+    match nd.nd_kind with
+    | Source _ -> err "lazy: cannot lower a source node"
+    | Fill v -> Ir.Const v
+    | Map (u, a) -> (
+        let rd = read_of names a in
+        match u with
+        | Id -> rd
+        | Neg -> Ir.Neg rd
+        | Scale c -> Ir.Bin (Ir.Mul, rd, Ir.Const c)
+        | Bias c -> Ir.Bin (Ir.Add, rd, Ir.Const c))
+    | Zip (b, x, y) -> Ir.Bin (b, read_of names x, read_of names y)
+  in
+  let name = name_of names nd in
+  {
+    Ir.nid = "n_" ^ name;
+    levels =
+      List.init r (fun d ->
+          let lo, hi = reg.(d) in
+          { Ir.lvar = level_vars.(d); lo; hi; parallel = true });
+    body =
+      [ Ir.stmt
+          (Ir.aref name (List.init r (fun d -> Ir.av level_vars.(d))))
+          rhs ];
+  }
+
+let program_of ~names ~pname block_nodes =
+  let decls = Hashtbl.create 16 in
+  let declare nd =
+    let n = name_of names nd in
+    if not (Hashtbl.mem decls n) then
+      Hashtbl.add decls n
+        { Ir.aname = n; extents = Array.to_list nd.nd_shape }
+  in
+  List.iter
+    (fun nd ->
+      declare nd;
+      List.iter declare (producers nd))
+    block_nodes;
+  let decl_list =
+    Hashtbl.fold (fun _ d acc -> d :: acc) decls []
+    |> List.sort (fun a b -> compare a.Ir.aname b.Ir.aname)
+  in
+  let p =
+    { Ir.pname; decls = decl_list;
+      nests = List.map (fun nd -> nest_of ~names nd) block_nodes }
+  in
+  Ir.validate p;
+  p
+
+let pp_kind ppf = function
+  | Source n -> Fmt.pf ppf "source %s" n
+  | Fill v -> Fmt.pf ppf "fill %g" v
+  | Map (u, _) -> Fmt.pf ppf "map %s" (unop_str u)
+  | Zip (b, _, _) -> Fmt.pf ppf "zip %s" (binop_str b)

@@ -1,0 +1,118 @@
+(** Internal recording core of the lazy frontend: the DAG of recorded
+    whole-array operations and its lowering to {!Lf_ir.Ir} nests.
+
+    This module is the shared representation behind the public
+    {!Arr}/{!Ctx} facade — user code should not reach for it.  A
+    {!ctx} accumulates {!node}s (one per recorded whole-array op); a
+    {!view} is a node plus a composed stencil offset, which is how
+    shifts stay zero-cost: [shift] never records an op, it only moves
+    the offsets that later become read subscripts — and hence the
+    uniform dependence distances shift-and-peel legality works on. *)
+
+type unop =
+  | Id  (** copy *)
+  | Neg
+  | Scale of float  (** pointwise [x *. c] *)
+  | Bias of float  (** pointwise [x +. c] *)
+
+type ctx = {
+  mutable rev_nodes : node list;  (** recording order, newest first *)
+  mutable nnodes : int;
+  source_names : (string, unit) Hashtbl.t;
+  mutable cache : (string * (string, float array) Hashtbl.t) option;
+      (** materialised environment keyed by plan signature ({!Eval}
+          owns this; recording leaves it alone — a stale signature is
+          simply a cache miss) *)
+}
+
+and node = {
+  nd_id : int;  (** recording sequence number (unique per ctx) *)
+  nd_ctx : ctx;
+  nd_shape : int array;
+  nd_kind : kind;
+  mutable nd_digest : string option;  (** structural-digest memo *)
+}
+
+and kind =
+  | Source of string
+      (** a named external input; its contents are
+          {!Lf_ir.Interp.default_init} of that name, so traces stay
+          content-addressable *)
+  | Fill of float
+  | Map of unop * operand
+  | Zip of Lf_ir.Ir.binop * operand * operand
+
+and operand = { op_node : node; op_off : int array }
+(** A read of [op_node] at subscript [i + op_off] per dimension. *)
+
+type view = { v_node : node; v_off : int array }
+
+exception Error of string
+(** Recording error: rank/shape mismatch, empty written region after a
+    shift, duplicate or malformed source name. *)
+
+val create_ctx : unit -> ctx
+
+val nodes : ctx -> node list
+(** Recording order (oldest first). *)
+
+val is_op : node -> bool
+(** [false] exactly for [Source] nodes, which record an input, not
+    work. *)
+
+(** {2 Recording} *)
+
+val source : ctx -> string -> int array -> view
+val fill : ctx -> int array -> float -> view
+val shift : view -> int array -> view
+val map : unop -> view -> view
+val zip : Lf_ir.Ir.binop -> view -> view -> view
+
+(** {2 Structure} *)
+
+val rank : node -> int
+
+val digest : node -> string
+(** Structural digest: op kind, parameters, shape, operand offsets and
+    operand digests — {e not} recording ids, so structurally equal
+    DAGs recorded in different orders digest equally.  Source digests
+    include the source name (contents depend on it). *)
+
+val producers : node -> node list
+(** Direct operand nodes, deduplicated, in operand order. *)
+
+val region : node -> (int * int) array
+(** Inclusive written bounds per dimension: the full extent shrunk by
+    the stencil halo (a read at [i + c] confines the written range so
+    every subscript stays in bounds).  Elements outside keep their
+    initial value in {e every} evaluation strategy, which is what
+    makes eager and fused materialisation bit-identical at the
+    borders. *)
+
+val canonical_order : ctx -> node list
+(** All nodes (sources included) in canonical topological order:
+    Kahn's algorithm with the ready set ordered by {!digest}.  The
+    result depends only on the DAG's structure, not on recording
+    order — the determinism property test/test_lazy.ml pins. *)
+
+val canonical_names : node list -> (int, string) Hashtbl.t
+(** Canonical array name per [nd_id] for a canonical order: sources
+    keep their user names, the k-th op becomes ["t<k>"].  Both
+    materialisation strategies and every lowered program use these
+    names, so initial border values (which are name-keyed) agree
+    everywhere. *)
+
+val nest_of : names:(int, string) Hashtbl.t -> node -> Lf_ir.Ir.nest
+(** Lower one op node to a single-statement perfect nest over its
+    written {!region}, every level parallel.  Raises [Error] on a
+    [Source] node. *)
+
+val program_of :
+  names:(int, string) Hashtbl.t ->
+  pname:string ->
+  node list ->
+  Lf_ir.Ir.program
+(** A program whose nests are the given op nodes in order, declaring
+    every array the nests touch (inputs included). *)
+
+val pp_kind : Format.formatter -> kind -> unit

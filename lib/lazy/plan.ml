@@ -1,0 +1,273 @@
+module Ir = Lf_ir.Ir
+module Schedule = Lf_core.Schedule
+module Derive = Lf_core.Derive
+module Sim = Lf_machine.Sim
+
+type reason =
+  | Fusion_off
+  | Shape_mismatch of { block : int array; op : int array }
+  | Would_cycle of { producer : string }
+  | Not_uniform of string
+  | Illegal_fusion of string
+
+type block = {
+  b_index : int;
+  b_nodes : Node.node list;
+  b_written : string list;
+  b_prog : Ir.program;
+  b_sched : Schedule.t;
+  b_fused : bool;
+  b_reason : reason option;
+  b_blocked : (int * reason) list;
+}
+
+type t = {
+  blocks : block list;
+  nprocs : int;
+  strip : int;
+  names : (int, string) Hashtbl.t;
+  order : Node.node list;
+}
+
+let default_nprocs = 4
+
+(* Build program + schedule for a candidate op-node list (canonical
+   order).  Singletons get the unfused (op-at-a-time) schedule; the
+   fused path is the full legality pipeline: uniform distances via
+   Derive, Theorem 1 threshold via Schedule.fused. *)
+let try_sched ~nprocs ~strip ~names = function
+  | [] -> invalid_arg "Plan.try_sched: empty block"
+  | first :: _ as block_nodes -> (
+      let prog = Node.program_of ~names ~pname:"lazy" block_nodes in
+      let rank = Node.rank first in
+      match block_nodes with
+      | [ _ ] -> (
+          match Schedule.unfused ~nprocs prog with
+          | sched -> Ok (prog, sched, false)
+          | exception Invalid_argument m -> Error (Illegal_fusion m))
+      | _ -> (
+          match Derive.of_program ~depth:rank prog with
+          | exception Derive.Not_applicable m -> Error (Not_uniform m)
+          | derive -> (
+              match Schedule.fused ~strip ~derive ~nprocs prog with
+              | sched -> Ok (prog, sched, true)
+              | exception Schedule.Illegal m -> Error (Illegal_fusion m)
+              | exception Invalid_argument m -> Error (Illegal_fusion m))))
+
+type building = {
+  bi : int;
+  mutable bnodes : Node.node list;  (* newest first *)
+  mutable bprog : Ir.program;
+  mutable bsched : Schedule.t;
+  mutable bfused : bool;
+  breason : reason option;
+  bblocked : (int * reason) list;
+}
+
+let of_ctx ?(fuse = true) ?(nprocs = default_nprocs)
+    ?(strip = Schedule.default_strip) cx =
+  let order = Node.canonical_order cx in
+  let names = Hashtbl.create 16 in
+  let cnames = Node.canonical_names order in
+  Hashtbl.iter (fun k v -> Hashtbl.replace names k v) cnames;
+  let ops = List.filter Node.is_op order in
+  let blocks : building list ref = ref [] (* newest first *) in
+  let nblocks = ref 0 in
+  let block_of : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* Newest block (index) holding a transitive producer of [nd], with
+     the producer node that pins it: an op must land in that block or a
+     newer one, or its producer would run after it. *)
+  let mp_memo : (int, int * Node.node option) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let rec max_prod nd =
+    match Hashtbl.find_opt mp_memo nd.Node.nd_id with
+    | Some r -> r
+    | None ->
+        let r =
+          List.fold_left
+            (fun (mi, mn) p ->
+              let pb =
+                if Node.is_op p then
+                  Option.value ~default:(-1)
+                    (Hashtbl.find_opt block_of p.Node.nd_id)
+                else -1
+              in
+              let ti, tn = max_prod p in
+              let mi', mn' = if pb >= ti then (pb, Some p) else (ti, tn) in
+              if mi' > mi then (mi', mn') else (mi, mn))
+            (-1, None) (Node.producers nd)
+        in
+        Hashtbl.replace mp_memo nd.Node.nd_id r;
+        r
+  in
+  let new_block nd reason blocked =
+    match try_sched ~nprocs ~strip ~names [ nd ] with
+    | Error (Illegal_fusion m) | Error (Not_uniform m) ->
+        raise
+          (Node.Error
+             (Printf.sprintf "lazy: op cannot be scheduled over %d procs: %s"
+                nprocs m))
+    | Error _ -> assert false
+    | Ok (prog, sched, fused) ->
+        let b =
+          { bi = !nblocks; bnodes = [ nd ]; bprog = prog; bsched = sched;
+            bfused = fused; breason = reason; bblocked = blocked }
+        in
+        incr nblocks;
+        blocks := b :: !blocks;
+        Hashtbl.replace block_of nd.Node.nd_id b.bi
+  in
+  List.iter
+    (fun nd ->
+      let mp, mp_node = max_prod nd in
+      if not fuse then
+        new_block nd
+          (if !nblocks = 0 then None else Some Fusion_off)
+          []
+      else begin
+        (* scan candidates newest-first; the first legal merge wins *)
+        let refusals = ref [] (* newest candidate first, reversed in *) in
+        let refuse bi r = refusals := (bi, r) :: !refusals in
+        let rec scan = function
+          | [] -> false
+          | b :: older ->
+              let shape_ok =
+                b.bnodes <> []
+                && (List.hd b.bnodes).Node.nd_shape = nd.Node.nd_shape
+              in
+              if b.bi < mp then begin
+                (* an otherwise-plausible candidate barred by ordering:
+                   surface the dependence-cycle refusal *)
+                (if shape_ok then
+                   let producer =
+                     match mp_node with
+                     | Some p ->
+                         Option.value ~default:"?"
+                           (Hashtbl.find_opt names p.Node.nd_id)
+                     | None -> "?"
+                   in
+                   refuse b.bi (Would_cycle { producer }));
+                scan older
+              end
+              else if not shape_ok then begin
+                refuse b.bi
+                  (Shape_mismatch
+                     {
+                       block = (List.hd b.bnodes).Node.nd_shape;
+                       op = nd.Node.nd_shape;
+                     });
+                scan older
+              end
+              else
+                match
+                  try_sched ~nprocs ~strip ~names
+                    (List.rev (nd :: b.bnodes))
+                with
+                | Ok (prog, sched, fused) ->
+                    b.bnodes <- nd :: b.bnodes;
+                    b.bprog <- prog;
+                    b.bsched <- sched;
+                    b.bfused <- fused;
+                    Hashtbl.replace block_of nd.Node.nd_id b.bi;
+                    true
+                | Error r ->
+                    refuse b.bi r;
+                    scan older
+        in
+        if not (scan !blocks) then
+          let blocked = List.rev !refusals (* newest candidate first *) in
+          let reason =
+            match blocked with (_, r) :: _ -> Some r | [] -> None
+          in
+          new_block nd reason blocked
+      end)
+    ops;
+  (* finalize: content-addressed program names so identical blocks hit
+     the same store entries across runs and processes *)
+  let finalize b =
+    let text = Ir.program_to_string b.bprog in
+    let pname =
+      "lazy_" ^ String.sub (Digest.to_hex (Digest.string text)) 0 12
+    in
+    let prog = { b.bprog with Ir.pname } in
+    let sched = { b.bsched with Schedule.prog } in
+    let nodes = List.rev b.bnodes in
+    {
+      b_index = b.bi;
+      b_nodes = nodes;
+      b_written =
+        List.map (fun nd -> Hashtbl.find names nd.Node.nd_id) nodes;
+      b_prog = prog;
+      b_sched = sched;
+      b_fused = b.bfused;
+      b_reason = b.breason;
+      b_blocked = b.bblocked;
+    }
+  in
+  {
+    blocks = List.rev_map finalize !blocks;
+    nprocs;
+    strip;
+    names;
+    order;
+  }
+
+let name_of t nd =
+  match Hashtbl.find_opt t.names nd.Node.nd_id with
+  | Some n -> n
+  | None -> raise (Node.Error "lazy: node not part of this plan")
+
+let ops t = List.length (List.filter Node.is_op t.order)
+
+let signature t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "nprocs=%d strip=%d\n" t.nprocs t.strip);
+  List.iter
+    (fun blk ->
+      Buffer.add_string b
+        (Printf.sprintf "block %d fused=%b:" blk.b_index blk.b_fused);
+      List.iter
+        (fun nd ->
+          Buffer.add_char b ' ';
+          Buffer.add_string b (Node.digest nd))
+        blk.b_nodes;
+      Buffer.add_char b '\n')
+    t.blocks;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let requests ~machine ~mode t =
+  List.map (fun b -> Sim.of_schedule ~mode ~machine b.b_sched) t.blocks
+
+let pp_reason ppf = function
+  | Fusion_off -> Fmt.pf ppf "fusion off"
+  | Shape_mismatch { block; op } ->
+      let s a =
+        String.concat "x" (Array.to_list (Array.map string_of_int a))
+      in
+      Fmt.pf ppf "shape mismatch (block %s, op %s)" (s block) (s op)
+  | Would_cycle { producer } ->
+      Fmt.pf ppf "would create inter-block dependence cycle (via %s)"
+        producer
+  | Not_uniform m -> Fmt.pf ppf "non-uniform dependence: %s" m
+  | Illegal_fusion m -> Fmt.pf ppf "illegal fusion: %s" m
+
+let pp ppf t =
+  Fmt.pf ppf "%d op%s in %d block%s (nprocs=%d, strip=%d)@."
+    (ops t)
+    (if ops t = 1 then "" else "s")
+    (List.length t.blocks)
+    (if List.length t.blocks = 1 then "" else "s")
+    t.nprocs t.strip;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  block %d: %d op%s [%s] %s%a@." b.b_index
+        (List.length b.b_nodes)
+        (if List.length b.b_nodes = 1 then "" else "s")
+        (String.concat " " b.b_written)
+        (if b.b_fused then "fused" else "unfused")
+        (fun ppf -> function
+          | None -> ()
+          | Some r -> Fmt.pf ppf " -- split: %a" pp_reason r)
+        b.b_reason)
+    t.blocks

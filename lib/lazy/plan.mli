@@ -1,0 +1,85 @@
+(** Partitioning a recorded DAG into maximal fusible blocks and
+    lowering each block onto {!Lf_core.Schedule} / {!Lf_machine.Sim}.
+
+    The op nodes are visited in {!Node.canonical_order} (so the
+    partition is a function of the DAG, not the recording sequence)
+    and greedily merged into blocks.  An op may join any existing
+    block no earlier than the newest block holding one of its
+    (transitive) producers — joining an even earlier block would order
+    the op before its producer, an inter-block true-dependence cycle —
+    and the merge must pass the full shift-and-peel legality pipeline
+    on the combined program: uniform dependence distances
+    ({!Lf_core.Derive}) and the Theorem 1 iteration-count threshold
+    ({!Lf_core.Schedule.fused}).  Shape mismatches break fusion
+    exactly as block-size mismatches do in Kristensen et al.  Every
+    refusal carries a typed {!reason}. *)
+
+type reason =
+  | Fusion_off  (** planning with [~fuse:false]: one block per op *)
+  | Shape_mismatch of { block : int array; op : int array }
+  | Would_cycle of { producer : string }
+      (** the op (transitively) consumes [producer], which lives in a
+          {e newer} block than the candidate — merging would create an
+          inter-block dependence cycle *)
+  | Not_uniform of string  (** {!Lf_core.Derive.Not_applicable} *)
+  | Illegal_fusion of string
+      (** Theorem 1 threshold / schedule construction refused the
+          combined program *)
+
+type block = {
+  b_index : int;
+  b_nodes : Node.node list;  (** canonical order *)
+  b_written : string list;  (** canonical array names this block computes *)
+  b_prog : Lf_ir.Ir.program;
+  b_sched : Lf_core.Schedule.t;
+      (** fused shift-and-peel for multi-op blocks, unfused for
+          singletons *)
+  b_fused : bool;
+  b_reason : reason option;
+      (** why this block's first op did not join the immediately
+          preceding block ([None] for the first block) *)
+  b_blocked : (int * reason) list;
+      (** every candidate block the first op was refused from, newest
+          first — where {!Would_cycle} refusals surface *)
+}
+
+type t = {
+  blocks : block list;
+  nprocs : int;
+  strip : int;
+  names : (int, string) Hashtbl.t;  (** nd_id -> canonical array name *)
+  order : Node.node list;  (** canonical order, sources included *)
+}
+
+val default_nprocs : int
+
+val of_ctx : ?fuse:bool -> ?nprocs:int -> ?strip:int -> Node.ctx -> t
+(** Partition everything recorded so far.  [fuse] (default [true])
+    [false] skips merging entirely — the op-at-a-time baseline.
+    [nprocs] defaults to {!default_nprocs}, [strip] to
+    {!Lf_core.Schedule.default_strip}.  Raises {!Node.Error} when an
+    op is too small to block-schedule over [nprocs] at all. *)
+
+val name_of : t -> Node.node -> string
+
+val signature : t -> string
+(** Digest of the whole plan — block structure, per-block structural
+    digests, nprocs, strip.  Equal for structurally equal DAGs
+    whatever their recording order (the qcheck determinism
+    property). *)
+
+val requests :
+  machine:Lf_machine.Machine.config ->
+  mode:Lf_machine.Sim.mode ->
+  t ->
+  Lf_machine.Sim.request list
+(** One {!Lf_machine.Sim.request} per block, in execution order, each
+    wrapping the block's prebuilt schedule ([Explicit]) — the seam
+    that gives traces the store, batch sharding, serve and the queue
+    for free. *)
+
+val ops : t -> int
+(** Recorded op count (sources excluded). *)
+
+val pp_reason : Format.formatter -> reason -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,235 @@
+module Ir = Lf_ir.Ir
+
+(* ------------------------------------------------------------------ *)
+(* Built-in workloads.  Kept as trace text and fed through the same
+   parser as user files — the parser is its own first consumer. *)
+
+let heat =
+  {|# 1-d smoothing chain: three averaging steps, one fused block
+source a n
+s1 = zip add a@-1 a@1
+h1 = map scale:0.5 s1
+s2 = zip add h1@-1 h1@1
+h2 = map scale:0.5 s2
+s3 = zip add h2@-1 h2@1
+h3 = map scale:0.5 s3
+force h3
+|}
+
+let pipeline =
+  {|# mixed map/zip pipeline over two sources, one fused block
+source a n
+source b n
+c = zip add a b
+d = map scale:2.0 c
+e = zip mul c d
+f = map bias:1.5 e
+g = zip sub f b@2
+force g
+|}
+
+let mismatch =
+  {|# full-size and half-size chains interleaved: the shapes cannot
+# fuse (Kristensen et al.'s block-size mismatch), so the plan must
+# split into one block per shape
+source a n
+source b n/2
+c = map scale:2.0 a
+u = map neg b
+d = zip add c c@1
+v = zip add u b@-1
+e = zip sub d a@-2
+w = map bias:0.5 v
+force e
+force w
+|}
+
+let blur2 =
+  {|# rank-2 five-point stencil chain, fused across both dimensions
+source a nxn
+sv = zip add a@-1,0 a@1,0
+sh = zip add a@0,-1 a@0,1
+s = zip add sv sh
+g = map scale:0.25 s
+force g
+|}
+
+let builtins =
+  [
+    ("heat", "1-d smoothing chain (3 steps, fully fusible)");
+    ("pipeline", "mixed map/zip pipeline over two sources");
+    ("mismatch", "full- and half-size chains: shape mismatch splits blocks");
+    ("blur2", "rank-2 five-point stencil chain");
+  ]
+
+let builtin_text name =
+  match name with
+  | "heat" -> Some heat
+  | "pipeline" -> Some pipeline
+  | "mismatch" -> Some mismatch
+  | "blur2" -> Some blur2
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Parser *)
+
+let ( let* ) = Result.bind
+
+let dim_of ~n tok =
+  match int_of_string_opt tok with
+  | Some k when k >= 1 -> Ok k
+  | Some _ -> Error (Printf.sprintf "non-positive extent %S" tok)
+  | None -> (
+      match tok with
+      | "n" -> Ok n
+      | "n/2" -> Ok (max 1 (n / 2))
+      | "n*2" -> Ok (n * 2)
+      | _ -> Error (Printf.sprintf "bad extent %S (int, n, n/2 or n*2)" tok))
+
+let shape_of ~n tok =
+  let dims = String.split_on_char 'x' tok in
+  if List.length dims < 1 || List.length dims > 2 then
+    Error (Printf.sprintf "bad shape %S (1 or 2 'x'-separated dims)" tok)
+  else
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | d :: tl ->
+          let* k = dim_of ~n d in
+          go (k :: acc) tl
+    in
+    go [] dims
+
+let operand_of env tok =
+  let name, off_txt =
+    match String.index_opt tok '@' with
+    | None -> (tok, None)
+    | Some i ->
+        ( String.sub tok 0 i,
+          Some (String.sub tok (i + 1) (String.length tok - i - 1)) )
+  in
+  match Hashtbl.find_opt env name with
+  | None -> Error (Printf.sprintf "unknown value %S" name)
+  | Some v -> (
+      match off_txt with
+      | None -> Ok v
+      | Some txt -> (
+          let parts = String.split_on_char ',' txt in
+          let offs = List.map int_of_string_opt parts in
+          if List.exists Option.is_none offs then
+            Error (Printf.sprintf "bad shift %S" txt)
+          else
+            let off = Array.of_list (List.map Option.get offs) in
+            if Array.length off <> Array.length (Arr.shape v) then
+              Error
+                (Printf.sprintf "shift %S has rank %d, value has rank %d"
+                   txt (Array.length off)
+                   (Array.length (Arr.shape v)))
+            else
+              match Arr.shift off v with
+              | v' -> Ok v'
+              | exception Node.Error m -> Error m))
+
+let unop_of tok =
+  match tok with
+  | "id" -> Ok Node.Id
+  | "neg" -> Ok Node.Neg
+  | _ -> (
+      let param pfx =
+        let pl = String.length pfx in
+        if String.length tok > pl && String.sub tok 0 pl = pfx then
+          float_of_string_opt (String.sub tok pl (String.length tok - pl))
+        else None
+      in
+      match param "scale:" with
+      | Some c -> Ok (Node.Scale c)
+      | None -> (
+          match param "bias:" with
+          | Some c -> Ok (Node.Bias c)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad unary op %S (id, neg, scale:F, bias:F)" tok)))
+
+let binop_of tok =
+  match tok with
+  | "add" -> Ok Ir.Add
+  | "sub" -> Ok Ir.Sub
+  | "mul" -> Ok Ir.Mul
+  | "div" -> Ok Ir.Div
+  | _ -> Error (Printf.sprintf "bad binary op %S (add, sub, mul, div)" tok)
+
+let of_string ~n text =
+  let cx = Ctx.create () in
+  let env : (string, Arr.t) Hashtbl.t = Hashtbl.create 16 in
+  let outputs = ref [] in
+  let define name v =
+    if Hashtbl.mem env name then
+      Error (Printf.sprintf "duplicate name %S" name)
+    else begin
+      Hashtbl.replace env name v;
+      Ok ()
+    end
+  in
+  let parse_line line =
+    let words =
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | [] -> Ok ()
+    | w :: _ when String.length w > 0 && w.[0] = '#' -> Ok ()
+    | [ "source"; name; shape ] -> (
+        let* sh = shape_of ~n shape in
+        match Arr.source cx name sh with
+        | v -> define name v
+        | exception Node.Error m -> Error m)
+    | [ "fill"; name; shape; value ] -> (
+        let* sh = shape_of ~n shape in
+        match float_of_string_opt value with
+        | None -> Error (Printf.sprintf "bad fill value %S" value)
+        | Some f -> (
+            match Arr.fill cx sh f with
+            | v -> define name v
+            | exception Node.Error m -> Error m))
+    | [ name; "="; "map"; u; operand ] -> (
+        let* u = unop_of u in
+        let* v = operand_of env operand in
+        match Node.map u v with
+        | v' -> define name v'
+        | exception Node.Error m -> Error m)
+    | [ name; "="; "zip"; b; o1; o2 ] -> (
+        let* b = binop_of b in
+        let* x = operand_of env o1 in
+        let* y = operand_of env o2 in
+        match Node.zip b x y with
+        | v' -> define name v'
+        | exception Node.Error m -> Error m)
+    | [ "force"; name ] -> (
+        match Hashtbl.find_opt env name with
+        | None -> Error (Printf.sprintf "unknown value %S" name)
+        | Some v ->
+            outputs := (name, v) :: !outputs;
+            Ok ())
+    | _ -> Error (Printf.sprintf "unparseable line %S" line)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | l :: tl -> (
+        match parse_line l with
+        | Ok () -> go (lineno + 1) tl
+        | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+  in
+  let* () = go 1 lines in
+  match List.rev !outputs with
+  | [] -> Error "trace forces no output (add a `force NAME` line)"
+  | outs -> Ok (cx, outs)
+
+let load ~n path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | text -> of_string ~n text

@@ -1,0 +1,36 @@
+(** A tiny textual trace language for recorded array-operation
+    streams, plus built-in workloads — what [lfc trace] and the lazy
+    bench run.
+
+    Grammar (one op per line, [#] comments):
+    {v
+    source NAME SHAPE          # external input (default-init contents)
+    fill NAME SHAPE FLOAT      # constant array
+    NAME = map UNOP OPERAND    # UNOP: id | neg | scale:F | bias:F
+    NAME = zip BINOP OP1 OP2   # BINOP: add | sub | mul | div
+    force NAME                 # mark an output
+    v}
+
+    [SHAPE] is per-dimension, ['x']-separated; each dimension is an
+    integer or the size parameter ([n], [n/2], [n*2]).  An [OPERAND]
+    is a name with an optional stencil shift: [a], [a@1], [a@-1],
+    [b@1,-2]. *)
+
+val builtins : (string * string) list
+(** Built-in workload names with one-line descriptions: [heat] (1-d
+    smoothing chain, one fused block), [pipeline] (mixed map/zip over
+    two sources), [mismatch] (interleaved full- and half-size chains —
+    the block-size mismatch scenario, fusion must split), [blur2]
+    (rank-2 five-point stencil chain). *)
+
+val builtin_text : string -> string option
+(** The trace text of a built-in, shape parameters unresolved. *)
+
+val of_string :
+  n:int -> string -> (Ctx.t * (string * Arr.t) list, string) result
+(** Record the trace into a fresh context with size parameter [n];
+    returns the context and the forced outputs in order.  Errors carry
+    the offending line number. *)
+
+val load : n:int -> string -> (Ctx.t * (string * Arr.t) list, string) result
+(** {!of_string} on a file's contents. *)

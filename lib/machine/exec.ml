@@ -1014,6 +1014,24 @@ let run_request_gen ?sink ?init ?jobs ?pool (req : Sim.request) =
 
 let run_request ?jobs ?pool ?sink req = run_request_gen ?sink ?jobs ?pool req
 
+(* Host-side execution options as one value.  lf_machine sits below
+   lf_batch, so this is the bottom half of the unified options story:
+   exactly the knobs the engine guarantees are bit-identity-preserving
+   (jobs/pool choose host domains, sink is passive observation).  The
+   full policy record — engine tier, store policy, timeout — lives in
+   Lf_batch.Run_opts, which lowers onto this one. *)
+type opts = {
+  o_jobs : int option;
+  o_pool : Pool.t option;
+  o_sink : Obs.sink option;
+}
+
+let default_opts = { o_jobs = None; o_pool = None; o_sink = None }
+let opts ?jobs ?pool ?sink () = { o_jobs = jobs; o_pool = pool; o_sink = sink }
+
+let run_opts o req =
+  run_request_gen ?sink:o.o_sink ?jobs:o.o_jobs ?pool:o.o_pool req
+
 (* Compatibility layer: the historical optional-argument entry points,
    re-expressed as request builders (see exec.mli). *)
 let run ?sink ?layout ?init ?steps ?mode ?jobs ?pool ~machine sched =

@@ -77,14 +77,41 @@ val release_shared_pool : unit -> unit
     runs, and shut down automatically at exit; tests use this to force
     a fresh pool. *)
 
+type opts = {
+  o_jobs : int option;  (** host domains; [None] means {!default_jobs} *)
+  o_pool : Lf_parallel.Pool.t option;  (** existing domain pool to reuse *)
+  o_sink : Lf_obs.Obs.sink option;  (** passive attribution sink *)
+}
+(** Host-side execution options as a single value — the bottom half of
+    the unified request-options API.  Everything here is outside the
+    request digest by design: the engine is bit-identical for every
+    [o_jobs]/[o_pool] choice and a sink is observation, not
+    configuration.  The policy half (engine tier, store policy,
+    timeout) is [Lf_batch.Run_opts], which lowers onto this record;
+    lf_machine cannot see lf_batch, so the two live one layer apart. *)
+
+val default_opts : opts
+(** All fields [None]: default jobs, shared pool, no sink. *)
+
+val opts :
+  ?jobs:int -> ?pool:Lf_parallel.Pool.t -> ?sink:Lf_obs.Obs.sink -> unit -> opts
+
+val run_opts : opts -> Sim.request -> result
+(** [run_opts o req] simulates exactly the configuration [req] names
+    under host options [o].  This is the primary entry point;
+    {!run_request} is the historical optional-argument spelling and
+    forwards to the same engine. *)
+
 val run_request :
   ?jobs:int ->
   ?pool:Lf_parallel.Pool.t ->
   ?sink:Lf_obs.Obs.sink ->
   Sim.request ->
   result
-(** The primary entry point: simulate exactly the configuration the
-    {!Sim.request} names.  Everything that determines a simulated
+(** {!run_opts} with the options spelled as optional arguments
+    (deprecated in favour of passing an {!opts} record — kept
+    bit-identical by construction, which test/test_run_opts.ml pins):
+    simulate exactly the configuration the {!Sim.request} names.  Everything that determines a simulated
     observable lives inside the request (and hence inside
     {!Sim.digest}); the arguments here are host-side execution knobs
     that the engine guarantees are bit-identity-preserving — [jobs]

@@ -26,6 +26,7 @@
 
 module Sim = Lf_machine.Sim
 module Batch = Lf_batch.Batch
+module Run_opts = Lf_batch.Run_opts
 module Wire = Lf_serve.Wire
 
 type t = { qdir : string }
@@ -244,7 +245,16 @@ type worker_stats = {
 let default_ttl = 10.0
 
 let worker ?wid ?(ttl = default_ttl) ?(poll_s = 0.05) ?idle_timeout_s ?jobs
-    ~store t =
+    ?opts ~store t =
+  (* unified options: an explicit ?jobs (legacy spelling) wins, else
+     the Run_opts value decides; everything else about a task is inside
+     its request, and the store handle is the queue's own. *)
+  let jobs =
+    match (jobs, opts) with
+    | (Some _ as j), _ -> j
+    | None, Some o -> o.Run_opts.jobs
+    | None, None -> None
+  in
   let wid =
     match wid with Some w -> w | None -> Printf.sprintf "w%d" (Unix.getpid ())
   in

@@ -110,6 +110,7 @@ val worker :
   ?poll_s:float ->
   ?idle_timeout_s:float ->
   ?jobs:int ->
+  ?opts:Lf_batch.Run_opts.t ->
   store:Lf_batch.Batch.Store.t ->
   t ->
   worker_stats
@@ -126,7 +127,13 @@ val worker :
     [idle_timeout_s] it keeps polling until that much idle time
     passes, for long-lived workers fed by repeated sweeps.  [wid]
     defaults to a pid-derived id; it must not contain ['.'], ['/'] or
-    whitespace. *)
+    whitespace.
+
+    [opts] is the unified {!Lf_batch.Run_opts.t}: its [jobs] field
+    applies to each computation (an explicit [?jobs], the legacy
+    spelling, wins when both are given).  The other policy fields do
+    not apply here — each task's engine is inside its request, and the
+    queue's store handle is the [store] argument. *)
 
 (** {1 Observation} *)
 

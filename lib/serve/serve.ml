@@ -16,6 +16,7 @@
 module Sim = Lf_machine.Sim
 module Exec = Lf_machine.Exec
 module Batch = Lf_batch.Batch
+module Run_opts = Lf_batch.Run_opts
 module Obs = Lf_obs.Obs
 
 type config = {
@@ -246,6 +247,15 @@ let conn_loop t conn =
 (* ------------------------------------------------------------------ *)
 (* Worker domains.                                                     *)
 
+(* Unified dispatch options for a worker domain: serial inside the
+   domain (across-not-within), persisting to the daemon's store root.
+   Batch.store_of_opts memoises handles per root, so this resolves to
+   the same handle as t.store. *)
+let worker_opts t =
+  Run_opts.default
+  |> Run_opts.with_jobs 1
+  |> Run_opts.with_store (Run_opts.Store_in t.cfg.store_dir)
+
 let worker_loop t =
   let rec loop () =
     match Drr.next t.queue with
@@ -260,8 +270,9 @@ let worker_loop t =
         | Some r -> Ok (r, true)
         | None -> (
           match
-            Batch.run_one ~store:t.store ~jobs:1 ~sink:job.jsink
-              ~scope:job.jconn.scope job.jreq
+            Batch.run_one_with ~scope:job.jconn.scope
+              (Run_opts.with_sink job.jsink (worker_opts t))
+              job.jreq
           with
           | r -> Ok (r, false)
           | exception e -> Error (Printexc.to_string e))
@@ -389,7 +400,17 @@ let bind_socket path =
 let start cfg =
   (* a disconnected client must surface as EPIPE, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
-  let store = Batch.Store.open_ ?dir:cfg.store_dir () in
+  (* open through the memoised policy resolver so the daemon's handle
+     is the same one worker dispatch (run_one_with) resolves to — one
+     handle per root means one consistent stats view *)
+  let store =
+    match
+      Batch.store_of_opts
+        (Run_opts.make ~store:(Run_opts.Store_in cfg.store_dir) ())
+    with
+    | Some st -> st
+    | None -> assert false
+  in
   let queue =
     Drr.create ~quantum:cfg.quantum ~max_inflight:cfg.max_inflight
       ~max_client_queue:cfg.max_client_queue ()

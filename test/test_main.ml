@@ -33,4 +33,6 @@ let () =
       ("queue", Test_queue.suite);
       ("script", Test_script.suite);
       ("native", Test_native.suite);
+      ("lazy", Test_lazy.suite);
+      ("run_opts", Test_run_opts.suite);
     ]
